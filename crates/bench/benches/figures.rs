@@ -1,0 +1,92 @@
+//! Criterion wrappers over the figure experiments: one representative grid
+//! point per paper artefact, so `cargo bench` exercises every reproduction
+//! path end to end and tracks its cost over time. The full grids live in
+//! the `fbf-bench` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fbf_cache::PolicyKind;
+use fbf_codes::CodeSpec;
+use fbf_core::{run_experiment, ExperimentConfig};
+use std::hint::black_box;
+
+/// A scaled-down figure point that still runs the full pipeline.
+fn cfg(code: CodeSpec, p: usize, policy: PolicyKind, cache_mb: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        code,
+        p,
+        policy,
+        cache_mb,
+        stripes: 512,
+        error_count: 128,
+        workers: 32,
+        gen_threads: 1,
+        ..Default::default()
+    }
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_hit_ratio_point");
+    for policy in PolicyKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                let cfg = cfg(CodeSpec::Tip, 11, policy, 64);
+                b.iter(|| black_box(run_experiment(&cfg).unwrap().hit_ratio));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_read_ops_point");
+    for p in [5usize, 13] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            let cfg = cfg(CodeSpec::Tip, p, PolicyKind::Fbf, 64);
+            b.iter(|| black_box(run_experiment(&cfg).unwrap().disk_reads));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_response_point");
+    for code in CodeSpec::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(code.name()),
+            &code,
+            |b, &code| {
+                let cfg = cfg(code, 7, PolicyKind::Fbf, 64);
+                b.iter(|| black_box(run_experiment(&cfg).unwrap().avg_response_ms));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig11_and_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_reconstruction_point");
+    group.bench_function("tip_p7_fbf_vs", |b| {
+        let fbf = cfg(CodeSpec::Tip, 7, PolicyKind::Fbf, 32);
+        let lru = cfg(CodeSpec::Tip, 7, PolicyKind::Lru, 32);
+        b.iter(|| {
+            let a = run_experiment(&fbf).unwrap().reconstruction_s;
+            let b_ = run_experiment(&lru).unwrap().reconstruction_s;
+            black_box((a, b_))
+        });
+    });
+    // Table IV's measured quantity: scheme+priority generation time.
+    group.bench_function("table4_overhead_path", |b| {
+        let cfg = cfg(CodeSpec::Star, 13, PolicyKind::Fbf, 64);
+        b.iter(|| black_box(run_experiment(&cfg).unwrap().overhead_per_stripe_ms));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig8, bench_fig9, bench_fig10, bench_fig11_and_tables
+);
+criterion_main!(benches);

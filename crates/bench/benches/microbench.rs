@@ -1,0 +1,168 @@
+//! Microbenchmarks of the building blocks: XOR kernel, cache policies,
+//! scheme generation, encode/decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fbf_cache::{key, PolicyKind};
+use fbf_codes::encode::encode;
+use fbf_codes::{decode::decode, Cell, CodeSpec, Stripe, StripeCode};
+use fbf_recovery::{
+    scheme::generate, scrub::scrub, ErrorGroup, PartialStripeError, PriorityDictionary,
+    RecoveryController, SchemeKind,
+};
+use std::hint::black_box;
+
+fn bench_xor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xor_into");
+    for size in [4 << 10, 32 << 10, 256 << 10] {
+        let src = vec![0xA5u8; size];
+        let mut dst = vec![0x5Au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| fbf_codes::xor::xor_into(black_box(&mut dst), black_box(&src)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_access_insert");
+    // A recovery-like trace: runs of sequential keys with periodic reuse.
+    let trace: Vec<_> = (0..10_000u32)
+        .map(|i| key(i / 40, (i % 6) as usize, ((i / 3) % 7) as usize))
+        .collect();
+    for kind in PolicyKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut policy = kind.build(64);
+                let mut hits = 0u64;
+                for &k in &trace {
+                    if policy.on_access(k) {
+                        hits += 1;
+                    } else {
+                        policy.on_insert(k, 1 + (k.cell.row % 3) as u8);
+                    }
+                }
+                black_box(hits)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheme_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheme_generation");
+    for spec in CodeSpec::ALL {
+        let code = StripeCode::build(spec, 13).unwrap();
+        let error = PartialStripeError::new(&code, 0, 0, 0, code.rows() - 1).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(spec.name()),
+            &spec,
+            |b, _| {
+                b.iter(|| {
+                    let s = generate(&code, &error, SchemeKind::FbfCycling).unwrap();
+                    let d = PriorityDictionary::from_scheme(&s);
+                    black_box((s.unique_reads(), d.len()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_decode");
+    for spec in CodeSpec::ALL {
+        let code = StripeCode::build(spec, 7).unwrap();
+        let mut stripe = Stripe::patterned(code.layout(), 32 << 10);
+        encode(&code, &mut stripe).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("encode", spec.name()),
+            &spec,
+            |b, _| {
+                let mut s = stripe.clone();
+                b.iter(|| encode(&code, black_box(&mut s)).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_partial", spec.name()),
+            &spec,
+            |b, _| {
+                let erased: Vec<Cell> = (0..code.rows() - 1).map(|r| Cell::new(r, 0)).collect();
+                b.iter_batched(
+                    || {
+                        let mut s = stripe.clone();
+                        for &e in &erased {
+                            s.erase(code.layout(), e);
+                        }
+                        s
+                    },
+                    |mut s| decode(&code, black_box(&mut s), &erased).unwrap(),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scrub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scrub_pass");
+    for spec in [CodeSpec::Tip, CodeSpec::Star] {
+        let code = StripeCode::build(spec, 11).unwrap();
+        let mut stripe = Stripe::patterned(code.layout(), 4096);
+        encode(&code, &mut stripe).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("clean", spec.name()),
+            &spec,
+            |b, _| {
+                let mut s = stripe.clone();
+                b.iter(|| black_box(scrub(&code, &mut s, 1)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("one_corruption", spec.name()),
+            &spec,
+            |b, _| {
+                b.iter_batched(
+                    || {
+                        let mut s = stripe.clone();
+                        let mut buf = s.get(code.layout(), Cell::new(1, 2)).to_vec();
+                        buf[0] ^= 0xFF;
+                        s.set(code.layout(), Cell::new(1, 2), buf.into());
+                        s
+                    },
+                    |mut s| black_box(scrub(&code, &mut s, 1)),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_controller_memoisation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_controller");
+    let code = StripeCode::build(CodeSpec::Tip, 13).unwrap();
+    let mut campaign = ErrorGroup::new();
+    for stripe in 0..256u32 {
+        // 16 distinct formats recurring 16 times each.
+        let first = (stripe as usize) % 4;
+        let len = 1 + (stripe as usize / 4) % 4;
+        campaign.push(PartialStripeError::new(&code, stripe, 0, first, len).unwrap());
+    }
+    group.bench_function("memoised_campaign", |b| {
+        b.iter(|| {
+            let mut ctl = RecoveryController::new(&code, SchemeKind::FbfCycling);
+            black_box(ctl.plan_campaign(&campaign).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_xor, bench_policies, bench_scheme_generation, bench_encode_decode,
+        bench_scrub, bench_controller_memoisation
+);
+criterion_main!(benches);

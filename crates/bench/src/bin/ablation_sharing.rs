@@ -1,0 +1,44 @@
+//! Ablation: per-worker cache partitioning vs one shared cache.
+//!
+//! The paper's SOR setup gives each reconstruction process "a small part of
+//! cache". A shared cache would let workers poach each other's chunks but
+//! also reuse nothing across stripes (chunk identities are stripe-local),
+//! so the main effect is how eviction pressure distributes. This bench
+//! quantifies it per policy at a limited cache size.
+
+use fbf_bench::{base_config, save_csv, CACHE_MB};
+use fbf_cache::PolicyKind;
+use fbf_codes::CodeSpec;
+use fbf_core::{report::f, sweep, Table};
+use fbf_disksim::CacheSharing;
+
+fn main() {
+    let p = 11;
+    let mut table = Table::new(
+        format!("Cache-sharing ablation — TIP(p={p}), hit ratio"),
+        &["cache_mb", "policy", "partitioned", "shared"],
+    );
+    for &mb in &CACHE_MB[..6] {
+        let configs: Vec<_> = PolicyKind::ALL
+            .iter()
+            .flat_map(|&policy| {
+                [CacheSharing::Partitioned, CacheSharing::Shared].map(|sharing| {
+                    let mut cfg = base_config(CodeSpec::Tip, p, policy, mb);
+                    cfg.sharing = sharing;
+                    cfg
+                })
+            })
+            .collect();
+        let points = sweep(&configs, 0).expect("sweep failed");
+        for pair in points.chunks(2) {
+            table.push_row(vec![
+                mb.to_string(),
+                pair[0].config.policy.name().to_string(),
+                f(pair[0].metrics.hit_ratio, 4),
+                f(pair[1].metrics.hit_ratio, 4),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    save_csv("ablation_sharing", &table);
+}

@@ -1,0 +1,44 @@
+//! Fig. 8 — cache hit ratio during partial stripe reconstruction.
+//!
+//! One sub-table per (code, P): rows are cache sizes, columns the five
+//! policies. The paper's observations to look for in the output:
+//! FBF dominates at limited cache sizes, plateaus earliest, and all curves
+//! converge once the cache exceeds the per-stripe working set; STAR shows
+//! the highest ratios because its adjuster chunks are referenced many times.
+
+use fbf_bench::{base_config, save_csv, CACHE_MB, FIG8_PRIMES};
+use fbf_cache::PolicyKind;
+use fbf_codes::CodeSpec;
+use fbf_core::{report::f, sweep, Table};
+
+fn main() {
+    for code in CodeSpec::ALL {
+        for p in FIG8_PRIMES {
+            if p < code.min_prime() {
+                continue;
+            }
+            let configs: Vec<_> = CACHE_MB
+                .iter()
+                .flat_map(|&mb| {
+                    PolicyKind::ALL
+                        .iter()
+                        .map(move |&policy| base_config(code, p, policy, mb))
+                })
+                .collect();
+            let points = sweep(&configs, 0).expect("sweep failed");
+
+            let mut table = Table::new(
+                format!("Fig.8 hit ratio — {}(p={p})", code.name()),
+                &["cache_mb", "FIFO", "LRU", "LFU", "ARC", "FBF"],
+            );
+            for (i, &mb) in CACHE_MB.iter().enumerate() {
+                let row = &points[i * PolicyKind::ALL.len()..(i + 1) * PolicyKind::ALL.len()];
+                let mut cells = vec![mb.to_string()];
+                cells.extend(row.iter().map(|pt| f(pt.metrics.hit_ratio, 4)));
+                table.push_row(cells);
+            }
+            println!("{}", table.render());
+            save_csv(&format!("fig8_{}_p{p}", code.name().to_lowercase()), &table);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Failure injection: reconstruction with one aged straggler disk.
+//!
+//! Disks in the failure-prone regime the paper targets (§II-C: error
+//! rates grow as drives age) rarely degrade uniformly — one disk serving
+//! at 3× its normal latency throttles every chain that crosses it. This
+//! bench measures how each policy's reconstruction tolerates a straggler:
+//! the more reads a policy serves from cache, the fewer land on the slow
+//! disk's queue.
+
+use fbf_bench::{base_config, save_csv};
+use fbf_cache::PolicyKind;
+use fbf_codes::CodeSpec;
+use fbf_core::{report::f, sweep, Table};
+
+fn main() {
+    let p = 11;
+    let cache_mb = 64;
+    let mut table = Table::new(
+        format!("Straggler injection — TIP(p={p}), {cache_mb}MB, disk 0 at N× latency"),
+        &["slowdown", "policy", "hit_ratio", "recon_s", "slowdown_cost_pct"],
+    );
+
+    for factor in [1.0f64, 2.0, 4.0] {
+        let configs: Vec<_> = PolicyKind::ALL
+            .iter()
+            .map(|&policy| {
+                let mut cfg = base_config(CodeSpec::Tip, p, policy, cache_mb);
+                if factor > 1.0 {
+                    cfg.straggler = Some((0, factor));
+                }
+                cfg
+            })
+            .collect();
+        let points = sweep(&configs, 0).expect("sweep failed");
+        // Baseline (healthy) reconstruction per policy, for the cost column.
+        let healthy: Vec<_> = if factor == 1.0 {
+            points.iter().map(|pt| pt.metrics.reconstruction_s).collect()
+        } else {
+            let base: Vec<_> = PolicyKind::ALL
+                .iter()
+                .map(|&policy| base_config(CodeSpec::Tip, p, policy, cache_mb))
+                .collect();
+            sweep(&base, 0)
+                .expect("sweep failed")
+                .iter()
+                .map(|pt| pt.metrics.reconstruction_s)
+                .collect()
+        };
+        for (pt, h) in points.iter().zip(&healthy) {
+            table.push_row(vec![
+                format!("{factor}x"),
+                pt.config.policy.name().to_string(),
+                f(pt.metrics.hit_ratio, 4),
+                f(pt.metrics.reconstruction_s, 3),
+                f(100.0 * (pt.metrics.reconstruction_s - h) / h, 1),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    save_csv("straggler", &table);
+}

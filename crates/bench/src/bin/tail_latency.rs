@@ -1,0 +1,36 @@
+//! Tail latency of recovery reads — beyond the paper's mean-only Fig. 10.
+//!
+//! Mean response time understates what a deep disk queue does to the
+//! unlucky requests. This bench reports p50 / p95 / p99 read latency per
+//! policy at a contended cache size: every cache hit FBF wins is a request
+//! that *skips the queue entirely*, so the tail compresses more than the
+//! mean suggests.
+
+use fbf_bench::{base_config, save_csv};
+use fbf_cache::PolicyKind;
+use fbf_codes::CodeSpec;
+use fbf_core::{report::f, sweep, Table};
+
+fn main() {
+    let p = 13;
+    let mut table = Table::new(
+        format!("Read latency distribution — TIP(p={p}), 64MB cache"),
+        &["policy", "mean_ms", "p50_ms", "p95_ms", "p99_ms"],
+    );
+    let configs: Vec<_> = PolicyKind::ALL
+        .iter()
+        .map(|&policy| base_config(CodeSpec::Tip, p, policy, 64))
+        .collect();
+    let points = sweep(&configs, 0).expect("sweep failed");
+    for pt in &points {
+        table.push_row(vec![
+            pt.config.policy.name().to_string(),
+            f(pt.metrics.avg_response_ms, 3),
+            f(pt.metrics.p50_response_ms, 3),
+            f(pt.metrics.p95_response_ms, 3),
+            f(pt.metrics.p99_response_ms, 3),
+        ]);
+    }
+    println!("{}", table.render());
+    save_csv("tail_latency", &table);
+}

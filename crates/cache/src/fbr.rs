@@ -1,0 +1,181 @@
+//! FBR — frequency-based replacement (Robinson & Devarakonda, SIGMETRICS'90
+//! — the paper's reference \[27\]).
+//!
+//! FBR keeps an LRU stack split into *new*, *middle* and *old* sections.
+//! Reference counts are incremented only when the page is hit **outside
+//! the new section** — re-references to just-fetched pages are treated as
+//! correlated and earn no frequency credit. The eviction victim is the
+//! least-frequently-used page of the *old* section (ties to the LRU end),
+//! combining frequency with aging.
+//!
+//! Section sizing follows the original paper's recommendation:
+//! new ≈ 25%, old ≈ 50% of capacity.
+
+use crate::policy::{Key, ReplacementPolicy};
+use crate::queue::OrderedQueue;
+use std::collections::HashMap;
+
+/// The FBR policy.
+#[derive(Debug)]
+pub struct FbrPolicy {
+    capacity: usize,
+    new_size: usize,
+    old_size: usize,
+    /// LRU stack: front = LRU (old end), back = MRU (new end).
+    stack: OrderedQueue,
+    counts: HashMap<Key, u64>,
+}
+
+impl FbrPolicy {
+    /// FBR with 25% new / 50% old sections.
+    pub fn new(capacity: usize) -> Self {
+        FbrPolicy {
+            capacity,
+            new_size: (capacity / 4).max(1),
+            old_size: (capacity / 2).max(1),
+            stack: OrderedQueue::new(),
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Is `key` currently within the new (MRU-most) section?
+    fn in_new_section(&self, key: &Key) -> bool {
+        self.stack
+            .iter()
+            .rev()
+            .take(self.new_size)
+            .any(|k| k == key)
+    }
+
+    /// Victim: minimum count within the old (LRU-most) section, ties to
+    /// the LRU end.
+    fn victim(&self) -> Key {
+        let old: Vec<Key> = self.stack.iter().take(self.old_size).copied().collect();
+        *old.iter()
+            .enumerate()
+            .min_by_key(|(pos, k)| (self.counts[k], *pos))
+            .map(|(_, k)| k)
+            .expect("victim() on non-empty cache")
+    }
+}
+
+impl ReplacementPolicy for FbrPolicy {
+    fn name(&self) -> &'static str {
+        "FBR"
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn contains(&self, key: &Key) -> bool {
+        self.stack.contains(key)
+    }
+
+    fn on_access(&mut self, key: Key) -> bool {
+        if !self.stack.contains(&key) {
+            return false;
+        }
+        // Frequency credit only outside the new section (factors out
+        // correlated re-references).
+        if !self.in_new_section(&key) {
+            *self.counts.get_mut(&key).expect("resident has a count") += 1;
+        }
+        self.stack.touch(key);
+        true
+    }
+
+    fn on_insert(&mut self, key: Key, _priority: u8) -> Option<Key> {
+        if self.capacity == 0 {
+            return None;
+        }
+        debug_assert!(!self.stack.contains(&key));
+        let evicted = if self.stack.len() >= self.capacity {
+            let v = self.victim();
+            self.stack.remove(&v);
+            self.counts.remove(&v);
+            Some(v)
+        } else {
+            None
+        };
+        self.stack.push_back(key);
+        self.counts.insert(key, 1);
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.stack.clear();
+        self.counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key;
+
+    #[test]
+    fn new_section_hits_earn_no_credit() {
+        let mut c = FbrPolicy::new(8); // new section = 2
+        c.on_insert(key(0, 0, 0), 1);
+        assert!(c.on_access(key(0, 0, 0))); // in new section (MRU)
+        assert_eq!(c.counts[&key(0, 0, 0)], 1, "correlated hit earns nothing");
+    }
+
+    #[test]
+    fn old_section_hits_earn_credit() {
+        let mut c = FbrPolicy::new(4); // new section = 1
+        c.on_insert(key(0, 0, 0), 1);
+        c.on_insert(key(0, 0, 1), 1);
+        // key0 is now outside the 1-slot new section.
+        assert!(c.on_access(key(0, 0, 0)));
+        assert_eq!(c.counts[&key(0, 0, 0)], 2);
+    }
+
+    #[test]
+    fn evicts_least_frequent_in_old_section() {
+        let mut c = FbrPolicy::new(4); // old section = 2
+        c.on_insert(key(0, 0, 0), 1);
+        c.on_insert(key(0, 0, 1), 1);
+        c.on_insert(key(0, 0, 2), 1);
+        c.on_insert(key(0, 0, 3), 1);
+        // Credit key0 (the LRU), leaving key1 as the low-count old page.
+        c.on_access(key(0, 0, 0));
+        // But the access moved key0 to MRU; old section is now {1, 2}.
+        let evicted = c.on_insert(key(0, 0, 4), 1);
+        assert_eq!(evicted, Some(key(0, 0, 1)));
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = FbrPolicy::new(3);
+        for i in 0..40 {
+            let k = key(0, 0, i % 9);
+            if !c.on_access(k) {
+                c.on_insert(k, 1);
+            }
+            assert!(c.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn frequent_old_page_survives() {
+        let mut c = FbrPolicy::new(4);
+        let hot = key(0, 0, 0);
+        c.on_insert(hot, 1);
+        // Build frequency while hot cycles through the old section.
+        for i in 1..20 {
+            let k = key(0, 1, i);
+            if !c.on_access(k) {
+                c.on_insert(k, 1);
+            }
+            c.on_access(hot);
+        }
+        assert!(c.contains(&hot));
+        assert!(c.counts[&hot] > 5);
+    }
+}

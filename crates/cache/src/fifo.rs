@@ -1,0 +1,91 @@
+//! FIFO replacement: evict in arrival order, ignore re-references.
+
+use crate::policy::{Key, ReplacementPolicy};
+use crate::queue::OrderedQueue;
+
+/// First-in first-out cache. The simplest baseline in the paper's figures:
+/// hits do not refresh position, so long-lived shared chunks age out exactly
+/// as fast as single-use ones.
+#[derive(Debug)]
+pub struct FifoPolicy {
+    capacity: usize,
+    queue: OrderedQueue,
+}
+
+impl FifoPolicy {
+    /// FIFO cache holding at most `capacity` chunks.
+    pub fn new(capacity: usize) -> Self {
+        FifoPolicy {
+            capacity,
+            queue: OrderedQueue::new(),
+        }
+    }
+}
+
+impl ReplacementPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn contains(&self, key: &Key) -> bool {
+        self.queue.contains(key)
+    }
+
+    fn on_access(&mut self, key: Key) -> bool {
+        // A hit does not change FIFO order.
+        self.queue.contains(&key)
+    }
+
+    fn on_insert(&mut self, key: Key, _priority: u8) -> Option<Key> {
+        if self.capacity == 0 {
+            return None;
+        }
+        debug_assert!(!self.queue.contains(&key), "inserting resident key {key}");
+        let evicted = if self.queue.len() >= self.capacity {
+            self.queue.pop_front()
+        } else {
+            None
+        };
+        self.queue.push_back(key);
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key;
+
+    #[test]
+    fn evicts_in_arrival_order_despite_hits() {
+        let mut f = FifoPolicy::new(2);
+        f.on_insert(key(0, 0, 0), 1);
+        f.on_insert(key(0, 0, 1), 1);
+        // Hit the oldest — FIFO must still evict it first.
+        assert!(f.on_access(key(0, 0, 0)));
+        let evicted = f.on_insert(key(0, 0, 2), 1);
+        assert_eq!(evicted, Some(key(0, 0, 0)));
+    }
+
+    #[test]
+    fn fills_before_evicting() {
+        let mut f = FifoPolicy::new(3);
+        assert_eq!(f.on_insert(key(0, 0, 0), 1), None);
+        assert_eq!(f.on_insert(key(0, 0, 1), 1), None);
+        assert_eq!(f.on_insert(key(0, 0, 2), 1), None);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.on_insert(key(0, 0, 3), 1), Some(key(0, 0, 0)));
+    }
+}

@@ -1,0 +1,212 @@
+//! [`OrderedQueue`] — an indexed FIFO/LRU building block.
+//!
+//! Every policy in this crate needs the same primitive: a queue of keys
+//! supporting *push-back* (MRU insert), *push-front* (paper-faithful FBF
+//! demotion inserts "to the start point" of the lower queue), *pop-front*
+//! (LRU-end eviction) and *O(log n) removal by key* (hit promotion). A
+//! `VecDeque` makes removal O(n); this wraps a `BTreeMap<i64, Key>` keyed by
+//! a monotonically growing sequence number plus a reverse index.
+
+use crate::policy::Key;
+use std::collections::{BTreeMap, HashMap};
+
+/// An ordered queue of unique keys with O(log n) operations.
+#[derive(Debug, Default, Clone)]
+pub struct OrderedQueue {
+    by_seq: BTreeMap<i64, Key>,
+    seq_of: HashMap<Key, i64>,
+    /// Next sequence for push_back (grows), and previous for push_front
+    /// (shrinks); i64 gives effectively unbounded headroom either way.
+    back: i64,
+    front: i64,
+}
+
+impl OrderedQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        OrderedQueue {
+            by_seq: BTreeMap::new(),
+            seq_of: HashMap::new(),
+            back: 0,
+            front: 0,
+        }
+    }
+
+    /// Number of keys in the queue.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.by_seq.len()
+    }
+
+    /// Is the queue empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.by_seq.is_empty()
+    }
+
+    /// Is the key present?
+    #[inline]
+    pub fn contains(&self, key: &Key) -> bool {
+        self.seq_of.contains_key(key)
+    }
+
+    /// Append at the back (most-recent end). Panics if the key is already
+    /// present — callers must [`remove`](OrderedQueue::remove) first.
+    pub fn push_back(&mut self, key: Key) {
+        assert!(!self.contains(&key), "duplicate push of {key}");
+        self.by_seq.insert(self.back, key);
+        self.seq_of.insert(key, self.back);
+        self.back += 1;
+    }
+
+    /// Insert at the front (next-to-evict end). Panics on duplicates.
+    pub fn push_front(&mut self, key: Key) {
+        assert!(!self.contains(&key), "duplicate push of {key}");
+        self.front -= 1;
+        self.by_seq.insert(self.front, key);
+        self.seq_of.insert(key, self.front);
+    }
+
+    /// Remove and return the front (oldest) key.
+    pub fn pop_front(&mut self) -> Option<Key> {
+        let (&seq, &key) = self.by_seq.iter().next()?;
+        self.by_seq.remove(&seq);
+        self.seq_of.remove(&key);
+        Some(key)
+    }
+
+    /// Peek at the front (oldest) key.
+    pub fn front(&self) -> Option<&Key> {
+        self.by_seq.values().next()
+    }
+
+    /// Peek at the back (newest) key.
+    pub fn back(&self) -> Option<&Key> {
+        self.by_seq.values().next_back()
+    }
+
+    /// Remove a key from anywhere in the queue. Returns whether it was
+    /// present.
+    pub fn remove(&mut self, key: &Key) -> bool {
+        match self.seq_of.remove(key) {
+            Some(seq) => {
+                self.by_seq.remove(&seq);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Move an existing key to the back (MRU refresh). Returns whether it
+    /// was present.
+    pub fn touch(&mut self, key: Key) -> bool {
+        if self.remove(&key) {
+            self.push_back(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterate front-to-back (eviction order); reversible for MRU-side
+    /// section scans (FBR's new-section test).
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &Key> {
+        self.by_seq.values()
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.by_seq.clear();
+        self.seq_of.clear();
+        self.back = 0;
+        self.front = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = OrderedQueue::new();
+        q.push_back(key(0, 0, 0));
+        q.push_back(key(0, 0, 1));
+        q.push_back(key(0, 0, 2));
+        assert_eq!(q.pop_front(), Some(key(0, 0, 0)));
+        assert_eq!(q.pop_front(), Some(key(0, 0, 1)));
+        assert_eq!(q.pop_front(), Some(key(0, 0, 2)));
+        assert_eq!(q.pop_front(), None);
+    }
+
+    #[test]
+    fn push_front_jumps_queue() {
+        let mut q = OrderedQueue::new();
+        q.push_back(key(0, 0, 0));
+        q.push_front(key(0, 0, 1));
+        assert_eq!(q.front(), Some(&key(0, 0, 1)));
+        assert_eq!(q.back(), Some(&key(0, 0, 0)));
+    }
+
+    #[test]
+    fn touch_moves_to_back() {
+        let mut q = OrderedQueue::new();
+        q.push_back(key(0, 0, 0));
+        q.push_back(key(0, 0, 1));
+        assert!(q.touch(key(0, 0, 0)));
+        assert_eq!(q.pop_front(), Some(key(0, 0, 1)));
+        assert_eq!(q.pop_front(), Some(key(0, 0, 0)));
+    }
+
+    #[test]
+    fn touch_missing_returns_false() {
+        let mut q = OrderedQueue::new();
+        assert!(!q.touch(key(0, 0, 0)));
+    }
+
+    #[test]
+    fn remove_middle() {
+        let mut q = OrderedQueue::new();
+        for i in 0..5 {
+            q.push_back(key(0, 0, i));
+        }
+        assert!(q.remove(&key(0, 0, 2)));
+        assert!(!q.contains(&key(0, 0, 2)));
+        assert_eq!(q.len(), 4);
+        let order: Vec<Key> = q.iter().copied().collect();
+        assert_eq!(order, vec![key(0, 0, 0), key(0, 0, 1), key(0, 0, 3), key(0, 0, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate push")]
+    fn duplicate_push_panics() {
+        let mut q = OrderedQueue::new();
+        q.push_back(key(0, 0, 0));
+        q.push_back(key(0, 0, 0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut q = OrderedQueue::new();
+        q.push_back(key(0, 0, 0));
+        q.clear();
+        assert!(q.is_empty());
+        q.push_back(key(0, 0, 0)); // no duplicate panic after clear
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_front_back() {
+        let mut q = OrderedQueue::new();
+        q.push_back(key(0, 0, 0));
+        q.push_front(key(0, 0, 1));
+        q.push_back(key(0, 0, 2));
+        q.push_front(key(0, 0, 3));
+        let order: Vec<Key> = q.iter().copied().collect();
+        assert_eq!(
+            order,
+            vec![key(0, 0, 3), key(0, 0, 1), key(0, 0, 0), key(0, 0, 2)]
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Hit/miss accounting shared by the simulator's buffer cache.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one cache instance or one reconstruction campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses served from cache.
+    pub hits: u64,
+    /// Accesses that had to go to disk.
+    pub misses: u64,
+    /// Chunks pushed out to make room.
+    pub evictions: u64,
+    /// Chunks inserted after a miss.
+    pub inserts: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; zero when no accesses were made.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Record a hit.
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Record a miss.
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Record an insert, with whether it evicted a resident.
+    pub fn record_insert(&mut self, evicted: bool) {
+        self.inserts += 1;
+        if evicted {
+            self.evictions += 1;
+        }
+    }
+
+    /// Merge another instance's counters into this one (used when SOR
+    /// workers keep per-worker stats).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.inserts += other.inserts;
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} ratio={:.4} evictions={}",
+            self.hits,
+            self.misses,
+            self.hit_ratio(),
+            self.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_basic() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.record_hit();
+        s.record_hit();
+        s.record_hit();
+        s.record_miss();
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(s.accesses(), 4);
+    }
+
+    #[test]
+    fn insert_eviction_accounting() {
+        let mut s = CacheStats::default();
+        s.record_insert(false);
+        s.record_insert(true);
+        assert_eq!(s.inserts, 2);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            inserts: 4,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+            inserts: 40,
+        };
+        a.merge(&b);
+        assert_eq!(a, CacheStats { hits: 11, misses: 22, evictions: 33, inserts: 44 });
+    }
+}

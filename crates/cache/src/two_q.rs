@@ -1,0 +1,179 @@
+//! 2Q replacement (Johnson & Shasha, VLDB'94 — the paper's
+//! reference \[29\]).
+//!
+//! The full (non-simplified) 2Q: newly fetched pages enter a small FIFO
+//! `A1in`; pages evicted from `A1in` leave their identity in a ghost FIFO
+//! `A1out`; a page re-referenced while in `A1out` has proven reuse beyond
+//! correlated accesses and is promoted into the main LRU `Am`. One-shot
+//! scans wash through `A1in` without ever touching `Am`.
+//!
+//! Tuning follows the paper's recommendation: `Kin = capacity / 4`,
+//! `Kout = capacity / 2` (minimum 1 each).
+
+use crate::policy::{Key, ReplacementPolicy};
+use crate::queue::OrderedQueue;
+
+/// The 2Q policy.
+#[derive(Debug)]
+pub struct TwoQPolicy {
+    capacity: usize,
+    kin: usize,
+    kout: usize,
+    a1in: OrderedQueue,
+    a1out: OrderedQueue, // ghost: identities only
+    am: OrderedQueue,
+}
+
+impl TwoQPolicy {
+    /// 2Q with the paper-recommended 25% / 50% tuning.
+    pub fn new(capacity: usize) -> Self {
+        TwoQPolicy {
+            capacity,
+            kin: (capacity / 4).max(1),
+            kout: (capacity / 2).max(1),
+            a1in: OrderedQueue::new(),
+            a1out: OrderedQueue::new(),
+            am: OrderedQueue::new(),
+        }
+    }
+
+    /// Make room for one page; returns the evicted resident, if any.
+    /// (The `reclaimfor` procedure of the original paper.)
+    fn reclaim(&mut self) -> Option<Key> {
+        if self.len() < self.capacity {
+            return None;
+        }
+        if self.a1in.len() > self.kin {
+            // Page out the A1in FIFO head, remember it in A1out.
+            let victim = self.a1in.pop_front().expect("a1in non-empty");
+            while self.a1out.len() >= self.kout {
+                self.a1out.pop_front();
+            }
+            self.a1out.push_back(victim);
+            Some(victim)
+        } else if let Some(victim) = self.am.pop_front() {
+            // Am evictions are NOT remembered in A1out (original design).
+            Some(victim)
+        } else {
+            self.a1in.pop_front()
+        }
+    }
+}
+
+impl ReplacementPolicy for TwoQPolicy {
+    fn name(&self) -> &'static str {
+        "2Q"
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn len(&self) -> usize {
+        self.a1in.len() + self.am.len()
+    }
+
+    fn contains(&self, key: &Key) -> bool {
+        self.a1in.contains(key) || self.am.contains(key)
+    }
+
+    fn on_access(&mut self, key: Key) -> bool {
+        if self.am.touch(key) {
+            true
+        } else {
+            // A1in hit: correlated reference, page stays put.
+            self.a1in.contains(&key)
+        }
+    }
+
+    fn on_insert(&mut self, key: Key, _priority: u8) -> Option<Key> {
+        if self.capacity == 0 {
+            return None;
+        }
+        debug_assert!(!self.contains(&key));
+        let evicted = self.reclaim();
+        if self.a1out.remove(&key) {
+            // Proven reuse: straight into Am.
+            self.am.push_back(key);
+        } else {
+            self.a1in.push_back(key);
+        }
+        evicted
+    }
+
+    fn clear(&mut self) {
+        self.a1in.clear();
+        self.a1out.clear();
+        self.am.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key;
+
+    #[test]
+    fn new_pages_enter_a1in() {
+        let mut c = TwoQPolicy::new(8);
+        c.on_insert(key(0, 0, 0), 1);
+        assert!(c.a1in.contains(&key(0, 0, 0)));
+        assert!(!c.am.contains(&key(0, 0, 0)));
+    }
+
+    #[test]
+    fn ghost_hit_promotes_to_am() {
+        let mut c = TwoQPolicy::new(4); // kin = 1
+        c.on_insert(key(0, 0, 0), 1);
+        c.on_insert(key(0, 0, 1), 1);
+        c.on_insert(key(0, 0, 2), 1);
+        c.on_insert(key(0, 0, 3), 1);
+        // Overflow: A1in > kin → key0 pushed to A1out ghost.
+        c.on_insert(key(0, 0, 4), 1);
+        assert!(c.a1out.contains(&key(0, 0, 0)));
+        // Re-fetch key0 → promoted to Am.
+        assert!(!c.on_access(key(0, 0, 0)));
+        c.on_insert(key(0, 0, 0), 1);
+        assert!(c.am.contains(&key(0, 0, 0)));
+    }
+
+    #[test]
+    fn a1in_hit_does_not_promote() {
+        let mut c = TwoQPolicy::new(8);
+        c.on_insert(key(0, 0, 0), 1);
+        assert!(c.on_access(key(0, 0, 0)));
+        assert!(c.a1in.contains(&key(0, 0, 0)), "correlated hit stays in A1in");
+    }
+
+    #[test]
+    fn scan_does_not_flush_am() {
+        let mut c = TwoQPolicy::new(4);
+        // Promote one page to Am via the ghost path.
+        c.on_insert(key(0, 0, 0), 1);
+        for i in 1..5 {
+            c.on_insert(key(0, 0, i), 1);
+        }
+        c.on_insert(key(0, 0, 0), 1); // ghost hit → Am
+        assert!(c.am.contains(&key(0, 0, 0)));
+        // Long scan of fresh pages.
+        for i in 100..140 {
+            let k = key(0, 1, i);
+            if !c.on_access(k) {
+                c.on_insert(k, 1);
+            }
+        }
+        assert!(c.contains(&key(0, 0, 0)), "Am page flushed by scan");
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut c = TwoQPolicy::new(4);
+        for i in 0..50 {
+            let k = key(0, 0, i);
+            if !c.on_access(k) {
+                c.on_insert(k, 1);
+            }
+            assert!(c.len() <= 4);
+        }
+    }
+}

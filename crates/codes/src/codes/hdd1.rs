@@ -1,0 +1,62 @@
+//! HDD1 geometry (`n = p + 1` disks, rotated parity placement).
+//!
+//! HDD1 (Tau & Wang 2003 — the paper's reference \[14\]) is a parity
+//! *placement* scheme for triple-failure tolerance on `p + 1` disks. We
+//! model it with the same `p - 2`-data-column family as TIP but with a
+//! **slope `+2` second diagonal family** instead of the anti-diagonal, and
+//! — the placement contribution — the array layer rotates each stripe's
+//! column-to-disk mapping (see
+//! [`CodeSpec::rotated_placement`](crate::CodeSpec::rotated_placement)),
+//! spreading parity traffic across all disks.
+
+use super::family::{self, FamilyParams};
+use crate::chain::ParityChain;
+use crate::layout::Layout;
+
+/// Build HDD1 for prime `p` (requires `p >= 5` so the slope families stay
+/// distinct).
+pub fn generate(p: usize) -> (Layout, Vec<ParityChain>) {
+    family::generate(FamilyParams {
+        p,
+        data_cols: p - 2,
+        slope1: 1,
+        slope2: 2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Direction;
+    use crate::codes::CodeSpec;
+
+    #[test]
+    fn disk_count_is_p_plus_one() {
+        let (layout, _) = generate(11);
+        assert_eq!(layout.cols(), 12);
+        assert_eq!(layout.rows(), 10);
+    }
+
+    #[test]
+    fn second_family_has_slope_two() {
+        let (_, chains) = generate(7);
+        for c in chains.iter().filter(|c| c.direction == Direction::AntiDiagonal) {
+            for m in &c.members {
+                assert_eq!((m.r() + 2 * m.c()) % 7, c.line as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_rotated() {
+        assert!(CodeSpec::Hdd1.rotated_placement());
+        assert!(!CodeSpec::Tip.rotated_placement());
+    }
+
+    #[test]
+    fn geometry_differs_from_tip() {
+        let (_, tip_chains) = super::super::tip::generate(7);
+        let (_, hdd1_chains) = generate(7);
+        assert_ne!(tip_chains, hdd1_chains, "HDD1 second family must differ from TIP's");
+    }
+}

@@ -1,0 +1,184 @@
+//! RAID-6 codes: RDP and EVENODD.
+//!
+//! FBF's analysis (§IV-C) claims the scheme "can apply to a wide range of
+//! storage arrays" because it only consumes chain structure. These two
+//! classic double-fault-tolerant codes exercise that claim: they have only
+//! two chain directions (horizontal + diagonal), so the FBF scheme
+//! generator's direction cycling degrades gracefully and the priority
+//! dictionary still finds shared chunks.
+//!
+//! * **RDP** (Corbett et al., FAST'04): `(p-1) × (p+1)` over prime `p`;
+//!   `p-1` data columns, a row-parity column, and a diagonal-parity column
+//!   whose chains *include the row-parity column* — the adjuster-free
+//!   trick our 3DFT family generalises.
+//! * **EVENODD** (Blaum et al. 1995): `(p-1) × (p+2)`; `p` data columns,
+//!   row parity, and diagonal parity with the adjuster line folded into
+//!   every diagonal equation (exactly as our faithful STAR does for its
+//!   first two directions).
+
+use crate::chain::{Direction, ParityChain};
+use crate::codes::ChainBuilder;
+use crate::layout::{Cell, CellKind, Layout};
+
+/// Build RDP for prime `p`.
+pub fn generate_rdp(p: usize) -> (Layout, Vec<ParityChain>) {
+    let rows = p - 1;
+    let d = p - 1; // data columns
+    let hcol = d;
+    let dcol = d + 1;
+    let cols = d + 2;
+
+    let mut layout = Layout::all_data(rows, cols);
+    for r in 0..rows {
+        layout.set_kind(Cell::new(r, hcol), CellKind::Parity(0));
+        layout.set_kind(Cell::new(r, dcol), CellKind::Parity(1));
+    }
+
+    let mut b = ChainBuilder::new();
+    for r in 0..rows {
+        let members: Vec<Cell> = (0..d).map(|j| Cell::new(r, j)).collect();
+        b.push(Direction::Horizontal, r, members, Cell::new(r, hcol));
+    }
+    // Diagonals cover data + row-parity columns (j <= d), lines k in
+    // 0..p-1 stored; residue p-1 is the missing diagonal.
+    for k in 0..rows {
+        let mut members = Vec::with_capacity(d + 1);
+        for j in 0..=d {
+            let r = (k + p - j % p) % p;
+            if r < rows {
+                members.push(Cell::new(r, j));
+            }
+        }
+        b.push(Direction::Diagonal, k, members, Cell::new(k, dcol));
+    }
+    (layout, b.finish())
+}
+
+/// Build EVENODD for prime `p`.
+pub fn generate_evenodd(p: usize) -> (Layout, Vec<ParityChain>) {
+    let rows = p - 1;
+    let d = p; // data columns
+    let hcol = d;
+    let dcol = d + 1;
+    let cols = d + 2;
+
+    let mut layout = Layout::all_data(rows, cols);
+    for r in 0..rows {
+        layout.set_kind(Cell::new(r, hcol), CellKind::Parity(0));
+        layout.set_kind(Cell::new(r, dcol), CellKind::Parity(1));
+    }
+
+    let mut b = ChainBuilder::new();
+    for r in 0..rows {
+        let members: Vec<Cell> = (0..d).map(|j| Cell::new(r, j)).collect();
+        b.push(Direction::Horizontal, r, members, Cell::new(r, hcol));
+    }
+    // Adjuster line: data cells with (r + j) mod p == p-1; folded into
+    // every diagonal equation (q_k = S ⊕ line_k).
+    let adjuster: Vec<Cell> = line(rows, d, p, p - 1);
+    for k in 0..rows {
+        let mut members = line(rows, d, p, k);
+        members.extend_from_slice(&adjuster);
+        b.push(Direction::Diagonal, k, members, Cell::new(k, dcol));
+    }
+    (layout, b.finish())
+}
+
+/// Data cells on `(r + j) mod p == k`, `j < cols_limit`.
+fn line(rows: usize, cols_limit: usize, p: usize, k: usize) -> Vec<Cell> {
+    (0..cols_limit)
+        .filter_map(|j| {
+            let r = (k + p - j % p) % p;
+            (r < rows).then(|| Cell::new(r, j))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::{CodeSpec, StripeCode};
+    use crate::decode::decode;
+    use crate::encode::encode;
+    use crate::stripe::Stripe;
+    use crate::CodeError;
+
+    #[test]
+    fn rdp_dimensions() {
+        let (layout, chains) = generate_rdp(5);
+        assert_eq!(layout.cols(), 6); // p + 1
+        assert_eq!(layout.rows(), 4);
+        assert_eq!(chains.len(), 8);
+    }
+
+    #[test]
+    fn evenodd_dimensions() {
+        let (layout, chains) = generate_evenodd(5);
+        assert_eq!(layout.cols(), 7); // p + 2
+        assert_eq!(layout.rows(), 4);
+        assert_eq!(chains.len(), 8);
+    }
+
+    fn encoded(spec: CodeSpec, p: usize) -> (StripeCode, Stripe) {
+        let code = StripeCode::build(spec, p).unwrap();
+        let mut s = Stripe::patterned(code.layout(), 32);
+        encode(&code, &mut s).unwrap();
+        (code, s)
+    }
+
+    #[test]
+    fn double_column_erasure_recovers() {
+        for spec in [CodeSpec::Rdp, CodeSpec::Evenodd] {
+            let (code, stripe) = encoded(spec, 5);
+            for c1 in 0..code.cols() {
+                for c2 in c1 + 1..code.cols() {
+                    let erased: Vec<_> = (0..code.rows())
+                        .flat_map(|r| [Cell::new(r, c1), Cell::new(r, c2)])
+                        .collect();
+                    let mut s = stripe.clone();
+                    for &c in &erased {
+                        s.erase(code.layout(), c);
+                    }
+                    decode(&code, &mut s, &erased)
+                        .unwrap_or_else(|e| panic!("{spec:?} ({c1},{c2}): {e}"));
+                    for &c in &erased {
+                        assert_eq!(s.get(code.layout(), c), stripe.get(code.layout(), c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triple_column_erasure_fails() {
+        // RAID-6 tolerates exactly two column failures.
+        let (code, stripe) = encoded(CodeSpec::Rdp, 5);
+        let erased: Vec<_> = (0..code.rows())
+            .flat_map(|r| [Cell::new(r, 0), Cell::new(r, 1), Cell::new(r, 2)])
+            .collect();
+        let mut s = stripe.clone();
+        for &c in &erased {
+            s.erase(code.layout(), c);
+        }
+        assert!(matches!(
+            decode(&code, &mut s, &erased),
+            Err(CodeError::Unrecoverable { .. })
+        ));
+    }
+
+    #[test]
+    fn raid6_cells_have_at_most_two_directions() {
+        for spec in [CodeSpec::Rdp, CodeSpec::Evenodd] {
+            let code = StripeCode::build(spec, 7).unwrap();
+            for cell in code.data_cells() {
+                let dirs: std::collections::HashSet<Direction> = code
+                    .chains_of(cell)
+                    .iter()
+                    .map(|&id| code.chain(id).direction)
+                    .collect();
+                assert!(dirs.len() <= 2, "{spec:?} {cell}: {dirs:?}");
+                assert!(!dirs.contains(&Direction::AntiDiagonal));
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! STAR code (`n = p + 3` disks) — faithful construction.
+//!
+//! STAR (Huang & Xu 2008 — the paper's reference \[5\]) extends EVENODD with
+//! a third, anti-diagonal parity column:
+//!
+//! * data occupies columns `0..p`, a `(p-1) × p` grid (row `p-1` is the
+//!   imaginary all-zero row);
+//! * column `p` holds horizontal parity;
+//! * column `p+1` holds diagonal parity: `q_k = S1 ⊕ XOR{ d(r,j) :
+//!   (r+j) mod p == k }` where the *adjuster* `S1` is the XOR of the
+//!   diagonal with residue `p-1`;
+//! * column `p+2` holds anti-diagonal parity with residue lines
+//!   `(r-j) mod p == k` and its own adjuster `S2`.
+//!
+//! The adjusters are folded into each equation: since the adjuster line and
+//! the residue-`k` line are disjoint for `k != p-1`, the equation
+//! `q_k = S1 ⊕ line_k` is exactly `q_k = XOR(line_k ∪ adjuster_line)` — a
+//! plain XOR chain. This means every diagonal chain *contains the adjuster
+//! line's cells as members*, so adjuster cells sit on `p-1` diagonal chains
+//! at once. The FBF paper observes precisely this: "adjusters of each
+//! stripe can be referenced for more than three times and always assigned
+//! with highest priority" (§IV-B-1), which is why STAR shows the highest
+//! hit ratios in Fig. 8.
+
+use crate::chain::{Direction, ParityChain};
+use crate::codes::ChainBuilder;
+use crate::layout::{Cell, CellKind, Layout};
+
+/// Build STAR for prime `p`.
+pub fn generate(p: usize) -> (Layout, Vec<ParityChain>) {
+    let rows = p - 1;
+    let cols = p + 3;
+    let hcol = p;
+    let dcol = p + 1;
+    let acol = p + 2;
+
+    let mut layout = Layout::all_data(rows, cols);
+    for r in 0..rows {
+        layout.set_kind(Cell::new(r, hcol), CellKind::Parity(0));
+        layout.set_kind(Cell::new(r, dcol), CellKind::Parity(1));
+        layout.set_kind(Cell::new(r, acol), CellKind::Parity(2));
+    }
+
+    let mut b = ChainBuilder::new();
+
+    // Horizontal chains over the data columns.
+    for r in 0..rows {
+        let members: Vec<Cell> = (0..p).map(|j| Cell::new(r, j)).collect();
+        b.push(Direction::Horizontal, r, members, Cell::new(r, hcol));
+    }
+
+    // Diagonal chains: line_k ∪ adjuster line (residue p-1), slope +1.
+    let diag_adjuster = data_line(rows, p, 1, p - 1);
+    for k in 0..rows {
+        let mut members = data_line(rows, p, 1, k);
+        members.extend_from_slice(&diag_adjuster);
+        b.push(Direction::Diagonal, k, members, Cell::new(k, dcol));
+    }
+
+    // Anti-diagonal chains: slope -1 ≡ p-1, with their own adjuster line.
+    let anti_adjuster = data_line(rows, p, p - 1, p - 1);
+    for k in 0..rows {
+        let mut members = data_line(rows, p, p - 1, k);
+        members.extend_from_slice(&anti_adjuster);
+        b.push(Direction::AntiDiagonal, k, members, Cell::new(k, acol));
+    }
+
+    (layout, b.finish())
+}
+
+/// Data cells on residue line `(r + slope*j) mod p == k`, `j < p`, stored
+/// rows only.
+fn data_line(rows: usize, p: usize, slope: usize, k: usize) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(p);
+    for j in 0..p {
+        let r = (k + p * slope - (slope * j) % p) % p;
+        if r < rows {
+            cells.push(Cell::new(r, j));
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_count_is_p_plus_three() {
+        let (layout, _) = generate(5);
+        assert_eq!(layout.cols(), 8);
+        assert_eq!(layout.rows(), 4);
+    }
+
+    #[test]
+    fn diagonal_chains_share_adjuster_cells() {
+        let p = 5;
+        let (_, chains) = generate(p);
+        let adjuster = data_line(p - 1, p, 1, p - 1);
+        assert_eq!(adjuster.len(), p - 1, "adjuster line has p-1 stored cells");
+        for c in chains.iter().filter(|c| c.direction == Direction::Diagonal) {
+            for &a in &adjuster {
+                // Adjuster cells are members of every diagonal chain except
+                // when the line k coincides — k != p-1 always here — or when
+                // dedup removed a duplicate (lines are disjoint, so never).
+                assert!(c.members.contains(&a), "chain {} missing adjuster {a}", c.line);
+            }
+        }
+    }
+
+    #[test]
+    fn adjuster_cells_have_high_membership() {
+        use crate::chain::Membership;
+        let p = 7;
+        let (layout, chains) = generate(p);
+        let m = Membership::build(layout.rows(), layout.cols(), &chains);
+        let adjuster = data_line(p - 1, p, 1, p - 1);
+        for a in adjuster {
+            // 1 horizontal + (p-1) diagonals + >=1 anti-diagonal.
+            assert!(m.chains_of(a).len() >= p, "{a} membership {}", m.chains_of(a).len());
+        }
+    }
+
+    #[test]
+    fn data_line_slope_one() {
+        let line = data_line(4, 5, 1, 2);
+        for c in &line {
+            assert_eq!((c.r() + c.c()) % 5, 2);
+        }
+        // j=0..4, r = 2,1,0,4(dropped),3 → 4 cells
+        assert_eq!(line.len(), 4);
+    }
+
+    #[test]
+    fn parity_columns_not_members() {
+        let (_, chains) = generate(7);
+        for c in &chains {
+            for m in &c.members {
+                assert!(m.c() < 7, "STAR chains cover only data columns, got {m}");
+            }
+        }
+    }
+}

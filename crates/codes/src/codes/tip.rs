@@ -1,0 +1,66 @@
+//! TIP-code geometry (`n = p + 1` disks).
+//!
+//! TIP-code ("Three Independent Parity", Zhang et al., DSN'15 — the paper's
+//! reference \[1\]) tolerates triple failures with `p + 1` disks and optimal
+//! update complexity. We instantiate it from the adjuster-free
+//! [`family`](super::family) generator with `p - 2` data columns and
+//! slope `+1` / slope `-1` diagonal families, which reproduces the
+//! chain geometry FBF's figures rely on: `p - 1` rows, every chunk covered
+//! by up to three chains (horizontal, diagonal, anti-diagonal), chains of
+//! length `O(p)`.
+
+use super::family::{self, FamilyParams};
+use crate::chain::ParityChain;
+use crate::layout::Layout;
+
+/// Build TIP-code for prime `p`.
+pub fn generate(p: usize) -> (Layout, Vec<ParityChain>) {
+    family::generate(FamilyParams {
+        p,
+        data_cols: p - 2,
+        slope1: 1,
+        slope2: p - 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Direction;
+
+    #[test]
+    fn tip_p5_matches_fig1_dimensions() {
+        // Fig. 1 of the FBF paper: 6-disk array for P = 5.
+        let (layout, _) = generate(5);
+        assert_eq!(layout.cols(), 6);
+        assert_eq!(layout.rows(), 4);
+    }
+
+    #[test]
+    fn tip_p7_matches_fig3_dimensions() {
+        // Fig. 3 / Table III: P = 7, N = 8; chunk addresses go up to C(5,7).
+        let (layout, _) = generate(7);
+        assert_eq!(layout.cols(), 8);
+        assert_eq!(layout.rows(), 6);
+    }
+
+    #[test]
+    fn three_chain_families() {
+        let (_, chains) = generate(7);
+        for dir in Direction::ALL {
+            let n = chains.iter().filter(|c| c.direction == dir).count();
+            assert_eq!(n, 6, "{dir} chain count");
+        }
+    }
+
+    #[test]
+    fn anti_diagonal_is_slope_minus_one() {
+        let (_, chains) = generate(7);
+        for c in chains.iter().filter(|c| c.direction == Direction::AntiDiagonal) {
+            for m in &c.members {
+                // members on data+H+P1 columns satisfy (r - j) ≡ k (mod 7)
+                assert_eq!((m.r() + 6 * m.c()) % 7, c.line as usize, "chain {} member {m}", c.line);
+            }
+        }
+    }
+}

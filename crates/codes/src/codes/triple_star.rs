@@ -1,0 +1,49 @@
+//! Triple-STAR geometry (`n = p + 2` disks).
+//!
+//! Triple-STAR (Wang et al. 2012 — the paper's reference \[6\]) tolerates
+//! triple failures on `p + 2` disks with optimal encoding complexity. Its
+//! headline property — no EVENODD adjusters — is exactly what the
+//! adjuster-free [`family`](super::family) construction provides, so we
+//! instantiate it with `p - 1` data columns and slope `+1` / `-1` families.
+
+use super::family::{self, FamilyParams};
+use crate::chain::ParityChain;
+use crate::layout::Layout;
+
+/// Build Triple-STAR for prime `p`.
+pub fn generate(p: usize) -> (Layout, Vec<ParityChain>) {
+    family::generate(FamilyParams {
+        p,
+        data_cols: p - 1,
+        slope1: 1,
+        slope2: p - 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Direction;
+
+    #[test]
+    fn disk_count_is_p_plus_two() {
+        let (layout, _) = generate(7);
+        assert_eq!(layout.cols(), 9);
+        assert_eq!(layout.rows(), 6);
+    }
+
+    #[test]
+    fn horizontal_chains_have_p_minus_one_members() {
+        let (_, chains) = generate(7);
+        for c in chains.iter().filter(|c| c.direction == Direction::Horizontal) {
+            assert_eq!(c.len(), 6); // p - 1 data columns
+        }
+    }
+
+    #[test]
+    fn wider_than_tip_same_prime() {
+        let (ts, _) = generate(11);
+        let (tip, _) = super::super::tip::generate(11);
+        assert_eq!(ts.cols(), tip.cols() + 1);
+    }
+}

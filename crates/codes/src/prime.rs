@@ -1,0 +1,98 @@
+//! Prime-number utilities.
+//!
+//! All four 3DFT codes in this crate are *array codes over a prime `p`*: the
+//! stripe has `p - 1` rows and the diagonal/anti-diagonal lines wrap modulo
+//! `p`. The constructions only work when `p` is prime, so code builders
+//! validate their parameter here.
+
+/// Returns `true` if `n` is a prime number.
+///
+/// Deterministic trial division — the primes used by the paper are tiny
+/// (5, 7, 11, 13), so anything fancier would be noise.
+pub fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n < 4 {
+        return true;
+    }
+    if n.is_multiple_of(2) {
+        return false;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The primes the paper evaluates with (§IV uses `P = 5, 7, 11, 13`).
+pub const PAPER_PRIMES: [usize; 4] = [5, 7, 11, 13];
+
+/// `(a - b) mod p`, correct for `a < b`.
+#[inline]
+pub fn sub_mod(a: usize, b: usize, p: usize) -> usize {
+    (a + p - (b % p)) % p
+}
+
+/// `(a + b) mod p`.
+#[inline]
+pub fn add_mod(a: usize, b: usize, p: usize) -> usize {
+    (a + b) % p
+}
+
+/// Iterator over primes `>= lo`, unbounded. Useful for sweeps and tests.
+pub fn primes_from(lo: usize) -> impl Iterator<Item = usize> {
+    (lo..).filter(|&n| is_prime(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_recognised() {
+        let primes = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+    }
+
+    #[test]
+    fn composites_rejected() {
+        for n in [0, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 27, 33, 35, 49, 51, 91] {
+            assert!(!is_prime(n), "{n} should not be prime");
+        }
+    }
+
+    #[test]
+    fn paper_primes_are_prime() {
+        for p in PAPER_PRIMES {
+            assert!(is_prime(p));
+        }
+    }
+
+    #[test]
+    fn sub_mod_wraps() {
+        assert_eq!(sub_mod(0, 1, 5), 4);
+        assert_eq!(sub_mod(3, 3, 5), 0);
+        assert_eq!(sub_mod(2, 4, 7), 5);
+        // b may exceed p
+        assert_eq!(sub_mod(1, 9, 7), 6);
+    }
+
+    #[test]
+    fn add_mod_wraps() {
+        assert_eq!(add_mod(4, 4, 5), 3);
+        assert_eq!(add_mod(0, 0, 5), 0);
+    }
+
+    #[test]
+    fn primes_from_yields_in_order() {
+        let v: Vec<usize> = primes_from(5).take(5).collect();
+        assert_eq!(v, vec![5, 7, 11, 13, 17]);
+    }
+}

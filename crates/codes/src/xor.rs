@@ -1,0 +1,125 @@
+//! Word-wide XOR kernels.
+//!
+//! Everything in a 3DFT code — encoding, chain repair, full decode — reduces
+//! to XOR-ing chunk buffers together. These kernels process `u64` words in
+//! the aligned middle of the buffers and bytes at the unaligned edges, which
+//! is the standard allocation-free way to get the compiler to vectorise the
+//! loop (cf. the Rust Performance Book's advice to prefer simple word loops
+//! that LLVM can autovectorise over hand-rolled SIMD).
+
+/// `dst ^= src`, element-wise. Panics if lengths differ.
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_into length mismatch");
+    // Split both buffers at u64 alignment. align_to_mut is safe to *call*;
+    // reinterpreting u8 as u64 is valid for any bit pattern.
+    let (d_head, d_mid, d_tail) = unsafe { dst.align_to_mut::<u64>() };
+    let head_len = d_head.len();
+    let mid_bytes = d_mid.len() * 8;
+    let (s_head, s_rest) = src.split_at(head_len);
+    let (s_mid, s_tail) = s_rest.split_at(mid_bytes);
+
+    for (d, s) in d_head.iter_mut().zip(s_head) {
+        *d ^= s;
+    }
+    // The source's middle section need not be aligned; read it per-word.
+    for (i, d) in d_mid.iter_mut().enumerate() {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&s_mid[i * 8..i * 8 + 8]);
+        *d ^= u64::from_ne_bytes(w);
+    }
+    for (d, s) in d_tail.iter_mut().zip(s_tail) {
+        *d ^= s;
+    }
+}
+
+/// XOR all `srcs` into a zeroed `dst` (i.e. `dst = XOR(srcs)`).
+pub fn xor_many(dst: &mut [u8], srcs: &[&[u8]]) {
+    dst.fill(0);
+    for s in srcs {
+        xor_into(dst, s);
+    }
+}
+
+/// Returns true if the buffer is all zero — handy for parity-consistency
+/// checks (`XOR of a whole chain must be zero`).
+pub fn is_zero(buf: &[u8]) -> bool {
+    buf.iter().all(|&b| b == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_into_basic() {
+        let mut a = vec![0b1010_1010u8; 64];
+        let b = vec![0b0101_0101u8; 64];
+        xor_into(&mut a, &b);
+        assert!(a.iter().all(|&x| x == 0xFF));
+    }
+
+    #[test]
+    fn xor_into_self_inverse() {
+        let src: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let orig: Vec<u8> = (0..1000).map(|i| (i * 7 % 251) as u8).collect();
+        let mut buf = orig.clone();
+        xor_into(&mut buf, &src);
+        xor_into(&mut buf, &src);
+        assert_eq!(buf, orig);
+    }
+
+    #[test]
+    fn xor_into_odd_lengths() {
+        // Exercise the unaligned head/tail paths with awkward sizes.
+        for len in [0, 1, 3, 7, 8, 9, 15, 17, 31, 63, 65] {
+            let a_orig: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let b: Vec<u8> = (0..len).map(|i| (i * 3 + 1) as u8).collect();
+            let mut a = a_orig.clone();
+            xor_into(&mut a, &b);
+            for i in 0..len {
+                assert_eq!(a[i], a_orig[i] ^ b[i], "len={len} idx={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_into_unaligned_offsets() {
+        // Force differing alignments of dst and src.
+        let backing_a = [0xABu8; 80];
+        let backing_b: Vec<u8> = (0..80).map(|i| i as u8).collect();
+        for off_a in 0..4 {
+            for off_b in 0..4 {
+                let mut a = backing_a[off_a..off_a + 64].to_vec();
+                // Copy with offset to change the underlying alignment of the slice start.
+                let b = &backing_b[off_b..off_b + 64];
+                let expect: Vec<u8> = a.iter().zip(b).map(|(x, y)| x ^ y).collect();
+                xor_into(&mut a, b);
+                assert_eq!(a, expect);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_into_length_mismatch_panics() {
+        let mut a = vec![0u8; 8];
+        xor_into(&mut a, &[0u8; 9]);
+    }
+
+    #[test]
+    fn xor_many_computes_parity() {
+        let a = vec![1u8; 32];
+        let b = vec![2u8; 32];
+        let c = vec![4u8; 32];
+        let mut out = vec![0xFFu8; 32];
+        xor_many(&mut out, &[&a, &b, &c]);
+        assert!(out.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn is_zero_detects() {
+        assert!(is_zero(&[0u8; 16]));
+        assert!(!is_zero(&[0, 0, 1, 0]));
+        assert!(is_zero(&[]));
+    }
+}

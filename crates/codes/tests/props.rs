@@ -1,0 +1,127 @@
+//! Property tests for the erasure-code substrate.
+
+use fbf_codes::decode::decode;
+use fbf_codes::encode::{encode, verify};
+use fbf_codes::{Cell, CodeSpec, Stripe, StripeCode};
+use proptest::prelude::*;
+
+fn any_spec() -> impl Strategy<Value = CodeSpec> {
+    prop_oneof![
+        Just(CodeSpec::Tip),
+        Just(CodeSpec::Hdd1),
+        Just(CodeSpec::TripleStar),
+        Just(CodeSpec::Star),
+        Just(CodeSpec::Rdp),
+        Just(CodeSpec::Evenodd),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encoding always yields a stripe in which every chain verifies.
+    #[test]
+    fn encode_always_consistent(spec in any_spec(), p_idx in 0usize..3, size in 1usize..128) {
+        let p = [5usize, 7, 11][p_idx];
+        let code = StripeCode::build(spec, p).unwrap();
+        let mut stripe = Stripe::patterned(code.layout(), size);
+        encode(&code, &mut stripe).unwrap();
+        prop_assert!(verify(&code, &stripe).is_empty());
+    }
+
+    /// Erasing any random subset of up to `fault_tolerance` full columns
+    /// is always decodable, and decoding restores the exact payloads.
+    #[test]
+    fn column_erasures_within_tolerance_decode(
+        spec in any_spec(),
+        cols in proptest::collection::btree_set(0usize..16, 1..4),
+        seed in 0u64..500,
+    ) {
+        let p = 5;
+        let code = StripeCode::build(spec, p).unwrap();
+        let cols: Vec<usize> = cols
+            .into_iter()
+            .map(|c| c % code.cols())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .take(code.spec().fault_tolerance())
+            .collect();
+        let _ = seed;
+        let mut stripe = Stripe::patterned(code.layout(), 24);
+        encode(&code, &mut stripe).unwrap();
+        let pristine = stripe.clone();
+        let erased: Vec<Cell> = cols
+            .iter()
+            .flat_map(|&c| (0..code.rows()).map(move |r| Cell::new(r, c)))
+            .collect();
+        for &cell in &erased {
+            stripe.erase(code.layout(), cell);
+        }
+        decode(&code, &mut stripe, &erased).unwrap();
+        for &cell in &erased {
+            prop_assert_eq!(stripe.get(code.layout(), cell), pristine.get(code.layout(), cell));
+        }
+    }
+
+    /// Any *random scattered* erasure of up to 3 cells decodes on the
+    /// 3DFT codes (scattered damage is strictly easier than column
+    /// damage).
+    #[test]
+    fn scattered_triple_erasures_decode_3dft(
+        spec_idx in 0usize..4,
+        cells in proptest::collection::btree_set((0usize..6, 0usize..10), 1..4),
+    ) {
+        let spec = CodeSpec::ALL[spec_idx];
+        let code = StripeCode::build(spec, 7).unwrap();
+        let erased: Vec<Cell> = cells
+            .into_iter()
+            .map(|(r, c)| Cell::new(r % code.rows(), c % code.cols()))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut stripe = Stripe::patterned(code.layout(), 16);
+        encode(&code, &mut stripe).unwrap();
+        let pristine = stripe.clone();
+        for &cell in &erased {
+            stripe.erase(code.layout(), cell);
+        }
+        decode(&code, &mut stripe, &erased).unwrap();
+        for &cell in &erased {
+            prop_assert_eq!(stripe.get(code.layout(), cell), pristine.get(code.layout(), cell));
+        }
+    }
+
+    /// Chain membership is symmetric with chain contents: `chains_of(cell)`
+    /// returns exactly the chains whose `covers(cell)` holds.
+    #[test]
+    fn membership_matches_coverage(spec in any_spec(), p_idx in 0usize..2) {
+        let p = [5usize, 7][p_idx];
+        let code = StripeCode::build(spec, p).unwrap();
+        for cell in code.layout().cells() {
+            let members: std::collections::BTreeSet<_> =
+                code.chains_of(cell).iter().copied().collect();
+            let brute: std::collections::BTreeSet<_> = code
+                .chains()
+                .iter()
+                .filter(|c| c.covers(cell))
+                .map(|c| c.id)
+                .collect();
+            prop_assert_eq!(&members, &brute, "{}", cell);
+        }
+    }
+
+    /// Corrupting one cell always breaks at least one chain (no silent
+    /// corruption is invisible to the scrubber), except for cells outside
+    /// every chain — which must not exist.
+    #[test]
+    fn every_cell_is_covered(spec in any_spec(), p_idx in 0usize..2) {
+        let p = [5usize, 7][p_idx];
+        let code = StripeCode::build(spec, p).unwrap();
+        for cell in code.layout().cells() {
+            prop_assert!(
+                !code.chains_of(cell).is_empty(),
+                "{} covered by no chain — invisible to scrubbing", cell
+            );
+        }
+    }
+}

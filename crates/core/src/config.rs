@@ -1,0 +1,142 @@
+//! Experiment configuration.
+
+use fbf_cache::{FbfConfig, PolicyKind};
+use fbf_codes::CodeSpec;
+use fbf_disksim::{CacheSharing, DiskModel, DiskSched, SimTime};
+use fbf_recovery::SchemeKind;
+use serde::{Deserialize, Serialize};
+
+/// Full description of one reconstruction experiment.
+///
+/// Defaults follow the paper's setup (§IV-A) scaled to finish in seconds of
+/// host time: 32 KB chunks, 0.5 ms cache access, 10 ms disk access, SOR
+/// with 128 workers and a partitioned cache, uniform error lengths on
+/// `[1, p-1]`.
+///
+/// **Scheme note.** All cache policies run on top of the *shared-chunk*
+/// recovery scheme (`SchemeKind::FbfCycling`). With the horizontal-only
+/// typical scheme no chunk is ever referenced twice, so every policy's hit
+/// ratio is ~0 and the comparison is vacuous; the paper's Fig. 8 baselines
+/// clearly re-reference chunks. The scheme itself is ablated separately
+/// (`ablation_scheme`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Erasure code under test.
+    pub code: CodeSpec,
+    /// The code's prime parameter (5, 7, 11, 13 in the paper).
+    pub p: usize,
+    /// Cache replacement policy under test.
+    pub policy: PolicyKind,
+    /// FBF-specific tunables (demotion position, ablation switches); only
+    /// consulted when `policy == PolicyKind::Fbf`.
+    pub fbf: FbfConfig,
+    /// Recovery-scheme generator (see struct docs).
+    pub scheme: SchemeKind,
+    /// Total buffer-cache size in MiB (the paper's x-axis).
+    pub cache_mb: usize,
+    /// Chunk size in KiB (the paper: 32).
+    pub chunk_kb: usize,
+    /// Stripes in the array's data zone.
+    pub stripes: u32,
+    /// Partial stripe errors in the campaign.
+    pub error_count: usize,
+    /// SOR reconstruction workers.
+    pub workers: usize,
+    /// Cache partitioning across workers.
+    pub sharing: CacheSharing,
+    /// Disk service model.
+    pub disk_model: DiskModel,
+    /// Disk head-scheduling discipline (matters under the detailed
+    /// mechanical model; FCFS matches the paper's fixed-latency setup).
+    pub disk_sched: DiskSched,
+    /// Failure injection: one disk serving at a multiple of its normal
+    /// service time (aged-disk straggler).
+    pub straggler: Option<(usize, f64)>,
+    /// Buffer-cache access time.
+    pub cache_hit_time: SimTime,
+    /// Campaign RNG seed.
+    pub seed: u64,
+    /// Host threads for scheme generation (0 = all cores).
+    pub gen_threads: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            code: CodeSpec::Tip,
+            p: 7,
+            policy: PolicyKind::Fbf,
+            fbf: FbfConfig::default(),
+            scheme: SchemeKind::FbfCycling,
+            cache_mb: 64,
+            chunk_kb: 32,
+            stripes: 4096,
+            error_count: 512,
+            workers: 128,
+            sharing: CacheSharing::Partitioned,
+            disk_model: DiskModel::paper_default(),
+            disk_sched: DiskSched::Fcfs,
+            straggler: None,
+            cache_hit_time: SimTime::from_micros(500),
+            seed: 0x5EED,
+            gen_threads: 0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Cache capacity in chunks: `cache_mb` MiB of `chunk_kb` KiB chunks.
+    pub fn cache_chunks(&self) -> usize {
+        self.cache_mb * 1024 / self.chunk_kb
+    }
+
+    /// Chunk payload size in bytes.
+    pub fn chunk_bytes(&self) -> u64 {
+        (self.chunk_kb as u64) << 10
+    }
+
+    /// One-line description for logs and reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}(p={}) policy={} scheme={} cache={}MB workers={}",
+            self.code.name(),
+            self.p,
+            self.policy.name(),
+            self.scheme.name(),
+            self.cache_mb,
+            self.workers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_chunks_conversion() {
+        let cfg = ExperimentConfig { cache_mb: 256, chunk_kb: 32, ..Default::default() };
+        assert_eq!(cfg.cache_chunks(), 8192);
+        assert_eq!(cfg.chunk_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn default_matches_paper_constants() {
+        let cfg = ExperimentConfig::default();
+        assert_eq!(cfg.chunk_kb, 32);
+        assert_eq!(cfg.workers, 128);
+        assert_eq!(cfg.cache_hit_time, SimTime::from_micros(500));
+        match cfg.disk_model {
+            DiskModel::Fixed { access } => assert_eq!(access, SimTime::from_millis(10)),
+            _ => panic!("default disk model should be the paper's fixed latency"),
+        }
+    }
+
+    #[test]
+    fn describe_mentions_key_fields() {
+        let d = ExperimentConfig::default().describe();
+        assert!(d.contains("TIP"));
+        assert!(d.contains("FBF"));
+        assert!(d.contains("64MB"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # fbf-core — experiment runner for the FBF reproduction
+//!
+//! Wires the whole stack together — codes, workload, recovery, cache,
+//! simulator — behind one [`ExperimentConfig`] → [`Metrics`] call, plus
+//! sweep drivers and report formatting used by the figure/table binaries
+//! in `fbf-bench`.
+//!
+//! A single experiment is one reconstruction campaign:
+//!
+//! 1. build the erasure code ([`fbf_codes::StripeCode`]);
+//! 2. draw a seeded campaign of partial stripe errors
+//!    ([`fbf_workload::generate_errors`]);
+//! 3. generate recovery schemes and the priority dictionary
+//!    ([`fbf_recovery`]), timing this step — it is the *temporal overhead*
+//!    the paper's Table IV reports;
+//! 4. lower to worker scripts and run the simulator
+//!    ([`fbf_disksim::Engine`]);
+//! 5. collect [`Metrics`]: hit ratio, disk reads, average response time,
+//!    reconstruction (virtual) time, overhead.
+//!
+//! ```no_run
+//! use fbf_core::{ExperimentConfig, run_experiment};
+//! use fbf_codes::CodeSpec;
+//! use fbf_cache::PolicyKind;
+//!
+//! let cfg = ExperimentConfig {
+//!     code: CodeSpec::Tip,
+//!     p: 7,
+//!     policy: PolicyKind::Fbf,
+//!     cache_mb: 64,
+//!     ..ExperimentConfig::default()
+//! };
+//! let metrics = run_experiment(&cfg).unwrap();
+//! println!("hit ratio {:.3}", metrics.hit_ratio);
+//! ```
+
+pub mod config;
+pub mod metrics;
+pub mod reliability;
+pub mod report;
+pub mod runner;
+pub mod sweep;
+pub mod verify;
+
+pub use config::ExperimentConfig;
+pub use metrics::Metrics;
+pub use reliability::{mttdl_gain, mttdl_hours, mttdl_years, ReliabilityParams};
+pub use report::Table;
+pub use runner::{run_experiment, RunError};
+pub use sweep::{sweep, SweepPoint};
+pub use verify::{verify_campaign, VerifyReport};

@@ -1,0 +1,177 @@
+//! The four evaluation metrics of §IV-A, plus FBF's overhead (Table IV).
+
+use fbf_cache::CacheStats;
+use fbf_disksim::{RunReport, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Everything measured over one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Metric 1 — buffer-cache hit ratio during reconstruction.
+    pub hit_ratio: f64,
+    /// Metric 2 — total disk reads issued during recovery.
+    pub disk_reads: u64,
+    /// Metric 3 — mean response time of chunk read requests, ms.
+    pub avg_response_ms: f64,
+    /// Median read latency, ms.
+    pub p50_response_ms: f64,
+    /// 95th-percentile read latency, ms.
+    pub p95_response_ms: f64,
+    /// 99th-percentile read latency, ms — the tail the mean hides.
+    pub p99_response_ms: f64,
+    /// Metric 4 — total (virtual) reconstruction time, seconds.
+    pub reconstruction_s: f64,
+    /// Repair progress: time by which half of the lost chunks were
+    /// rewritten (window-of-vulnerability midpoint), seconds.
+    pub repair_p50_s: f64,
+    /// Time by which 90% of the lost chunks were rewritten, seconds.
+    pub repair_p90_s: f64,
+    /// Table IV — host time spent generating schemes + priorities,
+    /// averaged per stripe, ms.
+    pub overhead_per_stripe_ms: f64,
+    /// Table IV — total overhead as a percentage of reconstruction time.
+    pub overhead_pct: f64,
+    /// Spare-area writes (sanity: equals lost chunks).
+    pub disk_writes: u64,
+    /// Raw cache counters.
+    pub cache: CacheStats,
+    /// Stripes repaired.
+    pub stripes_repaired: usize,
+    /// Chunks recovered.
+    pub chunks_recovered: usize,
+}
+
+impl Metrics {
+    /// Assemble from an engine report plus campaign bookkeeping.
+    pub fn from_run(
+        report: &RunReport,
+        overhead_host: std::time::Duration,
+        stripes_repaired: usize,
+        chunks_recovered: usize,
+    ) -> Self {
+        let recon = report.makespan;
+        let overhead_ms = overhead_host.as_secs_f64() * 1e3;
+        Metrics {
+            hit_ratio: report.cache.hit_ratio(),
+            disk_reads: report.disk_reads,
+            avg_response_ms: report.read_response.avg_millis(),
+            p50_response_ms: report.read_latency.p50().map_or(0.0, |t| t.as_millis_f64()),
+            p95_response_ms: report.read_latency.p95().map_or(0.0, |t| t.as_millis_f64()),
+            p99_response_ms: report.read_latency.p99().map_or(0.0, |t| t.as_millis_f64()),
+            reconstruction_s: recon.as_secs_f64(),
+            repair_p50_s: completion_quantile(&report.write_completions, 0.50),
+            repair_p90_s: completion_quantile(&report.write_completions, 0.90),
+            overhead_per_stripe_ms: if stripes_repaired == 0 {
+                0.0
+            } else {
+                overhead_ms / stripes_repaired as f64
+            },
+            overhead_pct: if recon == SimTime::ZERO {
+                0.0
+            } else {
+                100.0 * overhead_ms / recon.as_millis_f64()
+            },
+            disk_writes: report.disk_writes,
+            cache: report.cache,
+            stripes_repaired,
+            chunks_recovered,
+        }
+    }
+}
+
+/// The completion instant (seconds) by which fraction `q` of the writes
+/// had landed; 0 when no writes were recorded. Completion order is already
+/// sorted by construction (events fire in time order).
+fn completion_quantile(completions: &[SimTime], q: f64) -> f64 {
+    if completions.is_empty() {
+        return 0.0;
+    }
+    let rank = ((completions.len() as f64 * q).ceil() as usize).clamp(1, completions.len());
+    completions[rank - 1].as_secs_f64()
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hit={:.4} reads={} resp={:.3}ms recon={:.3}s overhead={:.4}ms/stripe ({:.2}%)",
+            self.hit_ratio,
+            self.disk_reads,
+            self.avg_response_ms,
+            self.reconstruction_s,
+            self.overhead_per_stripe_ms,
+            self.overhead_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbf_disksim::ResponseStats;
+
+    fn report() -> RunReport {
+        let cache = CacheStats { hits: 30, misses: 70, ..Default::default() };
+        let mut read_response = ResponseStats::default();
+        for _ in 0..10 {
+            read_response.merge(&ResponseStats {
+                count: 1,
+                total: SimTime::from_millis(5),
+                max: SimTime::from_millis(5),
+            });
+        }
+        RunReport {
+            makespan: SimTime::from_secs(2),
+            cache,
+            disk_reads: 70,
+            disk_writes: 12,
+            read_response,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn from_run_maps_fields() {
+        let m = Metrics::from_run(&report(), std::time::Duration::from_millis(20), 10, 12);
+        assert!((m.hit_ratio - 0.3).abs() < 1e-12);
+        assert_eq!(m.disk_reads, 70);
+        assert!((m.avg_response_ms - 5.0).abs() < 1e-9);
+        assert!((m.reconstruction_s - 2.0).abs() < 1e-12);
+        assert!((m.overhead_per_stripe_ms - 2.0).abs() < 1e-9);
+        assert!((m.overhead_pct - 1.0).abs() < 1e-9);
+        assert_eq!(m.disk_writes, 12);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let r = RunReport::default();
+        let m = Metrics::from_run(&r, std::time::Duration::ZERO, 0, 0);
+        assert_eq!(m.overhead_per_stripe_ms, 0.0);
+        assert_eq!(m.overhead_pct, 0.0);
+        assert_eq!(m.hit_ratio, 0.0);
+    }
+
+    #[test]
+    fn repair_progress_quantiles() {
+        let mut r = report();
+        r.write_completions = (1..=10).map(SimTime::from_secs).collect();
+        let m = Metrics::from_run(&r, std::time::Duration::ZERO, 10, 10);
+        assert!((m.repair_p50_s - 5.0).abs() < 1e-9);
+        assert!((m.repair_p90_s - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repair_progress_empty_is_zero() {
+        let m = Metrics::from_run(&RunReport::default(), std::time::Duration::ZERO, 0, 0);
+        assert_eq!(m.repair_p50_s, 0.0);
+        assert_eq!(m.repair_p90_s, 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = Metrics::from_run(&report(), std::time::Duration::from_millis(20), 10, 12);
+        let s = m.to_string();
+        assert!(s.contains("hit=0.3000"));
+        assert!(s.contains("reads=70"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Plain-text table rendering for the figure/table binaries.
+//!
+//! The binaries print the same rows/series the paper's figures plot —
+//! a [`Table`] renders them aligned for the terminal and as CSV for
+//! downstream plotting.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header arity.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// No rows yet?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render column-aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with fixed precision, for table cells.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Relative improvement of `ours` over `theirs` in percent
+/// (positive = ours better when lower is better).
+pub fn improvement_pct_lower_better(ours: f64, theirs: f64) -> f64 {
+    if theirs == 0.0 {
+        0.0
+    } else {
+        100.0 * (theirs - ours) / theirs
+    }
+}
+
+/// Relative improvement when higher is better (e.g. hit ratio), percent.
+pub fn improvement_pct_higher_better(ours: f64, theirs: f64) -> f64 {
+    if theirs == 0.0 {
+        0.0
+    } else {
+        100.0 * (ours - theirs) / theirs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["long-name".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[3].len(), lines[4].len(), "aligned rows have equal width");
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new("demo", &["x", "y"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn improvement_math() {
+        assert!((improvement_pct_lower_better(80.0, 100.0) - 20.0).abs() < 1e-12);
+        assert!((improvement_pct_higher_better(0.3, 0.2) - 50.0).abs() < 1e-9);
+        assert_eq!(improvement_pct_lower_better(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 3), "1.235");
+        assert_eq!(f(2.0, 1), "2.0");
+    }
+}

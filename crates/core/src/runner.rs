@@ -1,0 +1,172 @@
+//! One experiment end to end.
+
+use crate::config::ExperimentConfig;
+use crate::metrics::Metrics;
+use fbf_codes::{CodeError, StripeCode};
+use fbf_disksim::{ArrayMapping, Engine, EngineConfig};
+use fbf_recovery::{
+    build_scripts, generate_schemes_parallel, ExecConfig, PriorityDictionary, RecoveryController,
+    SchemeError,
+};
+use fbf_workload::{generate_errors, ErrorGenConfig};
+use std::time::Instant;
+
+/// Failures a run can hit.
+#[derive(Debug)]
+pub enum RunError {
+    /// The code could not be built (bad prime).
+    Code(CodeError),
+    /// Scheme generation failed (unschedulable damage).
+    Scheme(SchemeError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Code(e) => write!(f, "code construction failed: {e}"),
+            RunError::Scheme(e) => write!(f, "scheme generation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<CodeError> for RunError {
+    fn from(e: CodeError) -> Self {
+        RunError::Code(e)
+    }
+}
+
+impl From<SchemeError> for RunError {
+    fn from(e: SchemeError) -> Self {
+        RunError::Scheme(e)
+    }
+}
+
+/// Run one reconstruction experiment and return its metrics.
+pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Metrics, RunError> {
+    let code = StripeCode::build(cfg.code, cfg.p)?;
+
+    // 1. Draw the error campaign.
+    let errors = generate_errors(
+        &code,
+        &ErrorGenConfig::paper_default(cfg.stripes, cfg.error_count, cfg.seed),
+    );
+
+    // 2. Recovery schemes + priority dictionary. This is FBF's "extra
+    //    calculation" — wall-clock it for Table IV. gen_threads == 1 uses
+    //    the memoised RecoveryController (the paper's format-reuse
+    //    optimisation, §III-A-1); larger values fan the generation out.
+    let t0 = Instant::now();
+    let (schemes, dictionary) = if cfg.gen_threads == 1 {
+        let mut ctl = RecoveryController::new(&code, cfg.scheme);
+        ctl.plan_campaign(&errors)?
+    } else {
+        let schemes = generate_schemes_parallel(&code, &errors, cfg.scheme, cfg.gen_threads)?;
+        let dictionary = PriorityDictionary::from_schemes(&schemes);
+        (schemes, dictionary)
+    };
+    let overhead = t0.elapsed();
+
+    // 3. Lower to SOR worker scripts.
+    let scripts = build_scripts(
+        &schemes,
+        &dictionary,
+        &ExecConfig { workers: cfg.workers, ..Default::default() },
+    );
+
+    // 4. Simulate.
+    let mapping = ArrayMapping::new(code.cols(), code.rows(), cfg.code.rotated_placement());
+    // VDF's victim map: the stripes under repair and their damaged column.
+    let victim_map: std::collections::HashMap<u32, u16> = errors
+        .errors
+        .iter()
+        .map(|e| (e.stripe, e.col as u16))
+        .collect();
+
+    let engine = Engine::new(EngineConfig {
+        policy: cfg.policy,
+        fbf: cfg.fbf,
+        victim_map: Some(std::sync::Arc::new(victim_map)),
+        cache_chunks: cfg.cache_chunks(),
+        sharing: cfg.sharing,
+        disk_model: cfg.disk_model,
+        sched: cfg.disk_sched,
+        straggler: cfg.straggler,
+        cache_hit_time: cfg.cache_hit_time,
+        chunk_bytes: cfg.chunk_bytes(),
+        mapping,
+        data_stripes: cfg.stripes as u64,
+    });
+    let report = engine.run(&scripts);
+
+    let recovered: usize = errors.damage_by_stripe().iter().map(|d| d.cells.len()).sum();
+    Ok(Metrics::from_run(&report, overhead, schemes.len(), recovered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbf_cache::PolicyKind;
+    
+
+    fn small(policy: PolicyKind, cache_mb: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            policy,
+            cache_mb,
+            stripes: 256,
+            error_count: 64,
+            workers: 8,
+            gen_threads: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn runs_and_recovers_everything() {
+        let m = run_experiment(&small(PolicyKind::Fbf, 16)).unwrap();
+        assert_eq!(m.stripes_repaired, 64);
+        assert_eq!(m.disk_writes as usize, m.chunks_recovered, "one spare write per lost chunk");
+        assert!(m.disk_reads > 0);
+        assert!(m.reconstruction_s > 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_same_config() {
+        let cfg = small(PolicyKind::Arc, 8);
+        let a = run_experiment(&cfg).unwrap();
+        let b = run_experiment(&cfg).unwrap();
+        assert_eq!(a.hit_ratio, b.hit_ratio);
+        assert_eq!(a.disk_reads, b.disk_reads);
+        assert_eq!(a.reconstruction_s, b.reconstruction_s);
+    }
+
+    #[test]
+    fn fbf_beats_lru_with_tight_cache() {
+        // The paper's headline: when cache is limited, FBF hits more and
+        // reads less than LRU under the same campaign.
+        let fbf = run_experiment(&small(PolicyKind::Fbf, 2)).unwrap();
+        let lru = run_experiment(&small(PolicyKind::Lru, 2)).unwrap();
+        assert!(
+            fbf.hit_ratio >= lru.hit_ratio,
+            "FBF {:.4} vs LRU {:.4}",
+            fbf.hit_ratio,
+            lru.hit_ratio
+        );
+        assert!(fbf.disk_reads <= lru.disk_reads);
+    }
+
+    #[test]
+    fn bigger_cache_never_reads_more() {
+        let small_cache = run_experiment(&small(PolicyKind::Lru, 1)).unwrap();
+        let big_cache = run_experiment(&small(PolicyKind::Lru, 64)).unwrap();
+        assert!(big_cache.disk_reads <= small_cache.disk_reads);
+        assert!(big_cache.hit_ratio >= small_cache.hit_ratio);
+    }
+
+    #[test]
+    fn bad_prime_is_reported() {
+        let cfg = ExperimentConfig { p: 8, ..small(PolicyKind::Lru, 4) };
+        assert!(matches!(run_experiment(&cfg), Err(RunError::Code(_))));
+    }
+}

@@ -1,0 +1,116 @@
+//! Parameter sweeps: run many experiment configurations, in parallel on
+//! host threads, and collect labelled results.
+//!
+//! Each figure binary builds its grid of [`ExperimentConfig`]s and calls
+//! [`sweep`]; configurations are independent, so they fan out over scoped
+//! threads (one queue per core, work-stealing-free static partitioning —
+//! configurations have similar cost, so static split is fine and keeps
+//! results deterministic).
+
+use crate::config::ExperimentConfig;
+use crate::metrics::Metrics;
+use crate::runner::{run_experiment, RunError};
+
+/// One labelled point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The configuration that produced it.
+    pub config: ExperimentConfig,
+    /// Its metrics.
+    pub metrics: Metrics,
+}
+
+/// Run every configuration, preserving order. `threads = 0` uses all
+/// cores.
+pub fn sweep(configs: &[ExperimentConfig], threads: usize) -> Result<Vec<SweepPoint>, RunError> {
+    let n = configs.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(n);
+
+    if threads <= 1 {
+        return configs
+            .iter()
+            .map(|c| run_experiment(c).map(|m| SweepPoint { config: *c, metrics: m }))
+            .collect();
+    }
+
+    let mut out: Vec<Option<Result<SweepPoint, RunError>>> = Vec::new();
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slots, cfgs) in out.chunks_mut(chunk).zip(configs.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, cfg) in slots.iter_mut().zip(cfgs) {
+                    *slot = Some(
+                        run_experiment(cfg).map(|m| SweepPoint { config: *cfg, metrics: m }),
+                    );
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    out.into_iter().map(|s| s.expect("slot filled")).collect()
+}
+
+/// The cache sizes (MiB) the paper sweeps in its figures.
+pub const PAPER_CACHE_MB: [usize; 9] = [2, 8, 16, 32, 64, 128, 256, 512, 2048];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbf_cache::PolicyKind;
+
+    fn tiny(policy: PolicyKind, cache_mb: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            policy,
+            cache_mb,
+            stripes: 128,
+            error_count: 32,
+            workers: 4,
+            gen_threads: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_runs_all() {
+        let configs: Vec<ExperimentConfig> = [1, 4, 16]
+            .into_iter()
+            .map(|mb| tiny(PolicyKind::Lru, mb))
+            .collect();
+        let points = sweep(&configs, 2).unwrap();
+        assert_eq!(points.len(), 3);
+        for (p, c) in points.iter().zip(&configs) {
+            assert_eq!(p.config.cache_mb, c.cache_mb);
+        }
+        // Hit ratio is monotone in cache size for this workload.
+        assert!(points[0].metrics.hit_ratio <= points[2].metrics.hit_ratio);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let configs: Vec<ExperimentConfig> = PolicyKind::ALL
+            .into_iter()
+            .map(|p| tiny(p, 4))
+            .collect();
+        let serial = sweep(&configs, 1).unwrap();
+        let parallel = sweep(&configs, 4).unwrap();
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.metrics.hit_ratio, b.metrics.hit_ratio);
+            assert_eq!(a.metrics.disk_reads, b.metrics.disk_reads);
+        }
+    }
+
+    #[test]
+    fn empty_sweep() {
+        assert!(sweep(&[], 4).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Chunk-to-disk/LBA mapping for a striped array.
+//!
+//! A stripe's columns map onto physical disks either *fixed* (column `c`
+//! always lives on disk `c` — TIP, Triple-STAR, STAR dedicate parity
+//! columns to parity disks) or *rotated* (HDD1: the mapping shifts by one
+//! disk per stripe, RAID-5 style, spreading parity traffic).
+
+use fbf_codes::ChunkId;
+use serde::{Deserialize, Serialize};
+
+/// Maps chunks to (disk, LBA) addresses.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ArrayMapping {
+    /// Number of disks (= stripe columns).
+    pub disks: usize,
+    /// Rows per stripe (`p - 1`).
+    pub rows: usize,
+    /// HDD1-style per-stripe rotation of the column→disk mapping.
+    pub rotated: bool,
+}
+
+impl ArrayMapping {
+    /// Mapping for an `n`-disk array with `rows` chunks per stripe column.
+    pub fn new(disks: usize, rows: usize, rotated: bool) -> Self {
+        assert!(disks > 0 && rows > 0);
+        ArrayMapping { disks, rows, rotated }
+    }
+
+    /// The physical disk holding `chunk`.
+    pub fn disk_of(&self, chunk: ChunkId) -> usize {
+        let col = chunk.cell.c();
+        debug_assert!(col < self.disks, "column {col} outside {}-disk array", self.disks);
+        if self.rotated {
+            (col + chunk.stripe as usize) % self.disks
+        } else {
+            col
+        }
+    }
+
+    /// The chunk-granular LBA of `chunk` on its disk: stripes are laid out
+    /// consecutively, each contributing `rows` chunks per disk.
+    pub fn lba_of(&self, chunk: ChunkId) -> u64 {
+        chunk.stripe as u64 * self.rows as u64 + chunk.cell.r() as u64
+    }
+
+    /// LBA of the spare area where a recovered chunk is rewritten: a region
+    /// past the data zone on the same disk (the paper repairs sector/chunk
+    /// errors "by writing recovered data to spare sectors or blocks instead
+    /// of replacing the whole disk", §II-C).
+    pub fn spare_lba_of(&self, chunk: ChunkId, data_stripes: u64) -> u64 {
+        data_stripes * self.rows as u64 + self.lba_of(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbf_codes::Cell;
+
+    fn chunk(stripe: u32, r: usize, c: usize) -> ChunkId {
+        ChunkId::new(stripe, Cell::new(r, c))
+    }
+
+    #[test]
+    fn fixed_mapping_pins_columns() {
+        let m = ArrayMapping::new(8, 6, false);
+        assert_eq!(m.disk_of(chunk(0, 0, 3)), 3);
+        assert_eq!(m.disk_of(chunk(99, 5, 3)), 3);
+    }
+
+    #[test]
+    fn rotated_mapping_shifts_per_stripe() {
+        let m = ArrayMapping::new(8, 6, true);
+        assert_eq!(m.disk_of(chunk(0, 0, 3)), 3);
+        assert_eq!(m.disk_of(chunk(1, 0, 3)), 4);
+        assert_eq!(m.disk_of(chunk(5, 0, 3)), 0);
+    }
+
+    #[test]
+    fn rotation_spreads_a_column_over_all_disks() {
+        let m = ArrayMapping::new(6, 4, true);
+        let disks: std::collections::HashSet<usize> =
+            (0..6u32).map(|s| m.disk_of(chunk(s, 0, 5))).collect();
+        assert_eq!(disks.len(), 6, "parity column must visit every disk");
+    }
+
+    #[test]
+    fn lba_is_stripe_major() {
+        let m = ArrayMapping::new(8, 6, false);
+        assert_eq!(m.lba_of(chunk(0, 0, 2)), 0);
+        assert_eq!(m.lba_of(chunk(0, 5, 2)), 5);
+        assert_eq!(m.lba_of(chunk(2, 1, 2)), 13);
+    }
+
+    #[test]
+    fn spare_lba_is_past_data_zone() {
+        let m = ArrayMapping::new(8, 6, false);
+        let data_stripes = 100;
+        let s = m.spare_lba_of(chunk(3, 2, 0), data_stripes);
+        assert_eq!(s, 600 + 20);
+        assert!(s >= data_stripes * 6);
+    }
+}

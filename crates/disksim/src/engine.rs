@@ -1,0 +1,621 @@
+//! The discrete-event engine: SOR workers contending for disks and cache.
+//!
+//! Reconstruction in the paper runs Stripe-Oriented Reconstruction (SOR,
+//! §III-B): multiple processes, each responsible for a set of stripes, each
+//! holding a slice of the buffer cache. The engine models every worker as a
+//! *script* of operations — chunk reads (through the buffer cache), XOR
+//! computations and spare-chunk writes — and interleaves the workers in
+//! virtual-time order with a priority queue. Disk contention emerges
+//! naturally: each disk serves FCFS, so a worker whose read lands on a busy
+//! disk waits.
+//!
+//! The engine is policy-agnostic; FBF priorities ride along on each read op
+//! and reach the policy through [`BufferCache::insert`].
+
+use crate::array::ArrayMapping;
+use crate::buffer::{BufferCache, Lookup};
+use crate::disk::{DiskModel, DiskStats};
+use crate::hist::Histogram;
+use crate::sched::{DiskSched, QueuedDisk};
+use crate::time::SimTime;
+use fbf_cache::{CacheStats, FbfConfig, FbfPolicy, PolicyKind, VdfPolicy};
+use fbf_codes::ChunkId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One operation of a worker's script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Read a chunk through the buffer cache. `priority` is the FBF
+    /// priority from the recovery scheme (1..=3); other policies ignore it.
+    Read { chunk: ChunkId, priority: u8 },
+    /// Pure computation (XOR, checksum) occupying the worker, no I/O.
+    Compute { duration: SimTime },
+    /// Parallel fan-out read; indexes into [`WorkerScript::gathers`].
+    Gather { index: u32 },
+    /// Write a recovered chunk to its disk's spare area (not cached).
+    Write { chunk: ChunkId },
+}
+
+/// A parallel fan-out read: all chunks are requested at once (degraded
+/// reads fan out to a whole parity chain; parallel repair reads do too).
+/// The worker resumes when the slowest chunk arrives. Kept separate from
+/// [`Op`] so scripts stay `Copy`-friendly in the common case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatherOp {
+    /// Chunks to fetch concurrently, with their FBF priorities.
+    pub chunks: Vec<(ChunkId, u8)>,
+}
+
+/// The full operation sequence of one reconstruction worker.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerScript {
+    /// Operations executed strictly in order; each starts when the
+    /// previous completes.
+    pub ops: Vec<Op>,
+    /// Fan-out read groups referenced by [`Op::Gather`].
+    pub gathers: Vec<GatherOp>,
+}
+
+impl WorkerScript {
+    /// Number of read operations in the script (counting each gathered
+    /// chunk individually).
+    pub fn reads(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|o| match o {
+                Op::Read { .. } => 1,
+                Op::Gather { index } => self.gathers[*index as usize].chunks.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Append a fan-out read of `chunks` to the script.
+    pub fn push_gather(&mut self, chunks: Vec<(ChunkId, u8)>) {
+        let index = u32::try_from(self.gathers.len()).expect("gather count fits u32");
+        self.gathers.push(GatherOp { chunks });
+        self.ops.push(Op::Gather { index });
+    }
+}
+
+/// How the buffer cache is divided among workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CacheSharing {
+    /// Each worker owns `capacity / workers` chunks (the paper's SOR setup:
+    /// "each process is allocated with a small part of cache").
+    #[default]
+    Partitioned,
+    /// One cache shared by all workers (ablation).
+    Shared,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Replacement policy under test.
+    pub policy: PolicyKind,
+    /// FBF-specific tunables; ignored unless `policy == PolicyKind::Fbf`.
+    pub fbf: FbfConfig,
+    /// Stripes currently under repair (stripe → damaged column) — the
+    /// victim map consulted by `PolicyKind::Vdf`; other policies ignore
+    /// it. `None` builds VDF with no victims (plain LRU).
+    pub victim_map: Option<std::sync::Arc<std::collections::HashMap<u32, u16>>>,
+    /// Total buffer-cache capacity, in chunks.
+    pub cache_chunks: usize,
+    /// Cache partitioning across workers.
+    pub sharing: CacheSharing,
+    /// Disk service model.
+    pub disk_model: DiskModel,
+    /// Head-scheduling discipline of each disk's request queue.
+    pub sched: DiskSched,
+    /// Failure injection: (disk index, service-time multiplier) for one
+    /// degraded/aged disk. `None` = all disks healthy.
+    pub straggler: Option<(usize, f64)>,
+    /// Buffer-cache access time (the paper: 0.5 ms).
+    pub cache_hit_time: SimTime,
+    /// Chunk payload size in bytes (the paper: 32 KB).
+    pub chunk_bytes: u64,
+    /// Chunk→disk/LBA mapping.
+    pub mapping: ArrayMapping,
+    /// Stripes in the data zone (spare area begins after it).
+    pub data_stripes: u64,
+}
+
+impl EngineConfig {
+    /// The paper's simulator constants for a given policy/cache/mapping.
+    pub fn paper(policy: PolicyKind, cache_chunks: usize, mapping: ArrayMapping, data_stripes: u64) -> Self {
+        EngineConfig {
+            policy,
+            fbf: FbfConfig::default(),
+            victim_map: None,
+            cache_chunks,
+            sharing: CacheSharing::Partitioned,
+            disk_model: DiskModel::paper_default(),
+            sched: DiskSched::Fcfs,
+            straggler: None,
+            cache_hit_time: SimTime::from_micros(500),
+            chunk_bytes: 32 << 10,
+            mapping,
+            data_stripes,
+        }
+    }
+}
+
+/// Latency distribution summary for one request class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseStats {
+    /// Requests measured.
+    pub count: u64,
+    /// Sum of response times.
+    pub total: SimTime,
+    /// Worst response time.
+    pub max: SimTime,
+}
+
+impl ResponseStats {
+    fn record(&mut self, t: SimTime) {
+        self.count += 1;
+        self.total += t;
+        self.max = self.max.max(t);
+    }
+
+    /// Mean response time in milliseconds (0 when nothing was measured).
+    pub fn avg_millis(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total.as_millis_f64() / self.count as f64
+        }
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &ResponseStats) {
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Everything measured over one engine run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Virtual time from start until the last worker finished — the
+    /// paper's "reconstruction time".
+    pub makespan: SimTime,
+    /// Aggregated cache statistics (all workers).
+    pub cache: CacheStats,
+    /// Total chunk reads that reached the disks (the paper's "number of
+    /// read operations during recovery").
+    pub disk_reads: u64,
+    /// Total spare-area writes.
+    pub disk_writes: u64,
+    /// Response-time summary of chunk *read* requests (hit or miss).
+    pub read_response: ResponseStats,
+    /// Full latency distribution of read requests (log buckets; p50/p95/
+    /// p99 queries).
+    pub read_latency: Histogram,
+    /// Response-time summary of spare writes.
+    pub write_response: ResponseStats,
+    /// Completion instant of every spare write, in completion order — the
+    /// repair-progress curve (each write closes one lost chunk's window of
+    /// vulnerability).
+    pub write_completions: Vec<SimTime>,
+    /// Per-disk counters.
+    pub per_disk: Vec<DiskStats>,
+}
+
+/// Build one cache slice honouring FBF-specific configuration.
+fn build_cache(cfg: &EngineConfig, capacity: usize) -> BufferCache {
+    match cfg.policy {
+        PolicyKind::Fbf => {
+            BufferCache::from_policy(Box::new(FbfPolicy::with_config(capacity, cfg.fbf)))
+        }
+        PolicyKind::Vdf => BufferCache::from_policy(Box::new(match &cfg.victim_map {
+            Some(map) => VdfPolicy::with_victim_map(capacity, map.clone()),
+            None => VdfPolicy::new(capacity),
+        })),
+        _ => BufferCache::new(cfg.policy, capacity),
+    }
+}
+
+/// The simulation engine. Build once per run.
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// Execute all worker scripts to completion and report.
+    pub fn run(&self, scripts: &[WorkerScript]) -> RunReport {
+        let cfg = &self.config;
+        let workers = scripts.len();
+        let mut disks: Vec<QueuedDisk> = (0..cfg.mapping.disks)
+            .map(|i| match cfg.straggler {
+                Some((d, scale)) if d == i => {
+                    QueuedDisk::with_scale(cfg.disk_model, cfg.sched, scale)
+                }
+                _ => QueuedDisk::new(cfg.disk_model, cfg.sched),
+            })
+            .collect();
+
+        let mut caches: Vec<BufferCache> = match cfg.sharing {
+            CacheSharing::Shared => vec![build_cache(cfg, cfg.cache_chunks)],
+            CacheSharing::Partitioned => {
+                // Equal shares, remainder spread over the first workers —
+                // so a cache smaller than the worker count still caches
+                // *somewhere* instead of rounding every share to zero.
+                let w = workers.max(1);
+                let (share, extra) = (cfg.cache_chunks / w, cfg.cache_chunks % w);
+                (0..w)
+                    .map(|i| build_cache(cfg, share + usize::from(i < extra)))
+                    .collect()
+            }
+        };
+
+        // Two event kinds, ordered by (time, kind, id): disk completions
+        // before worker steps at the same instant (a completion is what
+        // unblocks its worker), ids breaking the remaining ties so runs
+        // replay exactly.
+        const EV_DISK_DONE: u8 = 0;
+        const EV_WORKER: u8 = 1;
+        let mut heap: BinaryHeap<Reverse<(SimTime, u8, usize)>> = (0..workers)
+            .filter(|&w| !scripts[w].ops.is_empty())
+            .map(|w| Reverse((SimTime::ZERO, EV_WORKER, w)))
+            .collect();
+        let mut next_op = vec![0usize; workers];
+        // Outstanding fan-out reads per worker (0 = plain blocking I/O).
+        let mut gather_left = vec![0usize; workers];
+        let mut gather_floor = vec![SimTime::ZERO; workers];
+        let mut report = RunReport::default();
+
+        while let Some(Reverse((now, kind, id))) = heap.pop() {
+            report.makespan = report.makespan.max(now);
+            match kind {
+                EV_DISK_DONE => {
+                    let req = disks[id].complete();
+                    let response = now - req.issued;
+                    if req.write {
+                        report.write_response.record(response);
+                        report.write_completions.push(now);
+                    } else {
+                        report.read_response.record(response);
+                        report.read_latency.record(response);
+                    }
+                    if gather_left[req.tag] > 0 {
+                        // Part of a fan-out read: the worker resumes only
+                        // when its last outstanding chunk arrives.
+                        gather_left[req.tag] -= 1;
+                        if gather_left[req.tag] == 0 {
+                            heap.push(Reverse((
+                                now.max(gather_floor[req.tag]),
+                                EV_WORKER,
+                                req.tag,
+                            )));
+                        }
+                    } else {
+                        // Plain blocking request: resume immediately.
+                        heap.push(Reverse((now, EV_WORKER, req.tag)));
+                    }
+                    // Keep the disk busy if more work is pending.
+                    if let Some((_, done)) = disks[id].start_next(now) {
+                        heap.push(Reverse((done, EV_DISK_DONE, id)));
+                    }
+                }
+                _ => {
+                    let w = id;
+                    if next_op[w] >= scripts[w].ops.len() {
+                        continue; // final wake-up after the last op
+                    }
+                    let op = scripts[w].ops[next_op[w]];
+                    next_op[w] += 1;
+                    match op {
+                        Op::Read { chunk, priority } => {
+                            let cache_idx = match cfg.sharing {
+                                CacheSharing::Shared => 0,
+                                CacheSharing::Partitioned => w,
+                            };
+                            let cache = &mut caches[cache_idx];
+                            match cache.access(chunk) {
+                                Lookup::Hit => {
+                                    report.read_response.record(cfg.cache_hit_time);
+                                    report.read_latency.record(cfg.cache_hit_time);
+                                    heap.push(Reverse((
+                                        now + cfg.cache_hit_time,
+                                        EV_WORKER,
+                                        w,
+                                    )));
+                                }
+                                Lookup::Miss => {
+                                    // Reserve the frame at issue time (the
+                                    // usual anti-thundering-herd design);
+                                    // the worker blocks until DiskDone.
+                                    cache.insert(chunk, priority);
+                                    report.disk_reads += 1;
+                                    let disk = cfg.mapping.disk_of(chunk);
+                                    let lba = cfg.mapping.lba_of(chunk);
+                                    disks[disk].enqueue(w, lba, cfg.chunk_bytes, false, now);
+                                    if let Some((_, done)) = disks[disk].start_next(now) {
+                                        heap.push(Reverse((done, EV_DISK_DONE, disk)));
+                                    }
+                                }
+                            }
+                        }
+                        Op::Compute { duration } => {
+                            heap.push(Reverse((now + duration, EV_WORKER, w)));
+                        }
+                        Op::Gather { index } => {
+                            let group = &scripts[w].gathers[index as usize];
+                            let cache_idx = match cfg.sharing {
+                                CacheSharing::Shared => 0,
+                                CacheSharing::Partitioned => w,
+                            };
+                            let mut misses = 0usize;
+                            let mut floor = now;
+                            let mut touched_disks: Vec<usize> = Vec::new();
+                            for &(chunk, priority) in &group.chunks {
+                                let cache = &mut caches[cache_idx];
+                                match cache.access(chunk) {
+                                    Lookup::Hit => {
+                                        report.read_response.record(cfg.cache_hit_time);
+                                        report.read_latency.record(cfg.cache_hit_time);
+                                        floor = floor.max(now + cfg.cache_hit_time);
+                                    }
+                                    Lookup::Miss => {
+                                        cache.insert(chunk, priority);
+                                        report.disk_reads += 1;
+                                        misses += 1;
+                                        let disk = cfg.mapping.disk_of(chunk);
+                                        let lba = cfg.mapping.lba_of(chunk);
+                                        disks[disk].enqueue(w, lba, cfg.chunk_bytes, false, now);
+                                        touched_disks.push(disk);
+                                    }
+                                }
+                            }
+                            if misses == 0 {
+                                // Served entirely from cache.
+                                heap.push(Reverse((floor, EV_WORKER, w)));
+                            } else {
+                                gather_left[w] = misses;
+                                gather_floor[w] = floor;
+                                touched_disks.sort_unstable();
+                                touched_disks.dedup();
+                                for disk in touched_disks {
+                                    if let Some((_, done)) = disks[disk].start_next(now) {
+                                        heap.push(Reverse((done, EV_DISK_DONE, disk)));
+                                    }
+                                }
+                            }
+                        }
+                        Op::Write { chunk } => {
+                            report.disk_writes += 1;
+                            let disk = cfg.mapping.disk_of(chunk);
+                            let lba = cfg.mapping.spare_lba_of(chunk, cfg.data_stripes);
+                            disks[disk].enqueue(w, lba, cfg.chunk_bytes, true, now);
+                            if let Some((_, done)) = disks[disk].start_next(now) {
+                                heap.push(Reverse((done, EV_DISK_DONE, disk)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        for cache in &caches {
+            report.cache.merge(&cache.stats());
+        }
+        report.per_disk = disks.into_iter().map(|d| d.stats).collect();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbf_codes::Cell;
+
+    fn chunk(stripe: u32, r: usize, c: usize) -> ChunkId {
+        ChunkId::new(stripe, Cell::new(r, c))
+    }
+
+    fn config(policy: PolicyKind, cache_chunks: usize, sharing: CacheSharing) -> EngineConfig {
+        EngineConfig {
+            sharing,
+            ..EngineConfig::paper(policy, cache_chunks, ArrayMapping::new(4, 4, false), 100)
+        }
+    }
+
+    fn read(stripe: u32, r: usize, c: usize) -> Op {
+        Op::Read { chunk: chunk(stripe, r, c), priority: 1 }
+    }
+
+    #[test]
+    fn single_worker_sequential_reads() {
+        let cfg = config(PolicyKind::Lru, 8, CacheSharing::Shared);
+        let script = WorkerScript {
+            ops: vec![read(0, 0, 0), read(0, 1, 0), read(0, 0, 0)],
+            ..Default::default()
+        };
+        let report = Engine::new(cfg).run(&[script]);
+        // Two misses (10 ms each) + one hit (0.5 ms).
+        assert_eq!(report.disk_reads, 2);
+        assert_eq!(report.cache.hits, 1);
+        assert_eq!(report.makespan, SimTime::from_micros(20_500));
+    }
+
+    #[test]
+    fn workers_contend_on_one_disk() {
+        let cfg = config(PolicyKind::Lru, 0, CacheSharing::Shared);
+        // Two workers each read a different chunk from disk 0.
+        let s1 = WorkerScript { ops: vec![read(0, 0, 0)], ..Default::default() };
+        let s2 = WorkerScript { ops: vec![read(0, 1, 0)], ..Default::default() };
+        let report = Engine::new(cfg).run(&[s1, s2]);
+        // Second read queues behind the first: makespan 20 ms, not 10.
+        assert_eq!(report.makespan, SimTime::from_millis(20));
+        assert_eq!(report.per_disk[0].reads, 2);
+    }
+
+    #[test]
+    fn workers_parallel_on_distinct_disks() {
+        let cfg = config(PolicyKind::Lru, 0, CacheSharing::Shared);
+        let s1 = WorkerScript { ops: vec![read(0, 0, 0)], ..Default::default() };
+        let s2 = WorkerScript { ops: vec![read(0, 0, 1)], ..Default::default() };
+        let report = Engine::new(cfg).run(&[s1, s2]);
+        assert_eq!(report.makespan, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn compute_and_write_advance_time() {
+        let cfg = config(PolicyKind::Lru, 4, CacheSharing::Shared);
+        let script = WorkerScript {
+            ops: vec![
+                read(0, 0, 0),
+                Op::Compute { duration: SimTime::from_millis(1) },
+                Op::Write { chunk: chunk(0, 0, 0) },
+            ],
+            ..Default::default()
+        };
+        let report = Engine::new(cfg).run(&[script]);
+        assert_eq!(report.disk_writes, 1);
+        // 10 ms read + 1 ms compute + 10 ms write.
+        assert_eq!(report.makespan, SimTime::from_millis(21));
+    }
+
+    #[test]
+    fn partitioned_cache_isolates_workers() {
+        let cfg = config(PolicyKind::Lru, 2, CacheSharing::Partitioned);
+        // Worker 0 warms chunk A; worker 1 then reads A — in partitioned
+        // mode that is still a miss (separate cache slices).
+        let s0 = WorkerScript { ops: vec![read(0, 0, 0)], ..Default::default() };
+        let s1 = WorkerScript {
+            ops: vec![
+                Op::Compute { duration: SimTime::from_millis(50) },
+                read(0, 0, 0),
+            ],
+            ..Default::default()
+        };
+        let report = Engine::new(cfg).run(&[s0, s1]);
+        assert_eq!(report.cache.hits, 0);
+        assert_eq!(report.disk_reads, 2);
+    }
+
+    #[test]
+    fn shared_cache_crosses_workers() {
+        let cfg = config(PolicyKind::Lru, 2, CacheSharing::Shared);
+        let s0 = WorkerScript { ops: vec![read(0, 0, 0)], ..Default::default() };
+        let s1 = WorkerScript {
+            ops: vec![
+                Op::Compute { duration: SimTime::from_millis(50) },
+                read(0, 0, 0),
+            ],
+            ..Default::default()
+        };
+        let report = Engine::new(cfg).run(&[s0, s1]);
+        assert_eq!(report.cache.hits, 1);
+        assert_eq!(report.disk_reads, 1);
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = config(PolicyKind::Arc, 16, CacheSharing::Partitioned);
+        let scripts: Vec<WorkerScript> = (0..4)
+            .map(|w| WorkerScript {
+                ops: (0..20).map(|i| read(i as u32 % 3, (i + w) % 4, i % 4)).collect(),
+                ..Default::default()
+            })
+            .collect();
+        let r1 = Engine::new(cfg.clone()).run(&scripts);
+        let r2 = Engine::new(cfg).run(&scripts);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.cache, r2.cache);
+        assert_eq!(r1.disk_reads, r2.disk_reads);
+    }
+
+    #[test]
+    fn empty_scripts_produce_empty_report() {
+        let cfg = config(PolicyKind::Fifo, 4, CacheSharing::Shared);
+        let report = Engine::new(cfg).run(&[WorkerScript::default()]);
+        assert_eq!(report.makespan, SimTime::ZERO);
+        assert_eq!(report.disk_reads, 0);
+    }
+
+    #[test]
+    fn response_time_separates_hits_and_misses() {
+        let cfg = config(PolicyKind::Lru, 4, CacheSharing::Shared);
+        let script = WorkerScript {
+            ops: vec![read(0, 0, 0), read(0, 0, 0)],
+            ..Default::default()
+        };
+        let report = Engine::new(cfg).run(&[script]);
+        // One 10 ms miss + one 0.5 ms hit → mean 5.25 ms.
+        assert!((report.read_response.avg_millis() - 5.25).abs() < 1e-9);
+        assert_eq!(report.read_response.max, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn gather_fans_out_in_parallel() {
+        // Three chunks on three distinct disks gathered at once: the
+        // worker resumes after ONE disk service, not three.
+        let cfg = config(PolicyKind::Lru, 0, CacheSharing::Shared);
+        let mut script = WorkerScript::default();
+        script.push_gather(vec![
+            (chunk(0, 0, 0), 1),
+            (chunk(0, 0, 1), 1),
+            (chunk(0, 0, 2), 1),
+        ]);
+        let report = Engine::new(cfg).run(&[script]);
+        assert_eq!(report.disk_reads, 3);
+        assert_eq!(report.makespan, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn gather_on_one_disk_serialises() {
+        let cfg = config(PolicyKind::Lru, 0, CacheSharing::Shared);
+        let mut script = WorkerScript::default();
+        script.push_gather(vec![
+            (chunk(0, 0, 0), 1),
+            (chunk(0, 1, 0), 1),
+        ]);
+        let report = Engine::new(cfg).run(&[script]);
+        // Same disk: the two reads queue behind each other.
+        assert_eq!(report.makespan, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn gather_all_hits_costs_cache_time() {
+        let cfg = config(PolicyKind::Lru, 8, CacheSharing::Shared);
+        let mut script = WorkerScript {
+            ops: vec![read(0, 0, 0), read(0, 0, 1)],
+            ..Default::default()
+        };
+        script.push_gather(vec![(chunk(0, 0, 0), 1), (chunk(0, 0, 1), 1)]);
+        let report = Engine::new(cfg).run(&[script]);
+        // Two sequential misses (20 ms) then a fully-cached gather (0.5 ms).
+        assert_eq!(report.makespan, SimTime::from_micros(20_500));
+        assert_eq!(report.cache.hits, 2);
+    }
+
+    #[test]
+    fn gather_after_ops_continues_script() {
+        let cfg = config(PolicyKind::Lru, 8, CacheSharing::Shared);
+        let mut script = WorkerScript::default();
+        script.push_gather(vec![(chunk(0, 0, 0), 1)]);
+        script.ops.push(Op::Compute { duration: SimTime::from_millis(5) });
+        let report = Engine::new(cfg).run(&[script]);
+        assert_eq!(report.makespan, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn script_read_count() {
+        let s = WorkerScript {
+            ops: vec![read(0, 0, 0), Op::Compute { duration: SimTime::ZERO }, read(0, 1, 1)],
+            ..Default::default()
+        };
+        assert_eq!(s.reads(), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Log-bucketed latency histograms.
+//!
+//! Mean response time (the paper's Fig. 10 metric) hides tail behaviour —
+//! and recovery workloads have heavy tails: a chunk read behind a deep
+//! disk queue waits many service times. [`Histogram`] records every
+//! response in logarithmic buckets (~7% relative width) so the engine can
+//! report p50/p95/p99 alongside the mean at negligible cost.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Buckets per power of two — 2^(1/8) spacing ≈ 9% relative resolution.
+const SUB_BUCKETS: usize = 8;
+/// Covers 1 ns .. ~2^40 ns (≈ 18 minutes) of latency.
+const BUCKETS: usize = 40 * SUB_BUCKETS;
+
+/// A fixed-size logarithmic histogram of time spans.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(t: SimTime) -> usize {
+        let ns = t.as_nanos().max(1);
+        // log2(ns) * SUB_BUCKETS, computed in integer arithmetic.
+        let lz = 63 - ns.leading_zeros() as usize; // floor(log2)
+        let frac = ns >> lz.saturating_sub(3); // top 4 bits → 8 sub-steps
+        let sub = (frac as usize).saturating_sub(8).min(SUB_BUCKETS - 1);
+        (lz * SUB_BUCKETS + sub).min(BUCKETS - 1)
+    }
+
+    /// Representative (upper-edge) value of a bucket.
+    fn bucket_value(bucket: usize) -> SimTime {
+        let exp = bucket / SUB_BUCKETS;
+        let sub = bucket % SUB_BUCKETS;
+        let base = 1u64 << exp.min(62);
+        SimTime::from_nanos(base + (base / SUB_BUCKETS as u64) * (sub as u64 + 1))
+    }
+
+    /// Record one span.
+    pub fn record(&mut self, t: SimTime) {
+        self.counts[Self::bucket_of(t)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded spans.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The `q`-quantile (0 < q <= 1) as a bucket-resolution estimate;
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<SimTime> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.total as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_value(i));
+            }
+        }
+        Some(Self::bucket_value(BUCKETS - 1))
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Option<SimTime> {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Option<SimTime> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<SimTime> {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram in.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_value_quantiles() {
+        let mut h = Histogram::new();
+        h.record(SimTime::from_millis(10));
+        let p50 = h.p50().unwrap();
+        // Bucket resolution ~9%.
+        let err = (p50.as_millis_f64() - 10.0).abs() / 10.0;
+        assert!(err < 0.15, "p50 {} vs 10ms", p50);
+        assert_eq!(h.p50(), h.p99());
+    }
+
+    #[test]
+    fn quantiles_order() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimTime::from_micros(i * 10));
+        }
+        let (p50, p95, p99) = (h.p50().unwrap(), h.p95().unwrap(), h.p99().unwrap());
+        assert!(p50 <= p95 && p95 <= p99);
+        // p50 ≈ 5 ms, p99 ≈ 9.9 ms.
+        assert!((p50.as_millis_f64() - 5.0).abs() < 1.0, "p50 {}", p50);
+        assert!((p99.as_millis_f64() - 9.9).abs() < 1.5, "p99 {}", p99);
+    }
+
+    #[test]
+    fn heavy_tail_visible() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(SimTime::from_millis(1));
+        }
+        h.record(SimTime::from_secs(1));
+        assert!(h.p50().unwrap() < SimTime::from_millis(2));
+        assert!(h.p99().unwrap() < SimTime::from_secs(2));
+        assert!(h.quantile(1.0).unwrap() >= SimTime::from_millis(900));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimTime::from_millis(1));
+        b.record(SimTime::from_millis(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.quantile(1.0).unwrap() > SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn tiny_and_huge_values_clamp() {
+        let mut h = Histogram::new();
+        h.record(SimTime::from_nanos(0));
+        h.record(SimTime::from_secs(1 << 20));
+        assert_eq!(h.count(), 2);
+        assert!(h.p50().is_some());
+    }
+}

@@ -1,0 +1,212 @@
+//! The Recovery Method Generator of the paper's Fig. 4, as a service.
+//!
+//! The RAID controller receives partial-stripe error notifications and
+//! must produce, per stripe: a recovery scheme, the priority dictionary
+//! entries, and the worker script. §III-A-1 points out that the expensive
+//! part — scheme generation — only depends on the error's *format* (which
+//! column, which rows), not on the stripe number: "these priorities can
+//! be enumerated once a same format of partial stripe error is detected
+//! again, and no more calculation is required".
+//!
+//! [`RecoveryController`] implements exactly that: schemes are memoised by
+//! damage format and restamped per stripe, which turns the per-stripe
+//! planning cost into a hash lookup for recurring formats (most formats
+//! recur heavily in a campaign — there are only `O(cols · rows²)` of
+//! them). The `table4_overhead` bench measures the effect.
+
+use crate::error::{ErrorGroup, StripeDamage};
+use crate::joint::JointRepair;
+use crate::priority::PriorityDictionary;
+use crate::scheme::{generate_for_cells, RecoveryScheme, SchemeError, SchemeKind};
+use fbf_codes::{Cell, StripeCode};
+use std::collections::HashMap;
+
+/// One stripe's repair plan: chain-by-chain (the normal case) or a joint
+/// decode (fallback when no chain ordering exists — see [`crate::joint`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StripePlan {
+    /// Ordered single-chain repairs.
+    Chained(RecoveryScheme),
+    /// Fetch-everything-and-solve fallback.
+    Joint(JointRepair),
+}
+
+impl StripePlan {
+    /// The stripe this plan repairs.
+    pub fn stripe(&self) -> u32 {
+        match self {
+            StripePlan::Chained(s) => s.stripe,
+            StripePlan::Joint(j) => j.stripe,
+        }
+    }
+}
+
+/// Damage format: the stripe-independent shape of a lost-cell set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Format(Vec<Cell>);
+
+/// Scheme generator with format memoisation.
+pub struct RecoveryController<'a> {
+    code: &'a StripeCode,
+    kind: SchemeKind,
+    memo: HashMap<Format, RecoveryScheme>,
+    hits: usize,
+    misses: usize,
+}
+
+impl<'a> RecoveryController<'a> {
+    /// A controller for `code` using the `kind` scheme generator.
+    pub fn new(code: &'a StripeCode, kind: SchemeKind) -> Self {
+        RecoveryController {
+            code,
+            kind,
+            memo: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Scheme for one stripe's damage, memoised by format.
+    pub fn scheme_for(&mut self, damage: &StripeDamage) -> Result<RecoveryScheme, SchemeError> {
+        let format = Format(damage.cells.clone());
+        if let Some(template) = self.memo.get(&format) {
+            self.hits += 1;
+            return Ok(RecoveryScheme {
+                stripe: damage.stripe,
+                kind: template.kind,
+                repairs: template.repairs.clone(),
+            });
+        }
+        self.misses += 1;
+        let scheme = generate_for_cells(self.code, damage.stripe, &damage.cells, self.kind)?;
+        self.memo.insert(
+            format,
+            RecoveryScheme {
+                stripe: 0, // template; restamped on reuse
+                kind: scheme.kind,
+                repairs: scheme.repairs.clone(),
+            },
+        );
+        Ok(scheme)
+    }
+
+    /// Plan a whole campaign: schemes (stripe order) plus the merged
+    /// priority dictionary.
+    pub fn plan_campaign(
+        &mut self,
+        group: &ErrorGroup,
+    ) -> Result<(Vec<RecoveryScheme>, PriorityDictionary), SchemeError> {
+        let mut schemes = Vec::new();
+        for damage in group.damage_by_stripe() {
+            schemes.push(self.scheme_for(&damage)?);
+        }
+        let dictionary = PriorityDictionary::from_schemes(&schemes);
+        Ok((schemes, dictionary))
+    }
+
+    /// Plan a campaign with joint-decode fallback: stripes whose damage
+    /// cannot be ordered chain-by-chain (possible for multi-column damage
+    /// on STAR) become [`StripePlan::Joint`] instead of failing the whole
+    /// campaign. Returns the plans (stripe order) and the dictionary built
+    /// from the chained schemes (joint reads carry no chain-share
+    /// structure, so they default to priority 1).
+    pub fn plan_campaign_with_fallback(
+        &mut self,
+        group: &ErrorGroup,
+    ) -> (Vec<StripePlan>, PriorityDictionary) {
+        let mut plans = Vec::new();
+        let mut chained = Vec::new();
+        for damage in group.damage_by_stripe() {
+            match self.scheme_for(&damage) {
+                Ok(scheme) => {
+                    chained.push(scheme.clone());
+                    plans.push(StripePlan::Chained(scheme));
+                }
+                Err(SchemeError::Unschedulable(_)) => {
+                    plans.push(StripePlan::Joint(JointRepair::new(
+                        self.code,
+                        damage.stripe,
+                        &damage.cells,
+                    )));
+                }
+            }
+        }
+        let dictionary = PriorityDictionary::from_schemes(&chained);
+        (plans, dictionary)
+    }
+
+    /// (memo hits, memo misses) — misses are the only full generations.
+    pub fn memo_stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+
+    /// Distinct formats planned so far.
+    pub fn formats(&self) -> usize {
+        self.memo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::PartialStripeError;
+    use fbf_codes::CodeSpec;
+
+    fn code() -> StripeCode {
+        StripeCode::build(CodeSpec::Tip, 7).unwrap()
+    }
+
+    #[test]
+    fn identical_formats_hit_the_memo() {
+        let code = code();
+        let mut ctl = RecoveryController::new(&code, SchemeKind::FbfCycling);
+        let mut group = ErrorGroup::new();
+        for stripe in 0..20 {
+            group.push(PartialStripeError::new(&code, stripe, 0, 1, 3).unwrap());
+        }
+        let (schemes, _) = ctl.plan_campaign(&group).unwrap();
+        assert_eq!(schemes.len(), 20);
+        let (hits, misses) = ctl.memo_stats();
+        assert_eq!(misses, 1, "one format, one generation");
+        assert_eq!(hits, 19);
+        // Restamping is correct.
+        for (i, s) in schemes.iter().enumerate() {
+            assert_eq!(s.stripe, i as u32);
+        }
+        assert_eq!(schemes[0].repairs, schemes[19].repairs);
+    }
+
+    #[test]
+    fn memoised_schemes_equal_direct_generation() {
+        let code = code();
+        let mut ctl = RecoveryController::new(&code, SchemeKind::Greedy);
+        let mut group = ErrorGroup::new();
+        for stripe in 0..10 {
+            let col = (stripe as usize) % code.cols();
+            group.push(PartialStripeError::new(&code, stripe, col, 0, 4).unwrap());
+        }
+        let (schemes, dict) = ctl.plan_campaign(&group).unwrap();
+        let direct = crate::parallel::generate_schemes_parallel(
+            &code,
+            &group,
+            SchemeKind::Greedy,
+            1,
+        )
+        .unwrap();
+        assert_eq!(schemes, direct);
+        let direct_dict = PriorityDictionary::from_schemes(&direct);
+        assert_eq!(dict, direct_dict);
+    }
+
+    #[test]
+    fn distinct_formats_generate_separately() {
+        let code = code();
+        let mut ctl = RecoveryController::new(&code, SchemeKind::FbfCycling);
+        let mut group = ErrorGroup::new();
+        group.push(PartialStripeError::new(&code, 0, 0, 0, 2).unwrap());
+        group.push(PartialStripeError::new(&code, 1, 0, 0, 3).unwrap());
+        group.push(PartialStripeError::new(&code, 2, 1, 0, 2).unwrap());
+        ctl.plan_campaign(&group).unwrap();
+        assert_eq!(ctl.formats(), 3);
+    }
+}

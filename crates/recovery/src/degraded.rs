@@ -1,0 +1,194 @@
+//! Degraded reads: serving application I/O that hits a lost chunk.
+//!
+//! While partial stripe errors await (or undergo) repair, applications
+//! keep reading the array. A read that lands on a lost chunk cannot be
+//! served from disk — the controller synthesizes it on the fly: fan out
+//! reads for the cheapest repair chain, XOR, return. This is the
+//! degraded-read path of Khan et al. (the paper's reference \[36\]) and the
+//! second reason FBF holds favorable blocks: "the application can access
+//! these chunks during partial stripe reconstruction" (§III-A-1). A warm
+//! favorable block turns part of the fan-out into cache hits and cuts the
+//! degraded read's latency.
+
+use crate::error::ErrorGroup;
+use crate::priority::PriorityDictionary;
+use fbf_codes::repair::usable_repair_options;
+use fbf_codes::{Cell, ChunkId, StripeCode};
+use fbf_disksim::{Op, SimTime, WorkerScript};
+use std::collections::HashMap;
+
+/// Lost-chunk lookup for a campaign: stripe → lost cells.
+#[derive(Debug, Clone, Default)]
+pub struct LostMap {
+    lost: HashMap<u32, Vec<Cell>>,
+}
+
+impl LostMap {
+    /// Index an error campaign.
+    pub fn from_group(group: &ErrorGroup) -> Self {
+        let mut lost: HashMap<u32, Vec<Cell>> = HashMap::new();
+        for e in &group.errors {
+            lost.entry(e.stripe).or_default().extend(e.cells());
+        }
+        LostMap { lost }
+    }
+
+    /// Is the chunk currently lost?
+    pub fn is_lost(&self, chunk: &ChunkId) -> bool {
+        self.lost
+            .get(&chunk.stripe)
+            .is_some_and(|cells| cells.contains(&chunk.cell))
+    }
+
+    /// The lost cells of a stripe (empty slice when undamaged).
+    pub fn lost_cells(&self, stripe: u32) -> &[Cell] {
+        self.lost.get(&stripe).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Total lost chunks indexed.
+    pub fn len(&self) -> usize {
+        self.lost.values().map(|v| v.len()).sum()
+    }
+
+    /// No damage indexed?
+    pub fn is_empty(&self) -> bool {
+        self.lost.is_empty()
+    }
+}
+
+/// Rewrite an application read stream into its *degraded* form: reads of
+/// healthy chunks pass through; reads of lost chunks become a parallel
+/// fan-out of the cheapest usable repair chain plus an XOR compute step.
+///
+/// Returns the degraded script and the number of reads that were
+/// degraded. Priorities for fan-out chunks come from `dictionary`, so a
+/// concurrently running FBF reconstruction keeps its favorable blocks hot
+/// for exactly these fan-outs.
+pub fn degrade_script(
+    code: &StripeCode,
+    app: &WorkerScript,
+    lost: &LostMap,
+    dictionary: &PriorityDictionary,
+    xor_time_per_chunk: SimTime,
+) -> (WorkerScript, usize) {
+    let mut out = WorkerScript::default();
+    let mut degraded = 0usize;
+    for op in &app.ops {
+        match *op {
+            Op::Read { chunk, priority } if lost.is_lost(&chunk) => {
+                degraded += 1;
+                let lost_cells = lost.lost_cells(chunk.stripe);
+                let options = usable_repair_options(code, chunk.cell, lost_cells);
+                let Some(best) = options.first() else {
+                    // Unrepairable on the fly (should not happen for
+                    // single-column damage); fall back to a plain read —
+                    // the simulator treats it as served from the spare.
+                    out.ops.push(Op::Read { chunk, priority });
+                    continue;
+                };
+                let fan_out: Vec<(ChunkId, u8)> = best
+                    .reads
+                    .iter()
+                    .map(|&cell| {
+                        let id = ChunkId::new(chunk.stripe, cell);
+                        (id, dictionary.priority_of(&id))
+                    })
+                    .collect();
+                let n = fan_out.len() as u64;
+                out.push_gather(fan_out);
+                out.ops.push(Op::Compute {
+                    duration: SimTime::from_nanos(xor_time_per_chunk.as_nanos() * n),
+                });
+            }
+            other => out.ops.push(other),
+        }
+    }
+    (out, degraded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::PartialStripeError;
+    use fbf_codes::CodeSpec;
+
+    fn setup() -> (StripeCode, ErrorGroup) {
+        let code = StripeCode::build(CodeSpec::Tip, 7).unwrap();
+        let mut group = ErrorGroup::new();
+        group.push(PartialStripeError::new(&code, 3, 0, 0, 4).unwrap());
+        group.push(PartialStripeError::new(&code, 9, 2, 1, 2).unwrap());
+        (code, group)
+    }
+
+    #[test]
+    fn lost_map_indexes_campaign() {
+        let (code, group) = setup();
+        let lost = LostMap::from_group(&group);
+        assert_eq!(lost.len(), 6);
+        assert!(lost.is_lost(&ChunkId::new(3, Cell::new(0, 0))));
+        assert!(lost.is_lost(&ChunkId::new(9, Cell::new(2, 2))));
+        assert!(!lost.is_lost(&ChunkId::new(3, Cell::new(0, 1))));
+        assert!(!lost.is_lost(&ChunkId::new(4, Cell::new(0, 0))));
+        let _ = code;
+    }
+
+    #[test]
+    fn healthy_reads_pass_through() {
+        let (code, group) = setup();
+        let lost = LostMap::from_group(&group);
+        let app = WorkerScript {
+            ops: vec![Op::Read { chunk: ChunkId::new(5, Cell::new(1, 1)), priority: 1 }],
+            ..Default::default()
+        };
+        let (out, degraded) = degrade_script(
+            &code,
+            &app,
+            &lost,
+            &PriorityDictionary::new(),
+            SimTime::from_micros(8),
+        );
+        assert_eq!(degraded, 0);
+        assert_eq!(out.ops, app.ops);
+    }
+
+    #[test]
+    fn lost_reads_become_gathers() {
+        let (code, group) = setup();
+        let lost = LostMap::from_group(&group);
+        let target = ChunkId::new(3, Cell::new(1, 0));
+        let app = WorkerScript {
+            ops: vec![Op::Read { chunk: target, priority: 1 }],
+            ..Default::default()
+        };
+        let (out, degraded) = degrade_script(
+            &code,
+            &app,
+            &lost,
+            &PriorityDictionary::new(),
+            SimTime::from_micros(8),
+        );
+        assert_eq!(degraded, 1);
+        assert_eq!(out.gathers.len(), 1);
+        // The fan-out avoids other lost cells of the stripe.
+        for (chunk, _) in &out.gathers[0].chunks {
+            assert!(!lost.is_lost(chunk), "fan-out reads a lost chunk: {chunk}");
+        }
+        // Followed by an XOR compute step.
+        assert!(matches!(out.ops[1], Op::Compute { .. }));
+    }
+
+    #[test]
+    fn degraded_fan_out_has_chain_length() {
+        let (code, group) = setup();
+        let lost = LostMap::from_group(&group);
+        let target = ChunkId::new(9, Cell::new(1, 2));
+        let app = WorkerScript {
+            ops: vec![Op::Read { chunk: target, priority: 1 }],
+            ..Default::default()
+        };
+        let (out, _) =
+            degrade_script(&code, &app, &lost, &PriorityDictionary::new(), SimTime::ZERO);
+        // Cheapest chain for a TIP(p=7) data cell has >= 4 surviving cells.
+        assert!(out.gathers[0].chunks.len() >= 4);
+    }
+}

@@ -1,0 +1,210 @@
+//! The failure model: partial stripe errors.
+//!
+//! A [`PartialStripeError`] is a run of consecutive bad chunks on one disk
+//! within one stripe — the paper's unit of damage (§IV-A): at least one
+//! chunk, at most `p - 1` chunks (a full column is whole-disk territory,
+//! handled by prior work \[22\]/\[36\]). Sector-level errors are rounded up to
+//! chunks, "since chunk is the fundamental recovery unit".
+
+use fbf_codes::{Cell, ChunkId, StripeCode};
+use serde::{Deserialize, Serialize};
+
+/// One partial stripe error: `len` consecutive chunks starting at
+/// `first_row` in column `col` of stripe `stripe`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PartialStripeError {
+    /// Stripe number within the array.
+    pub stripe: u32,
+    /// Failed column (disk within the stripe's layout).
+    pub col: usize,
+    /// First bad row.
+    pub first_row: usize,
+    /// Number of consecutive bad chunks (`1..=p-1`, i.e. `<= rows`).
+    pub len: usize,
+}
+
+impl PartialStripeError {
+    /// Construct and validate against a code's geometry.
+    pub fn new(
+        code: &StripeCode,
+        stripe: u32,
+        col: usize,
+        first_row: usize,
+        len: usize,
+    ) -> Result<Self, String> {
+        if col >= code.cols() {
+            return Err(format!("column {col} outside {}-disk array", code.cols()));
+        }
+        if len == 0 {
+            return Err("error length must be at least one chunk".into());
+        }
+        if first_row + len > code.rows() {
+            return Err(format!(
+                "rows {first_row}..{} outside stripe of {} rows",
+                first_row + len,
+                code.rows()
+            ));
+        }
+        Ok(PartialStripeError { stripe, col, first_row, len })
+    }
+
+    /// The lost cells, top to bottom.
+    pub fn cells(&self) -> Vec<Cell> {
+        (self.first_row..self.first_row + self.len)
+            .map(|r| Cell::new(r, self.col))
+            .collect()
+    }
+
+    /// The lost chunks with global identity.
+    pub fn chunk_ids(&self) -> Vec<ChunkId> {
+        self.cells()
+            .into_iter()
+            .map(|c| ChunkId::new(self.stripe, c))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for PartialStripeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stripe {} disk {} rows {}..{}",
+            self.stripe,
+            self.col,
+            self.first_row,
+            self.first_row + self.len
+        )
+    }
+}
+
+/// A campaign of partial stripe errors awaiting reconstruction —
+/// the paper's `PartialStripeErrorGroup`. One stripe may carry several
+/// errors (on different disks — the spatially-correlated case the LSE
+/// studies describe); recovery merges them into one [`StripeDamage`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorGroup {
+    /// The individual errors.
+    pub errors: Vec<PartialStripeError>,
+}
+
+/// All damage of one stripe, merged across errors: the unit recovery
+/// schemes are generated for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeDamage {
+    /// The damaged stripe.
+    pub stripe: u32,
+    /// Lost cells, sorted and deduplicated.
+    pub cells: Vec<Cell>,
+}
+
+impl ErrorGroup {
+    /// Empty group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an error. Same-stripe errors are allowed (multi-disk damage);
+    /// recovery merges them per stripe.
+    pub fn push(&mut self, e: PartialStripeError) {
+        self.errors.push(e);
+    }
+
+    /// Merge the campaign into per-stripe damage, ordered by stripe.
+    pub fn damage_by_stripe(&self) -> Vec<StripeDamage> {
+        let mut by_stripe: std::collections::BTreeMap<u32, Vec<Cell>> =
+            std::collections::BTreeMap::new();
+        for e in &self.errors {
+            by_stripe.entry(e.stripe).or_default().extend(e.cells());
+        }
+        by_stripe
+            .into_iter()
+            .map(|(stripe, mut cells)| {
+                cells.sort_unstable();
+                cells.dedup();
+                StripeDamage { stripe, cells }
+            })
+            .collect()
+    }
+
+    /// Number of errors.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Is the group empty?
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Total lost chunks across the campaign.
+    pub fn total_lost_chunks(&self) -> usize {
+        self.errors.iter().map(|e| e.len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbf_codes::CodeSpec;
+
+    fn code() -> StripeCode {
+        StripeCode::build(CodeSpec::Tip, 7).unwrap()
+    }
+
+    #[test]
+    fn valid_error_constructs() {
+        let e = PartialStripeError::new(&code(), 3, 0, 1, 4).unwrap();
+        assert_eq!(e.cells().len(), 4);
+        assert_eq!(e.cells()[0], Cell::new(1, 0));
+        assert_eq!(e.cells()[3], Cell::new(4, 0));
+        assert_eq!(e.chunk_ids()[0].stripe, 3);
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        assert!(PartialStripeError::new(&code(), 0, 0, 0, 0).is_err());
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        // TIP p=7 has 6 rows; rows 4..8 overflow.
+        assert!(PartialStripeError::new(&code(), 0, 0, 4, 4).is_err());
+        // Column 8 outside an 8-disk array.
+        assert!(PartialStripeError::new(&code(), 0, 8, 0, 1).is_err());
+    }
+
+    #[test]
+    fn full_column_is_allowed_at_most() {
+        // len == rows is accepted by the type (the workload generator caps
+        // at p-1 per the paper; the boundary case remains recoverable).
+        assert!(PartialStripeError::new(&code(), 0, 0, 0, 6).is_ok());
+    }
+
+    #[test]
+    fn group_accounting() {
+        let c = code();
+        let mut g = ErrorGroup::new();
+        g.push(PartialStripeError::new(&c, 0, 0, 0, 3).unwrap());
+        g.push(PartialStripeError::new(&c, 1, 2, 1, 5).unwrap());
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.total_lost_chunks(), 8);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn same_stripe_errors_merge_into_one_damage() {
+        let c = code();
+        let mut g = ErrorGroup::new();
+        g.push(PartialStripeError::new(&c, 0, 0, 0, 2).unwrap());
+        g.push(PartialStripeError::new(&c, 0, 1, 1, 2).unwrap());
+        g.push(PartialStripeError::new(&c, 5, 3, 0, 1).unwrap());
+        let damage = g.damage_by_stripe();
+        assert_eq!(damage.len(), 2);
+        assert_eq!(damage[0].stripe, 0);
+        assert_eq!(damage[0].cells.len(), 4);
+        assert_eq!(damage[1].stripe, 5);
+        // Overlapping cells dedupe.
+        g.push(PartialStripeError::new(&c, 0, 0, 0, 2).unwrap());
+        assert_eq!(g.damage_by_stripe()[0].cells.len(), 4);
+    }
+}

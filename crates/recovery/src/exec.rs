@@ -1,0 +1,333 @@
+//! Reconstruction execution: schemes → simulator scripts, and scheme
+//! application on real payloads.
+//!
+//! [`build_scripts`] lowers a campaign of recovery schemes into
+//! [`WorkerScript`]s for the simulator: every repair becomes its read
+//! burst (through the buffer cache, carrying FBF priorities), an XOR
+//! compute step, and a spare-area write. Stripes are distributed over SOR
+//! workers round-robin.
+//!
+//! [`apply_scheme`] executes a scheme against actual stripe bytes so the
+//! integration tests can assert that the recovered payloads equal the
+//! originals — the schemes are not just plausible, they are *correct*.
+
+use crate::controller::StripePlan;
+use crate::error::ErrorGroup;
+use crate::priority::PriorityDictionary;
+use crate::scheme::RecoveryScheme;
+use fbf_codes::{ChunkId, CodeError, Stripe, StripeCode};
+use fbf_disksim::{Op, SimTime, WorkerScript};
+use serde::{Deserialize, Serialize};
+
+/// Execution-shaping parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Number of SOR reconstruction workers (the paper runs 128).
+    pub workers: usize,
+    /// XOR cost charged per chunk participating in a repair.
+    pub xor_time_per_chunk: SimTime,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            workers: 128,
+            // 32 KB XOR at a conservative 4 GB/s.
+            xor_time_per_chunk: SimTime::from_micros(8),
+        }
+    }
+}
+
+/// Lower a campaign into per-worker scripts.
+///
+/// Scheme `i` (one stripe) goes to worker `i % workers` — SOR's
+/// stripe-oriented partitioning; each worker repairs its stripes strictly
+/// in order.
+pub fn build_scripts(
+    schemes: &[RecoveryScheme],
+    dictionary: &PriorityDictionary,
+    config: &ExecConfig,
+) -> Vec<WorkerScript> {
+    let workers = config.workers.max(1).min(schemes.len().max(1));
+    let mut scripts = vec![WorkerScript::default(); workers];
+    for (i, scheme) in schemes.iter().enumerate() {
+        let script = &mut scripts[i % workers];
+        for repair in &scheme.repairs {
+            for &cell in &repair.option.reads {
+                let chunk = ChunkId::new(scheme.stripe, cell);
+                script.ops.push(Op::Read {
+                    chunk,
+                    priority: dictionary.priority_of(&chunk),
+                });
+            }
+            let xor_chunks = repair.option.reads.len() as u64;
+            script.ops.push(Op::Compute {
+                duration: SimTime::from_nanos(
+                    config.xor_time_per_chunk.as_nanos() * xor_chunks,
+                ),
+            });
+            script.ops.push(Op::Write {
+                chunk: ChunkId::new(scheme.stripe, repair.target),
+            });
+        }
+    }
+    scripts
+}
+
+/// Lower a campaign of [`StripePlan`]s (chained + joint fallbacks) into
+/// per-worker scripts. Chained plans lower exactly as [`build_scripts`];
+/// joint plans become one parallel fan-out of the whole read set, a decode
+/// computation, and the spare writes.
+pub fn build_scripts_from_plans(
+    plans: &[StripePlan],
+    dictionary: &PriorityDictionary,
+    config: &ExecConfig,
+) -> Vec<WorkerScript> {
+    let workers = config.workers.max(1).min(plans.len().max(1));
+    let mut scripts = vec![WorkerScript::default(); workers];
+    for (i, plan) in plans.iter().enumerate() {
+        let script = &mut scripts[i % workers];
+        match plan {
+            StripePlan::Chained(scheme) => {
+                for repair in &scheme.repairs {
+                    for &cell in &repair.option.reads {
+                        let chunk = ChunkId::new(scheme.stripe, cell);
+                        script.ops.push(Op::Read {
+                            chunk,
+                            priority: dictionary.priority_of(&chunk),
+                        });
+                    }
+                    let xor_chunks = repair.option.reads.len() as u64;
+                    script.ops.push(Op::Compute {
+                        duration: SimTime::from_nanos(
+                            config.xor_time_per_chunk.as_nanos() * xor_chunks,
+                        ),
+                    });
+                    script.ops.push(Op::Write {
+                        chunk: ChunkId::new(scheme.stripe, repair.target),
+                    });
+                }
+            }
+            StripePlan::Joint(joint) => {
+                let fan_out: Vec<(ChunkId, u8)> = joint
+                    .reads
+                    .iter()
+                    .map(|&cell| {
+                        let id = ChunkId::new(joint.stripe, cell);
+                        (id, dictionary.priority_of(&id))
+                    })
+                    .collect();
+                let n = fan_out.len() as u64;
+                script.push_gather(fan_out);
+                // Joint decode costs roughly one XOR pass per equation row
+                // touched — charge reads + lost as a conservative bound.
+                script.ops.push(Op::Compute {
+                    duration: SimTime::from_nanos(
+                        config.xor_time_per_chunk.as_nanos() * (n + joint.lost.len() as u64),
+                    ),
+                });
+                for &cell in &joint.lost {
+                    script.ops.push(Op::Write {
+                        chunk: ChunkId::new(joint.stripe, cell),
+                    });
+                }
+            }
+        }
+    }
+    scripts
+}
+
+/// Apply a scheme to real stripe payloads: for each repair, XOR the read
+/// cells into the target. The caller is expected to have erased (or
+/// corrupted) the lost cells; on return they hold the recovered bytes.
+pub fn apply_scheme(
+    code: &StripeCode,
+    stripe: &mut Stripe,
+    scheme: &RecoveryScheme,
+) -> Result<(), CodeError> {
+    for repair in &scheme.repairs {
+        let recovered = stripe.xor_cells(code.layout(), &repair.option.reads);
+        stripe.set(code.layout(), repair.target, recovered);
+    }
+    Ok(())
+}
+
+/// Total chunk-read references a campaign will issue (cache-independent).
+pub fn total_read_refs(schemes: &[RecoveryScheme]) -> usize {
+    schemes.iter().map(|s| s.total_read_slots()).sum()
+}
+
+/// Helper: campaign statistics for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignShape {
+    /// Number of stripes under repair.
+    pub stripes: usize,
+    /// Total lost chunks.
+    pub lost_chunks: usize,
+    /// Total read references.
+    pub read_refs: usize,
+    /// Distinct chunks fetched.
+    pub unique_reads: usize,
+}
+
+/// Summarise a campaign.
+pub fn campaign_shape(group: &ErrorGroup, schemes: &[RecoveryScheme]) -> CampaignShape {
+    CampaignShape {
+        stripes: schemes.len(),
+        lost_chunks: group.total_lost_chunks(),
+        read_refs: total_read_refs(schemes),
+        unique_reads: schemes.iter().map(|s| s.unique_reads()).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::PartialStripeError;
+    use crate::scheme::{generate, SchemeKind};
+    use fbf_codes::encode::encode;
+    use fbf_codes::CodeSpec;
+
+    fn setup() -> (StripeCode, Stripe) {
+        let code = StripeCode::build(CodeSpec::Tip, 7).unwrap();
+        let mut stripe = Stripe::patterned(code.layout(), 64);
+        encode(&code, &mut stripe).unwrap();
+        (code, stripe)
+    }
+
+    #[test]
+    fn apply_scheme_recovers_exact_bytes() {
+        for kind in SchemeKind::ALL {
+            let (code, original) = setup();
+            let e = PartialStripeError::new(&code, 0, 0, 1, 5).unwrap();
+            let scheme = generate(&code, &e, kind).unwrap();
+            let mut damaged = original.clone();
+            for cell in e.cells() {
+                damaged.erase(code.layout(), cell);
+            }
+            apply_scheme(&code, &mut damaged, &scheme).unwrap();
+            for cell in e.cells() {
+                assert_eq!(
+                    damaged.get(code.layout(), cell),
+                    original.get(code.layout(), cell),
+                    "{kind}: {cell} not recovered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_scheme_recovers_every_code_and_column() {
+        for spec in CodeSpec::ALL {
+            let code = StripeCode::build(spec, 5).unwrap();
+            let mut original = Stripe::patterned(code.layout(), 32);
+            encode(&code, &mut original).unwrap();
+            for col in 0..code.cols() {
+                let e = PartialStripeError::new(&code, 0, col, 0, code.rows() - 1).unwrap();
+                let scheme = generate(&code, &e, SchemeKind::FbfCycling).unwrap();
+                let mut damaged = original.clone();
+                for cell in e.cells() {
+                    damaged.erase(code.layout(), cell);
+                }
+                apply_scheme(&code, &mut damaged, &scheme).unwrap();
+                for cell in e.cells() {
+                    assert_eq!(
+                        damaged.get(code.layout(), cell),
+                        original.get(code.layout(), cell),
+                        "{spec:?} col {col} {cell}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scripts_cover_all_repairs() {
+        let (code, _) = setup();
+        let e = PartialStripeError::new(&code, 0, 0, 0, 5).unwrap();
+        let scheme = generate(&code, &e, SchemeKind::FbfCycling).unwrap();
+        let dict = PriorityDictionary::from_scheme(&scheme);
+        let scripts = build_scripts(
+            std::slice::from_ref(&scheme),
+            &dict,
+            &ExecConfig { workers: 4, ..Default::default() },
+        );
+        // One stripe → one busy worker.
+        let busy: Vec<&WorkerScript> = scripts.iter().filter(|s| !s.ops.is_empty()).collect();
+        assert_eq!(busy.len(), 1);
+        let reads = busy[0].reads();
+        assert_eq!(reads, scheme.total_read_slots());
+        let writes = busy[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Write { .. }))
+            .count();
+        assert_eq!(writes, 5);
+    }
+
+    #[test]
+    fn scripts_carry_dictionary_priorities() {
+        let (code, _) = setup();
+        let e = PartialStripeError::new(&code, 0, 0, 0, 5).unwrap();
+        let scheme = generate(&code, &e, SchemeKind::FbfCycling).unwrap();
+        let dict = PriorityDictionary::from_scheme(&scheme);
+        let scripts = build_scripts(
+            std::slice::from_ref(&scheme),
+            &dict,
+            &ExecConfig { workers: 1, ..Default::default() },
+        );
+        for op in &scripts[0].ops {
+            if let Op::Read { chunk, priority } = op {
+                assert_eq!(*priority, dict.priority_of(chunk));
+            }
+        }
+    }
+
+    #[test]
+    fn stripes_distribute_round_robin() {
+        let (code, _) = setup();
+        let schemes: Vec<RecoveryScheme> = (0..6)
+            .map(|s| {
+                let e = PartialStripeError::new(&code, s, 0, 0, 3).unwrap();
+                generate(&code, &e, SchemeKind::Typical).unwrap()
+            })
+            .collect();
+        let dict = PriorityDictionary::from_schemes(&schemes);
+        let scripts = build_scripts(&schemes, &dict, &ExecConfig { workers: 3, ..Default::default() });
+        assert_eq!(scripts.len(), 3);
+        for s in &scripts {
+            assert!(!s.ops.is_empty(), "every worker gets stripes");
+        }
+    }
+
+    #[test]
+    fn worker_count_capped_by_stripes() {
+        let (code, _) = setup();
+        let e = PartialStripeError::new(&code, 0, 0, 0, 2).unwrap();
+        let scheme = generate(&code, &e, SchemeKind::Typical).unwrap();
+        let dict = PriorityDictionary::from_scheme(&scheme);
+        let scripts = build_scripts(
+            std::slice::from_ref(&scheme),
+            &dict,
+            &ExecConfig { workers: 128, ..Default::default() },
+        );
+        assert_eq!(scripts.len(), 1, "no point in more workers than stripes");
+    }
+
+    #[test]
+    fn campaign_shape_sums() {
+        let (code, _) = setup();
+        let mut group = ErrorGroup::new();
+        let mut schemes = Vec::new();
+        for s in 0..3 {
+            let e = PartialStripeError::new(&code, s, 0, 0, 4).unwrap();
+            group.push(e);
+            schemes.push(generate(&code, &e, SchemeKind::FbfCycling).unwrap());
+        }
+        let shape = campaign_shape(&group, &schemes);
+        assert_eq!(shape.stripes, 3);
+        assert_eq!(shape.lost_chunks, 12);
+        assert_eq!(shape.read_refs, total_read_refs(&schemes));
+        assert!(shape.unique_reads <= shape.read_refs);
+    }
+}

@@ -1,0 +1,48 @@
+//! # fbf-recovery — partial-stripe recovery for 3DFT arrays
+//!
+//! Everything between "a partial stripe error was detected" and "worker
+//! scripts ready for the simulator":
+//!
+//! * [`error`] — the failure model: runs of 1..p-1 bad chunks on one disk
+//!   of a stripe ([`PartialStripeError`]), grouped into campaigns;
+//! * [`scheme`] — recovery-scheme generation. The *typical* scheme repairs
+//!   every lost chunk through its horizontal chain (§II, Fig. 2(a)); the
+//!   *FBF* scheme cycles the three chain directions to maximise shared
+//!   chunks (§III-A-1, Fig. 2(b)/Fig. 3); a *greedy* overlap-maximising
+//!   variant is included for ablation;
+//! * [`priority`] — the [`PriorityDictionary`]: each chunk's priority is
+//!   the number of chosen chains that reference it (Table II), consumed by
+//!   the FBF cache policy at insert time;
+//! * [`exec`] — turns schemes into [`fbf_disksim::WorkerScript`]s (reads,
+//!   XOR compute, spare writes) and can also *apply* a scheme to real
+//!   stripe payloads so tests verify recovered bytes;
+//! * [`parallel`] — SOR-style partitioning of a campaign across workers,
+//!   plus multi-threaded scheme generation using crossbeam scoped threads;
+//! * [`scrub`] — background verification: chain-syndrome computation,
+//!   silent-corruption location, and repair (§II-C's motivation);
+//! * [`degraded`] — on-the-fly repair of application reads that hit lost
+//!   chunks (fan-out gathers through the buffer cache);
+//! * [`disk_rebuild`] — whole-disk failure as full-column errors, with the
+//!   hybrid-chain read-ratio analysis of the paper's reference \[22\].
+
+pub mod controller;
+pub mod degraded;
+pub mod disk_rebuild;
+pub mod error;
+pub mod exec;
+pub mod joint;
+pub mod parallel;
+pub mod priority;
+pub mod scheme;
+pub mod scrub;
+
+pub use controller::{RecoveryController, StripePlan};
+pub use joint::JointRepair;
+pub use degraded::{degrade_script, LostMap};
+pub use disk_rebuild::{rebuild_campaign, rebuild_read_ratio, rebuild_schemes};
+pub use error::{ErrorGroup, PartialStripeError, StripeDamage};
+pub use exec::{apply_scheme, build_scripts, build_scripts_from_plans, ExecConfig};
+pub use parallel::{assign_round_robin, generate_schemes_parallel};
+pub use priority::PriorityDictionary;
+pub use scheme::{ChunkRepair, RecoveryScheme, SchemeError, SchemeKind};
+pub use scrub::{scrub, ScrubOutcome};

@@ -1,0 +1,344 @@
+//! Recovery-scheme generation: which chain repairs which lost chunk.
+//!
+//! Three generators:
+//!
+//! * [`SchemeKind::Typical`] — the conventional scheme (§II, Fig. 2(a)):
+//!   every lost chunk is rebuilt through its horizontal parity chain.
+//!   Chunks that have no horizontal chain (vertical-parity cells) fall back
+//!   to their own chain family.
+//! * [`SchemeKind::FbfCycling`] — the paper's scheme (§III-A-1): "we
+//!   generate parity chains by simply looping parity chains of three
+//!   directions". Lost chunks, in row order, take horizontal, diagonal,
+//!   anti-diagonal, horizontal, ... so that neighbouring repairs cross and
+//!   share surviving chunks (Fig. 2(b), Fig. 3).
+//! * [`SchemeKind::Greedy`] — an ablation upper bound: each repair picks
+//!   the chain adding the fewest *new* chunks to the accumulated read set.
+//!
+//! All generators only select repairs whose read sets avoid still-lost
+//! cells; when damage makes that impossible for some target, repairs are
+//! ordered so that previously-recovered chunks may be read (they are warm
+//! in the buffer by then).
+
+use crate::error::PartialStripeError;
+use fbf_codes::repair::{best_per_direction, RepairOption};
+use fbf_codes::{Cell, Direction, StripeCode};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Which scheme generator to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Horizontal-chains-only (the baseline recovery method).
+    Typical,
+    /// The paper's direction-cycling FBF scheme.
+    FbfCycling,
+    /// Greedy overlap maximisation (ablation).
+    Greedy,
+}
+
+impl SchemeKind {
+    /// All generators, for sweeps.
+    pub const ALL: [SchemeKind; 3] = [
+        SchemeKind::Typical,
+        SchemeKind::FbfCycling,
+        SchemeKind::Greedy,
+    ];
+
+    /// Name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeKind::Typical => "typical",
+            SchemeKind::FbfCycling => "fbf",
+            SchemeKind::Greedy => "greedy",
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Scheme generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeError {
+    /// A lost chunk has no chain whose other cells are all available, even
+    /// allowing reads of previously-recovered chunks.
+    Unschedulable(Cell),
+}
+
+impl std::fmt::Display for SchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeError::Unschedulable(c) => write!(f, "no usable repair chain for {c}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemeError {}
+
+/// One scheduled repair: rebuild `target` by XOR-ing `option.reads`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkRepair {
+    /// The lost cell.
+    pub target: Cell,
+    /// The chosen chain and its read set.
+    pub option: RepairOption,
+}
+
+/// The ordered repair plan for one partial stripe error.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryScheme {
+    /// Stripe this scheme repairs.
+    pub stripe: u32,
+    /// Generator that produced it.
+    pub kind: SchemeKind,
+    /// Repairs in execution order (later repairs may read earlier targets).
+    pub repairs: Vec<ChunkRepair>,
+}
+
+impl RecoveryScheme {
+    /// How many times each surviving cell is read across all repairs — the
+    /// share counts that become FBF priorities.
+    pub fn share_counts(&self) -> std::collections::HashMap<Cell, usize> {
+        let mut counts = std::collections::HashMap::new();
+        for repair in &self.repairs {
+            for &cell in &repair.option.reads {
+                *counts.entry(cell).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of *distinct* chunks the scheme fetches (what an ideal
+    /// infinite cache would read from disk).
+    pub fn unique_reads(&self) -> usize {
+        self.share_counts().len()
+    }
+
+    /// Total read references including re-reads of shared chunks (what a
+    /// cacheless executor would issue).
+    pub fn total_read_slots(&self) -> usize {
+        self.repairs.iter().map(|r| r.option.reads.len()).sum()
+    }
+
+    /// Reads saved by sharing relative to fetching every slot from disk.
+    pub fn shared_savings(&self) -> usize {
+        self.total_read_slots() - self.unique_reads()
+    }
+}
+
+/// Generate a recovery scheme for one error.
+pub fn generate(
+    code: &StripeCode,
+    error: &PartialStripeError,
+    kind: SchemeKind,
+) -> Result<RecoveryScheme, SchemeError> {
+    generate_for_cells(code, error.stripe, &error.cells(), kind)
+}
+
+/// Generate a recovery scheme for an arbitrary lost-cell set of one stripe
+/// (merged multi-disk damage; see [`crate::error::StripeDamage`]).
+pub fn generate_for_cells(
+    code: &StripeCode,
+    stripe: u32,
+    lost: &[Cell],
+    kind: SchemeKind,
+) -> Result<RecoveryScheme, SchemeError> {
+    let lost = lost.to_vec();
+    let repairs = match kind {
+        SchemeKind::Typical => plan(code, &lost, |i, menu, _| {
+            // Horizontal if available, else first available family.
+            let _ = i;
+            pick_in_order(menu, [Direction::Horizontal, Direction::Diagonal, Direction::AntiDiagonal])
+        }),
+        SchemeKind::FbfCycling => plan(code, &lost, |i, menu, _| {
+            // Cycle H, D, A by position within the error run.
+            let start = i % 3;
+            let order = [
+                Direction::ALL[start],
+                Direction::ALL[(start + 1) % 3],
+                Direction::ALL[(start + 2) % 3],
+            ];
+            pick_in_order(menu, order)
+        }),
+        SchemeKind::Greedy => plan(code, &lost, |_, menu, scheduled| {
+            // Fewest new chunks beyond what is already scheduled for read.
+            menu.iter()
+                .flatten()
+                .min_by_key(|opt| {
+                    let new = opt.reads.iter().filter(|c| !scheduled.contains(*c)).count();
+                    (new, opt.reads.len(), opt.direction)
+                })
+                .cloned()
+        }),
+    }?;
+    Ok(RecoveryScheme { stripe, kind, repairs })
+}
+
+/// Shared planning loop: repeatedly pick a repair for the first still-lost
+/// cell that has a usable option, allowing reads of already-repaired cells.
+///
+/// `chooser(position, menu, scheduled_reads)` selects among the per-
+/// direction best options; `position` is the index of the target within the
+/// original error run (drives FBF's direction cycling).
+fn plan<F>(code: &StripeCode, lost: &[Cell], mut chooser: F) -> Result<Vec<ChunkRepair>, SchemeError>
+where
+    F: FnMut(usize, &[Option<RepairOption>; 3], &HashSet<Cell>) -> Option<RepairOption>,
+{
+    let mut remaining: Vec<(usize, Cell)> = lost.iter().copied().enumerate().collect();
+    let mut repairs = Vec::with_capacity(lost.len());
+    let mut scheduled: HashSet<Cell> = HashSet::new();
+
+    while !remaining.is_empty() {
+        let mut picked: Option<(usize, ChunkRepair)> = None;
+        for (slot, &(pos, target)) in remaining.iter().enumerate() {
+            let still_lost: Vec<Cell> = remaining.iter().map(|&(_, c)| c).collect();
+            let menu = best_per_direction(code, target, &still_lost);
+            if let Some(option) = chooser(pos, &menu, &scheduled) {
+                picked = Some((slot, ChunkRepair { target, option }));
+                break;
+            }
+        }
+        let Some((slot, repair)) = picked else {
+            return Err(SchemeError::Unschedulable(remaining[0].1));
+        };
+        scheduled.extend(repair.option.reads.iter().copied());
+        repairs.push(repair);
+        remaining.remove(slot);
+    }
+    Ok(repairs)
+}
+
+/// First available option in the given direction preference order.
+fn pick_in_order(
+    menu: &[Option<RepairOption>; 3],
+    order: [Direction; 3],
+) -> Option<RepairOption> {
+    order
+        .into_iter()
+        .find_map(|d| menu[d.index()].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbf_codes::CodeSpec;
+
+    fn code(spec: CodeSpec, p: usize) -> StripeCode {
+        StripeCode::build(spec, p).unwrap()
+    }
+
+    fn error(code: &StripeCode, col: usize, first: usize, len: usize) -> PartialStripeError {
+        PartialStripeError::new(code, 0, col, first, len).unwrap()
+    }
+
+    #[test]
+    fn typical_uses_horizontal_for_data_cells() {
+        let c = code(CodeSpec::Tip, 7);
+        let e = error(&c, 0, 0, 5);
+        let s = generate(&c, &e, SchemeKind::Typical).unwrap();
+        assert_eq!(s.repairs.len(), 5);
+        for r in &s.repairs {
+            assert_eq!(r.option.direction, Direction::Horizontal, "{:?}", r.target);
+        }
+    }
+
+    #[test]
+    fn fbf_cycles_directions() {
+        let c = code(CodeSpec::Tip, 7);
+        let e = error(&c, 0, 0, 5);
+        let s = generate(&c, &e, SchemeKind::FbfCycling).unwrap();
+        assert_eq!(s.repairs.len(), 5);
+        let dirs: std::collections::HashSet<Direction> =
+            s.repairs.iter().map(|r| r.option.direction).collect();
+        assert!(dirs.len() >= 2, "cycling must use multiple directions: {dirs:?}");
+    }
+
+    #[test]
+    fn fbf_reads_fewer_unique_chunks_than_typical() {
+        // The headline structural claim (Fig. 2): intelligent chain
+        // selection shares chunks and shrinks the fetch set.
+        for spec in [CodeSpec::Tip, CodeSpec::Hdd1, CodeSpec::TripleStar] {
+            let c = code(spec, 7);
+            let e = error(&c, 0, 0, 5);
+            let typical = generate(&c, &e, SchemeKind::Typical).unwrap();
+            let fbf = generate(&c, &e, SchemeKind::FbfCycling).unwrap();
+            assert!(
+                fbf.shared_savings() > 0,
+                "{spec:?}: FBF scheme must share chunks"
+            );
+            assert_eq!(typical.shared_savings(), 0, "{spec:?}: horizontal chains never overlap");
+            assert!(
+                fbf.unique_reads() <= typical.unique_reads() + fbf.shared_savings(),
+                "{spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_is_at_least_as_shared_as_cycling() {
+        let c = code(CodeSpec::Tip, 11);
+        let e = error(&c, 0, 0, 8);
+        let fbf = generate(&c, &e, SchemeKind::FbfCycling).unwrap();
+        let greedy = generate(&c, &e, SchemeKind::Greedy).unwrap();
+        assert!(greedy.unique_reads() <= fbf.unique_reads());
+    }
+
+    #[test]
+    fn no_repair_reads_a_lost_cell_unless_repaired_earlier() {
+        for kind in SchemeKind::ALL {
+            let c = code(CodeSpec::TripleStar, 7);
+            let e = error(&c, 2, 1, 5);
+            let s = generate(&c, &e, kind).unwrap();
+            let mut recovered: HashSet<Cell> = HashSet::new();
+            let lost: HashSet<Cell> = e.cells().into_iter().collect();
+            for r in &s.repairs {
+                for read in &r.option.reads {
+                    assert!(
+                        !lost.contains(read) || recovered.contains(read),
+                        "{kind}: repair of {:?} reads unrecovered lost cell {read}",
+                        r.target
+                    );
+                }
+                recovered.insert(r.target);
+            }
+        }
+    }
+
+    #[test]
+    fn parity_column_errors_are_schedulable() {
+        for kind in SchemeKind::ALL {
+            for spec in CodeSpec::ALL {
+                let c = code(spec, 7);
+                for col in 0..c.cols() {
+                    let e = error(&c, col, 0, c.rows() - 1);
+                    let s = generate(&c, &e, kind)
+                        .unwrap_or_else(|err| panic!("{spec:?} {kind} col {col}: {err}"));
+                    assert_eq!(s.repairs.len(), c.rows() - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_chunk_error_trivially_schedulable() {
+        let c = code(CodeSpec::Star, 5);
+        let e = error(&c, 0, 2, 1);
+        let s = generate(&c, &e, SchemeKind::FbfCycling).unwrap();
+        assert_eq!(s.repairs.len(), 1);
+        assert_eq!(s.repairs[0].target, Cell::new(2, 0));
+    }
+
+    #[test]
+    fn share_counts_consistency() {
+        let c = code(CodeSpec::Tip, 7);
+        let e = error(&c, 0, 0, 5);
+        let s = generate(&c, &e, SchemeKind::FbfCycling).unwrap();
+        let counts = s.share_counts();
+        let total: usize = counts.values().sum();
+        assert_eq!(total, s.total_read_slots());
+        assert_eq!(counts.len(), s.unique_reads());
+    }
+}

@@ -1,0 +1,282 @@
+//! Partial-stripe error campaign generation (§IV-A's synthetic traces).
+
+use fbf_codes::StripeCode;
+use fbf_recovery::{ErrorGroup, PartialStripeError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Distribution of error run lengths (in chunks).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LengthDistribution {
+    /// Uniform on `[1, p-1]` — the paper's primary setting ("the sizes of
+    /// partial stripe errors obeys uniform distribution, with the average
+    /// number lies in the half size of the stripe").
+    Uniform,
+    /// Geometric with success probability `stop`, truncated to `[1, p-1]` —
+    /// skews short, for the "other distributions" footnote.
+    Geometric {
+        /// Per-chunk stop probability in `(0, 1]`.
+        stop: f64,
+    },
+    /// Every error is exactly `len` chunks (clamped to `[1, p-1]`).
+    Fixed(usize),
+}
+
+/// Configuration of one error campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorGenConfig {
+    /// Stripes in the array's data zone.
+    pub stripes: u32,
+    /// Number of partial stripe errors to produce (each on a distinct
+    /// stripe).
+    pub count: usize,
+    /// Run-length distribution.
+    pub length: LengthDistribution,
+    /// Probability that an error lands near the previous one (spatial
+    /// locality of latent sector errors; 0 disables clustering).
+    pub clustering: f64,
+    /// "Near" means within this many stripes.
+    pub cluster_span: u32,
+    /// Probability that a damaged stripe carries a *second* error on
+    /// another disk (the spatially correlated multi-disk case; 0 disables).
+    ///
+    /// Note: chain-by-chain repair can be unorderable for some two-column
+    /// patterns on STAR (its adjuster chains span many columns); such
+    /// campaigns surface `SchemeError::Unschedulable` from planning and
+    /// would be handled by joint decoding in a real controller. The
+    /// adjuster-free codes (TIP/HDD1/Triple-STAR) schedule all two-column
+    /// damage.
+    pub multi_col_prob: f64,
+    /// RNG seed — campaigns are fully reproducible.
+    pub seed: u64,
+}
+
+impl ErrorGenConfig {
+    /// A sensible default shaped like the paper's runs: moderate clustering,
+    /// uniform lengths.
+    pub fn paper_default(stripes: u32, count: usize, seed: u64) -> Self {
+        ErrorGenConfig {
+            stripes,
+            count,
+            length: LengthDistribution::Uniform,
+            clustering: 0.5,
+            cluster_span: 16,
+            multi_col_prob: 0.0,
+            seed,
+        }
+    }
+}
+
+/// Generate a campaign of partial stripe errors for `code`.
+///
+/// Every error sits on its own stripe (same-stripe damage merges into one
+/// run in practice); the failed column, start row and length are sampled
+/// per [`ErrorGenConfig`]. Panics if `count` exceeds `stripes` (cannot
+/// place distinct-stripe errors).
+pub fn generate_errors(code: &StripeCode, cfg: &ErrorGenConfig) -> ErrorGroup {
+    assert!(
+        cfg.count as u64 <= cfg.stripes as u64,
+        "cannot place {} errors on {} stripes",
+        cfg.count,
+        cfg.stripes
+    );
+    let rows = code.rows();
+    let max_len = rows; // p - 1 chunks
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut used: HashSet<u32> = HashSet::with_capacity(cfg.count);
+    let mut group = ErrorGroup::new();
+    let mut last_stripe: Option<u32> = None;
+
+    while used.len() < cfg.count {
+        let stripe = match last_stripe {
+            Some(prev) if rng.random_bool(cfg.clustering.clamp(0.0, 1.0)) => {
+                // Spatially local: within cluster_span of the previous error.
+                let lo = prev.saturating_sub(cfg.cluster_span);
+                let hi = (prev.saturating_add(cfg.cluster_span)).min(cfg.stripes - 1);
+                rng.random_range(lo..=hi)
+            }
+            _ => rng.random_range(0..cfg.stripes),
+        };
+        if !used.insert(stripe) {
+            // Stripe already damaged; in a real array the runs would merge.
+            // Resample (termination is guaranteed since count <= stripes and
+            // the uniform branch eventually hits every free stripe).
+            continue;
+        }
+        let col = rng.random_range(0..code.cols());
+        let len = sample_length(&mut rng, cfg.length, max_len);
+        let first_row = rng.random_range(0..=(rows - len));
+        let e = PartialStripeError::new(code, stripe, col, first_row, len)
+            .expect("sampled within bounds");
+        group.push(e);
+        // Spatially correlated second failure on another disk of the same
+        // stripe (counted within `count`: it damages no new stripe).
+        if rng.random_bool(cfg.multi_col_prob.clamp(0.0, 1.0)) {
+            let col2 = (col + 1 + rng.random_range(0..code.cols() - 1)) % code.cols();
+            let len2 = sample_length(&mut rng, cfg.length, max_len);
+            let first2 = rng.random_range(0..=(rows - len2));
+            group.push(
+                PartialStripeError::new(code, stripe, col2, first2, len2)
+                    .expect("sampled within bounds"),
+            );
+        }
+        last_stripe = Some(stripe);
+    }
+    group
+}
+
+fn sample_length(rng: &mut StdRng, dist: LengthDistribution, max_len: usize) -> usize {
+    match dist {
+        LengthDistribution::Uniform => rng.random_range(1..=max_len),
+        LengthDistribution::Geometric { stop } => {
+            let stop = stop.clamp(1e-6, 1.0);
+            let mut len = 1;
+            while len < max_len && !rng.random_bool(stop) {
+                len += 1;
+            }
+            len
+        }
+        LengthDistribution::Fixed(len) => len.clamp(1, max_len),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbf_codes::CodeSpec;
+
+    fn code() -> StripeCode {
+        StripeCode::build(CodeSpec::Tip, 7).unwrap()
+    }
+
+    #[test]
+    fn generates_requested_count_on_distinct_stripes() {
+        let cfg = ErrorGenConfig::paper_default(1000, 200, 42);
+        let g = generate_errors(&code(), &cfg);
+        assert_eq!(g.len(), 200);
+        let stripes: HashSet<u32> = g.errors.iter().map(|e| e.stripe).collect();
+        assert_eq!(stripes.len(), 200, "one error per stripe");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = ErrorGenConfig::paper_default(500, 100, 7);
+        let a = generate_errors(&code(), &cfg);
+        let b = generate_errors(&code(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = ErrorGenConfig::paper_default(500, 100, 7);
+        let a = generate_errors(&code(), &cfg);
+        cfg.seed = 8;
+        let b = generate_errors(&code(), &cfg);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_lengths_cover_full_range_and_average_half() {
+        let cfg = ErrorGenConfig {
+            clustering: 0.0,
+            ..ErrorGenConfig::paper_default(20_000, 5_000, 3)
+        };
+        let c = code();
+        let g = generate_errors(&c, &cfg);
+        let lens: Vec<usize> = g.errors.iter().map(|e| e.len).collect();
+        assert_eq!(*lens.iter().min().unwrap(), 1);
+        assert_eq!(*lens.iter().max().unwrap(), c.rows());
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        let expect = (1 + c.rows()) as f64 / 2.0;
+        assert!(
+            (mean - expect).abs() < 0.15,
+            "mean length {mean} should approximate {expect}"
+        );
+    }
+
+    #[test]
+    fn errors_fit_inside_stripes() {
+        let c = code();
+        let cfg = ErrorGenConfig::paper_default(300, 300, 11);
+        let g = generate_errors(&c, &cfg);
+        for e in &g.errors {
+            assert!(e.first_row + e.len <= c.rows());
+            assert!(e.col < c.cols());
+            assert!(e.len >= 1);
+        }
+    }
+
+    #[test]
+    fn clustering_concentrates_stripes() {
+        let c = code();
+        let spread = |clustering: f64| -> f64 {
+            let cfg = ErrorGenConfig {
+                clustering,
+                cluster_span: 4,
+                ..ErrorGenConfig::paper_default(100_000, 500, 99)
+            };
+            let g = generate_errors(&c, &cfg);
+            let mut gaps: Vec<u64> = g
+                .errors
+                .windows(2)
+                .map(|w| w[0].stripe.abs_diff(w[1].stripe) as u64)
+                .collect();
+            gaps.sort_unstable();
+            gaps[gaps.len() / 2] as f64 // median consecutive gap
+        };
+        assert!(
+            spread(0.9) < spread(0.0),
+            "clustered campaigns must have smaller consecutive-stripe gaps"
+        );
+    }
+
+    #[test]
+    fn geometric_skews_short() {
+        let c = code();
+        let cfg = ErrorGenConfig {
+            length: LengthDistribution::Geometric { stop: 0.6 },
+            clustering: 0.0,
+            ..ErrorGenConfig::paper_default(20_000, 4_000, 5)
+        };
+        let g = generate_errors(&c, &cfg);
+        let mean = g.errors.iter().map(|e| e.len).sum::<usize>() as f64 / g.len() as f64;
+        assert!(mean < 2.5, "geometric(0.6) mean {mean} should be short");
+    }
+
+    #[test]
+    fn fixed_lengths() {
+        let c = code();
+        let cfg = ErrorGenConfig {
+            length: LengthDistribution::Fixed(3),
+            ..ErrorGenConfig::paper_default(100, 50, 1)
+        };
+        let g = generate_errors(&c, &cfg);
+        assert!(g.errors.iter().all(|e| e.len == 3));
+    }
+
+    #[test]
+    fn multi_col_damage_lands_on_distinct_disks() {
+        let c = code();
+        let cfg = ErrorGenConfig {
+            multi_col_prob: 1.0,
+            ..ErrorGenConfig::paper_default(1000, 100, 77)
+        };
+        let g = generate_errors(&c, &cfg);
+        assert_eq!(g.errors.len(), 200, "every stripe gets a second error");
+        let damages = g.damage_by_stripe();
+        assert_eq!(damages.len(), 100);
+        for d in &damages {
+            let cols: HashSet<u16> = d.cells.iter().map(|c| c.col).collect();
+            assert_eq!(cols.len(), 2, "stripe {} damage on {} disks", d.stripe, cols.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn too_many_errors_rejected() {
+        let cfg = ErrorGenConfig::paper_default(10, 11, 0);
+        generate_errors(&code(), &cfg);
+    }
+}

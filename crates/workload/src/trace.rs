@@ -1,0 +1,83 @@
+//! Plain-text error-trace serialisation.
+//!
+//! One line per error: `stripe col first_row len`, `#`-comments and blank
+//! lines allowed. Keeps campaigns archivable/replayable without pulling a
+//! serialisation dependency beyond what the workspace already approves.
+
+use fbf_recovery::{ErrorGroup, PartialStripeError};
+
+/// Render a campaign as trace text.
+pub fn render_trace(group: &ErrorGroup) -> String {
+    let mut out = String::with_capacity(group.len() * 16 + 64);
+    out.push_str("# fbf partial-stripe error trace v1\n");
+    out.push_str("# stripe col first_row len\n");
+    for e in &group.errors {
+        out.push_str(&format!("{} {} {} {}\n", e.stripe, e.col, e.first_row, e.len));
+    }
+    out
+}
+
+/// Parse trace text back into a campaign. Validation against a specific
+/// code's geometry is the caller's job (traces are geometry-agnostic).
+pub fn parse_trace(text: &str) -> Result<ErrorGroup, String> {
+    let mut group = ErrorGroup::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(format!("line {}: expected 4 fields, got {}", lineno + 1, fields.len()));
+        }
+        let parse = |i: usize| -> Result<usize, String> {
+            fields[i]
+                .parse::<usize>()
+                .map_err(|e| format!("line {}: field {}: {e}", lineno + 1, i + 1))
+        };
+        let stripe = parse(0)? as u32;
+        let (col, first_row, len) = (parse(1)?, parse(2)?, parse(3)?);
+        if len == 0 {
+            return Err(format!("line {}: zero-length error", lineno + 1));
+        }
+        group.push(PartialStripeError { stripe, col, first_row, len });
+    }
+    Ok(group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::errors::{generate_errors, ErrorGenConfig};
+    use fbf_codes::{CodeSpec, StripeCode};
+
+    #[test]
+    fn roundtrip() {
+        let code = StripeCode::build(CodeSpec::Tip, 7).unwrap();
+        let g = generate_errors(&code, &ErrorGenConfig::paper_default(100, 40, 21));
+        let text = render_trace(&g);
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(g, parsed);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n3 0 1 2\n   \n# tail\n";
+        let g = parse_trace(text).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.errors[0].stripe, 3);
+        assert_eq!(g.errors[0].len, 2);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse_trace("1 2 3").is_err());
+        assert!(parse_trace("a b c d").is_err());
+        assert!(parse_trace("1 2 3 0").is_err(), "zero length rejected");
+    }
+
+    #[test]
+    fn empty_trace_is_empty_group() {
+        assert!(parse_trace("# nothing\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Cache-policy shootout: FIFO vs LRU vs LFU vs ARC vs FBF on the same
+//! reconstruction campaign.
+//!
+//! Run with `cargo run --release --example cache_shootout [cache_mb...]`.
+//!
+//! Reproduces the experience of reading the paper's Fig. 8 for one code:
+//! at small cache sizes FBF's priority queues hold the shared "favorable
+//! blocks" that LRU-family policies evict, so its hit ratio and read count
+//! dominate; once the cache exceeds the per-stripe working set everyone
+//! converges.
+
+use fbf::cache::PolicyKind;
+use fbf::codes::CodeSpec;
+use fbf::core::report::f;
+use fbf::core::{sweep, ExperimentConfig, Table};
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![8, 32, 64, 128, 512]
+        } else {
+            args
+        }
+    };
+
+    let configs: Vec<ExperimentConfig> = sizes
+        .iter()
+        .flat_map(|&mb| {
+            PolicyKind::ALL.iter().map(move |&policy| ExperimentConfig {
+                code: CodeSpec::TripleStar,
+                p: 11,
+                policy,
+                cache_mb: mb,
+                stripes: 2048,
+                error_count: 256,
+                workers: 64,
+                ..Default::default()
+            })
+        })
+        .collect();
+
+    let points = sweep(&configs, 0).expect("sweep");
+
+    let mut hit = Table::new(
+        "hit ratio — TripleSTAR(p=11)",
+        &["cache_mb", "FIFO", "LRU", "LFU", "ARC", "FBF"],
+    );
+    let mut reads = Table::new(
+        "disk reads — TripleSTAR(p=11)",
+        &["cache_mb", "FIFO", "LRU", "LFU", "ARC", "FBF"],
+    );
+    for (i, &mb) in sizes.iter().enumerate() {
+        let row = &points[i * 5..(i + 1) * 5];
+        hit.push_row(
+            std::iter::once(mb.to_string())
+                .chain(row.iter().map(|p| f(p.metrics.hit_ratio, 4)))
+                .collect(),
+        );
+        reads.push_row(
+            std::iter::once(mb.to_string())
+                .chain(row.iter().map(|p| p.metrics.disk_reads.to_string()))
+                .collect(),
+        );
+    }
+    println!("{}", hit.render());
+    println!("{}", reads.render());
+}

@@ -1,0 +1,62 @@
+//! Whole-disk rebuild walkthrough: hybrid chain selection at full-column
+//! scale.
+//!
+//! Run with `cargo run --release --example disk_rebuild`.
+//!
+//! When disk 0 of a TIP(p=11) array dies, every stripe loses a full
+//! column. The classic rebuild reads each row's horizontal chain; Xiang
+//! et al. (the paper's reference [22]) showed mixing chain directions cuts
+//! reads to ~75% for RDP. The same machinery powers this library's
+//! partial-stripe schemes, so whole-disk rebuild is one call away — and
+//! the greedy generator lands on the published optimum.
+
+use fbf::cache::PolicyKind;
+use fbf::codes::{CodeSpec, StripeCode};
+use fbf::core::report::f;
+use fbf::core::Table;
+use fbf::disksim::{ArrayMapping, Engine, EngineConfig};
+use fbf::recovery::{
+    build_scripts, rebuild_read_ratio, rebuild_schemes, ExecConfig, PriorityDictionary,
+    SchemeKind,
+};
+
+fn main() {
+    let stripes = 256u32;
+
+    // Read-ratio analysis across codes (RDP's known optimum is 0.75).
+    let mut ratios = Table::new(
+        "full-disk rebuild reads vs horizontal-only (p=11)",
+        &["code", "cycling", "greedy"],
+    );
+    for spec in CodeSpec::EXTENDED {
+        let code = StripeCode::build(spec, 11).expect("prime");
+        ratios.push_row(vec![
+            spec.name().to_string(),
+            f(rebuild_read_ratio(&code, 0, SchemeKind::FbfCycling).expect("scheme"), 3),
+            f(rebuild_read_ratio(&code, 0, SchemeKind::Greedy).expect("scheme"), 3),
+        ]);
+    }
+    println!("{}", ratios.render());
+
+    // End-to-end rebuild of disk 0, TIP(p=11), greedy scheme + FBF cache.
+    let code = StripeCode::build(CodeSpec::Tip, 11).expect("prime");
+    let schemes = rebuild_schemes(&code, 0, stripes, SchemeKind::Greedy).expect("schemes");
+    let dict = PriorityDictionary::from_schemes(&schemes);
+    let scripts = build_scripts(&schemes, &dict, &ExecConfig { workers: 32, ..Default::default() });
+    let engine = Engine::new(EngineConfig::paper(
+        PolicyKind::Fbf,
+        64 * 1024 / 32,
+        ArrayMapping::new(code.cols(), code.rows(), false),
+        stripes as u64,
+    ));
+    let report = engine.run(&scripts);
+    println!(
+        "rebuilt disk 0 of {}: {} stripes, {} disk reads, {} spare writes, {:.2}s virtual time",
+        code.describe(),
+        stripes,
+        report.disk_reads,
+        report.disk_writes,
+        report.makespan.as_secs_f64()
+    );
+    assert_eq!(report.disk_writes as u64, stripes as u64 * code.rows() as u64);
+}

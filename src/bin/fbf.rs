@@ -1,0 +1,359 @@
+//! `fbf` — command-line front end for the FBF reproduction.
+//!
+//! ```text
+//! fbf layout <code> <p>                     print a stripe layout and chain summary
+//! fbf plan <code> <p> <col> <row> <len>     show recovery schemes for one error
+//! fbf trace <stripes> <count> [seed]        emit a synthetic error trace (stdout)
+//! fbf run [key=value ...]                   one experiment, all metrics
+//! fbf sweep [key=value ...]                 cache-size sweep across the five policies
+//! fbf scrub <code> <p>                      silent-corruption scrub demo
+//! fbf mttdl <disks> <mttr_hours>            reliability model for a 3DFT array
+//! ```
+//!
+//! `run`/`sweep` accept `code=tip|hdd1|triplestar|star|rdp|evenodd`,
+//! `p=7`, `policy=fifo|lru|lfu|arc|fbf|...`, `cache=64` (MiB),
+//! `stripes=4096`, `errors=512`, `workers=128`, `seed=N`,
+//! `scheme=typical|fbf|greedy`.
+
+use fbf::cache::PolicyKind;
+use fbf::codes::{CodeSpec, StripeCode};
+use fbf::core::report::f;
+use fbf::core::{run_experiment, sweep, ExperimentConfig, ReliabilityParams, Table};
+use fbf::recovery::{scheme::generate, PartialStripeError, PriorityDictionary, SchemeKind};
+use fbf::workload::{generate_errors, render_trace, ErrorGenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("layout") => cmd_layout(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("scrub") => cmd_scrub(&args[1..]),
+        Some("mttdl") => cmd_mttdl(&args[1..]),
+        Some("help") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    eprintln!(
+        "fbf — Favorable Block First reproduction CLI\n\n\
+         usage:\n\
+         \u{20}  fbf layout <code> <p>\n\
+         \u{20}  fbf plan <code> <p> <col> <first_row> <len> [scheme]\n\
+         \u{20}  fbf trace <stripes> <count> [seed]\n\
+         \u{20}  fbf run [key=value ...]\n\
+         \u{20}  fbf sweep [key=value ...]\n\
+         \u{20}  fbf scrub <code> <p>\n\
+         \u{20}  fbf mttdl <disks> <mttr_hours>\n\n\
+         codes: tip hdd1 triplestar star rdp evenodd\n\
+         policies: fifo lru lfu arc fbf lru-k 2q lrfu fbr vdf"
+    );
+}
+
+fn parse_code(s: &str) -> Option<CodeSpec> {
+    match s.to_ascii_lowercase().as_str() {
+        "tip" => Some(CodeSpec::Tip),
+        "hdd1" => Some(CodeSpec::Hdd1),
+        "triplestar" | "triple-star" | "ts" => Some(CodeSpec::TripleStar),
+        "star" => Some(CodeSpec::Star),
+        "rdp" => Some(CodeSpec::Rdp),
+        "evenodd" | "eo" => Some(CodeSpec::Evenodd),
+        _ => None,
+    }
+}
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "fifo" => Some(PolicyKind::Fifo),
+        "lru" => Some(PolicyKind::Lru),
+        "lfu" => Some(PolicyKind::Lfu),
+        "arc" => Some(PolicyKind::Arc),
+        "fbf" => Some(PolicyKind::Fbf),
+        "lru-k" | "lruk" | "lru2" => Some(PolicyKind::LruK),
+        "2q" | "twoq" => Some(PolicyKind::TwoQ),
+        "lrfu" => Some(PolicyKind::Lrfu),
+        "fbr" => Some(PolicyKind::Fbr),
+        "vdf" => Some(PolicyKind::Vdf),
+        _ => None,
+    }
+}
+
+fn parse_scheme(s: &str) -> Option<SchemeKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "typical" | "horizontal" => Some(SchemeKind::Typical),
+        "fbf" | "cycling" => Some(SchemeKind::FbfCycling),
+        "greedy" => Some(SchemeKind::Greedy),
+        _ => None,
+    }
+}
+
+/// Build a code from two positional args, reporting errors to stderr.
+fn build_code(args: &[String]) -> Result<StripeCode, i32> {
+    let spec = args
+        .first()
+        .and_then(|s| parse_code(s))
+        .ok_or_else(|| {
+            eprintln!("expected a code name (tip/hdd1/triplestar/star/rdp/evenodd)");
+            2
+        })?;
+    let p: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            eprintln!("expected a prime p");
+            2
+        })?;
+    StripeCode::build(spec, p).map_err(|e| {
+        eprintln!("cannot build {spec}: {e}");
+        1
+    })
+}
+
+fn cmd_layout(args: &[String]) -> i32 {
+    let code = match build_code(args) {
+        Ok(c) => c,
+        Err(rc) => return rc,
+    };
+    println!("{}  ({} rows x {} disks, tolerates {} failures)", code.describe(), code.rows(), code.cols(), code.spec().fault_tolerance());
+    println!("{}", code.layout().ascii_art());
+    let mut per_dir = [0usize; 3];
+    for chain in code.chains() {
+        per_dir[chain.direction.index()] += 1;
+    }
+    println!(
+        "chains: {} horizontal, {} diagonal, {} anti-diagonal",
+        per_dir[0], per_dir[1], per_dir[2]
+    );
+    let avg_len: f64 = code.chains().iter().map(|c| c.len() as f64).sum::<f64>()
+        / code.chains().len() as f64;
+    println!("average chain length: {avg_len:.2} members");
+    0
+}
+
+fn cmd_plan(args: &[String]) -> i32 {
+    let code = match build_code(args) {
+        Ok(c) => c,
+        Err(rc) => return rc,
+    };
+    let (Some(col), Some(first), Some(len)) = (
+        args.get(2).and_then(|s| s.parse::<usize>().ok()),
+        args.get(3).and_then(|s| s.parse::<usize>().ok()),
+        args.get(4).and_then(|s| s.parse::<usize>().ok()),
+    ) else {
+        eprintln!("usage: fbf plan <code> <p> <col> <first_row> <len> [scheme]");
+        return 2;
+    };
+    let kind = args
+        .get(5)
+        .and_then(|s| parse_scheme(s))
+        .unwrap_or(SchemeKind::FbfCycling);
+
+    let error = match PartialStripeError::new(&code, 0, col, first, len) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("invalid error: {e}");
+            return 1;
+        }
+    };
+    let scheme = match generate(&code, &error, kind) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scheme generation failed: {e}");
+            return 1;
+        }
+    };
+    println!("{} / {} scheme for {error}:", code.describe(), kind.name());
+    for r in &scheme.repairs {
+        let reads: Vec<String> = r.option.reads.iter().map(|c| c.to_string()).collect();
+        println!("  {} via {:>13}: {}", r.target, r.option.direction.to_string(), reads.join(" "));
+    }
+    println!(
+        "totals: {} slots / {} distinct / {} saved",
+        scheme.total_read_slots(),
+        scheme.unique_reads(),
+        scheme.shared_savings()
+    );
+    let dict = PriorityDictionary::from_scheme(&scheme);
+    for prio in (1..=3).rev() {
+        let cells = dict.cells_with_priority(0, prio);
+        if !cells.is_empty() {
+            let names: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+            println!("priority {prio}: {}", names.join(", "));
+        }
+    }
+    0
+}
+
+fn cmd_trace(args: &[String]) -> i32 {
+    let (Some(stripes), Some(count)) = (
+        args.first().and_then(|s| s.parse::<u32>().ok()),
+        args.get(1).and_then(|s| s.parse::<usize>().ok()),
+    ) else {
+        eprintln!("usage: fbf trace <stripes> <count> [seed]");
+        return 2;
+    };
+    let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0x5EED);
+    // Trace geometry bound: use TIP(p=13) so traces replay on any shipped
+    // code with p >= 13 — or adjust to taste.
+    let code = StripeCode::build(CodeSpec::Tip, 13).expect("13 is prime");
+    let group = generate_errors(&code, &ErrorGenConfig::paper_default(stripes, count, seed));
+    print!("{}", render_trace(&group));
+    0
+}
+
+/// Parse `key=value` arguments over an [`ExperimentConfig`].
+fn parse_kv(args: &[String], cfg: &mut ExperimentConfig) -> Result<(), i32> {
+    for arg in args {
+        let Some((k, v)) = arg.split_once('=') else {
+            eprintln!("expected key=value, got `{arg}`");
+            return Err(2);
+        };
+        let ok = match k {
+            "code" => parse_code(v).map(|c| cfg.code = c).is_some(),
+            "p" => v.parse().map(|p| cfg.p = p).is_ok(),
+            "policy" => parse_policy(v).map(|p| cfg.policy = p).is_some(),
+            "scheme" => parse_scheme(v).map(|s| cfg.scheme = s).is_some(),
+            "cache" | "cache_mb" => v.parse().map(|c| cfg.cache_mb = c).is_ok(),
+            "stripes" => v.parse().map(|s| cfg.stripes = s).is_ok(),
+            "errors" => v.parse().map(|e| cfg.error_count = e).is_ok(),
+            "workers" => v.parse().map(|w| cfg.workers = w).is_ok(),
+            "seed" => v.parse().map(|s| cfg.seed = s).is_ok(),
+            _ => {
+                eprintln!("unknown key `{k}`");
+                return Err(2);
+            }
+        };
+        if !ok {
+            eprintln!("bad value for `{k}`: `{v}`");
+            return Err(2);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let mut cfg = ExperimentConfig::default();
+    if let Err(rc) = parse_kv(args, &mut cfg) {
+        return rc;
+    }
+    println!("running {}", cfg.describe());
+    match run_experiment(&cfg) {
+        Ok(m) => {
+            println!("  hit ratio          : {:.4}", m.hit_ratio);
+            println!("  disk reads         : {}", m.disk_reads);
+            println!("  avg response       : {:.3} ms", m.avg_response_ms);
+            println!("  reconstruction time: {:.3} s", m.reconstruction_s);
+            println!(
+                "  FBF overhead       : {:.4} ms/stripe ({:.3}%)",
+                m.overhead_per_stripe_ms, m.overhead_pct
+            );
+            println!("  chunks recovered   : {}", m.chunks_recovered);
+            0
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    let mut base = ExperimentConfig::default();
+    if let Err(rc) = parse_kv(args, &mut base) {
+        return rc;
+    }
+    let sizes = [2usize, 8, 32, 64, 128, 256, 512, 2048];
+    let configs: Vec<ExperimentConfig> = sizes
+        .iter()
+        .flat_map(|&mb| {
+            PolicyKind::ALL
+                .iter()
+                .map(move |&policy| ExperimentConfig { policy, cache_mb: mb, ..base })
+        })
+        .collect();
+    let points = match sweep(&configs, 0) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return 1;
+        }
+    };
+    let mut table = Table::new(
+        format!("hit ratio — {}(p={})", base.code.name(), base.p),
+        &["cache_mb", "FIFO", "LRU", "LFU", "ARC", "FBF"],
+    );
+    for (i, &mb) in sizes.iter().enumerate() {
+        let row = &points[i * 5..(i + 1) * 5];
+        table.push_row(
+            std::iter::once(mb.to_string())
+                .chain(row.iter().map(|pt| f(pt.metrics.hit_ratio, 4)))
+                .collect(),
+        );
+    }
+    println!("{}", table.render());
+    0
+}
+
+fn cmd_scrub(args: &[String]) -> i32 {
+    use fbf::codes::encode::encode;
+    use fbf::codes::{Cell, Stripe};
+    use fbf::recovery::{scrub, ScrubOutcome};
+
+    let code = match build_code(args) {
+        Ok(c) => c,
+        Err(rc) => return rc,
+    };
+    let mut stripe = Stripe::patterned(code.layout(), 4096);
+    encode(&code, &mut stripe).expect("encode");
+    let victim = Cell::new(code.rows() / 2, code.cols() / 3);
+    let mut buf = stripe.get(code.layout(), victim).to_vec();
+    buf[0] ^= 0xFF;
+    stripe.set(code.layout(), victim, buf.into());
+    println!("{}: silently corrupted {victim}", code.describe());
+    match scrub(&code, &mut stripe, 2) {
+        ScrubOutcome::Repaired(cells) => {
+            println!("scrubber located {cells:?} and repaired it");
+            0
+        }
+        other => {
+            println!("scrub outcome: {other:?}");
+            1
+        }
+    }
+}
+
+fn cmd_mttdl(args: &[String]) -> i32 {
+    let (Some(disks), Some(mttr)) = (
+        args.first().and_then(|s| s.parse::<usize>().ok()),
+        args.get(1).and_then(|s| s.parse::<f64>().ok()),
+    ) else {
+        eprintln!("usage: fbf mttdl <disks> <mttr_hours>");
+        return 2;
+    };
+    let mut table = Table::new(
+        format!("MTTDL, {disks} nearline disks, {mttr} h repair window"),
+        &["fault_tolerance", "mttdl_years"],
+    );
+    for ft in 1..=3 {
+        let p = ReliabilityParams {
+            disks,
+            fault_tolerance: ft,
+            mttr_hours: mttr,
+            ..ReliabilityParams::nearline_3dft(disks)
+        };
+        table.push_row(vec![ft.to_string(), format!("{:.3e}", fbf::core::mttdl_years(&p))]);
+    }
+    println!("{}", table.render());
+    0
+}

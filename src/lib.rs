@@ -1,0 +1,30 @@
+//! # fbf — Favorable Block First (ICPP 2017) reproduction, facade crate
+//!
+//! This crate re-exports the whole workspace behind one dependency so the
+//! examples, integration tests and downstream users can write
+//! `use fbf::...` and reach every layer:
+//!
+//! * [`codes`] — erasure codes (TIP, HDD1, Triple-STAR, STAR, plus RDP and
+//!   EVENODD for RAID-6 generality), parity chains, encode/decode,
+//!   structural analysis;
+//! * [`cache`] — ten buffer-cache replacement policies: the paper's five
+//!   (FIFO, LRU, LFU, ARC, FBF) and the other §II-B citations (LRU-K, 2Q,
+//!   LRFU, FBR, VDF);
+//! * [`disksim`] — the event-driven disk-array simulator standing in for
+//!   DiskSim 4.0 (queued disks, scheduling disciplines, latency
+//!   histograms, straggler injection);
+//! * [`recovery`] — partial-stripe error model, recovery-scheme generators,
+//!   priority dictionary, format-memoised controller, scrubbing, degraded
+//!   reads, whole-disk rebuild, joint-decode fallback;
+//! * [`workload`] — synthetic error-trace and application-I/O generators
+//!   matching §IV-A;
+//! * [`core`] — experiment configuration, metrics, sweep drivers,
+//!   campaign verification and the MTTDL reliability model that
+//!   regenerate the paper's figures and tables.
+
+pub use fbf_cache as cache;
+pub use fbf_codes as codes;
+pub use fbf_core as core;
+pub use fbf_disksim as disksim;
+pub use fbf_recovery as recovery;
+pub use fbf_workload as workload;

@@ -1,0 +1,130 @@
+//! Cross-crate property tests (proptest): random damage always recovers,
+//! cache invariants hold under arbitrary traces, priorities agree with
+//! brute force.
+
+use fbf::cache::{key, PolicyKind};
+use fbf::codes::encode::encode;
+use fbf::codes::{Cell, CodeSpec, Stripe, StripeCode};
+use fbf::recovery::{apply_scheme, scheme::generate, PartialStripeError, SchemeKind};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = CodeSpec> {
+    prop_oneof![
+        Just(CodeSpec::Tip),
+        Just(CodeSpec::Hdd1),
+        Just(CodeSpec::TripleStar),
+        Just(CodeSpec::Star),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = SchemeKind> {
+    prop_oneof![
+        Just(SchemeKind::Typical),
+        Just(SchemeKind::FbfCycling),
+        Just(SchemeKind::Greedy),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any single-column partial error, on any code, with any scheme kind,
+    /// recovers the exact lost bytes.
+    #[test]
+    fn any_partial_error_recovers(
+        spec in spec_strategy(),
+        kind in kind_strategy(),
+        p_idx in 0usize..2,
+        col in 0usize..16,
+        first in 0usize..12,
+        len in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let p = [5, 7][p_idx];
+        let code = StripeCode::build(spec, p).unwrap();
+        let col = col % code.cols();
+        let first = first % code.rows();
+        let len = 1 + (len - 1) % (code.rows() - first);
+
+        let mut pristine = Stripe::patterned(code.layout(), 16 + (seed % 48) as usize);
+        encode(&code, &mut pristine).unwrap();
+
+        let error = PartialStripeError::new(&code, 0, col, first, len).unwrap();
+        let scheme = generate(&code, &error, kind).unwrap();
+        let mut damaged = pristine.clone();
+        for cell in error.cells() {
+            damaged.erase(code.layout(), cell);
+        }
+        apply_scheme(&code, &mut damaged, &scheme).unwrap();
+        for cell in error.cells() {
+            prop_assert_eq!(
+                damaged.get(code.layout(), cell),
+                pristine.get(code.layout(), cell)
+            );
+        }
+    }
+
+    /// Cache invariants under random traces, for every policy:
+    /// * residency never exceeds capacity;
+    /// * an access hits iff `contains` said so beforehand;
+    /// * after an insert, the key is resident (capacity > 0);
+    /// * evicted keys are no longer resident.
+    #[test]
+    fn cache_invariants_random_trace(
+        kind_idx in 0usize..5,
+        capacity in 0usize..24,
+        ops in proptest::collection::vec((0u32..4, 0usize..6, 0usize..8, 1u8..4), 1..400),
+    ) {
+        let kind = PolicyKind::ALL[kind_idx];
+        let mut policy = kind.build(capacity);
+        for (stripe, row, col, prio) in ops {
+            let k = key(stripe, row, col);
+            let resident_before = policy.contains(&k);
+            let hit = policy.on_access(k);
+            prop_assert_eq!(hit, resident_before, "access outcome vs contains");
+            if !hit {
+                let evicted = policy.on_insert(k, prio);
+                if let Some(v) = evicted {
+                    prop_assert!(!policy.contains(&v), "evicted key still resident");
+                    prop_assert_ne!(v, k);
+                }
+                if capacity > 0 {
+                    prop_assert!(policy.contains(&k), "inserted key not resident");
+                }
+            }
+            prop_assert!(policy.len() <= capacity, "over capacity");
+        }
+    }
+
+    /// Scheme read sets never include the repair target or (unrecovered)
+    /// lost cells, and always carry at least one parity-chain cell.
+    #[test]
+    fn scheme_read_sets_are_well_formed(
+        spec in spec_strategy(),
+        kind in kind_strategy(),
+        col in 0usize..16,
+        len in 1usize..10,
+    ) {
+        let code = StripeCode::build(spec, 11).unwrap();
+        let col = col % code.cols();
+        let len = 1 + (len - 1) % (code.rows() - 1);
+        let error = PartialStripeError::new(&code, 0, col, 0, len).unwrap();
+        let scheme = generate(&code, &error, kind).unwrap();
+        let mut recovered: Vec<Cell> = Vec::new();
+        for r in &scheme.repairs {
+            prop_assert!(!r.option.reads.contains(&r.target));
+            prop_assert!(!r.option.reads.is_empty());
+            for read in &r.option.reads {
+                let is_lost = error.cells().contains(read);
+                prop_assert!(!is_lost || recovered.contains(read));
+            }
+            recovered.push(r.target);
+        }
+        // Every lost cell is repaired exactly once.
+        let mut targets: Vec<Cell> = scheme.repairs.iter().map(|r| r.target).collect();
+        targets.sort_unstable();
+        let mut lost = error.cells();
+        lost.sort_unstable();
+        prop_assert_eq!(targets, lost);
+    }
+}
