@@ -1,0 +1,224 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the bench-definition API this workspace uses (`Criterion`,
+//! `BenchmarkGroup`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!`/`criterion_main!`) with a minimal
+//! mean-of-N timing loop and plain-text output — no statistics, plots, or
+//! regression tracking. Bench binaries build and run; numbers are
+//! indicative only.
+
+use std::time::{Duration, Instant};
+
+/// Label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput annotation (recorded, reported per-iteration only).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing for `iter_batched` (ignored by the stub's loop).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over `samples` iterations; record the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.last_mean = start.elapsed() / self.samples as u32;
+    }
+
+    /// Time `routine` with per-iteration setup excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.last_mean = total / self.samples as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Annotate subsequent benchmarks with a throughput (stub: recorded
+    /// and dropped).
+    pub fn throughput(&mut self, _throughput: Throughput) {}
+
+    /// Benchmark a routine that consumes a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.criterion.sample_size, last_mean: Duration::ZERO };
+        f(&mut b, input);
+        println!("{}/{}: {:?} (mean of {})", self.name, id, b.last_mean, b.samples);
+    }
+
+    /// Benchmark a plain routine.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.criterion.sample_size, last_mean: Duration::ZERO };
+        f(&mut b);
+        println!("{}/{}: {:?} (mean of {})", self.name, id, b.last_mean, b.samples);
+    }
+
+    /// End the group (stub: nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Top-level bench configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the measurement budget (stub: ignored; sampling is count-based).
+    pub fn measurement_time(self, _duration: Duration) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+
+    /// Benchmark a plain routine outside any group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, last_mean: Duration::ZERO };
+        f(&mut b);
+        println!("{}: {:?} (mean of {})", id, b.last_mean, b.samples);
+    }
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declare a bench group: either configured
+/// (`name = n; config = expr; targets = a, b`) or positional (`n, a, b`).
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    criterion_group!(
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    );
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn`, which
+//! std has provided natively since 1.63 (`std::thread::scope`). This shim
+//! adapts the std API to crossbeam's shape: the closure passed to `spawn`
+//! receives a `&Scope` argument (so nested spawns work), and `scope` returns
+//! `Result<R, Panic>` — `Err` carrying the first panic payload from an
+//! unjoined child — instead of propagating the panic.
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    type Panic = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Mirror of `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        panics: Arc<Mutex<Vec<Panic>>>,
+    }
+
+    /// Mirror of `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, Result<T, Panic>>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the child and surface its panic (if any) as `Err`.
+        pub fn join(self) -> Result<T, Panic> {
+            match self.inner.join() {
+                Ok(inner) => inner,
+                Err(panic) => Err(panic),
+            }
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure gets a `&Scope` for nested
+        /// spawns, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let child = Scope { inner: self.inner, panics: Arc::clone(&self.panics) };
+            let sink = Arc::clone(&self.panics);
+            let inner = self.inner.spawn(move || {
+                match catch_unwind(AssertUnwindSafe(|| f(&child))) {
+                    Ok(v) => Ok(v),
+                    Err(panic) => {
+                        // Record for the scope result; hand a placeholder to
+                        // any join() caller (payloads are not Clone).
+                        let msg = panic_message(&panic);
+                        sink.lock().unwrap().push(panic);
+                        Err(Box::new(msg) as Panic)
+                    }
+                }
+            });
+            ScopedJoinHandle { inner }
+        }
+    }
+
+    fn panic_message(panic: &Panic) -> String {
+        if let Some(s) = panic.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = panic.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "scoped thread panicked".to_string()
+        }
+    }
+
+    /// Mirror of `crossbeam::thread::scope`: run `f` with a scope handle,
+    /// join every spawned thread, and report the first child panic as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Panic>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let panics = Arc::new(Mutex::new(Vec::new()));
+        let result = {
+            let panics = Arc::clone(&panics);
+            std::thread::scope(move |s| {
+                let scope = Scope { inner: s, panics };
+                f(&scope)
+            })
+        };
+        let first = panics.lock().unwrap().drain(..).next();
+        match first {
+            Some(panic) => Err(panic),
+            None => Ok(result),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawns_and_joins() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Implements the API subset the workspace uses — `StdRng`/`SmallRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{random, random_bool, random_range}` —
+//! over xoshiro256++ seeded through SplitMix64. Streams are deterministic
+//! per seed (the property every experiment in this repo relies on) but are
+//! *not* bit-compatible with the real rand's ChaCha-based `StdRng`; absolute
+//! figures differ from runs made with crates.io rand, shapes do not.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The user-facing sampling API.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of a supported type.
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 high bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// Uniform sample from a range. Panics on an empty range, like rand.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Types [`Rng::random`] can produce.
+pub trait Standard {
+    /// Build a value from 64 uniform bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Ranges [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Rejection-free bounded sample on `[0, n)` via 128-bit multiply
+/// (Lemire); bias is < 2^-64, irrelevant at test scale.
+fn bounded(rng: &mut impl Rng, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample an empty range");
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + bounded(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, usize);
+
+impl SampleRange<u64> for std::ops::Range<u64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + bounded(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<u64> for std::ops::RangeInclusive<u64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + bounded(rng, span + 1)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ core, SplitMix64-seeded.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Xoshiro256 {
+        s: [u64; 4],
+    }
+
+    impl Xoshiro256 {
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for Xoshiro256 {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding procedure.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Xoshiro256 { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for Xoshiro256 {
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    /// Stand-in for rand's `StdRng`.
+    pub type StdRng = Xoshiro256;
+
+    /// Stand-in for rand's `SmallRng`.
+    pub type SmallRng = Xoshiro256;
+}
+
+pub use rngs::{SmallRng, StdRng};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.random_range(1u32..=4);
+            assert!((1..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits} out of 10000 at p=0.25");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! real `serde` cannot be fetched. The workspace only ever uses serde as a
+//! *derive marker* — nothing calls a serializer — so this stub provides the
+//! two trait names with blanket impls and re-exports no-op derive macros
+//! from the sibling `serde_derive` stub. Swapping the real serde back in is
+//! a one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
