@@ -11,17 +11,17 @@ use std::hint::black_box;
 
 /// A scaled-down figure point that still runs the full pipeline.
 fn cfg(code: CodeSpec, p: usize, policy: PolicyKind, cache_mb: usize) -> ExperimentConfig {
-    ExperimentConfig {
-        code,
-        p,
-        policy,
-        cache_mb,
-        stripes: 512,
-        error_count: 128,
-        workers: 32,
-        gen_threads: 1,
-        ..Default::default()
-    }
+    ExperimentConfig::builder()
+        .code(code)
+        .p(p)
+        .policy(policy)
+        .cache_mb(cache_mb)
+        .stripes(512)
+        .error_count(128)
+        .workers(32)
+        .gen_threads(1)
+        .build()
+        .expect("bench grid point is valid")
 }
 
 fn bench_fig8(c: &mut Criterion) {

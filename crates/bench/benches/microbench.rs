@@ -31,20 +31,24 @@ fn bench_policies(c: &mut Criterion) {
         .map(|i| key(i / 40, (i % 6) as usize, ((i / 3) % 7) as usize))
         .collect();
     for kind in PolicyKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut policy = kind.build(64);
-                let mut hits = 0u64;
-                for &k in &trace {
-                    if policy.on_access(k) {
-                        hits += 1;
-                    } else {
-                        policy.on_insert(k, 1 + (k.cell.row % 3) as u8);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut policy = kind.build(64);
+                    let mut hits = 0u64;
+                    for &k in &trace {
+                        if policy.on_access(k) {
+                            hits += 1;
+                        } else {
+                            policy.on_insert(k, 1 + (k.cell.row % 3) as u8);
+                        }
                     }
-                }
-                black_box(hits)
-            });
-        });
+                    black_box(hits)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -54,17 +58,13 @@ fn bench_scheme_generation(c: &mut Criterion) {
     for spec in CodeSpec::ALL {
         let code = StripeCode::build(spec, 13).unwrap();
         let error = PartialStripeError::new(&code, 0, 0, 0, code.rows() - 1).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(spec.name()),
-            &spec,
-            |b, _| {
-                b.iter(|| {
-                    let s = generate(&code, &error, SchemeKind::FbfCycling).unwrap();
-                    let d = PriorityDictionary::from_scheme(&s);
-                    black_box((s.unique_reads(), d.len()))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(spec.name()), &spec, |b, _| {
+            b.iter(|| {
+                let s = generate(&code, &error, SchemeKind::FbfCycling).unwrap();
+                let d = PriorityDictionary::from_scheme(&s);
+                black_box((s.unique_reads(), d.len()))
+            });
+        });
     }
     group.finish();
 }
@@ -75,14 +75,10 @@ fn bench_encode_decode(c: &mut Criterion) {
         let code = StripeCode::build(spec, 7).unwrap();
         let mut stripe = Stripe::patterned(code.layout(), 32 << 10);
         encode(&code, &mut stripe).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("encode", spec.name()),
-            &spec,
-            |b, _| {
-                let mut s = stripe.clone();
-                b.iter(|| encode(&code, black_box(&mut s)).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("encode", spec.name()), &spec, |b, _| {
+            let mut s = stripe.clone();
+            b.iter(|| encode(&code, black_box(&mut s)).unwrap());
+        });
         group.bench_with_input(
             BenchmarkId::new("decode_partial", spec.name()),
             &spec,
@@ -111,14 +107,10 @@ fn bench_scrub(c: &mut Criterion) {
         let code = StripeCode::build(spec, 11).unwrap();
         let mut stripe = Stripe::patterned(code.layout(), 4096);
         encode(&code, &mut stripe).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("clean", spec.name()),
-            &spec,
-            |b, _| {
-                let mut s = stripe.clone();
-                b.iter(|| black_box(scrub(&code, &mut s, 1)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("clean", spec.name()), &spec, |b, _| {
+            let mut s = stripe.clone();
+            b.iter(|| black_box(scrub(&code, &mut s, 1)));
+        });
         group.bench_with_input(
             BenchmarkId::new("one_corruption", spec.name()),
             &spec,

@@ -17,9 +17,27 @@ use fbf_core::{report::f, sweep, Table};
 fn main() {
     let p = 11;
     let variants: [(&str, FbfConfig); 3] = [
-        ("demote-back", FbfConfig { demote_to: DemotePosition::Back, disable_demotion: false }),
-        ("demote-front", FbfConfig { demote_to: DemotePosition::Front, disable_demotion: false }),
-        ("no-demotion", FbfConfig { demote_to: DemotePosition::Back, disable_demotion: true }),
+        (
+            "demote-back",
+            FbfConfig {
+                demote_to: DemotePosition::Back,
+                disable_demotion: false,
+            },
+        ),
+        (
+            "demote-front",
+            FbfConfig {
+                demote_to: DemotePosition::Front,
+                disable_demotion: false,
+            },
+        ),
+        (
+            "no-demotion",
+            FbfConfig {
+                demote_to: DemotePosition::Back,
+                disable_demotion: true,
+            },
+        ),
     ];
 
     let mut table = Table::new(

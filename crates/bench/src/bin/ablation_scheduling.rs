@@ -22,7 +22,13 @@ fn main() {
     let cache_mb = 64;
     let mut table = Table::new(
         format!("Disk-scheduling ablation — TIP(p={p}), {cache_mb}MB, detailed disk model"),
-        &["discipline", "policy", "hit_ratio", "avg_resp_ms", "recon_s"],
+        &[
+            "discipline",
+            "policy",
+            "hit_ratio",
+            "avg_resp_ms",
+            "recon_s",
+        ],
     );
 
     for sched in DiskSched::ALL {

@@ -54,10 +54,23 @@ fn main() {
 
     let mut table = Table::new(
         format!("Degraded reads under reconstruction — TIP(p={p}), shared 64MB cache"),
-        &["policy", "hit_ratio", "disk_reads", "makespan_s", "avg_read_ms"],
+        &[
+            "policy",
+            "hit_ratio",
+            "disk_reads",
+            "makespan_s",
+            "avg_read_ms",
+        ],
     );
     for policy in PolicyKind::ALL {
-        let mut scripts = build_scripts(&schemes, &dict, &ExecConfig { workers: 32, ..Default::default() });
+        let mut scripts = build_scripts(
+            &schemes,
+            &dict,
+            &ExecConfig {
+                workers: 32,
+                ..Default::default()
+            },
+        );
         scripts.push(degraded_app.clone());
         let engine = Engine::new(EngineConfig {
             sharing: CacheSharing::Shared,

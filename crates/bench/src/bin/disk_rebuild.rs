@@ -11,8 +11,7 @@ use fbf_codes::{CodeSpec, StripeCode};
 use fbf_core::{report::f, Table};
 use fbf_disksim::{ArrayMapping, Engine, EngineConfig};
 use fbf_recovery::{
-    build_scripts, rebuild_read_ratio, rebuild_schemes, ExecConfig, PriorityDictionary,
-    SchemeKind,
+    build_scripts, rebuild_read_ratio, rebuild_schemes, ExecConfig, PriorityDictionary, SchemeKind,
 };
 
 fn main() {
@@ -41,10 +40,21 @@ fn main() {
         format!("Full-disk rebuild time — TIP(p={p}), {stripes} stripes, 64MB cache"),
         &["scheme", "policy", "disk_reads", "rebuild_s"],
     );
-    for kind in [SchemeKind::Typical, SchemeKind::FbfCycling, SchemeKind::Greedy] {
+    for kind in [
+        SchemeKind::Typical,
+        SchemeKind::FbfCycling,
+        SchemeKind::Greedy,
+    ] {
         let schemes = rebuild_schemes(&code, 0, stripes, kind).expect("schemes");
         let dict = PriorityDictionary::from_schemes(&schemes);
-        let scripts = build_scripts(&schemes, &dict, &ExecConfig { workers: 64, ..Default::default() });
+        let scripts = build_scripts(
+            &schemes,
+            &dict,
+            &ExecConfig {
+                workers: 64,
+                ..Default::default()
+            },
+        );
         for policy in [PolicyKind::Lru, PolicyKind::Fbf] {
             let engine = Engine::new(EngineConfig::paper(
                 policy,

@@ -19,8 +19,14 @@ fn main() {
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
 
-    let mut hit = Table::new(format!("Extended policies, hit ratio — TIP(p={p})"), &header_refs);
-    let mut reads = Table::new(format!("Extended policies, disk reads — TIP(p={p})"), &header_refs);
+    let mut hit = Table::new(
+        format!("Extended policies, hit ratio — TIP(p={p})"),
+        &header_refs,
+    );
+    let mut reads = Table::new(
+        format!("Extended policies, disk reads — TIP(p={p})"),
+        &header_refs,
+    );
 
     let configs: Vec<_> = CACHE_MB
         .iter()

@@ -65,7 +65,12 @@ fn main() {
                     Err(_) => bad += 1,
                 }
             }
-            println!("{:<10} p={:<2} tolerance={}: {ok} combinations ok, {bad} bad", spec.name(), p, k);
+            println!(
+                "{:<10} p={:<2} tolerance={}: {ok} combinations ok, {bad} bad",
+                spec.name(),
+                p,
+                k
+            );
             failures += bad;
         }
     }

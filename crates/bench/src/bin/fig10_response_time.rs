@@ -36,7 +36,10 @@ fn main() {
                 table.push_row(cells);
             }
             println!("{}", table.render());
-            save_csv(&format!("fig10_{}_p{p}", code.name().to_lowercase()), &table);
+            save_csv(
+                &format!("fig10_{}_p{p}", code.name().to_lowercase()),
+                &table,
+            );
         }
     }
 }

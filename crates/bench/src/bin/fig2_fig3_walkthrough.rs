@@ -15,9 +15,7 @@
 //! chunks — is the point being demonstrated.
 
 use fbf_codes::{CodeSpec, StripeCode};
-use fbf_recovery::{
-    scheme::generate, PartialStripeError, PriorityDictionary, SchemeKind,
-};
+use fbf_recovery::{scheme::generate, PartialStripeError, PriorityDictionary, SchemeKind};
 
 fn show_error(code: &StripeCode, len: usize, title: &str) {
     println!("=== {title} — {} ===", code.describe());
@@ -31,8 +29,7 @@ fn show_error(code: &StripeCode, len: usize, title: &str) {
         let scheme = generate(code, &error, kind).unwrap();
         println!("{} scheme:", kind.name());
         for r in &scheme.repairs {
-            let reads: Vec<String> =
-                r.option.reads.iter().map(|c| c.to_string()).collect();
+            let reads: Vec<String> = r.option.reads.iter().map(|c| c.to_string()).collect();
             println!(
                 "  {} via {:>13} chain: reads {}",
                 r.target,
@@ -53,7 +50,14 @@ fn show_error(code: &StripeCode, len: usize, title: &str) {
             for prio in (1..=3).rev() {
                 let cells = dict.cells_with_priority(0, prio);
                 let names: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
-                println!("  priority {prio}: {}", if names.is_empty() { "-".into() } else { names.join(", ") });
+                println!(
+                    "  priority {prio}: {}",
+                    if names.is_empty() {
+                        "-".into()
+                    } else {
+                        names.join(", ")
+                    }
+                );
             }
             println!();
         }

@@ -9,7 +9,7 @@
 use fbf_bench::save_csv;
 use fbf_cache::PolicyKind;
 use fbf_codes::{CodeSpec, StripeCode};
-use fbf_core::{report::f, Metrics, Table};
+use fbf_core::{report::f, Metrics, PlanSource, Table};
 use fbf_disksim::{ArrayMapping, Engine, EngineConfig};
 use fbf_recovery::{build_scripts, ExecConfig, RecoveryController, SchemeKind};
 use fbf_workload::{generate_errors, ErrorGenConfig};
@@ -27,7 +27,14 @@ fn run(code: &StripeCode, multi_col_prob: f64, policy: PolicyKind, cache_mb: usi
     let mut ctl = RecoveryController::new(code, SchemeKind::FbfCycling);
     let (schemes, dict) = ctl.plan_campaign(&errors).expect("plan");
     let overhead = t0.elapsed();
-    let scripts = build_scripts(&schemes, &dict, &ExecConfig { workers: 128, ..Default::default() });
+    let scripts = build_scripts(
+        &schemes,
+        &dict,
+        &ExecConfig {
+            workers: 128,
+            ..Default::default()
+        },
+    );
     let engine = Engine::new(EngineConfig::paper(
         policy,
         cache_mb * 1024 / 32,
@@ -35,8 +42,18 @@ fn run(code: &StripeCode, multi_col_prob: f64, policy: PolicyKind, cache_mb: usi
         stripes as u64,
     ));
     let report = engine.run(&scripts);
-    let recovered: usize = errors.damage_by_stripe().iter().map(|d| d.cells.len()).sum();
-    Metrics::from_run(&report, overhead, schemes.len(), recovered)
+    let recovered: usize = errors
+        .damage_by_stripe()
+        .iter()
+        .map(|d| d.cells.len())
+        .sum();
+    Metrics::from_run(
+        &report,
+        overhead,
+        schemes.len(),
+        recovered,
+        PlanSource::Cold,
+    )
 }
 
 fn main() {
@@ -44,7 +61,13 @@ fn main() {
     let cache_mb = 64;
     let mut table = Table::new(
         format!("Multi-disk damage sweep — TIP(p=11), {cache_mb}MB"),
-        &["second_error_prob", "policy", "hit_ratio", "disk_reads", "recon_s"],
+        &[
+            "second_error_prob",
+            "policy",
+            "hit_ratio",
+            "disk_reads",
+            "recon_s",
+        ],
     );
     for prob in [0.0f64, 0.25, 0.5, 1.0] {
         for policy in [PolicyKind::Lru, PolicyKind::Arc, PolicyKind::Fbf] {

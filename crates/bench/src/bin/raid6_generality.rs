@@ -35,7 +35,10 @@ fn main() {
                 table.push_row(cells);
             }
             println!("{}", table.render());
-            save_csv(&format!("raid6_{}_p{p}", code.name().to_lowercase()), &table);
+            save_csv(
+                &format!("raid6_{}_p{p}", code.name().to_lowercase()),
+                &table,
+            );
         }
     }
 }

@@ -17,7 +17,13 @@ fn main() {
     let cache_mb = 64; // the contended regime, where FBF's gain is real
     let mut table = fbf_core::Table::new(
         format!("MTTDL under each policy — TIP(p={p}), {cache_mb}MB cache, nearline 3DFT"),
-        &["policy", "recon_s", "relative_wov", "mttdl_years", "gain_vs_lru"],
+        &[
+            "policy",
+            "recon_s",
+            "relative_wov",
+            "mttdl_years",
+            "gain_vs_lru",
+        ],
     );
 
     let mut recon: Vec<(PolicyKind, f64)> = Vec::new();

@@ -17,7 +17,13 @@ fn main() {
     let cache_mb = 64;
     let mut table = Table::new(
         format!("Straggler injection — TIP(p={p}), {cache_mb}MB, disk 0 at N× latency"),
-        &["slowdown", "policy", "hit_ratio", "recon_s", "slowdown_cost_pct"],
+        &[
+            "slowdown",
+            "policy",
+            "hit_ratio",
+            "recon_s",
+            "slowdown_cost_pct",
+        ],
     );
 
     for factor in [1.0f64, 2.0, 4.0] {
@@ -34,7 +40,10 @@ fn main() {
         let points = sweep(&configs, 0).expect("sweep failed");
         // Baseline (healthy) reconstruction per policy, for the cost column.
         let healthy: Vec<_> = if factor == 1.0 {
-            points.iter().map(|pt| pt.metrics.reconstruction_s).collect()
+            points
+                .iter()
+                .map(|pt| pt.metrics.reconstruction_s)
+                .collect()
         } else {
             let base: Vec<_> = PolicyKind::ALL
                 .iter()

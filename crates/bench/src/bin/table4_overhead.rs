@@ -14,10 +14,22 @@ use fbf_core::{report::f, run_experiment, Table};
 fn main() {
     let mut table = Table::new(
         "Table IV — FBF temporal overhead",
-        &["p", "code", "memo_ms_per_stripe", "memo_pct", "full_ms_per_stripe", "full_pct"],
+        &[
+            "p",
+            "code",
+            "memo_ms_per_stripe",
+            "memo_pct",
+            "full_ms_per_stripe",
+            "full_pct",
+        ],
     );
     for p in TIP_PRIMES {
-        for code in [CodeSpec::Star, CodeSpec::TripleStar, CodeSpec::Tip, CodeSpec::Hdd1] {
+        for code in [
+            CodeSpec::Star,
+            CodeSpec::TripleStar,
+            CodeSpec::Tip,
+            CodeSpec::Hdd1,
+        ] {
             if p < code.min_prime() {
                 continue;
             }

@@ -28,9 +28,7 @@ fn main() {
     let find = |p: usize, mb: usize, policy: PolicyKind| -> &SweepPoint {
         points
             .iter()
-            .find(|pt| {
-                pt.config.p == p && pt.config.cache_mb == mb && pt.config.policy == policy
-            })
+            .find(|pt| pt.config.p == p && pt.config.cache_mb == mb && pt.config.policy == policy)
             .expect("grid point present")
     };
 

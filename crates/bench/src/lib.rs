@@ -43,17 +43,22 @@ fn env_usize(name: &str, default: usize) -> usize {
 
 /// The figure-scale experiment base: paper constants, campaign sized by
 /// env knobs.
-pub fn base_config(code: CodeSpec, p: usize, policy: PolicyKind, cache_mb: usize) -> ExperimentConfig {
-    ExperimentConfig {
-        code,
-        p,
-        policy,
-        cache_mb,
-        stripes: env_usize("FBF_STRIPES", 4096) as u32,
-        error_count: env_usize("FBF_ERRORS", 512),
-        workers: env_usize("FBF_WORKERS", 128),
-        ..Default::default()
-    }
+pub fn base_config(
+    code: CodeSpec,
+    p: usize,
+    policy: PolicyKind,
+    cache_mb: usize,
+) -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .code(code)
+        .p(p)
+        .policy(policy)
+        .cache_mb(cache_mb)
+        .stripes(env_usize("FBF_STRIPES", 4096) as u32)
+        .error_count(env_usize("FBF_ERRORS", 512))
+        .workers(env_usize("FBF_WORKERS", 128))
+        .build()
+        .expect("paper-shaped figure configuration is valid")
 }
 
 /// Write a table's CSV under `results/<name>.csv` (best effort — printing

@@ -12,7 +12,7 @@
 //! (cases II–IV), because that is the point where the cache actually
 //! fetches and places the chunk.
 
-use crate::policy::{Key, ReplacementPolicy};
+use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use crate::queue::OrderedQueue;
 
 /// Adaptive Replacement Cache.
@@ -64,8 +64,8 @@ impl ArcPolicy {
 }
 
 impl ReplacementPolicy for ArcPolicy {
-    fn name(&self) -> &'static str {
-        "ARC"
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Arc
     }
 
     fn capacity(&self) -> usize {
@@ -90,12 +90,16 @@ impl ReplacementPolicy for ArcPolicy {
         }
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> Option<Key> {
+    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         let c = self.capacity;
         if c == 0 {
-            return None;
+            return InsertOutcome::Rejected;
         }
-        debug_assert!(!self.contains(&key), "inserting resident key {key}");
+        if self.contains(&key) {
+            // Case I after all: treat as the resident hit it is.
+            self.on_access(key);
+            return InsertOutcome::AlreadyResident;
+        }
 
         // Case II: ghost hit in B1 → favour recency.
         if self.b1.contains(&key) {
@@ -104,7 +108,7 @@ impl ReplacementPolicy for ArcPolicy {
             let evicted = self.replace(false);
             self.b1.remove(&key);
             self.t2.push_back(key);
-            return evicted;
+            return InsertOutcome::Inserted { evicted };
         }
 
         // Case III: ghost hit in B2 → favour frequency.
@@ -114,7 +118,7 @@ impl ReplacementPolicy for ArcPolicy {
             let evicted = self.replace(true);
             self.b2.remove(&key);
             self.t2.push_back(key);
-            return evicted;
+            return InsertOutcome::Inserted { evicted };
         }
 
         // Case IV: brand-new key.
@@ -137,7 +141,7 @@ impl ReplacementPolicy for ArcPolicy {
             None
         };
         self.t1.push_back(key);
-        evicted
+        InsertOutcome::Inserted { evicted }
     }
 
     fn clear(&mut self) {
@@ -157,7 +161,7 @@ mod tests {
     /// Drive the miss path: access (miss) then insert.
     fn miss(arc: &mut ArcPolicy, k: Key) -> Option<Key> {
         assert!(!arc.on_access(k));
-        arc.on_insert(k, 1)
+        arc.on_insert(k, 1).evicted()
     }
 
     #[test]
@@ -178,7 +182,11 @@ mod tests {
             if !arc.on_access(k) {
                 arc.on_insert(k, 1);
             }
-            assert!(arc.len() <= 4, "resident {} > capacity after {i}", arc.len());
+            assert!(
+                arc.len() <= 4,
+                "resident {} > capacity after {i}",
+                arc.len()
+            );
             assert!(arc.b1.len() + arc.b2.len() <= 4 + 1, "ghosts overgrown");
         }
     }
@@ -192,7 +200,10 @@ mod tests {
         miss(&mut arc, key(0, 0, 1));
         let evicted = miss(&mut arc, key(0, 0, 2));
         assert_eq!(evicted, Some(key(0, 0, 0)));
-        assert!(!arc.b1.contains(&key(0, 0, 0)), "no ghost when B1 path not taken");
+        assert!(
+            !arc.b1.contains(&key(0, 0, 0)),
+            "no ghost when B1 path not taken"
+        );
     }
 
     #[test]
@@ -220,7 +231,11 @@ mod tests {
         miss(&mut arc, key(0, 0, 1));
         arc.on_access(key(0, 0, 1)); // T2 = [0, 1]
         miss(&mut arc, key(0, 0, 2)); // T1 empty → T2 LRU (0) → B2
-        assert!(arc.b2.contains(&key(0, 0, 0)), "b2={:?}", arc.b2.iter().collect::<Vec<_>>());
+        assert!(
+            arc.b2.contains(&key(0, 0, 0)),
+            "b2={:?}",
+            arc.b2.iter().collect::<Vec<_>>()
+        );
         // Grow p first so there is something to shrink.
         arc.p = 2;
         miss(&mut arc, key(0, 0, 0));

@@ -19,7 +19,7 @@
 //! ([`DemotePosition`]); the default is `Back` (MRU end, consistent with
 //! the figures), and the ablation bench measures the difference.
 
-use crate::policy::{Key, ReplacementPolicy};
+use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use crate::queue::OrderedQueue;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -67,7 +67,11 @@ impl FbfPolicy {
         FbfPolicy {
             capacity,
             config,
-            queues: [OrderedQueue::new(), OrderedQueue::new(), OrderedQueue::new()],
+            queues: [
+                OrderedQueue::new(),
+                OrderedQueue::new(),
+                OrderedQueue::new(),
+            ],
             level_of: HashMap::new(),
         }
     }
@@ -103,8 +107,8 @@ impl FbfPolicy {
 }
 
 impl ReplacementPolicy for FbfPolicy {
-    fn name(&self) -> &'static str {
-        "FBF"
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Fbf
     }
 
     fn capacity(&self) -> usize {
@@ -133,11 +137,15 @@ impl ReplacementPolicy for FbfPolicy {
         true
     }
 
-    fn on_insert(&mut self, key: Key, priority: u8) -> Option<Key> {
+    fn on_insert(&mut self, key: Key, priority: u8) -> InsertOutcome {
         if self.capacity == 0 {
-            return None;
+            return InsertOutcome::Rejected;
         }
-        debug_assert!(!self.contains(&key), "inserting resident key {key}");
+        if self.contains(&key) {
+            // Treat as the hit it is: Algorithm 1's demote-on-hit applies.
+            self.on_access(key);
+            return InsertOutcome::AlreadyResident;
+        }
         let evicted = if self.len() >= self.capacity {
             // Replacement policy: drain Queue1, then Queue2, then Queue3.
             let victim = self
@@ -154,7 +162,7 @@ impl ReplacementPolicy for FbfPolicy {
         let level = priority.clamp(1, 3) - 1;
         self.queues[level as usize].push_back(key);
         self.level_of.insert(key, level);
-        evicted
+        InsertOutcome::Inserted { evicted }
     }
 
     fn clear(&mut self) {
@@ -223,9 +231,9 @@ mod tests {
         fbf.on_insert(c(2, 2), 1);
         fbf.on_insert(c(5, 5), 1);
         fbf.on_insert(c(0, 6), 1);
-        let e1 = fbf.on_insert(c(1, 6), 1);
+        let e1 = fbf.on_insert(c(1, 6), 1).evicted();
         assert_eq!(e1, Some(c(2, 2)), "Queue1 LRU evicted first");
-        let e2 = fbf.on_insert(c(1, 7), 1);
+        let e2 = fbf.on_insert(c(1, 7), 1).evicted();
         assert_eq!(e2, Some(c(5, 5)));
         assert!(fbf.contains(&c(1, 1)), "higher-priority chunk survives");
     }
@@ -236,13 +244,13 @@ mod tests {
         fbf.on_insert(c(0, 0), 3);
         fbf.on_insert(c(0, 1), 2);
         // Queue1 empty → Queue2 victim.
-        assert_eq!(fbf.on_insert(c(0, 2), 1), Some(c(0, 1)));
+        assert_eq!(fbf.on_insert(c(0, 2), 1).evicted(), Some(c(0, 1)));
         // Now Queue1 holds c(0,2); evicted before the Queue3 resident.
-        assert_eq!(fbf.on_insert(c(0, 3), 2), Some(c(0, 2)));
+        assert_eq!(fbf.on_insert(c(0, 3), 2).evicted(), Some(c(0, 2)));
         // Queue1 empty, Queue2 holds c(0,3) → evicted before Queue3.
-        assert_eq!(fbf.on_insert(c(0, 4), 3), Some(c(0, 3)));
+        assert_eq!(fbf.on_insert(c(0, 4), 3).evicted(), Some(c(0, 3)));
         // Only Queue3 residents remain → Queue3 LRU is the victim.
-        assert_eq!(fbf.on_insert(c(0, 5), 3), Some(c(0, 0)));
+        assert_eq!(fbf.on_insert(c(0, 5), 3).evicted(), Some(c(0, 0)));
     }
 
     #[test]

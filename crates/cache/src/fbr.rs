@@ -11,7 +11,7 @@
 //! Section sizing follows the original paper's recommendation:
 //! new ≈ 25%, old ≈ 50% of capacity.
 
-use crate::policy::{Key, ReplacementPolicy};
+use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use crate::queue::OrderedQueue;
 use std::collections::HashMap;
 
@@ -60,8 +60,8 @@ impl FbrPolicy {
 }
 
 impl ReplacementPolicy for FbrPolicy {
-    fn name(&self) -> &'static str {
-        "FBR"
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Fbr
     }
 
     fn capacity(&self) -> usize {
@@ -89,11 +89,14 @@ impl ReplacementPolicy for FbrPolicy {
         true
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> Option<Key> {
+    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.capacity == 0 {
-            return None;
+            return InsertOutcome::Rejected;
         }
-        debug_assert!(!self.stack.contains(&key));
+        if self.stack.contains(&key) {
+            self.on_access(key);
+            return InsertOutcome::AlreadyResident;
+        }
         let evicted = if self.stack.len() >= self.capacity {
             let v = self.victim();
             self.stack.remove(&v);
@@ -104,7 +107,7 @@ impl ReplacementPolicy for FbrPolicy {
         };
         self.stack.push_back(key);
         self.counts.insert(key, 1);
-        evicted
+        InsertOutcome::Inserted { evicted }
     }
 
     fn clear(&mut self) {
@@ -146,7 +149,7 @@ mod tests {
         // Credit key0 (the LRU), leaving key1 as the low-count old page.
         c.on_access(key(0, 0, 0));
         // But the access moved key0 to MRU; old section is now {1, 2}.
-        let evicted = c.on_insert(key(0, 0, 4), 1);
+        let evicted = c.on_insert(key(0, 0, 4), 1).evicted();
         assert_eq!(evicted, Some(key(0, 0, 1)));
     }
 

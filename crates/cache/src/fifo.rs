@@ -1,6 +1,6 @@
 //! FIFO replacement: evict in arrival order, ignore re-references.
 
-use crate::policy::{Key, ReplacementPolicy};
+use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use crate::queue::OrderedQueue;
 
 /// First-in first-out cache. The simplest baseline in the paper's figures:
@@ -23,8 +23,8 @@ impl FifoPolicy {
 }
 
 impl ReplacementPolicy for FifoPolicy {
-    fn name(&self) -> &'static str {
-        "FIFO"
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Fifo
     }
 
     fn capacity(&self) -> usize {
@@ -44,18 +44,21 @@ impl ReplacementPolicy for FifoPolicy {
         self.queue.contains(&key)
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> Option<Key> {
+    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.capacity == 0 {
-            return None;
+            return InsertOutcome::Rejected;
         }
-        debug_assert!(!self.queue.contains(&key), "inserting resident key {key}");
+        if self.queue.contains(&key) {
+            // FIFO order is insertion order: a re-insert changes nothing.
+            return InsertOutcome::AlreadyResident;
+        }
         let evicted = if self.queue.len() >= self.capacity {
             self.queue.pop_front()
         } else {
             None
         };
         self.queue.push_back(key);
-        evicted
+        InsertOutcome::Inserted { evicted }
     }
 
     fn clear(&mut self) {
@@ -75,17 +78,17 @@ mod tests {
         f.on_insert(key(0, 0, 1), 1);
         // Hit the oldest — FIFO must still evict it first.
         assert!(f.on_access(key(0, 0, 0)));
-        let evicted = f.on_insert(key(0, 0, 2), 1);
+        let evicted = f.on_insert(key(0, 0, 2), 1).evicted();
         assert_eq!(evicted, Some(key(0, 0, 0)));
     }
 
     #[test]
     fn fills_before_evicting() {
         let mut f = FifoPolicy::new(3);
-        assert_eq!(f.on_insert(key(0, 0, 0), 1), None);
-        assert_eq!(f.on_insert(key(0, 0, 1), 1), None);
-        assert_eq!(f.on_insert(key(0, 0, 2), 1), None);
+        assert_eq!(f.on_insert(key(0, 0, 0), 1).evicted(), None);
+        assert_eq!(f.on_insert(key(0, 0, 1), 1).evicted(), None);
+        assert_eq!(f.on_insert(key(0, 0, 2), 1).evicted(), None);
         assert_eq!(f.len(), 3);
-        assert_eq!(f.on_insert(key(0, 0, 3), 1), Some(key(0, 0, 0)));
+        assert_eq!(f.on_insert(key(0, 0, 3), 1).evicted(), Some(key(0, 0, 0)));
     }
 }

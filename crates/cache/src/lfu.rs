@@ -1,6 +1,6 @@
 //! LFU replacement: evict the least frequently used chunk.
 
-use crate::policy::{Key, ReplacementPolicy};
+use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use std::collections::{BTreeSet, HashMap};
 
 /// Least-frequently-used cache (Aho, Denning & Ullman 1971 — the paper's
@@ -40,8 +40,8 @@ impl LfuPolicy {
 }
 
 impl ReplacementPolicy for LfuPolicy {
-    fn name(&self) -> &'static str {
-        "LFU"
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lfu
     }
 
     fn capacity(&self) -> usize {
@@ -65,11 +65,14 @@ impl ReplacementPolicy for LfuPolicy {
         }
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> Option<Key> {
+    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.capacity == 0 {
-            return None;
+            return InsertOutcome::Rejected;
         }
-        debug_assert!(!self.info.contains_key(&key), "inserting resident key {key}");
+        if self.info.contains_key(&key) {
+            self.bump(key);
+            return InsertOutcome::AlreadyResident;
+        }
         let evicted = if self.info.len() >= self.capacity {
             let &(f, t, victim) = self.order.iter().next().expect("full cache has a victim");
             self.order.remove(&(f, t, victim));
@@ -81,7 +84,7 @@ impl ReplacementPolicy for LfuPolicy {
         self.tick += 1;
         self.order.insert((1, self.tick, key));
         self.info.insert(key, (1, self.tick));
-        evicted
+        InsertOutcome::Inserted { evicted }
     }
 
     fn clear(&mut self) {
@@ -104,7 +107,7 @@ mod tests {
         // Access key 0 twice: freq 3 vs 1.
         l.on_access(key(0, 0, 0));
         l.on_access(key(0, 0, 0));
-        assert_eq!(l.on_insert(key(0, 0, 2), 1), Some(key(0, 0, 1)));
+        assert_eq!(l.on_insert(key(0, 0, 2), 1).evicted(), Some(key(0, 0, 1)));
     }
 
     #[test]
@@ -113,7 +116,7 @@ mod tests {
         l.on_insert(key(0, 0, 0), 1);
         l.on_insert(key(0, 0, 1), 1);
         // Both freq 1; key 0 is older → evicted.
-        assert_eq!(l.on_insert(key(0, 0, 2), 1), Some(key(0, 0, 0)));
+        assert_eq!(l.on_insert(key(0, 0, 2), 1).evicted(), Some(key(0, 0, 0)));
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //! lru.on_insert(key(0, 0, 0), 1);
 //! lru.on_insert(key(0, 0, 1), 1);
 //! assert!(lru.on_access(key(0, 0, 0)));           // hit, refreshes recency
-//! let evicted = lru.on_insert(key(0, 1, 0), 1);   // full → evicts LRU
-//! assert_eq!(evicted, Some(key(0, 0, 1)));
+//! let outcome = lru.on_insert(key(0, 1, 0), 1);   // full → evicts LRU
+//! assert_eq!(outcome.evicted(), Some(key(0, 0, 1)));
 //! ```
 
 pub mod arc;
@@ -44,10 +44,10 @@ pub use lfu::LfuPolicy;
 pub use lrfu::LrfuPolicy;
 pub use lru::LruPolicy;
 pub use lru_k::LruKPolicy;
+pub use policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
+pub use stats::CacheStats;
 pub use two_q::TwoQPolicy;
 pub use vdf::VdfPolicy;
-pub use policy::{Key, PolicyKind, ReplacementPolicy};
-pub use stats::CacheStats;
 
 /// Convenience constructor for a [`Key`] from raw stripe/row/col numbers.
 /// Mostly for tests and examples.

@@ -14,7 +14,7 @@
 //! tick*; since decay is monotone in elapsed time, comparing
 //! `C · 2^(-λ·(t_now - t_last))` across pages is exact.
 
-use crate::policy::{Key, ReplacementPolicy};
+use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use std::collections::HashMap;
 
 /// Per-page CRF state.
@@ -74,8 +74,8 @@ impl LrfuPolicy {
 }
 
 impl ReplacementPolicy for LrfuPolicy {
-    fn name(&self) -> &'static str {
-        "LRFU"
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lrfu
     }
 
     fn capacity(&self) -> usize {
@@ -97,18 +97,24 @@ impl ReplacementPolicy for LrfuPolicy {
         if let Some(c) = self.pages.get_mut(&key) {
             let decayed =
                 c.value * (-lambda * (now - c.last) as f64 * std::f64::consts::LN_2).exp();
-            *c = Crf { value: 1.0 + decayed, last: now };
+            *c = Crf {
+                value: 1.0 + decayed,
+                last: now,
+            };
             true
         } else {
             false
         }
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> Option<Key> {
+    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.capacity == 0 {
-            return None;
+            return InsertOutcome::Rejected;
         }
-        debug_assert!(!self.pages.contains_key(&key));
+        if self.pages.contains_key(&key) {
+            self.on_access(key);
+            return InsertOutcome::AlreadyResident;
+        }
         let evicted = if self.pages.len() >= self.capacity {
             let v = self.victim();
             self.pages.remove(&v);
@@ -117,8 +123,14 @@ impl ReplacementPolicy for LrfuPolicy {
             None
         };
         self.tick += 1;
-        self.pages.insert(key, Crf { value: 1.0, last: self.tick });
-        evicted
+        self.pages.insert(
+            key,
+            Crf {
+                value: 1.0,
+                last: self.tick,
+            },
+        );
+        InsertOutcome::Inserted { evicted }
     }
 
     fn clear(&mut self) {
@@ -138,7 +150,7 @@ mod tests {
         c.on_insert(key(0, 0, 0), 1);
         c.on_insert(key(0, 0, 1), 1);
         c.on_access(key(0, 0, 0)); // most recent
-        assert_eq!(c.on_insert(key(0, 0, 2), 1), Some(key(0, 0, 1)));
+        assert_eq!(c.on_insert(key(0, 0, 2), 1).evicted(), Some(key(0, 0, 1)));
     }
 
     #[test]
@@ -150,8 +162,8 @@ mod tests {
         }
         c.on_insert(key(0, 0, 1), 1); // CRF 1
         c.on_access(key(0, 0, 1)); // CRF 2 but more recent
-        // λ=0: pure frequency → evict key 1 despite recency.
-        assert_eq!(c.on_insert(key(0, 0, 2), 1), Some(key(0, 0, 1)));
+                                   // λ=0: pure frequency → evict key 1 despite recency.
+        assert_eq!(c.on_insert(key(0, 0, 2), 1).evicted(), Some(key(0, 0, 1)));
     }
 
     #[test]

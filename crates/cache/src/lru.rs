@@ -1,6 +1,6 @@
 //! LRU replacement: evict the least recently used chunk.
 
-use crate::policy::{Key, ReplacementPolicy};
+use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use crate::queue::OrderedQueue;
 
 /// Least-recently-used cache (Mattson et al. 1970 — the paper's
@@ -22,8 +22,8 @@ impl LruPolicy {
 }
 
 impl ReplacementPolicy for LruPolicy {
-    fn name(&self) -> &'static str {
-        "LRU"
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lru
     }
 
     fn capacity(&self) -> usize {
@@ -42,18 +42,20 @@ impl ReplacementPolicy for LruPolicy {
         self.queue.touch(key)
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> Option<Key> {
+    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.capacity == 0 {
-            return None;
+            return InsertOutcome::Rejected;
         }
-        debug_assert!(!self.queue.contains(&key), "inserting resident key {key}");
+        if self.queue.touch(key) {
+            return InsertOutcome::AlreadyResident;
+        }
         let evicted = if self.queue.len() >= self.capacity {
             self.queue.pop_front()
         } else {
             None
         };
         self.queue.push_back(key);
-        evicted
+        InsertOutcome::Inserted { evicted }
     }
 
     fn clear(&mut self) {
@@ -73,7 +75,7 @@ mod tests {
         l.on_insert(key(0, 0, 1), 1);
         assert!(l.on_access(key(0, 0, 0)));
         // key 1 is now the LRU.
-        assert_eq!(l.on_insert(key(0, 0, 2), 1), Some(key(0, 0, 1)));
+        assert_eq!(l.on_insert(key(0, 0, 2), 1).evicted(), Some(key(0, 0, 1)));
         assert!(l.contains(&key(0, 0, 0)));
     }
 
@@ -84,7 +86,10 @@ mod tests {
             l.on_insert(key(0, 0, i), 1);
         }
         for i in 3..6 {
-            assert_eq!(l.on_insert(key(0, 0, i), 1), Some(key(0, 0, i - 3)));
+            assert_eq!(
+                l.on_insert(key(0, 0, i), 1).evicted(),
+                Some(key(0, 0, i - 3))
+            );
         }
     }
 

@@ -9,7 +9,7 @@
 //! (the paper's *Retained Information Period*), so a page re-fetched soon
 //! after eviction keeps its credit.
 
-use crate::policy::{Key, ReplacementPolicy};
+use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use std::collections::{HashMap, VecDeque};
 
 /// Reference history of one page: the last up-to-K access ticks, most
@@ -96,8 +96,8 @@ impl LruKPolicy {
 }
 
 impl ReplacementPolicy for LruKPolicy {
-    fn name(&self) -> &'static str {
-        "LRU-K"
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::LruK
     }
 
     fn capacity(&self) -> usize {
@@ -122,11 +122,14 @@ impl ReplacementPolicy for LruKPolicy {
         }
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> Option<Key> {
+    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.capacity == 0 {
-            return None;
+            return InsertOutcome::Rejected;
         }
-        debug_assert!(!self.resident.contains_key(&key));
+        if self.resident.contains_key(&key) {
+            self.on_access(key);
+            return InsertOutcome::AlreadyResident;
+        }
         let evicted = if self.resident.len() >= self.capacity {
             let v = self.victim();
             let hist = self.resident.remove(&v).expect("victim resident");
@@ -145,7 +148,7 @@ impl ReplacementPolicy for LruKPolicy {
         };
         hist.record(self.tick, self.k);
         self.resident.insert(key, hist);
-        evicted
+        InsertOutcome::Inserted { evicted }
     }
 
     fn clear(&mut self) {
@@ -168,8 +171,8 @@ mod tests {
         c.on_access(key(0, 0, 0)); // two refs → finite K-distance
         c.on_insert(key(0, 0, 1), 1); // one ref
         c.on_insert(key(0, 0, 2), 1); // one ref
-        // key 1 is the older single-reference page → victim.
-        assert_eq!(c.on_insert(key(0, 0, 3), 1), Some(key(0, 0, 1)));
+                                      // key 1 is the older single-reference page → victim.
+        assert_eq!(c.on_insert(key(0, 0, 3), 1).evicted(), Some(key(0, 0, 1)));
         assert!(c.contains(&key(0, 0, 0)));
     }
 
@@ -179,7 +182,7 @@ mod tests {
         c.on_insert(key(0, 0, 0), 1);
         c.on_insert(key(0, 0, 1), 1);
         c.on_access(key(0, 0, 0));
-        assert_eq!(c.on_insert(key(0, 0, 2), 1), Some(key(0, 0, 1)));
+        assert_eq!(c.on_insert(key(0, 0, 2), 1).evicted(), Some(key(0, 0, 1)));
     }
 
     #[test]
@@ -208,7 +211,7 @@ mod tests {
         // Evict a's companion then force a out too.
         c.on_insert(key(0, 0, 2), 1); // evicts key1 (single ref)
         c.on_insert(key(0, 0, 3), 1); // evicts key2 or a...
-        // Re-insert a: history restored → has >= 2 refs immediately.
+                                      // Re-insert a: history restored → has >= 2 refs immediately.
         if !c.contains(&a) {
             c.on_insert(a, 1);
             let h = &c.resident[&a];

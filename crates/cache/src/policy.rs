@@ -5,6 +5,40 @@ use serde::{Deserialize, Serialize};
 /// Cache key: the global chunk identity.
 pub type Key = fbf_codes::ChunkId;
 
+/// What [`ReplacementPolicy::on_insert`] did with the offered key.
+///
+/// Every policy follows the same contract, so callers never have to guess
+/// whether a duplicate insert panicked, was ignored, or aliased an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InsertOutcome {
+    /// The key was admitted. `evicted` names the resident that was
+    /// displaced to make room, if the cache was full.
+    Inserted {
+        /// The displaced resident, if any.
+        evicted: Option<Key>,
+    },
+    /// The key was already resident; the policy treated the call as an
+    /// access (recency/frequency updated, nothing evicted).
+    AlreadyResident,
+    /// The cache admits nothing (zero capacity); the key was not stored.
+    Rejected,
+}
+
+impl InsertOutcome {
+    /// The displaced resident, if this insert evicted one.
+    pub fn evicted(self) -> Option<Key> {
+        match self {
+            InsertOutcome::Inserted { evicted } => evicted,
+            _ => None,
+        }
+    }
+
+    /// Is the key resident after the call?
+    pub fn resident(self) -> bool {
+        !matches!(self, InsertOutcome::Rejected)
+    }
+}
+
 /// A cache replacement policy over unit-size chunks.
 ///
 /// The protocol mirrors Algorithm 1 of the paper: the buffer cache first
@@ -16,8 +50,9 @@ pub type Key = fbf_codes::ChunkId;
 /// Policies are purely bookkeeping — they never see payloads, so they are
 /// cheap to drive at simulation speed.
 pub trait ReplacementPolicy: Send {
-    /// Human-readable policy name as used in the paper's figures.
-    fn name(&self) -> &'static str;
+    /// Which policy this is. Display lives in one place —
+    /// [`PolicyKind::name`] / [`PolicyKind`]'s `Display` impl.
+    fn kind(&self) -> PolicyKind;
 
     /// Maximum number of resident chunks.
     fn capacity(&self) -> usize;
@@ -41,11 +76,16 @@ pub trait ReplacementPolicy: Send {
 
     /// Insert a key that just missed. `priority` is the FBF priority
     /// (1..=3) from the recovery scheme's priority dictionary; every other
-    /// policy ignores it. Returns the evicted key, if the cache was full.
+    /// policy ignores it.
     ///
-    /// Inserting an already-resident key is a logic error upstream; policies
-    /// may panic (debug) or treat it as an access.
-    fn on_insert(&mut self, key: Key, priority: u8) -> Option<Key>;
+    /// The outcome is fully defined — see [`InsertOutcome`]:
+    /// * zero-capacity caches return [`InsertOutcome::Rejected`];
+    /// * inserting an already-resident key is treated as an access and
+    ///   returns [`InsertOutcome::AlreadyResident`] (never an eviction);
+    /// * otherwise the key is admitted and
+    ///   [`InsertOutcome::Inserted`]`{ evicted }` reports the displaced
+    ///   resident, if the cache was full.
+    fn on_insert(&mut self, key: Key, priority: u8) -> InsertOutcome;
 
     /// Drop all residents and internal history.
     fn clear(&mut self);
@@ -162,7 +202,7 @@ mod tests {
             assert_eq!(p.capacity(), 4);
             assert_eq!(p.len(), 0);
             assert!(p.is_empty());
-            assert_eq!(p.name(), kind.name());
+            assert_eq!(p.kind(), kind);
         }
     }
 
@@ -178,14 +218,14 @@ mod tests {
             let mut p = kind.build(2);
             let (a, b, c) = (key(0, 0, 0), key(0, 0, 1), key(0, 0, 2));
             assert!(!p.on_access(a), "{kind}: cold access must miss");
-            assert_eq!(p.on_insert(a, 1), None);
+            assert_eq!(p.on_insert(a, 1), InsertOutcome::Inserted { evicted: None });
             assert!(p.contains(&a), "{kind}");
             assert!(p.on_access(a), "{kind}: second access must hit");
-            assert_eq!(p.on_insert(b, 1), None);
+            assert_eq!(p.on_insert(b, 1), InsertOutcome::Inserted { evicted: None });
             assert_eq!(p.len(), 2, "{kind}");
             p.on_access(c);
-            let evicted = p.on_insert(c, 1);
-            assert!(evicted.is_some(), "{kind}: full cache must evict");
+            let outcome = p.on_insert(c, 1);
+            assert!(outcome.evicted().is_some(), "{kind}: full cache must evict");
             assert_eq!(p.len(), 2, "{kind}: len stays at capacity");
             assert!(p.contains(&c), "{kind}: new key resident");
         }
@@ -197,9 +237,35 @@ mod tests {
             let mut p = kind.build(0);
             let a = key(0, 0, 0);
             assert!(!p.on_access(a));
-            assert_eq!(p.on_insert(a, 3), None, "{kind}");
-            assert!(!p.contains(&a), "{kind}: zero-capacity cache stores nothing");
+            assert_eq!(p.on_insert(a, 3), InsertOutcome::Rejected, "{kind}");
+            assert!(
+                !p.contains(&a),
+                "{kind}: zero-capacity cache stores nothing"
+            );
             assert_eq!(p.len(), 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_is_an_access_for_every_policy() {
+        // The conformance contract: re-inserting a resident key never
+        // evicts, never grows the cache, and reports `AlreadyResident`.
+        for kind in PolicyKind::EXTENDED {
+            let mut p = kind.build(2);
+            let (a, b) = (key(0, 0, 0), key(0, 0, 1));
+            assert_eq!(p.on_insert(a, 2), InsertOutcome::Inserted { evicted: None });
+            assert_eq!(p.on_insert(b, 1), InsertOutcome::Inserted { evicted: None });
+            assert_eq!(p.on_insert(a, 2), InsertOutcome::AlreadyResident, "{kind}");
+            assert_eq!(
+                p.len(),
+                2,
+                "{kind}: duplicate insert must not grow the cache"
+            );
+            assert!(p.contains(&a), "{kind}");
+            assert!(p.contains(&b), "{kind}: duplicate insert must not evict");
+            // And with the cache full to the brim, still no eviction.
+            assert_eq!(p.on_insert(b, 1), InsertOutcome::AlreadyResident, "{kind}");
+            assert_eq!(p.len(), 2, "{kind}");
         }
     }
 

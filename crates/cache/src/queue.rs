@@ -175,7 +175,10 @@ mod tests {
         assert!(!q.contains(&key(0, 0, 2)));
         assert_eq!(q.len(), 4);
         let order: Vec<Key> = q.iter().copied().collect();
-        assert_eq!(order, vec![key(0, 0, 0), key(0, 0, 1), key(0, 0, 3), key(0, 0, 4)]);
+        assert_eq!(
+            order,
+            vec![key(0, 0, 0), key(0, 0, 1), key(0, 0, 3), key(0, 0, 4)]
+        );
     }
 
     #[test]

@@ -112,6 +112,14 @@ mod tests {
             inserts: 40,
         };
         a.merge(&b);
-        assert_eq!(a, CacheStats { hits: 11, misses: 22, evictions: 33, inserts: 44 });
+        assert_eq!(
+            a,
+            CacheStats {
+                hits: 11,
+                misses: 22,
+                evictions: 33,
+                inserts: 44
+            }
+        );
     }
 }

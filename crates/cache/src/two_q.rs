@@ -10,7 +10,7 @@
 //! Tuning follows the paper's recommendation: `Kin = capacity / 4`,
 //! `Kout = capacity / 2` (minimum 1 each).
 
-use crate::policy::{Key, ReplacementPolicy};
+use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use crate::queue::OrderedQueue;
 
 /// The 2Q policy.
@@ -61,8 +61,8 @@ impl TwoQPolicy {
 }
 
 impl ReplacementPolicy for TwoQPolicy {
-    fn name(&self) -> &'static str {
-        "2Q"
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::TwoQ
     }
 
     fn capacity(&self) -> usize {
@@ -86,11 +86,14 @@ impl ReplacementPolicy for TwoQPolicy {
         }
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> Option<Key> {
+    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.capacity == 0 {
-            return None;
+            return InsertOutcome::Rejected;
         }
-        debug_assert!(!self.contains(&key));
+        if self.contains(&key) {
+            self.on_access(key);
+            return InsertOutcome::AlreadyResident;
+        }
         let evicted = self.reclaim();
         if self.a1out.remove(&key) {
             // Proven reuse: straight into Am.
@@ -98,7 +101,7 @@ impl ReplacementPolicy for TwoQPolicy {
         } else {
             self.a1in.push_back(key);
         }
-        evicted
+        InsertOutcome::Inserted { evicted }
     }
 
     fn clear(&mut self) {
@@ -142,7 +145,10 @@ mod tests {
         let mut c = TwoQPolicy::new(8);
         c.on_insert(key(0, 0, 0), 1);
         assert!(c.on_access(key(0, 0, 0)));
-        assert!(c.a1in.contains(&key(0, 0, 0)), "correlated hit stays in A1in");
+        assert!(
+            c.a1in.contains(&key(0, 0, 0)),
+            "correlated hit stays in A1in"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! exactly the gap the paper's scheme fills — the comparison bench
 //! (`extended_policies`) quantifies it.
 
-use crate::policy::{Key, ReplacementPolicy};
+use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use crate::queue::OrderedQueue;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -78,8 +78,8 @@ impl VdfPolicy {
 }
 
 impl ReplacementPolicy for VdfPolicy {
-    fn name(&self) -> &'static str {
-        "VDF"
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Vdf
     }
 
     fn capacity(&self) -> usize {
@@ -98,13 +98,18 @@ impl ReplacementPolicy for VdfPolicy {
         self.normal.touch(key) || self.protected.touch(key)
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> Option<Key> {
+    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.capacity == 0 {
-            return None;
+            return InsertOutcome::Rejected;
         }
-        debug_assert!(!self.contains(&key));
+        if self.contains(&key) {
+            self.on_access(key);
+            return InsertOutcome::AlreadyResident;
+        }
         let evicted = if self.len() >= self.capacity {
-            self.normal.pop_front().or_else(|| self.protected.pop_front())
+            self.normal
+                .pop_front()
+                .or_else(|| self.protected.pop_front())
         } else {
             None
         };
@@ -113,7 +118,7 @@ impl ReplacementPolicy for VdfPolicy {
         } else {
             self.normal.push_back(key);
         }
-        evicted
+        InsertOutcome::Inserted { evicted }
     }
 
     fn clear(&mut self) {
@@ -137,7 +142,7 @@ mod tests {
         c.on_insert(key(0, 0, 0), 1);
         c.on_insert(key(0, 0, 1), 1);
         c.on_access(key(0, 0, 0));
-        assert_eq!(c.on_insert(key(0, 0, 2), 1), Some(key(0, 0, 1)));
+        assert_eq!(c.on_insert(key(0, 0, 2), 1).evicted(), Some(key(0, 0, 1)));
     }
 
     #[test]
@@ -146,8 +151,8 @@ mod tests {
         c.on_insert(key(0, 0, 0), 1); // victim col 0 → protected
         c.on_insert(key(0, 0, 1), 1); // healthy
         c.on_insert(key(0, 0, 2), 1); // healthy
-        // Despite being the oldest, the protected chunk survives.
-        assert_eq!(c.on_insert(key(0, 0, 3), 1), Some(key(0, 0, 1)));
+                                      // Despite being the oldest, the protected chunk survives.
+        assert_eq!(c.on_insert(key(0, 0, 3), 1).evicted(), Some(key(0, 0, 1)));
         assert!(c.contains(&key(0, 0, 0)));
     }
 
@@ -156,7 +161,7 @@ mod tests {
         let mut c = VdfPolicy::with_victims(2, victims(&[0]));
         c.on_insert(key(0, 0, 0), 1);
         c.on_insert(key(1, 1, 0), 1);
-        assert_eq!(c.on_insert(key(2, 2, 0), 1), Some(key(0, 0, 0)));
+        assert_eq!(c.on_insert(key(2, 2, 0), 1).evicted(), Some(key(0, 0, 0)));
     }
 
     #[test]

@@ -26,7 +26,7 @@ proptest! {
             let hit = policy.on_access(k);
             prop_assert_eq!(hit, resident.contains(&k), "{}: shadow set diverged", kind);
             if !hit {
-                if let Some(victim) = policy.on_insert(k, prio) {
+                if let Some(victim) = policy.on_insert(k, prio).evicted() {
                     prop_assert!(resident.remove(&victim), "{}: evicted non-resident", kind);
                     prop_assert!(!policy.contains(&victim));
                 }
@@ -49,7 +49,7 @@ proptest! {
             let k = key(s, r, c);
             if !fbf.on_access(k) {
                 let q1_before = fbf.queue_len(1);
-                if let Some(victim) = fbf.on_insert(k, prio) {
+                if let Some(victim) = fbf.on_insert(k, prio).evicted() {
                     if q1_before > 0 {
                         // The victim must have come from Queue1: Queue1
                         // shrank (or the victim itself was its only entry
@@ -93,7 +93,7 @@ proptest! {
             for &(s, r, c, prio) in ops {
                 let k = key(s, r, c);
                 if !p.on_access(k) {
-                    if let Some(v) = p.on_insert(k, prio) {
+                    if let Some(v) = p.on_insert(k, prio).evicted() {
                         evictions.push(v);
                     }
                 }

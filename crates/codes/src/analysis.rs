@@ -45,12 +45,8 @@ pub fn analyze(code: &StripeCode) -> CodeMetrics {
         max_upd = max_upd.max(upd);
     }
 
-    let avg_chain_length = code
-        .chains()
-        .iter()
-        .map(|c| c.len() as f64)
-        .sum::<f64>()
-        / code.chains().len() as f64;
+    let avg_chain_length =
+        code.chains().iter().map(|c| c.len() as f64).sum::<f64>() / code.chains().len() as f64;
 
     let avg_repair_reads = data_cells
         .iter()
@@ -102,7 +98,10 @@ mod tests {
         // residue lines sit on 2. Average must be < 3 and ≥ 2.
         for spec in [CodeSpec::Tip, CodeSpec::Hdd1, CodeSpec::TripleStar] {
             let m = metrics(spec, 11);
-            assert!(m.avg_update_complexity > 2.0 && m.avg_update_complexity <= 3.0, "{spec:?}: {m:?}");
+            assert!(
+                m.avg_update_complexity > 2.0 && m.avg_update_complexity <= 3.0,
+                "{spec:?}: {m:?}"
+            );
             assert_eq!(m.max_update_complexity, 3, "{spec:?}");
         }
     }

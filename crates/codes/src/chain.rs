@@ -142,7 +142,10 @@ impl ParityChain {
 
     /// All cells of the chain: members plus parity.
     pub fn all_cells(&self) -> impl Iterator<Item = Cell> + '_ {
-        self.members.iter().copied().chain(std::iter::once(self.parity))
+        self.members
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.parity))
     }
 
     /// The cells that must be read to rebuild `target` through this chain —
@@ -151,7 +154,11 @@ impl ParityChain {
     /// Panics if the chain does not cover `target` (callers look chains up
     /// through membership tables, so this indicates a logic error).
     pub fn repair_reads(&self, target: Cell) -> Vec<Cell> {
-        assert!(self.covers(target), "chain {:?} does not cover {target}", self.id);
+        assert!(
+            self.covers(target),
+            "chain {:?} does not cover {target}",
+            self.id
+        );
         self.all_cells().filter(|&c| c != target).collect()
     }
 }
@@ -194,7 +201,12 @@ impl Membership {
 mod tests {
     use super::*;
 
-    fn chain(id: u16, dir: Direction, members: &[(usize, usize)], parity: (usize, usize)) -> ParityChain {
+    fn chain(
+        id: u16,
+        dir: Direction,
+        members: &[(usize, usize)],
+        parity: (usize, usize),
+    ) -> ParityChain {
         ParityChain::new(
             ChainId(id),
             dir,

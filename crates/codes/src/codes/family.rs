@@ -66,8 +66,14 @@ pub fn generate(params: FamilyParams) -> (Layout, Vec<ParityChain>) {
         slope1,
         slope2,
     } = params;
-    assert!(slope1 % p != slope2 % p, "diagonal slopes must differ mod p");
-    assert!(slope1 % p != 0 && slope2 % p != 0, "slopes must be non-zero mod p");
+    assert!(
+        slope1 % p != slope2 % p,
+        "diagonal slopes must differ mod p"
+    );
+    assert!(
+        slope1 % p != 0 && slope2 % p != 0,
+        "slopes must be non-zero mod p"
+    );
     assert!(d >= 1 && d <= p, "data_cols must be within [1, p]");
 
     let rows = params.rows();
@@ -162,7 +168,10 @@ mod tests {
             .filter(|c| c.direction == Direction::Diagonal)
             .collect();
         let covers_h = diag.iter().any(|c| c.members.iter().any(|m| m.c() == 5));
-        assert!(covers_h, "slope-1 family must include the H column (RDP style)");
+        assert!(
+            covers_h,
+            "slope-1 family must include the H column (RDP style)"
+        );
     }
 
     #[test]
@@ -175,7 +184,10 @@ mod tests {
         let covers_h = anti.iter().any(|c| c.members.iter().any(|m| m.c() == 5));
         let covers_p1 = anti.iter().any(|c| c.members.iter().any(|m| m.c() == 6));
         assert!(covers_h, "second family must include the H column");
-        assert!(!covers_p1, "covering P1 breaks triple-fault tolerance (see audit)");
+        assert!(
+            !covers_p1,
+            "covering P1 breaks triple-fault tolerance (see audit)"
+        );
     }
 
     #[test]

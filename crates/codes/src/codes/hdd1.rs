@@ -40,7 +40,10 @@ mod tests {
     #[test]
     fn second_family_has_slope_two() {
         let (_, chains) = generate(7);
-        for c in chains.iter().filter(|c| c.direction == Direction::AntiDiagonal) {
+        for c in chains
+            .iter()
+            .filter(|c| c.direction == Direction::AntiDiagonal)
+        {
             for m in &c.members {
                 assert_eq!((m.r() + 2 * m.c()) % 7, c.line as usize);
             }
@@ -57,6 +60,9 @@ mod tests {
     fn geometry_differs_from_tip() {
         let (_, tip_chains) = super::super::tip::generate(7);
         let (_, hdd1_chains) = generate(7);
-        assert_ne!(tip_chains, hdd1_chains, "HDD1 second family must differ from TIP's");
+        assert_ne!(
+            tip_chains, hdd1_chains,
+            "HDD1 second family must differ from TIP's"
+        );
     }
 }

@@ -132,7 +132,10 @@ impl StripeCode {
             return Err(CodeError::NotPrime(p));
         }
         if p < spec.min_prime() {
-            return Err(CodeError::PrimeTooSmall { p, min: spec.min_prime() });
+            return Err(CodeError::PrimeTooSmall {
+                p,
+                min: spec.min_prime(),
+            });
         }
         let (layout, chains) = match spec {
             CodeSpec::Tip => tip::generate(p),
@@ -275,8 +278,13 @@ impl ChainBuilder {
         parity: Cell,
     ) {
         let id = ChainId(u16::try_from(self.chains.len()).expect("chain count fits u16"));
-        self.chains
-            .push(ParityChain::new(id, direction, line as u16, members, parity));
+        self.chains.push(ParityChain::new(
+            id,
+            direction,
+            line as u16,
+            members,
+            parity,
+        ));
     }
 
     pub(crate) fn finish(self) -> Vec<ParityChain> {

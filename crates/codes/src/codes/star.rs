@@ -103,7 +103,11 @@ mod tests {
                 // Adjuster cells are members of every diagonal chain except
                 // when the line k coincides — k != p-1 always here — or when
                 // dedup removed a duplicate (lines are disjoint, so never).
-                assert!(c.members.contains(&a), "chain {} missing adjuster {a}", c.line);
+                assert!(
+                    c.members.contains(&a),
+                    "chain {} missing adjuster {a}",
+                    c.line
+                );
             }
         }
     }
@@ -117,7 +121,11 @@ mod tests {
         let adjuster = data_line(p - 1, p, 1, p - 1);
         for a in adjuster {
             // 1 horizontal + (p-1) diagonals + >=1 anti-diagonal.
-            assert!(m.chains_of(a).len() >= p, "{a} membership {}", m.chains_of(a).len());
+            assert!(
+                m.chains_of(a).len() >= p,
+                "{a} membership {}",
+                m.chains_of(a).len()
+            );
         }
     }
 

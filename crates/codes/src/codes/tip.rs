@@ -56,10 +56,18 @@ mod tests {
     #[test]
     fn anti_diagonal_is_slope_minus_one() {
         let (_, chains) = generate(7);
-        for c in chains.iter().filter(|c| c.direction == Direction::AntiDiagonal) {
+        for c in chains
+            .iter()
+            .filter(|c| c.direction == Direction::AntiDiagonal)
+        {
             for m in &c.members {
                 // members on data+H+P1 columns satisfy (r - j) ≡ k (mod 7)
-                assert_eq!((m.r() + 6 * m.c()) % 7, c.line as usize, "chain {} member {m}", c.line);
+                assert_eq!(
+                    (m.r() + 6 * m.c()) % 7,
+                    c.line as usize,
+                    "chain {} member {m}",
+                    c.line
+                );
             }
         }
     }

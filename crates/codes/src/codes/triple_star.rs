@@ -35,7 +35,10 @@ mod tests {
     #[test]
     fn horizontal_chains_have_p_minus_one_members() {
         let (_, chains) = generate(7);
-        for c in chains.iter().filter(|c| c.direction == Direction::Horizontal) {
+        for c in chains
+            .iter()
+            .filter(|c| c.direction == Direction::Horizontal)
+        {
             assert_eq!(c.len(), 6); // p - 1 data columns
         }
     }

@@ -60,7 +60,10 @@ mod tests {
             let code = StripeCode::build(spec, 7).unwrap();
             let mut stripe = Stripe::patterned(code.layout(), 64);
             encode(&code, &mut stripe).unwrap();
-            assert!(verify(&code, &stripe).is_empty(), "{spec} inconsistent after encode");
+            assert!(
+                verify(&code, &stripe).is_empty(),
+                "{spec} inconsistent after encode"
+            );
         }
     }
 

@@ -153,7 +153,12 @@ impl Layout {
     /// Row-major linear index of a cell; the canonical stripe-buffer order.
     #[inline]
     pub fn index_of(&self, cell: Cell) -> usize {
-        debug_assert!(self.contains(cell), "cell {cell} outside {}x{}", self.rows, self.cols);
+        debug_assert!(
+            self.contains(cell),
+            "cell {cell} outside {}x{}",
+            self.rows,
+            self.cols
+        );
         cell.r() * self.cols + cell.c()
     }
 

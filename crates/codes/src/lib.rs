@@ -74,10 +74,16 @@ impl std::fmt::Display for CodeError {
                 write!(f, "prime {p} too small for this code (need >= {min})")
             }
             CodeError::ChunkSizeMismatch { expected, got } => {
-                write!(f, "chunk size mismatch: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "chunk size mismatch: expected {expected} bytes, got {got}"
+                )
             }
             CodeError::Unrecoverable { unresolved } => {
-                write!(f, "erasure pattern unrecoverable: {unresolved} cells unresolved")
+                write!(
+                    f,
+                    "erasure pattern unrecoverable: {unresolved} cells unresolved"
+                )
             }
             CodeError::OutOfBounds(c) => write!(f, "cell {c:?} outside stripe layout"),
         }

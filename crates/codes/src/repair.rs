@@ -160,7 +160,12 @@ mod tests {
             .find(|o| o.direction == Direction::Diagonal)
             .expect("diagonal option exists");
         // Adjuster line cells: (r+j)%5==4 → (0,4),(1,3),(2,2),(3,1)
-        for a in [Cell::new(0, 4), Cell::new(1, 3), Cell::new(2, 2), Cell::new(3, 1)] {
+        for a in [
+            Cell::new(0, 4),
+            Cell::new(1, 3),
+            Cell::new(2, 2),
+            Cell::new(3, 1),
+        ] {
             assert!(diag.reads.contains(&a), "missing adjuster cell {a}");
         }
     }

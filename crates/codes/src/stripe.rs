@@ -187,7 +187,16 @@ mod tests {
 
     #[test]
     fn from_chunks_rejects_mismatched_sizes() {
-        let r = Stripe::from_chunks(vec![Bytes::from_static(&[0; 4]), Bytes::from_static(&[0; 5])]);
-        assert!(matches!(r, Err(CodeError::ChunkSizeMismatch { expected: 4, got: 5 })));
+        let r = Stripe::from_chunks(vec![
+            Bytes::from_static(&[0; 4]),
+            Bytes::from_static(&[0; 5]),
+        ]);
+        assert!(matches!(
+            r,
+            Err(CodeError::ChunkSizeMismatch {
+                expected: 4,
+                got: 5
+            })
+        ));
     }
 }

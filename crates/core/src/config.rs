@@ -1,10 +1,52 @@
 //! Experiment configuration.
 
 use fbf_cache::{FbfConfig, PolicyKind};
+use fbf_codes::prime::is_prime;
 use fbf_codes::CodeSpec;
 use fbf_disksim::{CacheSharing, DiskModel, DiskSched, SimTime};
 use fbf_recovery::SchemeKind;
 use serde::{Deserialize, Serialize};
+
+/// Why a configuration was rejected before running.
+///
+/// Produced by [`ExperimentConfig::validate`] (and therefore by
+/// [`ExperimentConfigBuilder::build`]) so that impossible experiments fail
+/// at construction with a precise reason instead of deep inside the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The code's `p` parameter must be prime.
+    NonPrimeP(usize),
+    /// SOR needs at least one reconstruction worker.
+    ZeroWorkers,
+    /// The data zone needs at least one stripe.
+    ZeroStripes,
+    /// Chunks must have a positive size.
+    ZeroChunkSize,
+    /// The buffer cache cannot hold even one chunk.
+    CacheTooSmall {
+        /// Configured cache size, MiB.
+        cache_mb: usize,
+        /// Configured chunk size, KiB.
+        chunk_kb: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPrimeP(p) => write!(f, "p = {p} is not prime"),
+            ConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            ConfigError::ZeroStripes => write!(f, "stripes must be at least 1"),
+            ConfigError::ZeroChunkSize => write!(f, "chunk_kb must be at least 1"),
+            ConfigError::CacheTooSmall { cache_mb, chunk_kb } => write!(
+                f,
+                "cache of {cache_mb} MiB cannot hold one {chunk_kb} KiB chunk"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Full description of one reconstruction experiment.
 ///
@@ -85,6 +127,50 @@ impl Default for ExperimentConfig {
 }
 
 impl ExperimentConfig {
+    /// Start building a configuration from the paper's defaults, with
+    /// validation at the end.
+    ///
+    /// ```
+    /// use fbf_core::ExperimentConfig;
+    /// use fbf_cache::PolicyKind;
+    ///
+    /// let cfg = ExperimentConfig::builder()
+    ///     .policy(PolicyKind::Lru)
+    ///     .cache_mb(16)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.cache_mb, 16);
+    /// ```
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder {
+            cfg: ExperimentConfig::default(),
+        }
+    }
+
+    /// Check the configuration for impossibilities a run could only hit as
+    /// a panic or a nonsense result.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !is_prime(self.p) {
+            return Err(ConfigError::NonPrimeP(self.p));
+        }
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.stripes == 0 {
+            return Err(ConfigError::ZeroStripes);
+        }
+        if self.chunk_kb == 0 {
+            return Err(ConfigError::ZeroChunkSize);
+        }
+        if self.cache_chunks() == 0 {
+            return Err(ConfigError::CacheTooSmall {
+                cache_mb: self.cache_mb,
+                chunk_kb: self.chunk_kb,
+            });
+        }
+        Ok(())
+    }
+
     /// Cache capacity in chunks: `cache_mb` MiB of `chunk_kb` KiB chunks.
     pub fn cache_chunks(&self) -> usize {
         self.cache_mb * 1024 / self.chunk_kb
@@ -109,13 +195,163 @@ impl ExperimentConfig {
     }
 }
 
+/// Fluent, validated construction of [`ExperimentConfig`].
+///
+/// Starts from [`ExperimentConfig::default`] (the paper's setup); every
+/// setter overrides one field; [`build`](Self::build) validates eagerly and
+/// returns a typed [`ConfigError`] instead of letting a bad value panic
+/// mid-experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfigBuilder {
+    cfg: ExperimentConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),+ $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $field(mut self, $field: $ty) -> Self {
+                self.cfg.$field = $field;
+                self
+            }
+        )+
+    };
+}
+
+impl ExperimentConfigBuilder {
+    builder_setters! {
+        /// Erasure code under test.
+        code: CodeSpec,
+        /// The code's prime parameter.
+        p: usize,
+        /// Cache replacement policy under test.
+        policy: PolicyKind,
+        /// FBF-specific tunables.
+        fbf: FbfConfig,
+        /// Recovery-scheme generator.
+        scheme: SchemeKind,
+        /// Total buffer-cache size in MiB.
+        cache_mb: usize,
+        /// Chunk size in KiB.
+        chunk_kb: usize,
+        /// Stripes in the array's data zone.
+        stripes: u32,
+        /// Partial stripe errors in the campaign.
+        error_count: usize,
+        /// SOR reconstruction workers.
+        workers: usize,
+        /// Cache partitioning across workers.
+        sharing: CacheSharing,
+        /// Disk service model.
+        disk_model: DiskModel,
+        /// Disk head-scheduling discipline.
+        disk_sched: DiskSched,
+        /// Aged-disk straggler injection.
+        straggler: Option<(usize, f64)>,
+        /// Buffer-cache access time.
+        cache_hit_time: SimTime,
+        /// Campaign RNG seed.
+        seed: u64,
+        /// Host threads for scheme generation (0 = all cores).
+        gen_threads: usize,
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ExperimentConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn builder_defaults_match_default() {
+        let built = ExperimentConfig::builder().build().unwrap();
+        let default = ExperimentConfig::default();
+        assert_eq!(built.describe(), default.describe());
+        assert_eq!(built.seed, default.seed);
+        assert_eq!(built.cache_mb, default.cache_mb);
+    }
+
+    #[test]
+    fn builder_rejects_non_prime_p() {
+        assert_eq!(
+            ExperimentConfig::builder().p(8).build().unwrap_err(),
+            ConfigError::NonPrimeP(8)
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_workers_and_stripes() {
+        assert_eq!(
+            ExperimentConfig::builder().workers(0).build().unwrap_err(),
+            ConfigError::ZeroWorkers
+        );
+        assert_eq!(
+            ExperimentConfig::builder().stripes(0).build().unwrap_err(),
+            ConfigError::ZeroStripes
+        );
+    }
+
+    #[test]
+    fn builder_rejects_cache_below_one_chunk() {
+        assert_eq!(
+            ExperimentConfig::builder().cache_mb(0).build().unwrap_err(),
+            ConfigError::CacheTooSmall {
+                cache_mb: 0,
+                chunk_kb: 32
+            }
+        );
+        assert_eq!(
+            ExperimentConfig::builder().chunk_kb(0).build().unwrap_err(),
+            ConfigError::ZeroChunkSize
+        );
+    }
+
+    #[test]
+    fn builder_sets_every_field_it_names() {
+        let cfg = ExperimentConfig::builder()
+            .code(CodeSpec::Star)
+            .p(11)
+            .policy(PolicyKind::Arc)
+            .scheme(SchemeKind::Typical)
+            .cache_mb(128)
+            .chunk_kb(64)
+            .stripes(1024)
+            .error_count(100)
+            .workers(16)
+            .seed(7)
+            .gen_threads(2)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.code, CodeSpec::Star);
+        assert_eq!(cfg.p, 11);
+        assert_eq!(cfg.policy, PolicyKind::Arc);
+        assert_eq!(cfg.scheme, SchemeKind::Typical);
+        assert_eq!(cfg.cache_mb, 128);
+        assert_eq!(cfg.chunk_kb, 64);
+        assert_eq!(cfg.stripes, 1024);
+        assert_eq!(cfg.error_count, 100);
+        assert_eq!(cfg.workers, 16);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.gen_threads, 2);
+    }
+
+    #[test]
+    fn validate_accepts_paper_defaults() {
+        assert!(ExperimentConfig::default().validate().is_ok());
+    }
+
+    #[test]
     fn cache_chunks_conversion() {
-        let cfg = ExperimentConfig { cache_mb: 256, chunk_kb: 32, ..Default::default() };
+        let cfg = ExperimentConfig {
+            cache_mb: 256,
+            chunk_kb: 32,
+            ..Default::default()
+        };
         assert_eq!(cfg.cache_chunks(), 8192);
         assert_eq!(cfg.chunk_bytes(), 32 * 1024);
     }

@@ -23,29 +23,31 @@
 //! use fbf_codes::CodeSpec;
 //! use fbf_cache::PolicyKind;
 //!
-//! let cfg = ExperimentConfig {
-//!     code: CodeSpec::Tip,
-//!     p: 7,
-//!     policy: PolicyKind::Fbf,
-//!     cache_mb: 64,
-//!     ..ExperimentConfig::default()
-//! };
+//! let cfg = ExperimentConfig::builder()
+//!     .code(CodeSpec::Tip)
+//!     .p(7)
+//!     .policy(PolicyKind::Fbf)
+//!     .cache_mb(64)
+//!     .build()
+//!     .unwrap();
 //! let metrics = run_experiment(&cfg).unwrap();
 //! println!("hit ratio {:.3}", metrics.hit_ratio);
 //! ```
 
 pub mod config;
 pub mod metrics;
+pub mod plan;
 pub mod reliability;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 pub mod verify;
 
-pub use config::ExperimentConfig;
+pub use config::{ConfigError, ExperimentConfig, ExperimentConfigBuilder};
 pub use metrics::Metrics;
+pub use plan::{PlanKey, PlanSource, PlanStore, PlanStoreStats, PlannedCampaign};
 pub use reliability::{mttdl_gain, mttdl_hours, mttdl_years, ReliabilityParams};
 pub use report::Table;
-pub use runner::{run_experiment, RunError};
-pub use sweep::{sweep, SweepPoint};
+pub use runner::{run_experiment, run_planned, RunError};
+pub use sweep::{sweep, sweep_with_progress, sweep_with_store, SweepPoint, SweepProgress};
 pub use verify::{verify_campaign, VerifyReport};

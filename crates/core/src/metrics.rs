@@ -1,5 +1,6 @@
 //! The four evaluation metrics of §IV-A, plus FBF's overhead (Table IV).
 
+use crate::plan::PlanSource;
 use fbf_cache::CacheStats;
 use fbf_disksim::{RunReport, SimTime};
 use serde::{Deserialize, Serialize};
@@ -39,6 +40,10 @@ pub struct Metrics {
     pub stripes_repaired: usize,
     /// Chunks recovered.
     pub chunks_recovered: usize,
+    /// Whether this run generated its plan (`Cold`) or reused a shared one
+    /// (`Warm`). The overhead figures always report the *cold* generation
+    /// cost; this field records their provenance.
+    pub plan_source: PlanSource,
 }
 
 impl Metrics {
@@ -48,6 +53,7 @@ impl Metrics {
         overhead_host: std::time::Duration,
         stripes_repaired: usize,
         chunks_recovered: usize,
+        plan_source: PlanSource,
     ) -> Self {
         let recon = report.makespan;
         let overhead_ms = overhead_host.as_secs_f64() * 1e3;
@@ -75,6 +81,7 @@ impl Metrics {
             cache: report.cache,
             stripes_repaired,
             chunks_recovered,
+            plan_source,
         }
     }
 }
@@ -111,7 +118,11 @@ mod tests {
     use fbf_disksim::ResponseStats;
 
     fn report() -> RunReport {
-        let cache = CacheStats { hits: 30, misses: 70, ..Default::default() };
+        let cache = CacheStats {
+            hits: 30,
+            misses: 70,
+            ..Default::default()
+        };
         let mut read_response = ResponseStats::default();
         for _ in 0..10 {
             read_response.merge(&ResponseStats {
@@ -132,7 +143,13 @@ mod tests {
 
     #[test]
     fn from_run_maps_fields() {
-        let m = Metrics::from_run(&report(), std::time::Duration::from_millis(20), 10, 12);
+        let m = Metrics::from_run(
+            &report(),
+            std::time::Duration::from_millis(20),
+            10,
+            12,
+            PlanSource::Cold,
+        );
         assert!((m.hit_ratio - 0.3).abs() < 1e-12);
         assert_eq!(m.disk_reads, 70);
         assert!((m.avg_response_ms - 5.0).abs() < 1e-9);
@@ -145,7 +162,7 @@ mod tests {
     #[test]
     fn zero_denominators_are_safe() {
         let r = RunReport::default();
-        let m = Metrics::from_run(&r, std::time::Duration::ZERO, 0, 0);
+        let m = Metrics::from_run(&r, std::time::Duration::ZERO, 0, 0, PlanSource::Cold);
         assert_eq!(m.overhead_per_stripe_ms, 0.0);
         assert_eq!(m.overhead_pct, 0.0);
         assert_eq!(m.hit_ratio, 0.0);
@@ -155,21 +172,33 @@ mod tests {
     fn repair_progress_quantiles() {
         let mut r = report();
         r.write_completions = (1..=10).map(SimTime::from_secs).collect();
-        let m = Metrics::from_run(&r, std::time::Duration::ZERO, 10, 10);
+        let m = Metrics::from_run(&r, std::time::Duration::ZERO, 10, 10, PlanSource::Cold);
         assert!((m.repair_p50_s - 5.0).abs() < 1e-9);
         assert!((m.repair_p90_s - 9.0).abs() < 1e-9);
     }
 
     #[test]
     fn repair_progress_empty_is_zero() {
-        let m = Metrics::from_run(&RunReport::default(), std::time::Duration::ZERO, 0, 0);
+        let m = Metrics::from_run(
+            &RunReport::default(),
+            std::time::Duration::ZERO,
+            0,
+            0,
+            PlanSource::Cold,
+        );
         assert_eq!(m.repair_p50_s, 0.0);
         assert_eq!(m.repair_p90_s, 0.0);
     }
 
     #[test]
     fn display_is_compact() {
-        let m = Metrics::from_run(&report(), std::time::Duration::from_millis(20), 10, 12);
+        let m = Metrics::from_run(
+            &report(),
+            std::time::Duration::from_millis(20),
+            10,
+            12,
+            PlanSource::Cold,
+        );
         let s = m.to_string();
         assert!(s.contains("hit=0.3000"));
         assert!(s.contains("reads=70"));

@@ -45,7 +45,10 @@ impl ReliabilityParams {
 /// Mean time to data loss in hours, exact for the birth–death model.
 pub fn mttdl_hours(p: &ReliabilityParams) -> f64 {
     assert!(p.fault_tolerance >= 1);
-    assert!(p.disks > p.fault_tolerance, "array smaller than its fault tolerance");
+    assert!(
+        p.disks > p.fault_tolerance,
+        "array smaller than its fault tolerance"
+    );
     assert!(p.disk_mttf_hours > 0.0 && p.mttr_hours > 0.0);
 
     let k = p.fault_tolerance;
@@ -147,8 +150,14 @@ mod tests {
 
     #[test]
     fn shorter_repair_raises_mttdl() {
-        let slow = ReliabilityParams { mttr_hours: 20.0, ..ReliabilityParams::nearline_3dft(8) };
-        let fast = ReliabilityParams { mttr_hours: 5.0, ..ReliabilityParams::nearline_3dft(8) };
+        let slow = ReliabilityParams {
+            mttr_hours: 20.0,
+            ..ReliabilityParams::nearline_3dft(8)
+        };
+        let fast = ReliabilityParams {
+            mttr_hours: 5.0,
+            ..ReliabilityParams::nearline_3dft(8)
+        };
         assert!(mttdl_hours(&fast) > mttdl_hours(&slow));
     }
 
@@ -163,7 +172,11 @@ mod tests {
             ..ReliabilityParams::nearline_3dft(8)
         };
         let threedft = ReliabilityParams::nearline_3dft(8);
-        let (m1, m2, m3) = (mttdl_hours(&raid5), mttdl_hours(&raid6), mttdl_hours(&threedft));
+        let (m1, m2, m3) = (
+            mttdl_hours(&raid5),
+            mttdl_hours(&raid6),
+            mttdl_hours(&threedft),
+        );
         assert!(m1 < m2 && m2 < m3, "{m1} {m2} {m3}");
     }
 
@@ -178,7 +191,10 @@ mod tests {
         let approx = mu.powi(3) / (lambda.powi(4) * n * (n - 1.0) * (n - 2.0) * (n - 3.0));
         let exact = mttdl_hours(&p);
         let ratio = exact / approx;
-        assert!((0.5..2.0).contains(&ratio), "exact {exact:.3e} vs approx {approx:.3e}");
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "exact {exact:.3e} vs approx {approx:.3e}"
+        );
     }
 
     #[test]

@@ -118,7 +118,11 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         // header + separator + 2 rows + title
         assert_eq!(lines.len(), 5);
-        assert_eq!(lines[3].len(), lines[4].len(), "aligned rows have equal width");
+        assert_eq!(
+            lines[3].len(),
+            lines[4].len(),
+            "aligned rows have equal width"
+        );
     }
 
     #[test]

@@ -1,35 +1,51 @@
 //! One experiment end to end.
+//!
+//! [`run_experiment`] is the standalone entry point: validate, plan cold,
+//! simulate. Sweeps instead plan through a
+//! [`PlanStore`](crate::plan::PlanStore) and call [`run_planned`] with the
+//! shared campaign, so scheme generation happens once per distinct
+//! [`PlanKey`](crate::plan::PlanKey) instead of once per point.
 
-use crate::config::ExperimentConfig;
+use crate::config::{ConfigError, ExperimentConfig};
 use crate::metrics::Metrics;
-use fbf_codes::{CodeError, StripeCode};
+use crate::plan::{PlanKey, PlanSource, PlannedCampaign};
+use fbf_codes::CodeError;
 use fbf_disksim::{ArrayMapping, Engine, EngineConfig};
-use fbf_recovery::{
-    build_scripts, generate_schemes_parallel, ExecConfig, PriorityDictionary, RecoveryController,
-    SchemeError,
-};
-use fbf_workload::{generate_errors, ErrorGenConfig};
-use std::time::Instant;
+use fbf_recovery::SchemeError;
 
 /// Failures a run can hit.
 #[derive(Debug)]
 pub enum RunError {
+    /// The configuration is invalid (caught before any work).
+    Config(ConfigError),
     /// The code could not be built (bad prime).
     Code(CodeError),
     /// Scheme generation failed (unschedulable damage).
     Scheme(SchemeError),
+    /// A sweep worker died; the payload is the panic message. Unlike the
+    /// other variants this indicates a bug, but it is reported as an error
+    /// so one poisoned point cannot abort a whole campaign's process.
+    Worker(String),
 }
 
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            RunError::Config(e) => write!(f, "invalid configuration: {e}"),
             RunError::Code(e) => write!(f, "code construction failed: {e}"),
             RunError::Scheme(e) => write!(f, "scheme generation failed: {e}"),
+            RunError::Worker(msg) => write!(f, "sweep worker panicked: {msg}"),
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::Config(e)
+    }
+}
 
 impl From<CodeError> for RunError {
     fn from(e: CodeError) -> Self {
@@ -44,50 +60,29 @@ impl From<SchemeError> for RunError {
 }
 
 /// Run one reconstruction experiment and return its metrics.
+///
+/// Plans the campaign cold; to amortise planning across many related
+/// experiments, use [`sweep`](crate::sweep::sweep) or a
+/// [`PlanStore`](crate::plan::PlanStore) plus [`run_planned`] directly.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Metrics, RunError> {
-    let code = StripeCode::build(cfg.code, cfg.p)?;
+    cfg.validate()?;
+    let plan = PlannedCampaign::cold(cfg)?;
+    Ok(run_planned(cfg, &plan, PlanSource::Cold))
+}
 
-    // 1. Draw the error campaign.
-    let errors = generate_errors(
-        &code,
-        &ErrorGenConfig::paper_default(cfg.stripes, cfg.error_count, cfg.seed),
-    );
+/// Simulate one experiment against an already-planned campaign.
+///
+/// The plan must have been generated for `cfg`'s [`PlanKey`] (debug-checked)
+/// — the remaining fields (policy, cache geometry, disk model…) are free to
+/// differ between experiments sharing one plan; that is the point.
+pub fn run_planned(cfg: &ExperimentConfig, plan: &PlannedCampaign, source: PlanSource) -> Metrics {
+    debug_assert_eq!(plan.key, PlanKey::of(cfg), "plan/config key mismatch");
 
-    // 2. Recovery schemes + priority dictionary. This is FBF's "extra
-    //    calculation" — wall-clock it for Table IV. gen_threads == 1 uses
-    //    the memoised RecoveryController (the paper's format-reuse
-    //    optimisation, §III-A-1); larger values fan the generation out.
-    let t0 = Instant::now();
-    let (schemes, dictionary) = if cfg.gen_threads == 1 {
-        let mut ctl = RecoveryController::new(&code, cfg.scheme);
-        ctl.plan_campaign(&errors)?
-    } else {
-        let schemes = generate_schemes_parallel(&code, &errors, cfg.scheme, cfg.gen_threads)?;
-        let dictionary = PriorityDictionary::from_schemes(&schemes);
-        (schemes, dictionary)
-    };
-    let overhead = t0.elapsed();
-
-    // 3. Lower to SOR worker scripts.
-    let scripts = build_scripts(
-        &schemes,
-        &dictionary,
-        &ExecConfig { workers: cfg.workers, ..Default::default() },
-    );
-
-    // 4. Simulate.
-    let mapping = ArrayMapping::new(code.cols(), code.rows(), cfg.code.rotated_placement());
-    // VDF's victim map: the stripes under repair and their damaged column.
-    let victim_map: std::collections::HashMap<u32, u16> = errors
-        .errors
-        .iter()
-        .map(|e| (e.stripe, e.col as u16))
-        .collect();
-
+    let mapping = ArrayMapping::new(plan.cols, plan.rows, cfg.code.rotated_placement());
     let engine = Engine::new(EngineConfig {
         policy: cfg.policy,
         fbf: cfg.fbf,
-        victim_map: Some(std::sync::Arc::new(victim_map)),
+        victim_map: Some(std::sync::Arc::clone(&plan.victim_map)),
         cache_chunks: cfg.cache_chunks(),
         sharing: cfg.sharing,
         disk_model: cfg.disk_model,
@@ -98,37 +93,46 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Metrics, RunError> {
         mapping,
         data_stripes: cfg.stripes as u64,
     });
-    let report = engine.run(&scripts);
+    let report = engine.run(&plan.scripts);
 
-    let recovered: usize = errors.damage_by_stripe().iter().map(|d| d.cells.len()).sum();
-    Ok(Metrics::from_run(&report, overhead, schemes.len(), recovered))
+    Metrics::from_run(
+        &report,
+        plan.generation,
+        plan.schemes.len(),
+        plan.chunks_lost,
+        source,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::PlanStore;
     use fbf_cache::PolicyKind;
-    
 
     fn small(policy: PolicyKind, cache_mb: usize) -> ExperimentConfig {
-        ExperimentConfig {
-            policy,
-            cache_mb,
-            stripes: 256,
-            error_count: 64,
-            workers: 8,
-            gen_threads: 1,
-            ..Default::default()
-        }
+        ExperimentConfig::builder()
+            .policy(policy)
+            .cache_mb(cache_mb)
+            .stripes(256)
+            .error_count(64)
+            .workers(8)
+            .gen_threads(1)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn runs_and_recovers_everything() {
         let m = run_experiment(&small(PolicyKind::Fbf, 16)).unwrap();
         assert_eq!(m.stripes_repaired, 64);
-        assert_eq!(m.disk_writes as usize, m.chunks_recovered, "one spare write per lost chunk");
+        assert_eq!(
+            m.disk_writes as usize, m.chunks_recovered,
+            "one spare write per lost chunk"
+        );
         assert!(m.disk_reads > 0);
         assert!(m.reconstruction_s > 0.0);
+        assert_eq!(m.plan_source, PlanSource::Cold);
     }
 
     #[test]
@@ -166,7 +170,42 @@ mod tests {
 
     #[test]
     fn bad_prime_is_reported() {
-        let cfg = ExperimentConfig { p: 8, ..small(PolicyKind::Lru, 4) };
-        assert!(matches!(run_experiment(&cfg), Err(RunError::Code(_))));
+        // Bypass the builder deliberately: struct-update still compiles
+        // (back-compat), and the runner's own validation must catch it.
+        let cfg = ExperimentConfig {
+            p: 8,
+            ..small(PolicyKind::Lru, 4)
+        };
+        assert!(matches!(
+            run_experiment(&cfg),
+            Err(RunError::Config(ConfigError::NonPrimeP(8)))
+        ));
+    }
+
+    #[test]
+    fn zero_workers_reported_not_panicking() {
+        let cfg = ExperimentConfig {
+            workers: 0,
+            ..small(PolicyKind::Lru, 4)
+        };
+        assert!(matches!(
+            run_experiment(&cfg),
+            Err(RunError::Config(ConfigError::ZeroWorkers))
+        ));
+    }
+
+    #[test]
+    fn warm_plan_reproduces_cold_metrics() {
+        let cfg = small(PolicyKind::Fbf, 8);
+        let cold = run_experiment(&cfg).unwrap();
+        let store = PlanStore::new();
+        store.plan(&cfg).unwrap();
+        let (plan, source) = store.plan(&cfg).unwrap();
+        assert_eq!(source, PlanSource::Warm);
+        let warm = run_planned(&cfg, &plan, source);
+        assert_eq!(warm.hit_ratio, cold.hit_ratio);
+        assert_eq!(warm.disk_reads, cold.disk_reads);
+        assert_eq!(warm.reconstruction_s, cold.reconstruction_s);
+        assert_eq!(warm.plan_source, PlanSource::Warm);
     }
 }

@@ -1,15 +1,31 @@
-//! Parameter sweeps: run many experiment configurations, in parallel on
-//! host threads, and collect labelled results.
+//! Parameter sweeps: run many experiment configurations in parallel and
+//! collect labelled results.
 //!
 //! Each figure binary builds its grid of [`ExperimentConfig`]s and calls
-//! [`sweep`]; configurations are independent, so they fan out over scoped
-//! threads (one queue per core, work-stealing-free static partitioning —
-//! configurations have similar cost, so static split is fine and keeps
-//! results deterministic).
+//! [`sweep`]. Two things make grids cheap:
+//!
+//! * **Shared planning.** All points plan through one
+//!   [`PlanStore`] — scheme generation runs once per distinct
+//!   [`PlanKey`](crate::plan::PlanKey) (campaign shape), not once per
+//!   point. A Fig. 8 grid replans ~45× less.
+//! * **Work stealing.** Workers claim points one at a time off a shared
+//!   atomic cursor, so an expensive point (big prime, huge campaign) never
+//!   strands a statically-assigned chunk behind it. Results are keyed by
+//!   index, and every experiment is deterministic given its config, so the
+//!   output is identical to a serial run.
+//!
+//! Failures are *values*, not aborts: a failing point (bad prime,
+//! unschedulable damage, even a worker panic) cancels the remaining queue
+//! cooperatively and surfaces as `Err` from [`sweep`] — sibling points
+//! already running complete normally and the process stays alive.
 
 use crate::config::ExperimentConfig;
 use crate::metrics::Metrics;
-use crate::runner::{run_experiment, RunError};
+use crate::plan::{PlanSource, PlanStore};
+use crate::runner::{run_planned, RunError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One labelled point of a sweep.
 #[derive(Debug, Clone)]
@@ -20,44 +36,146 @@ pub struct SweepPoint {
     pub metrics: Metrics,
 }
 
+/// A progress report for one completed sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepProgress<'a> {
+    /// Index of the completed point in the input slice.
+    pub index: usize,
+    /// Points completed so far (including this one).
+    pub completed: usize,
+    /// Total points in the sweep.
+    pub total: usize,
+    /// The completed point's configuration.
+    pub config: &'a ExperimentConfig,
+    /// Whether the point planned cold or reused a shared campaign.
+    pub plan: PlanSource,
+}
+
 /// Run every configuration, preserving order. `threads = 0` uses all
-/// cores.
+/// cores. Plans are shared through an internal [`PlanStore`].
 pub fn sweep(configs: &[ExperimentConfig], threads: usize) -> Result<Vec<SweepPoint>, RunError> {
+    let store = PlanStore::new();
+    sweep_with_store(configs, threads, &store)
+}
+
+/// [`sweep`] against a caller-owned [`PlanStore`], so campaigns persist
+/// across multiple sweeps (and hit/miss counts are observable).
+pub fn sweep_with_store(
+    configs: &[ExperimentConfig],
+    threads: usize,
+    store: &PlanStore,
+) -> Result<Vec<SweepPoint>, RunError> {
+    sweep_with_progress(configs, threads, store, |_| {})
+}
+
+/// The full sweep driver: shared plan store, work-stealing execution, and
+/// a per-point progress callback (invoked from worker threads, in
+/// completion order).
+pub fn sweep_with_progress(
+    configs: &[ExperimentConfig],
+    threads: usize,
+    store: &PlanStore,
+    progress: impl Fn(SweepProgress<'_>) + Sync,
+) -> Result<Vec<SweepPoint>, RunError> {
     let n = configs.len();
     if n == 0 {
         return Ok(Vec::new());
     }
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         threads
     }
     .min(n);
 
+    let cursor = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let results: Vec<Mutex<Option<Result<Metrics, RunError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    // One worker's life: steal the next index, run it, repeat. On any
+    // failure, flip the cancellation flag so idle workers stop claiming;
+    // in-flight siblings finish their current point untouched.
+    let work = |_: usize| {
+        while !cancelled.load(Ordering::Relaxed) {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let cfg = &configs[i];
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<_, RunError> {
+                cfg.validate()?;
+                let (plan, source) = store.plan(cfg)?;
+                Ok((run_planned(cfg, &plan, source), source))
+            }));
+            let result = match outcome {
+                Ok(Ok((metrics, plan))) => {
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    progress(SweepProgress {
+                        index: i,
+                        completed: done,
+                        total: n,
+                        config: cfg,
+                        plan,
+                    });
+                    Ok(metrics)
+                }
+                Ok(Err(e)) => {
+                    cancelled.store(true, Ordering::Relaxed);
+                    Err(e)
+                }
+                Err(panic) => {
+                    cancelled.store(true, Ordering::Relaxed);
+                    Err(RunError::Worker(panic_message(&panic)))
+                }
+            };
+            *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
+        }
+    };
+
     if threads <= 1 {
-        return configs
-            .iter()
-            .map(|c| run_experiment(c).map(|m| SweepPoint { config: *c, metrics: m }))
-            .collect();
+        work(0);
+    } else {
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                scope.spawn(move || work(t));
+            }
+        });
     }
 
-    let mut out: Vec<Option<Result<SweepPoint, RunError>>> = Vec::new();
-    out.resize_with(n, || None);
-    let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (slots, cfgs) in out.chunks_mut(chunk).zip(configs.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (slot, cfg) in slots.iter_mut().zip(cfgs) {
-                    *slot = Some(
-                        run_experiment(cfg).map(|m| SweepPoint { config: *cfg, metrics: m }),
-                    );
-                }
-            });
+    // Assemble in input order. With cancellation some points may never
+    // have run; the first recorded error (by index) is the sweep's error.
+    let mut out = Vec::with_capacity(n);
+    let mut first_error = None;
+    for (result, cfg) in results.into_iter().zip(configs) {
+        match result.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some(Ok(metrics)) => out.push(SweepPoint {
+                config: *cfg,
+                metrics,
+            }),
+            Some(Err(e)) => {
+                first_error.get_or_insert(e);
+            }
+            None => {}
         }
-    })
-    .expect("sweep worker panicked");
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(out),
+    }
+}
 
-    out.into_iter().map(|s| s.expect("slot filled")).collect()
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
 }
 
 /// The cache sizes (MiB) the paper sweeps in its figures.
@@ -66,18 +184,19 @@ pub const PAPER_CACHE_MB: [usize; 9] = [2, 8, 16, 32, 64, 128, 256, 512, 2048];
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::PlanStoreStats;
     use fbf_cache::PolicyKind;
 
     fn tiny(policy: PolicyKind, cache_mb: usize) -> ExperimentConfig {
-        ExperimentConfig {
-            policy,
-            cache_mb,
-            stripes: 128,
-            error_count: 32,
-            workers: 4,
-            gen_threads: 1,
-            ..Default::default()
-        }
+        ExperimentConfig::builder()
+            .policy(policy)
+            .cache_mb(cache_mb)
+            .stripes(128)
+            .error_count(32)
+            .workers(4)
+            .gen_threads(1)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -97,10 +216,8 @@ mod tests {
 
     #[test]
     fn parallel_equals_serial() {
-        let configs: Vec<ExperimentConfig> = PolicyKind::ALL
-            .into_iter()
-            .map(|p| tiny(p, 4))
-            .collect();
+        let configs: Vec<ExperimentConfig> =
+            PolicyKind::ALL.into_iter().map(|p| tiny(p, 4)).collect();
         let serial = sweep(&configs, 1).unwrap();
         let parallel = sweep(&configs, 4).unwrap();
         for (a, b) in serial.iter().zip(&parallel) {
@@ -112,5 +229,72 @@ mod tests {
     #[test]
     fn empty_sweep() {
         assert!(sweep(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shared_store_plans_once_per_campaign() {
+        // 5 policies × 3 cache sizes over one campaign shape = 15 points,
+        // 1 plan.
+        let configs: Vec<ExperimentConfig> = PolicyKind::ALL
+            .into_iter()
+            .flat_map(|p| [2, 4, 8].map(|mb| tiny(p, mb)))
+            .collect();
+        let store = PlanStore::new();
+        let points = sweep_with_store(&configs, 4, &store).unwrap();
+        assert_eq!(points.len(), 15);
+        let stats = store.stats();
+        assert_eq!(stats.misses, 1, "one campaign shape, one cold plan");
+        assert_eq!(stats.hits, 14);
+        // Exactly one point carries the cold provenance.
+        let cold = points
+            .iter()
+            .filter(|p| p.metrics.plan_source == PlanSource::Cold)
+            .count();
+        assert_eq!(cold, 1);
+    }
+
+    #[test]
+    fn failing_point_is_err_without_poisoning_siblings() {
+        let mut bad = tiny(PolicyKind::Lru, 4);
+        bad.p = 8; // not prime: must surface as Err, not a process abort
+        let configs = vec![tiny(PolicyKind::Lru, 2), bad, tiny(PolicyKind::Fbf, 2)];
+        let err = sweep(&configs, 2).unwrap_err();
+        assert!(
+            matches!(err, RunError::Config(_)),
+            "expected config error, got: {err}"
+        );
+        // The good configs still run fine on their own afterwards.
+        assert!(sweep(&[configs[0], configs[2]], 2).is_ok());
+    }
+
+    #[test]
+    fn progress_reports_every_point() {
+        let configs: Vec<ExperimentConfig> = [1, 2, 4, 8]
+            .into_iter()
+            .map(|mb| tiny(PolicyKind::Fbf, mb))
+            .collect();
+        let store = PlanStore::new();
+        let seen = Mutex::new(Vec::new());
+        let points = sweep_with_progress(&configs, 2, &store, |p| {
+            assert_eq!(p.total, 4);
+            seen.lock().unwrap().push(p.index);
+        })
+        .unwrap();
+        assert_eq!(points.len(), 4);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn store_reuse_across_sweeps_is_all_hits() {
+        let configs: Vec<ExperimentConfig> = [2, 8]
+            .into_iter()
+            .map(|mb| tiny(PolicyKind::Lru, mb))
+            .collect();
+        let store = PlanStore::new();
+        sweep_with_store(&configs, 2, &store).unwrap();
+        sweep_with_store(&configs, 2, &store).unwrap();
+        assert_eq!(store.stats(), PlanStoreStats { hits: 3, misses: 1 });
     }
 }

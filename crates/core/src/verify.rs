@@ -39,9 +39,16 @@ pub fn verify_campaign(cfg: &ExperimentConfig) -> Result<VerifyReport, RunError>
     let schemes = generate_schemes_parallel(&code, &errors, cfg.scheme, cfg.gen_threads)?;
 
     let chunk_size = 1024;
-    let mut report = VerifyReport { stripes: 0, chunks: 0, bytes: 0 };
+    let mut report = VerifyReport {
+        stripes: 0,
+        chunks: 0,
+        bytes: 0,
+    };
     for (damage, scheme) in errors.damage_by_stripe().iter().zip(&schemes) {
-        assert_eq!(damage.stripe, scheme.stripe, "scheme order matches damage order");
+        assert_eq!(
+            damage.stripe, scheme.stripe,
+            "scheme order matches damage order"
+        );
         let mut pristine =
             Stripe::patterned_seeded(code.layout(), chunk_size, damage.stripe as u64);
         encode(&code, &mut pristine).map_err(RunError::Code)?;
@@ -72,12 +79,12 @@ mod tests {
 
     #[test]
     fn verifies_a_default_campaign() {
-        let cfg = ExperimentConfig {
-            stripes: 128,
-            error_count: 48,
-            gen_threads: 1,
-            ..Default::default()
-        };
+        let cfg = ExperimentConfig::builder()
+            .stripes(128)
+            .error_count(48)
+            .gen_threads(1)
+            .build()
+            .unwrap();
         let report = verify_campaign(&cfg).unwrap();
         assert_eq!(report.stripes, 48);
         assert!(report.chunks >= 48);
@@ -87,14 +94,14 @@ mod tests {
     #[test]
     fn verifies_every_code() {
         for spec in CodeSpec::ALL {
-            let cfg = ExperimentConfig {
-                code: spec,
-                p: 7,
-                stripes: 64,
-                error_count: 24,
-                gen_threads: 1,
-                ..Default::default()
-            };
+            let cfg = ExperimentConfig::builder()
+                .code(spec)
+                .p(7)
+                .stripes(64)
+                .error_count(24)
+                .gen_threads(1)
+                .build()
+                .unwrap();
             let report = verify_campaign(&cfg).unwrap();
             assert_eq!(report.stripes, 24, "{spec:?}");
         }

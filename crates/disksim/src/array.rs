@@ -23,13 +23,21 @@ impl ArrayMapping {
     /// Mapping for an `n`-disk array with `rows` chunks per stripe column.
     pub fn new(disks: usize, rows: usize, rotated: bool) -> Self {
         assert!(disks > 0 && rows > 0);
-        ArrayMapping { disks, rows, rotated }
+        ArrayMapping {
+            disks,
+            rows,
+            rotated,
+        }
     }
 
     /// The physical disk holding `chunk`.
     pub fn disk_of(&self, chunk: ChunkId) -> usize {
         let col = chunk.cell.c();
-        debug_assert!(col < self.disks, "column {col} outside {}-disk array", self.disks);
+        debug_assert!(
+            col < self.disks,
+            "column {col} outside {}-disk array",
+            self.disks
+        );
         if self.rotated {
             (col + chunk.stripe as usize) % self.disks
         } else {

@@ -5,7 +5,7 @@
 //! decides residency, and the engine charges 0.5 ms for a hit or a full
 //! disk round-trip (plus insert/evict bookkeeping) for a miss.
 
-use fbf_cache::{CacheStats, Key, PolicyKind, ReplacementPolicy};
+use fbf_cache::{CacheStats, InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Result of a cache lookup.
@@ -53,11 +53,17 @@ impl BufferCache {
     }
 
     /// Insert `key` after a miss, with its FBF priority (ignored by other
-    /// policies). Returns the evicted chunk, if any.
+    /// policies). Returns the evicted chunk, if any. Duplicate inserts and
+    /// zero-capacity rejections ([`InsertOutcome`]) evict nothing and are
+    /// not counted as inserts.
     pub fn insert(&mut self, key: Key, priority: u8) -> Option<Key> {
-        let evicted = self.policy.on_insert(key, priority);
-        self.stats.record_insert(evicted.is_some());
-        evicted
+        match self.policy.on_insert(key, priority) {
+            InsertOutcome::Inserted { evicted } => {
+                self.stats.record_insert(evicted.is_some());
+                evicted
+            }
+            InsertOutcome::AlreadyResident | InsertOutcome::Rejected => None,
+        }
     }
 
     /// Residency check without side effects.
@@ -85,9 +91,10 @@ impl BufferCache {
         self.policy.capacity()
     }
 
-    /// Policy name for reports.
-    pub fn policy_name(&self) -> &'static str {
-        self.policy.name()
+    /// Which replacement policy this cache runs. Display goes through
+    /// [`PolicyKind`]'s `Display`/`name()` — the one place names live.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
     }
 
     /// Drop residents and stats (fresh campaign).
@@ -100,7 +107,7 @@ impl BufferCache {
 impl std::fmt::Debug for BufferCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BufferCache")
-            .field("policy", &self.policy.name())
+            .field("policy", &self.policy.kind())
             .field("capacity", &self.policy.capacity())
             .field("len", &self.policy.len())
             .field("stats", &self.stats)
@@ -148,8 +155,9 @@ mod tests {
     }
 
     #[test]
-    fn policy_name_propagates() {
+    fn policy_kind_propagates() {
         let c = BufferCache::new(PolicyKind::Arc, 2);
-        assert_eq!(c.policy_name(), "ARC");
+        assert_eq!(c.policy_kind(), PolicyKind::Arc);
+        assert_eq!(c.policy_kind().name(), "ARC");
     }
 }

@@ -97,7 +97,8 @@ impl DiskModel {
                 // derived from the LBA so the same access always costs the
                 // same, keeping runs replayable.
                 let rev = p.revolution().as_nanos();
-                let rot = SimTime::from_nanos((lba.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % rev);
+                let rot =
+                    SimTime::from_nanos((lba.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % rev);
                 let transfer =
                     SimTime::from_nanos(bytes.saturating_mul(1_000_000_000) / p.transfer_rate);
                 seek + rot + transfer

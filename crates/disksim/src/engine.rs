@@ -125,7 +125,12 @@ pub struct EngineConfig {
 
 impl EngineConfig {
     /// The paper's simulator constants for a given policy/cache/mapping.
-    pub fn paper(policy: PolicyKind, cache_chunks: usize, mapping: ArrayMapping, data_stripes: u64) -> Self {
+    pub fn paper(
+        policy: PolicyKind,
+        cache_chunks: usize,
+        mapping: ArrayMapping,
+        data_stripes: u64,
+    ) -> Self {
         EngineConfig {
             policy,
             fbf: FbfConfig::default(),
@@ -325,11 +330,7 @@ impl Engine {
                                 Lookup::Hit => {
                                     report.read_response.record(cfg.cache_hit_time);
                                     report.read_latency.record(cfg.cache_hit_time);
-                                    heap.push(Reverse((
-                                        now + cfg.cache_hit_time,
-                                        EV_WORKER,
-                                        w,
-                                    )));
+                                    heap.push(Reverse((now + cfg.cache_hit_time, EV_WORKER, w)));
                                 }
                                 Lookup::Miss => {
                                     // Reserve the frame at issue time (the
@@ -431,7 +432,10 @@ mod tests {
     }
 
     fn read(stripe: u32, r: usize, c: usize) -> Op {
-        Op::Read { chunk: chunk(stripe, r, c), priority: 1 }
+        Op::Read {
+            chunk: chunk(stripe, r, c),
+            priority: 1,
+        }
     }
 
     #[test]
@@ -452,8 +456,14 @@ mod tests {
     fn workers_contend_on_one_disk() {
         let cfg = config(PolicyKind::Lru, 0, CacheSharing::Shared);
         // Two workers each read a different chunk from disk 0.
-        let s1 = WorkerScript { ops: vec![read(0, 0, 0)], ..Default::default() };
-        let s2 = WorkerScript { ops: vec![read(0, 1, 0)], ..Default::default() };
+        let s1 = WorkerScript {
+            ops: vec![read(0, 0, 0)],
+            ..Default::default()
+        };
+        let s2 = WorkerScript {
+            ops: vec![read(0, 1, 0)],
+            ..Default::default()
+        };
         let report = Engine::new(cfg).run(&[s1, s2]);
         // Second read queues behind the first: makespan 20 ms, not 10.
         assert_eq!(report.makespan, SimTime::from_millis(20));
@@ -463,8 +473,14 @@ mod tests {
     #[test]
     fn workers_parallel_on_distinct_disks() {
         let cfg = config(PolicyKind::Lru, 0, CacheSharing::Shared);
-        let s1 = WorkerScript { ops: vec![read(0, 0, 0)], ..Default::default() };
-        let s2 = WorkerScript { ops: vec![read(0, 0, 1)], ..Default::default() };
+        let s1 = WorkerScript {
+            ops: vec![read(0, 0, 0)],
+            ..Default::default()
+        };
+        let s2 = WorkerScript {
+            ops: vec![read(0, 0, 1)],
+            ..Default::default()
+        };
         let report = Engine::new(cfg).run(&[s1, s2]);
         assert_eq!(report.makespan, SimTime::from_millis(10));
     }
@@ -475,8 +491,12 @@ mod tests {
         let script = WorkerScript {
             ops: vec![
                 read(0, 0, 0),
-                Op::Compute { duration: SimTime::from_millis(1) },
-                Op::Write { chunk: chunk(0, 0, 0) },
+                Op::Compute {
+                    duration: SimTime::from_millis(1),
+                },
+                Op::Write {
+                    chunk: chunk(0, 0, 0),
+                },
             ],
             ..Default::default()
         };
@@ -491,10 +511,15 @@ mod tests {
         let cfg = config(PolicyKind::Lru, 2, CacheSharing::Partitioned);
         // Worker 0 warms chunk A; worker 1 then reads A — in partitioned
         // mode that is still a miss (separate cache slices).
-        let s0 = WorkerScript { ops: vec![read(0, 0, 0)], ..Default::default() };
+        let s0 = WorkerScript {
+            ops: vec![read(0, 0, 0)],
+            ..Default::default()
+        };
         let s1 = WorkerScript {
             ops: vec![
-                Op::Compute { duration: SimTime::from_millis(50) },
+                Op::Compute {
+                    duration: SimTime::from_millis(50),
+                },
                 read(0, 0, 0),
             ],
             ..Default::default()
@@ -507,10 +532,15 @@ mod tests {
     #[test]
     fn shared_cache_crosses_workers() {
         let cfg = config(PolicyKind::Lru, 2, CacheSharing::Shared);
-        let s0 = WorkerScript { ops: vec![read(0, 0, 0)], ..Default::default() };
+        let s0 = WorkerScript {
+            ops: vec![read(0, 0, 0)],
+            ..Default::default()
+        };
         let s1 = WorkerScript {
             ops: vec![
-                Op::Compute { duration: SimTime::from_millis(50) },
+                Op::Compute {
+                    duration: SimTime::from_millis(50),
+                },
                 read(0, 0, 0),
             ],
             ..Default::default()
@@ -525,7 +555,9 @@ mod tests {
         let cfg = config(PolicyKind::Arc, 16, CacheSharing::Partitioned);
         let scripts: Vec<WorkerScript> = (0..4)
             .map(|w| WorkerScript {
-                ops: (0..20).map(|i| read(i as u32 % 3, (i + w) % 4, i % 4)).collect(),
+                ops: (0..20)
+                    .map(|i| read(i as u32 % 3, (i + w) % 4, i % 4))
+                    .collect(),
                 ..Default::default()
             })
             .collect();
@@ -577,10 +609,7 @@ mod tests {
     fn gather_on_one_disk_serialises() {
         let cfg = config(PolicyKind::Lru, 0, CacheSharing::Shared);
         let mut script = WorkerScript::default();
-        script.push_gather(vec![
-            (chunk(0, 0, 0), 1),
-            (chunk(0, 1, 0), 1),
-        ]);
+        script.push_gather(vec![(chunk(0, 0, 0), 1), (chunk(0, 1, 0), 1)]);
         let report = Engine::new(cfg).run(&[script]);
         // Same disk: the two reads queue behind each other.
         assert_eq!(report.makespan, SimTime::from_millis(20));
@@ -605,7 +634,9 @@ mod tests {
         let cfg = config(PolicyKind::Lru, 8, CacheSharing::Shared);
         let mut script = WorkerScript::default();
         script.push_gather(vec![(chunk(0, 0, 0), 1)]);
-        script.ops.push(Op::Compute { duration: SimTime::from_millis(5) });
+        script.ops.push(Op::Compute {
+            duration: SimTime::from_millis(5),
+        });
         let report = Engine::new(cfg).run(&[script]);
         assert_eq!(report.makespan, SimTime::from_millis(15));
     }
@@ -613,7 +644,13 @@ mod tests {
     #[test]
     fn script_read_count() {
         let s = WorkerScript {
-            ops: vec![read(0, 0, 0), Op::Compute { duration: SimTime::ZERO }, read(0, 1, 1)],
+            ops: vec![
+                read(0, 0, 0),
+                Op::Compute {
+                    duration: SimTime::ZERO,
+                },
+                read(0, 1, 1),
+            ],
             ..Default::default()
         };
         assert_eq!(s.reads(), 2);

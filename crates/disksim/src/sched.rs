@@ -187,7 +187,9 @@ impl QueuedDisk {
     /// The engine calls this when the in-flight request's completion event
     /// fires; returns the finished request.
     pub fn complete(&mut self) -> DiskRequest {
-        self.current.take().expect("complete() without in-flight request")
+        self.current
+            .take()
+            .expect("complete() without in-flight request")
     }
 }
 
@@ -262,7 +264,10 @@ mod tests {
         d.enqueue(0, 1, 4096, false, SimTime::ZERO);
         d.enqueue(1, 2, 4096, false, SimTime::ZERO);
         assert!(d.start_next(SimTime::ZERO).is_some());
-        assert!(d.start_next(SimTime::ZERO).is_none(), "busy disk must not start another");
+        assert!(
+            d.start_next(SimTime::ZERO).is_none(),
+            "busy disk must not start another"
+        );
         d.complete();
         assert!(d.start_next(SimTime::ZERO).is_some());
     }

@@ -26,9 +26,16 @@ fn scripts_strategy() -> impl Strategy<Value = Vec<WorkerScript>> {
                 ops: ops
                     .into_iter()
                     .map(|(s, r, c, kind)| match kind {
-                        0 => Op::Read { chunk: chunk(s, r, c), priority: 1 + (r % 3) as u8 },
-                        1 => Op::Compute { duration: SimTime::from_micros(100 * (r as u64 + 1)) },
-                        _ => Op::Write { chunk: chunk(s, r, c) },
+                        0 => Op::Read {
+                            chunk: chunk(s, r, c),
+                            priority: 1 + (r % 3) as u8,
+                        },
+                        1 => Op::Compute {
+                            duration: SimTime::from_micros(100 * (r as u64 + 1)),
+                        },
+                        _ => Op::Write {
+                            chunk: chunk(s, r, c),
+                        },
                     })
                     .collect(),
                 ..Default::default()

@@ -186,13 +186,9 @@ mod tests {
             group.push(PartialStripeError::new(&code, stripe, col, 0, 4).unwrap());
         }
         let (schemes, dict) = ctl.plan_campaign(&group).unwrap();
-        let direct = crate::parallel::generate_schemes_parallel(
-            &code,
-            &group,
-            SchemeKind::Greedy,
-            1,
-        )
-        .unwrap();
+        let direct =
+            crate::parallel::generate_schemes_parallel(&code, &group, SchemeKind::Greedy, 1)
+                .unwrap();
         assert_eq!(schemes, direct);
         let direct_dict = PriorityDictionary::from_schemes(&direct);
         assert_eq!(dict, direct_dict);

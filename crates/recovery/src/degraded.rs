@@ -137,7 +137,10 @@ mod tests {
         let (code, group) = setup();
         let lost = LostMap::from_group(&group);
         let app = WorkerScript {
-            ops: vec![Op::Read { chunk: ChunkId::new(5, Cell::new(1, 1)), priority: 1 }],
+            ops: vec![Op::Read {
+                chunk: ChunkId::new(5, Cell::new(1, 1)),
+                priority: 1,
+            }],
             ..Default::default()
         };
         let (out, degraded) = degrade_script(
@@ -157,7 +160,10 @@ mod tests {
         let lost = LostMap::from_group(&group);
         let target = ChunkId::new(3, Cell::new(1, 0));
         let app = WorkerScript {
-            ops: vec![Op::Read { chunk: target, priority: 1 }],
+            ops: vec![Op::Read {
+                chunk: target,
+                priority: 1,
+            }],
             ..Default::default()
         };
         let (out, degraded) = degrade_script(
@@ -183,11 +189,19 @@ mod tests {
         let lost = LostMap::from_group(&group);
         let target = ChunkId::new(9, Cell::new(1, 2));
         let app = WorkerScript {
-            ops: vec![Op::Read { chunk: target, priority: 1 }],
+            ops: vec![Op::Read {
+                chunk: target,
+                priority: 1,
+            }],
             ..Default::default()
         };
-        let (out, _) =
-            degrade_script(&code, &app, &lost, &PriorityDictionary::new(), SimTime::ZERO);
+        let (out, _) = degrade_script(
+            &code,
+            &app,
+            &lost,
+            &PriorityDictionary::new(),
+            SimTime::ZERO,
+        );
         // Cheapest chain for a TIP(p=7) data cell has >= 4 surviving cells.
         assert!(out.gathers[0].chunks.len() >= 4);
     }

@@ -106,7 +106,10 @@ mod tests {
             greedy < 0.90,
             "greedy rebuild must beat horizontal-only, got ratio {greedy:.3}"
         );
-        assert!(greedy >= 0.70, "cannot beat the theoretical optimum, got {greedy:.3}");
+        assert!(
+            greedy >= 0.70,
+            "cannot beat the theoretical optimum, got {greedy:.3}"
+        );
     }
 
     #[test]

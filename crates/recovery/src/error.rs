@@ -45,7 +45,12 @@ impl PartialStripeError {
                 code.rows()
             ));
         }
-        Ok(PartialStripeError { stripe, col, first_row, len })
+        Ok(PartialStripeError {
+            stripe,
+            col,
+            first_row,
+            len,
+        })
     }
 
     /// The lost cells, top to bottom.

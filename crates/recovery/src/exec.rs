@@ -62,9 +62,7 @@ pub fn build_scripts(
             }
             let xor_chunks = repair.option.reads.len() as u64;
             script.ops.push(Op::Compute {
-                duration: SimTime::from_nanos(
-                    config.xor_time_per_chunk.as_nanos() * xor_chunks,
-                ),
+                duration: SimTime::from_nanos(config.xor_time_per_chunk.as_nanos() * xor_chunks),
             });
             script.ops.push(Op::Write {
                 chunk: ChunkId::new(scheme.stripe, repair.target),
@@ -250,7 +248,10 @@ mod tests {
         let scripts = build_scripts(
             std::slice::from_ref(&scheme),
             &dict,
-            &ExecConfig { workers: 4, ..Default::default() },
+            &ExecConfig {
+                workers: 4,
+                ..Default::default()
+            },
         );
         // One stripe → one busy worker.
         let busy: Vec<&WorkerScript> = scripts.iter().filter(|s| !s.ops.is_empty()).collect();
@@ -274,7 +275,10 @@ mod tests {
         let scripts = build_scripts(
             std::slice::from_ref(&scheme),
             &dict,
-            &ExecConfig { workers: 1, ..Default::default() },
+            &ExecConfig {
+                workers: 1,
+                ..Default::default()
+            },
         );
         for op in &scripts[0].ops {
             if let Op::Read { chunk, priority } = op {
@@ -293,7 +297,14 @@ mod tests {
             })
             .collect();
         let dict = PriorityDictionary::from_schemes(&schemes);
-        let scripts = build_scripts(&schemes, &dict, &ExecConfig { workers: 3, ..Default::default() });
+        let scripts = build_scripts(
+            &schemes,
+            &dict,
+            &ExecConfig {
+                workers: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(scripts.len(), 3);
         for s in &scripts {
             assert!(!s.ops.is_empty(), "every worker gets stripes");
@@ -309,7 +320,10 @@ mod tests {
         let scripts = build_scripts(
             std::slice::from_ref(&scheme),
             &dict,
-            &ExecConfig { workers: 128, ..Default::default() },
+            &ExecConfig {
+                workers: 128,
+                ..Default::default()
+            },
         );
         assert_eq!(scripts.len(), 1, "no point in more workers than stripes");
     }

@@ -98,7 +98,10 @@ mod tests {
         }
         plan.apply(&code, &mut damaged).unwrap();
         for &c in &lost {
-            assert_eq!(damaged.get(code.layout(), c), pristine.get(code.layout(), c));
+            assert_eq!(
+                damaged.get(code.layout(), c),
+                pristine.get(code.layout(), c)
+            );
         }
     }
 

@@ -37,11 +37,11 @@ pub mod scheme;
 pub mod scrub;
 
 pub use controller::{RecoveryController, StripePlan};
-pub use joint::JointRepair;
 pub use degraded::{degrade_script, LostMap};
 pub use disk_rebuild::{rebuild_campaign, rebuild_read_ratio, rebuild_schemes};
 pub use error::{ErrorGroup, PartialStripeError, StripeDamage};
 pub use exec::{apply_scheme, build_scripts, build_scripts_from_plans, ExecConfig};
+pub use joint::JointRepair;
 pub use parallel::{assign_round_robin, generate_schemes_parallel};
 pub use priority::PriorityDictionary;
 pub use scheme::{ChunkRepair, RecoveryScheme, SchemeError, SchemeKind};

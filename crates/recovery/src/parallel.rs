@@ -43,7 +43,9 @@ pub fn generate_schemes_parallel(
         return Ok(Vec::new());
     }
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         threads
     }

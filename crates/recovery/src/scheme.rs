@@ -151,7 +151,14 @@ pub fn generate_for_cells(
         SchemeKind::Typical => plan(code, &lost, |i, menu, _| {
             // Horizontal if available, else first available family.
             let _ = i;
-            pick_in_order(menu, [Direction::Horizontal, Direction::Diagonal, Direction::AntiDiagonal])
+            pick_in_order(
+                menu,
+                [
+                    Direction::Horizontal,
+                    Direction::Diagonal,
+                    Direction::AntiDiagonal,
+                ],
+            )
         }),
         SchemeKind::FbfCycling => plan(code, &lost, |i, menu, _| {
             // Cycle H, D, A by position within the error run.
@@ -174,7 +181,11 @@ pub fn generate_for_cells(
                 .cloned()
         }),
     }?;
-    Ok(RecoveryScheme { stripe, kind, repairs })
+    Ok(RecoveryScheme {
+        stripe,
+        kind,
+        repairs,
+    })
 }
 
 /// Shared planning loop: repeatedly pick a repair for the first still-lost
@@ -183,7 +194,11 @@ pub fn generate_for_cells(
 /// `chooser(position, menu, scheduled_reads)` selects among the per-
 /// direction best options; `position` is the index of the target within the
 /// original error run (drives FBF's direction cycling).
-fn plan<F>(code: &StripeCode, lost: &[Cell], mut chooser: F) -> Result<Vec<ChunkRepair>, SchemeError>
+fn plan<F>(
+    code: &StripeCode,
+    lost: &[Cell],
+    mut chooser: F,
+) -> Result<Vec<ChunkRepair>, SchemeError>
 where
     F: FnMut(usize, &[Option<RepairOption>; 3], &HashSet<Cell>) -> Option<RepairOption>,
 {
@@ -212,13 +227,8 @@ where
 }
 
 /// First available option in the given direction preference order.
-fn pick_in_order(
-    menu: &[Option<RepairOption>; 3],
-    order: [Direction; 3],
-) -> Option<RepairOption> {
-    order
-        .into_iter()
-        .find_map(|d| menu[d.index()].clone())
+fn pick_in_order(menu: &[Option<RepairOption>; 3], order: [Direction; 3]) -> Option<RepairOption> {
+    order.into_iter().find_map(|d| menu[d.index()].clone())
 }
 
 #[cfg(test)]
@@ -253,7 +263,10 @@ mod tests {
         assert_eq!(s.repairs.len(), 5);
         let dirs: std::collections::HashSet<Direction> =
             s.repairs.iter().map(|r| r.option.direction).collect();
-        assert!(dirs.len() >= 2, "cycling must use multiple directions: {dirs:?}");
+        assert!(
+            dirs.len() >= 2,
+            "cycling must use multiple directions: {dirs:?}"
+        );
     }
 
     #[test]
@@ -269,7 +282,11 @@ mod tests {
                 fbf.shared_savings() > 0,
                 "{spec:?}: FBF scheme must share chunks"
             );
-            assert_eq!(typical.shared_savings(), 0, "{spec:?}: horizontal chains never overlap");
+            assert_eq!(
+                typical.shared_savings(),
+                0,
+                "{spec:?}: horizontal chains never overlap"
+            );
             assert!(
                 fbf.unique_reads() <= typical.unique_reads() + fbf.shared_savings(),
                 "{spec:?}"

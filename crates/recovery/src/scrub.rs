@@ -44,17 +44,15 @@ pub enum ScrubOutcome {
 
 /// Chains whose XOR equation does not hold for this stripe.
 pub fn violated_chains(code: &StripeCode, stripe: &Stripe) -> BTreeSet<ChainId> {
-    fbf_codes::encode::verify(code, stripe).into_iter().collect()
+    fbf_codes::encode::verify(code, stripe)
+        .into_iter()
+        .collect()
 }
 
 /// Candidate corruption sets of size ≤ `max_cells` whose combined coverage
 /// equals `violated`. Sorted smallest-first, so single-cell explanations
 /// precede pair explanations.
-pub fn locate(
-    code: &StripeCode,
-    violated: &BTreeSet<ChainId>,
-    max_cells: usize,
-) -> Vec<Vec<Cell>> {
+pub fn locate(code: &StripeCode, violated: &BTreeSet<ChainId>, max_cells: usize) -> Vec<Vec<Cell>> {
     if violated.is_empty() {
         return Vec::new();
     }
@@ -85,8 +83,7 @@ pub fn locate(
                     continue;
                 }
                 let union: BTreeSet<ChainId> = ca.union(&cb).copied().collect();
-                let symdiff: BTreeSet<ChainId> =
-                    ca.symmetric_difference(&cb).copied().collect();
+                let symdiff: BTreeSet<ChainId> = ca.symmetric_difference(&cb).copied().collect();
                 if union == *violated || symdiff == *violated {
                     candidates.push(vec![cells[i], cells[j]]);
                 }
@@ -197,7 +194,12 @@ mod tests {
         let (code, mut stripe) = encoded(CodeSpec::Tip, 7);
         // Corrupt four cells: beyond the max_cells=1 search bound; the
         // combined pattern should not be explainable by a single cell.
-        for cell in [Cell::new(0, 1), Cell::new(2, 3), Cell::new(4, 2), Cell::new(5, 4)] {
+        for cell in [
+            Cell::new(0, 1),
+            Cell::new(2, 3),
+            Cell::new(4, 2),
+            Cell::new(5, 4),
+        ] {
             corrupt(&code, &mut stripe, cell);
         }
         match scrub(&code, &mut stripe, 1) {

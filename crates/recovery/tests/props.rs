@@ -5,9 +5,7 @@ use fbf_codes::encode::encode;
 use fbf_codes::{Cell, CodeSpec, Stripe, StripeCode};
 use fbf_recovery::scheme::generate_for_cells;
 use fbf_recovery::scrub::{scrub, ScrubOutcome};
-use fbf_recovery::{
-    apply_scheme, ErrorGroup, PartialStripeError, RecoveryController, SchemeKind,
-};
+use fbf_recovery::{apply_scheme, ErrorGroup, PartialStripeError, RecoveryController, SchemeKind};
 use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = CodeSpec> {

@@ -63,10 +63,15 @@ pub fn generate_app_reads(code: &StripeCode, cfg: &AppIoConfig) -> WorkerScript 
             priority: 1,
         });
         if cfg.think_time > SimTime::ZERO {
-            ops.push(Op::Compute { duration: cfg.think_time });
+            ops.push(Op::Compute {
+                duration: cfg.think_time,
+            });
         }
     }
-    WorkerScript { ops, ..Default::default() }
+    WorkerScript {
+        ops,
+        ..Default::default()
+    }
 }
 
 #[cfg(test)]
@@ -80,7 +85,10 @@ mod tests {
 
     #[test]
     fn produces_requested_reads() {
-        let cfg = AppIoConfig { reads: 100, ..Default::default() };
+        let cfg = AppIoConfig {
+            reads: 100,
+            ..Default::default()
+        };
         let s = generate_app_reads(&code(), &cfg);
         assert_eq!(s.reads(), 100);
     }
@@ -88,7 +96,10 @@ mod tests {
     #[test]
     fn reads_target_data_cells_only() {
         let c = code();
-        let cfg = AppIoConfig { reads: 500, ..Default::default() };
+        let cfg = AppIoConfig {
+            reads: 500,
+            ..Default::default()
+        };
         let s = generate_app_reads(&c, &cfg);
         for op in &s.ops {
             if let Op::Read { chunk, .. } = op {
@@ -125,7 +136,11 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let c = code();
-        let cfg = AppIoConfig { reads: 50, seed: 9, ..Default::default() };
+        let cfg = AppIoConfig {
+            reads: 50,
+            seed: 9,
+            ..Default::default()
+        };
         assert_eq!(generate_app_reads(&c, &cfg), generate_app_reads(&c, &cfg));
     }
 

@@ -269,7 +269,13 @@ mod tests {
         assert_eq!(damages.len(), 100);
         for d in &damages {
             let cols: HashSet<u16> = d.cells.iter().map(|c| c.col).collect();
-            assert_eq!(cols.len(), 2, "stripe {} damage on {} disks", d.stripe, cols.len());
+            assert_eq!(
+                cols.len(),
+                2,
+                "stripe {} damage on {} disks",
+                d.stripe,
+                cols.len()
+            );
         }
     }
 

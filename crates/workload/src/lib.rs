@@ -20,6 +20,6 @@ pub mod app_io;
 pub mod errors;
 pub mod trace;
 
-pub use app_io::{AppIoConfig, generate_app_reads};
-pub use errors::{ErrorGenConfig, LengthDistribution, generate_errors};
+pub use app_io::{generate_app_reads, AppIoConfig};
+pub use errors::{generate_errors, ErrorGenConfig, LengthDistribution};
 pub use trace::{parse_trace, render_trace};

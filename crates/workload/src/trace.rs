@@ -12,7 +12,10 @@ pub fn render_trace(group: &ErrorGroup) -> String {
     out.push_str("# fbf partial-stripe error trace v1\n");
     out.push_str("# stripe col first_row len\n");
     for e in &group.errors {
-        out.push_str(&format!("{} {} {} {}\n", e.stripe, e.col, e.first_row, e.len));
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            e.stripe, e.col, e.first_row, e.len
+        ));
     }
     out
 }
@@ -28,7 +31,11 @@ pub fn parse_trace(text: &str) -> Result<ErrorGroup, String> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 4 {
-            return Err(format!("line {}: expected 4 fields, got {}", lineno + 1, fields.len()));
+            return Err(format!(
+                "line {}: expected 4 fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
         }
         let parse = |i: usize| -> Result<usize, String> {
             fields[i]
@@ -40,7 +47,12 @@ pub fn parse_trace(text: &str) -> Result<ErrorGroup, String> {
         if len == 0 {
             return Err(format!("line {}: zero-length error", lineno + 1));
         }
-        group.push(PartialStripeError { stripe, col, first_row, len });
+        group.push(PartialStripeError {
+            stripe,
+            col,
+            first_row,
+            len,
+        });
     }
     Ok(group)
 }

@@ -27,18 +27,20 @@ fn main() {
         }
     };
 
+    let base = ExperimentConfig::builder()
+        .code(CodeSpec::TripleStar)
+        .p(11)
+        .stripes(2048)
+        .error_count(256)
+        .workers(64);
     let configs: Vec<ExperimentConfig> = sizes
         .iter()
         .flat_map(|&mb| {
-            PolicyKind::ALL.iter().map(move |&policy| ExperimentConfig {
-                code: CodeSpec::TripleStar,
-                p: 11,
-                policy,
-                cache_mb: mb,
-                stripes: 2048,
-                error_count: 256,
-                workers: 64,
-                ..Default::default()
+            PolicyKind::ALL.iter().map(move |&policy| {
+                base.policy(policy)
+                    .cache_mb(mb)
+                    .build()
+                    .expect("grid point is valid")
             })
         })
         .collect();

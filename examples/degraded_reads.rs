@@ -41,8 +41,7 @@ fn main() {
             seed: 3,
         },
     );
-    let (degraded_app, count) =
-        degrade_script(&code, &app, &lost, &dict, SimTime::from_micros(8));
+    let (degraded_app, count) = degrade_script(&code, &app, &lost, &dict, SimTime::from_micros(8));
     println!(
         "application: {} reads, {} degraded into chain fan-outs ({:.1}%)\n",
         app.reads(),
@@ -55,8 +54,14 @@ fn main() {
         &["policy", "hit_ratio", "disk_reads", "makespan_s"],
     );
     for policy in PolicyKind::ALL {
-        let mut scripts =
-            build_scripts(&schemes, &dict, &ExecConfig { workers: 16, ..Default::default() });
+        let mut scripts = build_scripts(
+            &schemes,
+            &dict,
+            &ExecConfig {
+                workers: 16,
+                ..Default::default()
+            },
+        );
         scripts.push(degraded_app.clone());
         let engine = Engine::new(EngineConfig {
             sharing: CacheSharing::Shared,

@@ -16,8 +16,7 @@ use fbf::core::report::f;
 use fbf::core::Table;
 use fbf::disksim::{ArrayMapping, Engine, EngineConfig};
 use fbf::recovery::{
-    build_scripts, rebuild_read_ratio, rebuild_schemes, ExecConfig, PriorityDictionary,
-    SchemeKind,
+    build_scripts, rebuild_read_ratio, rebuild_schemes, ExecConfig, PriorityDictionary, SchemeKind,
 };
 
 fn main() {
@@ -32,8 +31,14 @@ fn main() {
         let code = StripeCode::build(spec, 11).expect("prime");
         ratios.push_row(vec![
             spec.name().to_string(),
-            f(rebuild_read_ratio(&code, 0, SchemeKind::FbfCycling).expect("scheme"), 3),
-            f(rebuild_read_ratio(&code, 0, SchemeKind::Greedy).expect("scheme"), 3),
+            f(
+                rebuild_read_ratio(&code, 0, SchemeKind::FbfCycling).expect("scheme"),
+                3,
+            ),
+            f(
+                rebuild_read_ratio(&code, 0, SchemeKind::Greedy).expect("scheme"),
+                3,
+            ),
         ]);
     }
     println!("{}", ratios.render());
@@ -42,7 +47,14 @@ fn main() {
     let code = StripeCode::build(CodeSpec::Tip, 11).expect("prime");
     let schemes = rebuild_schemes(&code, 0, stripes, SchemeKind::Greedy).expect("schemes");
     let dict = PriorityDictionary::from_schemes(&schemes);
-    let scripts = build_scripts(&schemes, &dict, &ExecConfig { workers: 32, ..Default::default() });
+    let scripts = build_scripts(
+        &schemes,
+        &dict,
+        &ExecConfig {
+            workers: 32,
+            ..Default::default()
+        },
+    );
     let engine = Engine::new(EngineConfig::paper(
         PolicyKind::Fbf,
         64 * 1024 / 32,
@@ -58,5 +70,8 @@ fn main() {
         report.disk_writes,
         report.makespan.as_secs_f64()
     );
-    assert_eq!(report.disk_writes as u64, stripes as u64 * code.rows() as u64);
+    assert_eq!(
+        report.disk_writes as u64,
+        stripes as u64 * code.rows() as u64
+    );
 }

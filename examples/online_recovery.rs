@@ -15,7 +15,9 @@ use fbf::codes::{CodeSpec, StripeCode};
 use fbf::core::report::f;
 use fbf::core::Table;
 use fbf::disksim::{ArrayMapping, Engine, EngineConfig};
-use fbf::recovery::{build_scripts, generate_schemes_parallel, ExecConfig, PriorityDictionary, SchemeKind};
+use fbf::recovery::{
+    build_scripts, generate_schemes_parallel, ExecConfig, PriorityDictionary, SchemeKind,
+};
 use fbf::workload::{generate_app_reads, generate_errors, AppIoConfig, ErrorGenConfig};
 
 fn main() {
@@ -27,19 +29,36 @@ fn main() {
     let schemes =
         generate_schemes_parallel(&code, &errors, SchemeKind::FbfCycling, 0).expect("schemes");
     let dict = PriorityDictionary::from_schemes(&schemes);
-    let mut scripts = build_scripts(&schemes, &dict, &ExecConfig { workers: 32, ..Default::default() });
+    let mut scripts = build_scripts(
+        &schemes,
+        &dict,
+        &ExecConfig {
+            workers: 32,
+            ..Default::default()
+        },
+    );
 
     // Foreground application traffic (hot-spotted reads) as one extra worker.
     let app = generate_app_reads(
         &code,
-        &AppIoConfig { stripes, reads: 2000, seed: 7, ..Default::default() },
+        &AppIoConfig {
+            stripes,
+            reads: 2000,
+            seed: 7,
+            ..Default::default()
+        },
     );
     let app_worker = scripts.len();
     scripts.push(app);
 
     let mut table = Table::new(
         "online recovery — TIP(p=11), 64MB cache, 32 workers + app reader",
-        &["policy", "hit_ratio", "disk_reads", "recon+app makespan (s)"],
+        &[
+            "policy",
+            "hit_ratio",
+            "disk_reads",
+            "recon+app makespan (s)",
+        ],
     );
     for policy in PolicyKind::ALL {
         let engine = Engine::new(EngineConfig::paper(

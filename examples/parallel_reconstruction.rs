@@ -15,23 +15,23 @@ use fbf::core::{run_experiment, ExperimentConfig, Table};
 use fbf::disksim::CacheSharing;
 
 fn main() {
-    let base = ExperimentConfig {
-        code: CodeSpec::Tip,
-        p: 11,
-        policy: PolicyKind::Fbf,
-        cache_mb: 64,
-        stripes: 2048,
-        error_count: 256,
-        ..Default::default()
-    };
+    // A builder is `Copy`, so the base grid point can be re-specialised
+    // per experiment below.
+    let base = ExperimentConfig::builder()
+        .code(CodeSpec::Tip)
+        .p(11)
+        .policy(PolicyKind::Fbf)
+        .cache_mb(64)
+        .stripes(2048)
+        .error_count(256);
 
     let mut scaling = Table::new(
         "SOR worker scaling — TIP(p=11), FBF, 64MB cache",
         &["workers", "reconstruction_s", "speedup", "hit_ratio"],
     );
-    let serial = run_experiment(&ExperimentConfig { workers: 1, ..base }).expect("run");
+    let serial = run_experiment(&base.workers(1).build().expect("config")).expect("run");
     for workers in [1usize, 2, 4, 8, 16, 32, 64, 128] {
-        let m = run_experiment(&ExperimentConfig { workers, ..base }).expect("run");
+        let m = run_experiment(&base.workers(workers).build().expect("config")).expect("run");
         scaling.push_row(vec![
             workers.to_string(),
             f(m.reconstruction_s, 3),
@@ -49,12 +49,8 @@ fn main() {
         ("partitioned", CacheSharing::Partitioned),
         ("shared", CacheSharing::Shared),
     ] {
-        let m = run_experiment(&ExperimentConfig {
-            workers: 64,
-            sharing: mode,
-            ..base
-        })
-        .expect("run");
+        let m =
+            run_experiment(&base.workers(64).sharing(mode).build().expect("config")).expect("run");
         sharing.push_row(vec![
             name.to_string(),
             f(m.hit_ratio, 4),

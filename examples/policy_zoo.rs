@@ -20,18 +20,16 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(32);
 
+    let base = ExperimentConfig::builder()
+        .code(CodeSpec::Tip)
+        .p(11)
+        .cache_mb(cache_mb)
+        .stripes(2048)
+        .error_count(256)
+        .workers(64);
     let configs: Vec<ExperimentConfig> = PolicyKind::EXTENDED
         .iter()
-        .map(|&policy| ExperimentConfig {
-            code: CodeSpec::Tip,
-            p: 11,
-            policy,
-            cache_mb,
-            stripes: 2048,
-            error_count: 256,
-            workers: 64,
-            ..Default::default()
-        })
+        .map(|&policy| base.policy(policy).build().expect("grid point is valid"))
         .collect();
 
     let mut points = sweep(&configs, 0).expect("sweep");
@@ -39,7 +37,14 @@ fn main() {
 
     let mut table = Table::new(
         format!("policy zoo — TIP(p=11), cache {cache_mb}MB, ranked by hit ratio"),
-        &["rank", "policy", "hit_ratio", "disk_reads", "avg_resp_ms", "recon_s"],
+        &[
+            "rank",
+            "policy",
+            "hit_ratio",
+            "disk_reads",
+            "avg_resp_ms",
+            "recon_s",
+        ],
     );
     for (rank, pt) in points.iter().enumerate() {
         table.push_row(vec![

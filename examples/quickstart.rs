@@ -15,7 +15,9 @@ use fbf::cache::PolicyKind;
 use fbf::codes::encode::encode;
 use fbf::codes::{CodeSpec, Stripe, StripeCode};
 use fbf::core::{run_experiment, ExperimentConfig};
-use fbf::recovery::{apply_scheme, scheme::generate, PartialStripeError, PriorityDictionary, SchemeKind};
+use fbf::recovery::{
+    apply_scheme, scheme::generate, PartialStripeError, PriorityDictionary, SchemeKind,
+};
 
 fn main() {
     // 1. TIP-code over p = 5: 6 disks, 4 rows per stripe (paper Fig. 1).
@@ -64,16 +66,16 @@ fn main() {
     println!("all lost chunks recovered bit-for-bit ✓");
 
     // 6. The same scenario at campaign scale, through the simulator.
-    let cfg = ExperimentConfig {
-        code: CodeSpec::Tip,
-        p: 5,
-        policy: PolicyKind::Fbf,
-        cache_mb: 16,
-        stripes: 512,
-        error_count: 128,
-        workers: 16,
-        ..Default::default()
-    };
+    let cfg = ExperimentConfig::builder()
+        .code(CodeSpec::Tip)
+        .p(5)
+        .policy(PolicyKind::Fbf)
+        .cache_mb(16)
+        .stripes(512)
+        .error_count(128)
+        .workers(16)
+        .build()
+        .expect("valid configuration");
     let metrics = run_experiment(&cfg).expect("simulation");
     println!("\nsimulated campaign ({}):", cfg.describe());
     println!("  {metrics}");

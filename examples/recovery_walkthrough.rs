@@ -13,12 +13,21 @@ use fbf::recovery::{scheme::generate, PartialStripeError, PriorityDictionary, Sc
 fn walkthrough(spec: CodeSpec, p: usize, error_len: usize, figure: &str) {
     let code = StripeCode::build(spec, p).expect("prime");
     println!("=== {figure}: {} ===", code.describe());
-    println!("layout ({} rows x {} disks):\n{}", code.rows(), code.cols(), code.layout().ascii_art());
+    println!(
+        "layout ({} rows x {} disks):\n{}",
+        code.rows(),
+        code.cols(),
+        code.layout().ascii_art()
+    );
 
     let error = PartialStripeError::new(&code, 0, 0, 0, error_len).expect("in bounds");
     println!("partial stripe error: {error}\n");
 
-    for kind in [SchemeKind::Typical, SchemeKind::FbfCycling, SchemeKind::Greedy] {
+    for kind in [
+        SchemeKind::Typical,
+        SchemeKind::FbfCycling,
+        SchemeKind::Greedy,
+    ] {
         let scheme = generate(&code, &error, kind).expect("schedulable");
         println!("{} scheme:", kind.name());
         for r in &scheme.repairs {
@@ -44,7 +53,11 @@ fn walkthrough(spec: CodeSpec, p: usize, error_len: usize, figure: &str) {
                 let names: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
                 println!(
                     "    priority {prio}: {}",
-                    if names.is_empty() { "(none)".into() } else { names.join(", ") }
+                    if names.is_empty() {
+                        "(none)".into()
+                    } else {
+                        names.join(", ")
+                    }
                 );
             }
             println!();

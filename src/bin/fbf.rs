@@ -18,7 +18,9 @@
 use fbf::cache::PolicyKind;
 use fbf::codes::{CodeSpec, StripeCode};
 use fbf::core::report::f;
-use fbf::core::{run_experiment, sweep, ExperimentConfig, ReliabilityParams, Table};
+use fbf::core::{
+    run_experiment, sweep, ExperimentConfig, ExperimentConfigBuilder, ReliabilityParams, Table,
+};
 use fbf::recovery::{scheme::generate, PartialStripeError, PriorityDictionary, SchemeKind};
 use fbf::workload::{generate_errors, render_trace, ErrorGenConfig};
 
@@ -100,20 +102,14 @@ fn parse_scheme(s: &str) -> Option<SchemeKind> {
 
 /// Build a code from two positional args, reporting errors to stderr.
 fn build_code(args: &[String]) -> Result<StripeCode, i32> {
-    let spec = args
-        .first()
-        .and_then(|s| parse_code(s))
-        .ok_or_else(|| {
-            eprintln!("expected a code name (tip/hdd1/triplestar/star/rdp/evenodd)");
-            2
-        })?;
-    let p: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| {
-            eprintln!("expected a prime p");
-            2
-        })?;
+    let spec = args.first().and_then(|s| parse_code(s)).ok_or_else(|| {
+        eprintln!("expected a code name (tip/hdd1/triplestar/star/rdp/evenodd)");
+        2
+    })?;
+    let p: usize = args.get(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+        eprintln!("expected a prime p");
+        2
+    })?;
     StripeCode::build(spec, p).map_err(|e| {
         eprintln!("cannot build {spec}: {e}");
         1
@@ -125,7 +121,13 @@ fn cmd_layout(args: &[String]) -> i32 {
         Ok(c) => c,
         Err(rc) => return rc,
     };
-    println!("{}  ({} rows x {} disks, tolerates {} failures)", code.describe(), code.rows(), code.cols(), code.spec().fault_tolerance());
+    println!(
+        "{}  ({} rows x {} disks, tolerates {} failures)",
+        code.describe(),
+        code.rows(),
+        code.cols(),
+        code.spec().fault_tolerance()
+    );
     println!("{}", code.layout().ascii_art());
     let mut per_dir = [0usize; 3];
     for chain in code.chains() {
@@ -135,8 +137,8 @@ fn cmd_layout(args: &[String]) -> i32 {
         "chains: {} horizontal, {} diagonal, {} anti-diagonal",
         per_dir[0], per_dir[1], per_dir[2]
     );
-    let avg_len: f64 = code.chains().iter().map(|c| c.len() as f64).sum::<f64>()
-        / code.chains().len() as f64;
+    let avg_len: f64 =
+        code.chains().iter().map(|c| c.len() as f64).sum::<f64>() / code.chains().len() as f64;
     println!("average chain length: {avg_len:.2} members");
     0
 }
@@ -176,7 +178,12 @@ fn cmd_plan(args: &[String]) -> i32 {
     println!("{} / {} scheme for {error}:", code.describe(), kind.name());
     for r in &scheme.repairs {
         let reads: Vec<String> = r.option.reads.iter().map(|c| c.to_string()).collect();
-        println!("  {} via {:>13}: {}", r.target, r.option.direction.to_string(), reads.join(" "));
+        println!(
+            "  {} via {:>13}: {}",
+            r.target,
+            r.option.direction.to_string(),
+            reads.join(" ")
+        );
     }
     println!(
         "totals: {} slots / {} distinct / {} saved",
@@ -212,41 +219,54 @@ fn cmd_trace(args: &[String]) -> i32 {
     0
 }
 
-/// Parse `key=value` arguments over an [`ExperimentConfig`].
-fn parse_kv(args: &[String], cfg: &mut ExperimentConfig) -> Result<(), i32> {
+/// Parse `key=value` arguments into an [`ExperimentConfigBuilder`]
+/// (starting from the paper's defaults). Validation happens in
+/// [`build_or_report`], so a bad combination fails with a typed message
+/// before any work starts.
+fn parse_kv(args: &[String]) -> Result<ExperimentConfigBuilder, i32> {
+    let mut builder = ExperimentConfig::builder();
     for arg in args {
         let Some((k, v)) = arg.split_once('=') else {
             eprintln!("expected key=value, got `{arg}`");
             return Err(2);
         };
-        let ok = match k {
-            "code" => parse_code(v).map(|c| cfg.code = c).is_some(),
-            "p" => v.parse().map(|p| cfg.p = p).is_ok(),
-            "policy" => parse_policy(v).map(|p| cfg.policy = p).is_some(),
-            "scheme" => parse_scheme(v).map(|s| cfg.scheme = s).is_some(),
-            "cache" | "cache_mb" => v.parse().map(|c| cfg.cache_mb = c).is_ok(),
-            "stripes" => v.parse().map(|s| cfg.stripes = s).is_ok(),
-            "errors" => v.parse().map(|e| cfg.error_count = e).is_ok(),
-            "workers" => v.parse().map(|w| cfg.workers = w).is_ok(),
-            "seed" => v.parse().map(|s| cfg.seed = s).is_ok(),
+        let next = match k {
+            "code" => parse_code(v).map(|c| builder.code(c)),
+            "p" => v.parse().ok().map(|p| builder.p(p)),
+            "policy" => parse_policy(v).map(|p| builder.policy(p)),
+            "scheme" => parse_scheme(v).map(|s| builder.scheme(s)),
+            "cache" | "cache_mb" => v.parse().ok().map(|c| builder.cache_mb(c)),
+            "stripes" => v.parse().ok().map(|s| builder.stripes(s)),
+            "errors" => v.parse().ok().map(|e| builder.error_count(e)),
+            "workers" => v.parse().ok().map(|w| builder.workers(w)),
+            "seed" => v.parse().ok().map(|s| builder.seed(s)),
             _ => {
                 eprintln!("unknown key `{k}`");
                 return Err(2);
             }
         };
-        if !ok {
+        let Some(b) = next else {
             eprintln!("bad value for `{k}`: `{v}`");
             return Err(2);
-        }
+        };
+        builder = b;
     }
-    Ok(())
+    Ok(builder)
+}
+
+/// Finish a builder, turning a [`ConfigError`] into exit code 2.
+fn build_or_report(builder: ExperimentConfigBuilder) -> Result<ExperimentConfig, i32> {
+    builder.build().map_err(|e| {
+        eprintln!("invalid configuration: {e}");
+        2
+    })
 }
 
 fn cmd_run(args: &[String]) -> i32 {
-    let mut cfg = ExperimentConfig::default();
-    if let Err(rc) = parse_kv(args, &mut cfg) {
-        return rc;
-    }
+    let cfg = match parse_kv(args).and_then(build_or_report) {
+        Ok(c) => c,
+        Err(rc) => return rc,
+    };
     println!("running {}", cfg.describe());
     match run_experiment(&cfg) {
         Ok(m) => {
@@ -269,17 +289,25 @@ fn cmd_run(args: &[String]) -> i32 {
 }
 
 fn cmd_sweep(args: &[String]) -> i32 {
-    let mut base = ExperimentConfig::default();
-    if let Err(rc) = parse_kv(args, &mut base) {
-        return rc;
-    }
+    let builder = match parse_kv(args) {
+        Ok(b) => b,
+        Err(rc) => return rc,
+    };
+    let base = match build_or_report(builder) {
+        Ok(c) => c,
+        Err(rc) => return rc,
+    };
     let sizes = [2usize, 8, 32, 64, 128, 256, 512, 2048];
     let configs: Vec<ExperimentConfig> = sizes
         .iter()
         .flat_map(|&mb| {
-            PolicyKind::ALL
-                .iter()
-                .map(move |&policy| ExperimentConfig { policy, cache_mb: mb, ..base })
+            PolicyKind::ALL.iter().map(move |&policy| {
+                builder
+                    .policy(policy)
+                    .cache_mb(mb)
+                    .build()
+                    .expect("validated base stays valid across the grid")
+            })
         })
         .collect();
     let points = match sweep(&configs, 0) {
@@ -352,7 +380,10 @@ fn cmd_mttdl(args: &[String]) -> i32 {
             mttr_hours: mttr,
             ..ReliabilityParams::nearline_3dft(disks)
         };
-        table.push_row(vec![ft.to_string(), format!("{:.3e}", fbf::core::mttdl_years(&p))]);
+        table.push_row(vec![
+            ft.to_string(),
+            format!("{:.3e}", fbf::core::mttdl_years(&p)),
+        ]);
     }
     println!("{}", table.render());
     0

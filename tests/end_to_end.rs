@@ -101,17 +101,17 @@ fn campaign_priorities_match_brute_force() {
 /// one spare write per lost chunk, reads bounded by the campaign's slots.
 #[test]
 fn simulated_experiment_is_consistent() {
-    let cfg = ExperimentConfig {
-        code: CodeSpec::Hdd1,
-        p: 7,
-        policy: PolicyKind::Fbf,
-        cache_mb: 16,
-        stripes: 256,
-        error_count: 64,
-        workers: 16,
-        gen_threads: 1,
-        ..Default::default()
-    };
+    let cfg = ExperimentConfig::builder()
+        .code(CodeSpec::Hdd1)
+        .p(7)
+        .policy(PolicyKind::Fbf)
+        .cache_mb(16)
+        .stripes(256)
+        .error_count(64)
+        .workers(16)
+        .gen_threads(1)
+        .build()
+        .unwrap();
     let a = run_experiment(&cfg).unwrap();
     let b = run_experiment(&cfg).unwrap();
     assert_eq!(a.disk_reads, b.disk_reads);
@@ -140,19 +140,22 @@ fn trace_replay_reproduces_schemes() {
 fn all_policies_recover_the_same_campaign() {
     let mut writes = Vec::new();
     for policy in PolicyKind::ALL {
-        let cfg = ExperimentConfig {
-            policy,
-            cache_mb: 8,
-            stripes: 128,
-            error_count: 32,
-            workers: 8,
-            gen_threads: 1,
-            ..Default::default()
-        };
+        let cfg = ExperimentConfig::builder()
+            .policy(policy)
+            .cache_mb(8)
+            .stripes(128)
+            .error_count(32)
+            .workers(8)
+            .gen_threads(1)
+            .build()
+            .unwrap();
         let m = run_experiment(&cfg).unwrap();
         writes.push(m.disk_writes);
     }
-    assert!(writes.windows(2).all(|w| w[0] == w[1]), "writes differ: {writes:?}");
+    assert!(
+        writes.windows(2).all(|w| w[0] == w[1]),
+        "writes differ: {writes:?}"
+    );
 }
 
 /// FBF generalises to two-direction RAID-6 codes (RDP, EVENODD): schemes
@@ -176,21 +179,24 @@ fn raid6_generality() {
         }
         apply_scheme(&code, &mut damaged, &scheme).unwrap();
         for cell in error.cells() {
-            assert_eq!(damaged.get(code.layout(), cell), pristine.get(code.layout(), cell));
+            assert_eq!(
+                damaged.get(code.layout(), cell),
+                pristine.get(code.layout(), cell)
+            );
         }
 
         // And the full simulated pipeline runs.
-        let cfg = ExperimentConfig {
-            code: spec,
-            p: 7,
-            policy: PolicyKind::Fbf,
-            cache_mb: 16,
-            stripes: 128,
-            error_count: 32,
-            workers: 8,
-            gen_threads: 1,
-            ..Default::default()
-        };
+        let cfg = ExperimentConfig::builder()
+            .code(spec)
+            .p(7)
+            .policy(PolicyKind::Fbf)
+            .cache_mb(16)
+            .stripes(128)
+            .error_count(32)
+            .workers(8)
+            .gen_threads(1)
+            .build()
+            .unwrap();
         let m = run_experiment(&cfg).unwrap();
         assert_eq!(m.disk_writes as usize, m.chunks_recovered, "{spec:?}");
     }
@@ -210,8 +216,7 @@ fn multi_disk_stripe_damage_recovers() {
     let campaign = generate_errors(&code, &cfg);
     let damages = campaign.damage_by_stripe();
     assert_eq!(damages.len(), 32);
-    let schemes =
-        generate_schemes_parallel(&code, &campaign, SchemeKind::FbfCycling, 2).unwrap();
+    let schemes = generate_schemes_parallel(&code, &campaign, SchemeKind::FbfCycling, 2).unwrap();
 
     for (damage, scheme) in damages.iter().zip(&schemes) {
         let mut pristine = Stripe::patterned(code.layout(), 32);
@@ -235,14 +240,14 @@ fn multi_disk_stripe_damage_recovers() {
 /// The verified-campaign API certifies a full experiment's data path.
 #[test]
 fn verify_campaign_certifies_bytes() {
-    let cfg = ExperimentConfig {
-        code: CodeSpec::Star,
-        p: 7,
-        stripes: 96,
-        error_count: 32,
-        gen_threads: 1,
-        ..Default::default()
-    };
+    let cfg = ExperimentConfig::builder()
+        .code(CodeSpec::Star)
+        .p(7)
+        .stripes(96)
+        .error_count(32)
+        .gen_threads(1)
+        .build()
+        .unwrap();
     let report = fbf::core::verify_campaign(&cfg).unwrap();
     assert_eq!(report.stripes, 32);
     // The same config simulates with identical chunk accounting.
@@ -261,13 +266,22 @@ fn star_multi_disk_campaign_uses_joint_fallback() {
     let code = StripeCode::build(CodeSpec::Star, 7).unwrap();
     let campaign = generate_errors(
         &code,
-        &ErrorGenConfig { multi_col_prob: 1.0, ..ErrorGenConfig::paper_default(256, 64, 99) },
+        &ErrorGenConfig {
+            multi_col_prob: 1.0,
+            ..ErrorGenConfig::paper_default(256, 64, 99)
+        },
     );
     let mut ctl = RecoveryController::new(&code, SchemeKind::FbfCycling);
     let (plans, dict) = ctl.plan_campaign_with_fallback(&campaign);
     assert_eq!(plans.len(), 64);
-    let joints = plans.iter().filter(|p| matches!(p, StripePlan::Joint(_))).count();
-    assert!(joints > 0, "expected some unorderable STAR patterns in 64 stripes");
+    let joints = plans
+        .iter()
+        .filter(|p| matches!(p, StripePlan::Joint(_)))
+        .count();
+    assert!(
+        joints > 0,
+        "expected some unorderable STAR patterns in 64 stripes"
+    );
     assert!(joints < plans.len(), "most patterns should still chain");
 
     // Byte-exact recovery through both plan kinds.
@@ -298,7 +312,14 @@ fn star_multi_disk_campaign_uses_joint_fallback() {
     }
 
     // And the simulator runs the mixed plan set.
-    let scripts = build_scripts_from_plans(&plans, &dict, &ExecConfig { workers: 16, ..Default::default() });
+    let scripts = build_scripts_from_plans(
+        &plans,
+        &dict,
+        &ExecConfig {
+            workers: 16,
+            ..Default::default()
+        },
+    );
     let engine = fbf::disksim::Engine::new(fbf::disksim::EngineConfig::paper(
         PolicyKind::Fbf,
         512,
@@ -306,6 +327,10 @@ fn star_multi_disk_campaign_uses_joint_fallback() {
         256,
     ));
     let report = engine.run(&scripts);
-    let expected_writes: usize = campaign.damage_by_stripe().iter().map(|d| d.cells.len()).sum();
+    let expected_writes: usize = campaign
+        .damage_by_stripe()
+        .iter()
+        .map(|d| d.cells.len())
+        .sum();
     assert_eq!(report.disk_writes as usize, expected_writes);
 }

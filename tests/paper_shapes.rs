@@ -7,17 +7,17 @@ use fbf::codes::CodeSpec;
 use fbf::core::{run_experiment, ExperimentConfig};
 
 fn cfg(policy: PolicyKind, cache_mb: usize, p: usize, code: CodeSpec) -> ExperimentConfig {
-    ExperimentConfig {
-        code,
-        p,
-        policy,
-        cache_mb,
-        stripes: 1024,
-        error_count: 192,
-        workers: 32,
-        gen_threads: 1,
-        ..Default::default()
-    }
+    ExperimentConfig::builder()
+        .code(code)
+        .p(p)
+        .policy(policy)
+        .cache_mb(cache_mb)
+        .stripes(1024)
+        .error_count(192)
+        .workers(32)
+        .gen_threads(1)
+        .build()
+        .expect("shape-test configuration is valid")
 }
 
 /// Fig. 8's headline: at a limited cache size, FBF's hit ratio beats every
@@ -113,7 +113,11 @@ fn star_plateau_exceeds_tip() {
 fn overhead_small_and_growing_with_p() {
     let m5 = run_experiment(&cfg(PolicyKind::Fbf, 64, 5, CodeSpec::Tip)).unwrap();
     let m13 = run_experiment(&cfg(PolicyKind::Fbf, 64, 13, CodeSpec::Tip)).unwrap();
-    assert!(m5.overhead_pct < 10.0, "overhead {}% too large", m5.overhead_pct);
+    assert!(
+        m5.overhead_pct < 10.0,
+        "overhead {}% too large",
+        m5.overhead_pct
+    );
     assert!(m13.overhead_pct < 10.0);
     assert!(
         m13.overhead_per_stripe_ms >= m5.overhead_per_stripe_ms,

@@ -83,7 +83,7 @@ proptest! {
             let hit = policy.on_access(k);
             prop_assert_eq!(hit, resident_before, "access outcome vs contains");
             if !hit {
-                let evicted = policy.on_insert(k, prio);
+                let evicted = policy.on_insert(k, prio).evicted();
                 if let Some(v) = evicted {
                     prop_assert!(!policy.contains(&v), "evicted key still resident");
                     prop_assert_ne!(v, k);

@@ -18,13 +18,17 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[] as &[u8]) }
+        Bytes {
+            data: Arc::from(&[] as &[u8]),
+        }
     }
 
     /// Wrap a static slice (copied here; the real crate borrows, but the
     /// observable behaviour — content equality, cheap clones — is the same).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes {
+            data: Arc::from(bytes),
+        }
     }
 
     /// Length in bytes.
@@ -95,7 +99,9 @@ impl BytesMut {
 
     /// An empty buffer with reserved capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(capacity) }
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
     }
 
     /// Append a slice.

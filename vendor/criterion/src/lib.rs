@@ -18,12 +18,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -100,9 +104,15 @@ impl<'a> BenchmarkGroup<'a> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { samples: self.criterion.sample_size, last_mean: Duration::ZERO };
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            last_mean: Duration::ZERO,
+        };
         f(&mut b, input);
-        println!("{}/{}: {:?} (mean of {})", self.name, id, b.last_mean, b.samples);
+        println!(
+            "{}/{}: {:?} (mean of {})",
+            self.name, id, b.last_mean, b.samples
+        );
     }
 
     /// Benchmark a plain routine.
@@ -110,9 +120,15 @@ impl<'a> BenchmarkGroup<'a> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: self.criterion.sample_size, last_mean: Duration::ZERO };
+        let mut b = Bencher {
+            samples: self.criterion.sample_size,
+            last_mean: Duration::ZERO,
+        };
         f(&mut b);
-        println!("{}/{}: {:?} (mean of {})", self.name, id, b.last_mean, b.samples);
+        println!(
+            "{}/{}: {:?} (mean of {})",
+            self.name, id, b.last_mean, b.samples
+        );
     }
 
     /// End the group (stub: nothing to flush).
@@ -145,7 +161,10 @@ impl Criterion {
 
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
     }
 
     /// Benchmark a plain routine outside any group.
@@ -153,7 +172,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: self.sample_size, last_mean: Duration::ZERO };
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: Duration::ZERO,
+        };
         f(&mut b);
         println!("{}: {:?} (mean of {})", id, b.last_mean, b.samples);
     }

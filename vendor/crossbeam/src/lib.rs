@@ -43,7 +43,10 @@ pub mod thread {
             F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
             T: Send + 'scope,
         {
-            let child = Scope { inner: self.inner, panics: Arc::clone(&self.panics) };
+            let child = Scope {
+                inner: self.inner,
+                panics: Arc::clone(&self.panics),
+            };
             let sink = Arc::clone(&self.panics);
             let inner = self.inner.spawn(move || {
                 match catch_unwind(AssertUnwindSafe(|| f(&child))) {
@@ -99,8 +102,10 @@ mod tests {
     fn spawns_and_joins() {
         let data = [1u64, 2, 3, 4];
         let total: u64 = crate::thread::scope(|s| {
-            let handles: Vec<_> =
-                data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();
@@ -118,7 +123,9 @@ mod tests {
     #[test]
     fn nested_spawn_works() {
         let r = crate::thread::scope(|s| {
-            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap()).join().unwrap()
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
         })
         .unwrap();
         assert_eq!(r, 7);

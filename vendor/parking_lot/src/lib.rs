@@ -18,7 +18,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Wrap a value.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: StdMutex::new(value) }
+        Mutex {
+            inner: StdMutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
@@ -57,7 +59,9 @@ pub struct RwLock<T: ?Sized> {
 impl<T> RwLock<T> {
     /// Wrap a value.
     pub const fn new(value: T) -> Self {
-        RwLock { inner: StdRwLock::new(value) }
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.

@@ -166,7 +166,9 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            Xoshiro256 { s: [next(), next(), next(), next()] }
+            Xoshiro256 {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
@@ -215,7 +217,10 @@ mod tests {
     fn bool_probability_sane() {
         let mut rng = StdRng::seed_from_u64(9);
         let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
-        assert!((2000..3000).contains(&hits), "{hits} out of 10000 at p=0.25");
+        assert!(
+            (2000..3000).contains(&hits),
+            "{hits} out of 10000 at p=0.25"
+        );
         assert!(!rng.random_bool(0.0));
         assert!(rng.random_bool(1.0));
     }
