@@ -151,10 +151,46 @@ fn bench_controller_memoisation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_ordered_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordered_queue_churn");
+    // Steady-state churn at realistic occupancy: MRU touches (hit path)
+    // plus evict/insert pairs (miss path), slab vs the map-backed oracle.
+    const OCCUPANCY: usize = 4096;
+    macro_rules! churn {
+        ($group:expr, $label:expr, $queue:ty) => {
+            $group.bench_function($label, |b| {
+                let mut q = <$queue>::new();
+                for i in 0..OCCUPANCY {
+                    q.push_back(key(i as u32, 0, 0));
+                }
+                let mut next_id = OCCUPANCY as u32;
+                b.iter(|| {
+                    for i in (0..OCCUPANCY).step_by(3) {
+                        q.touch(key(i as u32, 0, 0));
+                    }
+                    for _ in 0..OCCUPANCY / 4 {
+                        q.pop_front();
+                        q.push_back(key(next_id, 1, 1));
+                        next_id += 1;
+                    }
+                    while q.len() < OCCUPANCY {
+                        q.push_back(key(next_id, 2, 2));
+                        next_id += 1;
+                    }
+                    black_box(q.len())
+                });
+            });
+        };
+    }
+    churn!(group, "slab", fbf_cache::queue::OrderedQueue);
+    churn!(group, "map_oracle", fbf_cache::queue::oracle::MapQueue);
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_xor, bench_policies, bench_scheme_generation, bench_encode_decode,
-        bench_scrub, bench_controller_memoisation
+    targets = bench_xor, bench_policies, bench_ordered_queue, bench_scheme_generation,
+        bench_encode_decode, bench_scrub, bench_controller_memoisation
 );
 criterion_main!(benches);

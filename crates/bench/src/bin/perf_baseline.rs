@@ -1,0 +1,356 @@
+//! Performance baseline: the PR-3 hot paths, measured before/after.
+//!
+//! Times the structures the simulator hot loop lives in — the recency
+//! queue (slab vs the retained map-backed oracle), a full replacement
+//! policy, the XOR kernels, the event engine, and one Fig. 8-shaped
+//! end-to-end sweep point — and writes a machine-readable snapshot to
+//! `BENCH_<date>.json` at the repo root (schema below). Run via
+//! `scripts/bench.sh` or directly:
+//!
+//! ```text
+//! cargo run --release -p fbf-bench --bin perf_baseline
+//! ```
+//!
+//! Knobs:
+//! * `FBF_BENCH_QUICK=1` — tiny iteration counts (CI smoke; numbers are
+//!   meaningless, only the schema and exit code matter).
+//! * `FBF_BENCH_OUT=<path>` — write the JSON somewhere else.
+//! * `FBF_BENCH_DATE=YYYY-MM-DD` — override the date stamp.
+//!
+//! JSON schema (stable; extend by adding keys, never renaming):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "date": "2026-08-06",
+//!   "commit": "abc123…",
+//!   "machine": { "os": "linux", "arch": "x86_64", "cpus": 16 },
+//!   "benches": [ { "name": "…", "ns_per_op": 12.3, "ops_per_sec": 8.1e7 } ]
+//! }
+//! ```
+
+use fbf_bench::env_usize;
+use fbf_cache::queue::{oracle::MapQueue, OrderedQueue};
+use fbf_cache::{key, PolicyKind};
+use fbf_codes::xor::{is_zero, xor_many};
+use fbf_codes::{Cell, ChunkId};
+use fbf_core::{run_experiment, ExperimentConfig};
+use fbf_disksim::{
+    ArrayMapping, DiskModel, DiskSched, Engine, EngineConfig, EngineScratch, Op, SimTime,
+    WorkerScript,
+};
+use std::time::Instant;
+
+/// One measured benchmark.
+struct Bench {
+    name: &'static str,
+    ns_per_op: f64,
+    ops_per_sec: f64,
+}
+
+/// Time `iters` calls of `op` (after `warmup` unmeasured calls) and
+/// convert to per-"unit" cost — `units_per_iter` lets a single call count
+/// as many logical operations (e.g. one queue churn pass = N ops).
+fn measure<F: FnMut()>(
+    name: &'static str,
+    warmup: usize,
+    iters: usize,
+    units_per_iter: usize,
+    mut op: F,
+) -> Bench {
+    for _ in 0..warmup {
+        op();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let units = (iters * units_per_iter) as f64;
+    let ns_per_op = elapsed / units;
+    Bench {
+        name,
+        ns_per_op,
+        ops_per_sec: 1e9 / ns_per_op,
+    }
+}
+
+/// One churn pass over a queue at `occupancy` resident keys: touch a
+/// striding subset (MRU refresh — the cache-hit path), then evict+insert
+/// (the miss path). Mirrors what every policy does per simulated access.
+macro_rules! queue_churn {
+    ($queue:ty, $occupancy:expr, $passes:expr) => {{
+        let occupancy = $occupancy;
+        let mut q = <$queue>::new();
+        for i in 0..occupancy {
+            q.push_back(key(i as u32, 0, 0));
+        }
+        let mut next_id = occupancy as u32;
+        move || {
+            for p in 0..$passes {
+                // Hit path: refresh every 3rd resident key's recency.
+                for i in ((p % 3)..occupancy).step_by(3) {
+                    q.touch(key(i as u32, 0, 0));
+                }
+                // Miss path: evict LRU, insert fresh.
+                for _ in 0..occupancy / 4 {
+                    q.pop_front();
+                    q.push_back(key(next_id, 1, 1));
+                    next_id += 1;
+                }
+                // Keep the working set stable for the next pass.
+                while q.len() > occupancy {
+                    q.pop_front();
+                }
+                while q.len() < occupancy {
+                    q.push_back(key(next_id, 2, 2));
+                    next_id += 1;
+                }
+            }
+        }
+    }};
+}
+
+fn policy_trace(len: usize) -> Vec<(u32, usize, usize, u8)> {
+    let mut state = 0x3DF7_u64;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (
+                (state >> 8) as u32 % 512,
+                (state >> 20) as usize % 11,
+                (state >> 28) as usize % 13,
+                1 + (state % 3) as u8,
+            )
+        })
+        .collect()
+}
+
+fn engine_scripts(workers: usize, ops: usize) -> Vec<WorkerScript> {
+    let mut state: u64 = 0xE46_14E5;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..workers)
+        .map(|_| {
+            let mut s = WorkerScript::default();
+            for _ in 0..ops {
+                let r = next();
+                let c = ChunkId::new(
+                    (r >> 8) as u32 % 64,
+                    Cell::new((r >> 20) as usize % 7, (r >> 28) as usize % 7),
+                );
+                match r % 4 {
+                    0 | 1 => s.ops.push(Op::Read {
+                        chunk: c,
+                        priority: 1 + (r % 3) as u8,
+                    }),
+                    2 => s.ops.push(Op::Compute {
+                        duration: SimTime::from_micros(100),
+                    }),
+                    _ => s.ops.push(Op::Write { chunk: c }),
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// Civil date (UTC) from the system clock — Howard Hinnant's
+/// `civil_from_days`, so no chrono dependency.
+fn today() -> String {
+    if let Ok(d) = std::env::var("FBF_BENCH_DATE") {
+        return d;
+    }
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn commit_hash() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let quick = std::env::var("FBF_BENCH_QUICK").is_ok_and(|v| v == "1");
+    // Iteration scale: quick mode only proves the harness runs end to end.
+    let scale = if quick { 1 } else { 50 };
+    let occupancy = env_usize("FBF_BENCH_OCCUPANCY", 4096);
+    let passes = 4usize;
+    // Units per churn iter: touches (~occ/3 per pass) + evict/insert pairs.
+    let churn_units = passes * (occupancy / 3 + occupancy / 4 * 2);
+
+    eprintln!(
+        "perf_baseline: occupancy={occupancy}, scale={scale}{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let mut benches = Vec::new();
+
+    benches.push(measure(
+        "queue_slab_churn",
+        scale.min(5),
+        10 * scale,
+        churn_units,
+        queue_churn!(OrderedQueue, occupancy, passes),
+    ));
+    benches.push(measure(
+        "queue_map_churn",
+        scale.min(5),
+        10 * scale,
+        churn_units,
+        queue_churn!(MapQueue, occupancy, passes),
+    ));
+
+    // Full policy under a recurring trace (hits + misses + evictions).
+    let trace = policy_trace(if quick { 2_000 } else { 200_000 });
+    for (bench_name, kind) in [
+        ("policy_fbf_access", PolicyKind::Fbf),
+        ("policy_lru_access", PolicyKind::Lru),
+    ] {
+        let mut policy = kind.build(1024);
+        benches.push(measure(
+            bench_name,
+            1,
+            2 * scale.min(10),
+            trace.len(),
+            || {
+                for &(s, r, c, prio) in &trace {
+                    let k = key(s, r, c);
+                    if !policy.on_access(k) {
+                        policy.on_insert(k, prio);
+                    }
+                }
+            },
+        ));
+    }
+
+    // XOR kernels at the paper's 32 KiB chunk size.
+    let chunk_bytes = 32 * 1024;
+    let srcs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i * 37 + 1; chunk_bytes]).collect();
+    let src_refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+    let mut dst = vec![0u8; chunk_bytes];
+    benches.push(measure(
+        "xor_many_6x32k",
+        scale.min(5),
+        40 * scale,
+        1,
+        || {
+            xor_many(&mut dst, &src_refs);
+            std::hint::black_box(&dst);
+        },
+    ));
+    benches.push(measure("is_zero_32k", scale.min(5), 200 * scale, 1, || {
+        std::hint::black_box(is_zero(std::hint::black_box(&dst)));
+    }));
+
+    // Event engine over a fixed workload, scratch reused like a sweep
+    // worker would.
+    let scripts = engine_scripts(8, if quick { 40 } else { 400 });
+    let events: usize = scripts.iter().map(|s| s.ops.len()).sum();
+    let mut scratch = EngineScratch::new();
+    let engine_cfg = || EngineConfig {
+        sched: DiskSched::Fcfs,
+        disk_model: DiskModel::paper_default(),
+        ..EngineConfig::paper(PolicyKind::Fbf, 256, ArrayMapping::new(7, 7, false), 64)
+    };
+    benches.push(measure("engine_run_8x", 2, scale.min(20), events, || {
+        let report = Engine::new(engine_cfg()).run_with_scratch(&scripts, &mut scratch);
+        std::hint::black_box(report.makespan);
+    }));
+
+    // One Fig. 8-shaped end-to-end point (plan + simulate), env-scaled.
+    let e2e_cfg = ExperimentConfig::builder()
+        .policy(PolicyKind::Fbf)
+        .cache_mb(16)
+        .stripes(env_usize("FBF_STRIPES", if quick { 64 } else { 512 }) as u32)
+        .error_count(env_usize("FBF_ERRORS", if quick { 16 } else { 64 }))
+        .workers(env_usize("FBF_WORKERS", 16))
+        .gen_threads(1)
+        .build()
+        .expect("bench config is valid");
+    benches.push(measure(
+        "fig8_point_e2e",
+        1,
+        if quick { 1 } else { 5 },
+        1,
+        || {
+            let m = run_experiment(&e2e_cfg).expect("bench experiment runs");
+            std::hint::black_box(m.disk_reads);
+        },
+    ));
+
+    // Report.
+    let slab = benches
+        .iter()
+        .find(|b| b.name == "queue_slab_churn")
+        .unwrap()
+        .ns_per_op;
+    let map = benches
+        .iter()
+        .find(|b| b.name == "queue_map_churn")
+        .unwrap()
+        .ns_per_op;
+    println!("{:<22} {:>12} {:>16}", "bench", "ns/op", "ops/sec");
+    for b in &benches {
+        println!(
+            "{:<22} {:>12.2} {:>16.0}",
+            b.name, b.ns_per_op, b.ops_per_sec
+        );
+    }
+    println!("queue speedup (map/slab): {:.2}x", map / slab);
+
+    // JSON snapshot.
+    let rows: Vec<String> = benches
+        .iter()
+        .map(|b| {
+            format!(
+                "    {{ \"name\": \"{}\", \"ns_per_op\": {:.3}, \"ops_per_sec\": {:.1} }}",
+                b.name, b.ns_per_op, b.ops_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"date\": \"{}\",\n  \"commit\": \"{}\",\n  \"quick\": {},\n  \"machine\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {} }},\n  \"queue_speedup_map_over_slab\": {:.2},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        today(),
+        commit_hash(),
+        quick,
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        map / slab,
+        rows.join(",\n")
+    );
+    let out = std::env::var("FBF_BENCH_OUT").unwrap_or_else(|_| format!("BENCH_{}.json", today()));
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("(snapshot saved to {out})"),
+        Err(e) => {
+            eprintln!("error: could not write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

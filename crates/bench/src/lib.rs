@@ -34,7 +34,7 @@ pub const FIG8_PRIMES: [usize; 3] = [7, 11, 13];
 pub const TIP_PRIMES: [usize; 4] = [5, 7, 11, 13];
 
 /// Read a scale knob from the environment.
-fn env_usize(name: &str, default: usize) -> usize {
+pub fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())

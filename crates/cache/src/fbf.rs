@@ -19,10 +19,10 @@
 //! ([`DemotePosition`]); the default is `Back` (MRU end, consistent with
 //! the figures), and the ablation bench measures the difference.
 
+use crate::hash::FxHashMap;
 use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use crate::queue::OrderedQueue;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Where a demoted chunk lands in the lower queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -53,7 +53,7 @@ pub struct FbfPolicy {
     /// queues\[0\] = Queue1 (lowest), queues\[2\] = Queue3 (highest).
     queues: [OrderedQueue; 3],
     /// Which queue each resident key currently sits in (0..3).
-    level_of: HashMap<Key, u8>,
+    level_of: FxHashMap<Key, u8>,
 }
 
 impl FbfPolicy {
@@ -72,7 +72,7 @@ impl FbfPolicy {
                 OrderedQueue::new(),
                 OrderedQueue::new(),
             ],
-            level_of: HashMap::new(),
+            level_of: FxHashMap::default(),
         }
     }
 

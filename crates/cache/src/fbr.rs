@@ -11,9 +11,9 @@
 //! Section sizing follows the original paper's recommendation:
 //! new ≈ 25%, old ≈ 50% of capacity.
 
+use crate::hash::FxHashMap;
 use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use crate::queue::OrderedQueue;
-use std::collections::HashMap;
 
 /// The FBR policy.
 #[derive(Debug)]
@@ -23,7 +23,7 @@ pub struct FbrPolicy {
     old_size: usize,
     /// LRU stack: front = LRU (old end), back = MRU (new end).
     stack: OrderedQueue,
-    counts: HashMap<Key, u64>,
+    counts: FxHashMap<Key, u64>,
 }
 
 impl FbrPolicy {
@@ -34,7 +34,7 @@ impl FbrPolicy {
             new_size: (capacity / 4).max(1),
             old_size: (capacity / 2).max(1),
             stack: OrderedQueue::new(),
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
         }
     }
 

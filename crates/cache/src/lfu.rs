@@ -1,7 +1,8 @@
 //! LFU replacement: evict the least frequently used chunk.
 
+use crate::hash::FxHashMap;
 use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// Least-frequently-used cache (Aho, Denning & Ullman 1971 — the paper's
 /// reference \[26\]). Ties on frequency break toward the least recently used
@@ -14,7 +15,7 @@ pub struct LfuPolicy {
     /// (frequency, last-access tick, key) ordered ascending: the first
     /// element is the eviction victim.
     order: BTreeSet<(u64, u64, Key)>,
-    info: HashMap<Key, (u64, u64)>,
+    info: FxHashMap<Key, (u64, u64)>,
     tick: u64,
 }
 
@@ -24,7 +25,7 @@ impl LfuPolicy {
         LfuPolicy {
             capacity,
             order: BTreeSet::new(),
-            info: HashMap::new(),
+            info: FxHashMap::default(),
             tick: 0,
         }
     }

@@ -14,8 +14,8 @@
 //! tick*; since decay is monotone in elapsed time, comparing
 //! `C · 2^(-λ·(t_now - t_last))` across pages is exact.
 
+use crate::hash::FxHashMap;
 use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
-use std::collections::HashMap;
 
 /// Per-page CRF state.
 #[derive(Debug, Clone, Copy)]
@@ -30,7 +30,7 @@ pub struct LrfuPolicy {
     capacity: usize,
     lambda: f64,
     tick: u64,
-    pages: HashMap<Key, Crf>,
+    pages: FxHashMap<Key, Crf>,
 }
 
 impl LrfuPolicy {
@@ -47,7 +47,7 @@ impl LrfuPolicy {
             capacity,
             lambda,
             tick: 0,
-            pages: HashMap::new(),
+            pages: FxHashMap::default(),
         }
     }
 

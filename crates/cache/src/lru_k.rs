@@ -9,8 +9,9 @@
 //! (the paper's *Retained Information Period*), so a page re-fetched soon
 //! after eviction keeps its credit.
 
+use crate::hash::FxHashMap;
 use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Reference history of one page: the last up-to-K access ticks, most
 /// recent first.
@@ -43,9 +44,9 @@ pub struct LruKPolicy {
     k: usize,
     tick: u64,
     /// Histories of resident pages.
-    resident: HashMap<Key, History>,
+    resident: FxHashMap<Key, History>,
     /// Histories retained for evicted pages, bounded FIFO.
-    retained: HashMap<Key, History>,
+    retained: FxHashMap<Key, History>,
     retained_order: VecDeque<Key>,
 }
 
@@ -62,8 +63,8 @@ impl LruKPolicy {
             capacity,
             k,
             tick: 0,
-            resident: HashMap::new(),
-            retained: HashMap::new(),
+            resident: FxHashMap::default(),
+            retained: FxHashMap::default(),
             retained_order: VecDeque::new(),
         }
     }

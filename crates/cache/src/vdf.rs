@@ -13,20 +13,20 @@
 //! exactly the gap the paper's scheme fills — the comparison bench
 //! (`extended_policies`) quantifies it.
 
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::policy::{InsertOutcome, Key, PolicyKind, ReplacementPolicy};
 use crate::queue::OrderedQueue;
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// The VDF policy.
 #[derive(Debug)]
 pub struct VdfPolicy {
     capacity: usize,
-    victim_cols: HashSet<u16>,
+    victim_cols: FxHashSet<u16>,
     /// Per-stripe victim column (stripe currently under repair → its
     /// damaged column). More precise than the global set: a column is only
     /// "victim" in the stripes where it is actually broken.
-    victim_map: Option<Arc<HashMap<u32, u16>>>,
+    victim_map: Option<Arc<FxHashMap<u32, u16>>>,
     /// Chunks of healthy (non-victim) disks: evicted first.
     normal: OrderedQueue,
     /// Chunks of victim disks: protected.
@@ -37,12 +37,12 @@ impl VdfPolicy {
     /// VDF with an empty victim set (degenerates to LRU). Use
     /// [`VdfPolicy::with_victims`] for the degraded-mode behaviour.
     pub fn new(capacity: usize) -> Self {
-        Self::with_victims(capacity, HashSet::new())
+        Self::with_victims(capacity, FxHashSet::default())
     }
 
     /// VDF protecting chunks whose stripe-column is in `victim_cols`
     /// (the columns currently under repair).
-    pub fn with_victims(capacity: usize, victim_cols: HashSet<u16>) -> Self {
+    pub fn with_victims(capacity: usize, victim_cols: FxHashSet<u16>) -> Self {
         VdfPolicy {
             capacity,
             victim_cols,
@@ -56,10 +56,10 @@ impl VdfPolicy {
     /// damaged column (`stripe → victim column`). In a reconstruction
     /// campaign this is the faithful reading of "victim disk first": a
     /// disk is only a victim where it is actually broken.
-    pub fn with_victim_map(capacity: usize, map: Arc<HashMap<u32, u16>>) -> Self {
+    pub fn with_victim_map(capacity: usize, map: Arc<FxHashMap<u32, u16>>) -> Self {
         VdfPolicy {
             capacity,
-            victim_cols: HashSet::new(),
+            victim_cols: FxHashSet::default(),
             victim_map: Some(map),
             normal: OrderedQueue::new(),
             protected: OrderedQueue::new(),
@@ -132,7 +132,7 @@ mod tests {
     use super::*;
     use crate::key;
 
-    fn victims(cols: &[u16]) -> HashSet<u16> {
+    fn victims(cols: &[u16]) -> FxHashSet<u16> {
         cols.iter().copied().collect()
     }
 

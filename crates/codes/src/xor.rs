@@ -32,18 +32,28 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
     }
 }
 
-/// XOR all `srcs` into a zeroed `dst` (i.e. `dst = XOR(srcs)`).
+/// `dst = XOR(srcs)`. Seeds `dst` by copying the first source (one
+/// `memcpy` instead of a `fill(0)` pass plus an extra XOR pass), then
+/// folds the rest in; no sources zeroes `dst`. Panics if any source's
+/// length differs from `dst`'s.
 pub fn xor_many(dst: &mut [u8], srcs: &[&[u8]]) {
-    dst.fill(0);
-    for s in srcs {
+    let Some((first, rest)) = srcs.split_first() else {
+        dst.fill(0);
+        return;
+    };
+    assert_eq!(dst.len(), first.len(), "xor_many length mismatch");
+    dst.copy_from_slice(first);
+    for s in rest {
         xor_into(dst, s);
     }
 }
 
 /// Returns true if the buffer is all zero — handy for parity-consistency
-/// checks (`XOR of a whole chain must be zero`).
+/// checks (`XOR of a whole chain must be zero`). Word-wise over the
+/// aligned middle, like [`xor_into`].
 pub fn is_zero(buf: &[u8]) -> bool {
-    buf.iter().all(|&b| b == 0)
+    let (head, mid, tail) = unsafe { buf.align_to::<u64>() };
+    head.iter().all(|&b| b == 0) && mid.iter().all(|&w| w == 0) && tail.iter().all(|&b| b == 0)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use crate::config::{ConfigError, ExperimentConfig};
 use crate::metrics::Metrics;
 use crate::plan::{PlanKey, PlanSource, PlannedCampaign};
 use fbf_codes::CodeError;
-use fbf_disksim::{ArrayMapping, Engine, EngineConfig};
+use fbf_disksim::{ArrayMapping, Engine, EngineConfig, EngineScratch};
 use fbf_recovery::SchemeError;
 
 /// Failures a run can hit.
@@ -76,6 +76,18 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Metrics, RunError> {
 /// — the remaining fields (policy, cache geometry, disk model…) are free to
 /// differ between experiments sharing one plan; that is the point.
 pub fn run_planned(cfg: &ExperimentConfig, plan: &PlannedCampaign, source: PlanSource) -> Metrics {
+    run_planned_with_scratch(cfg, plan, source, &mut EngineScratch::default())
+}
+
+/// [`run_planned`] against caller-owned [`EngineScratch`], so the engine's
+/// event heap and per-worker vectors are reused across the many points a
+/// sweep worker thread executes instead of re-allocated per point.
+pub fn run_planned_with_scratch(
+    cfg: &ExperimentConfig,
+    plan: &PlannedCampaign,
+    source: PlanSource,
+    scratch: &mut EngineScratch,
+) -> Metrics {
     debug_assert_eq!(plan.key, PlanKey::of(cfg), "plan/config key mismatch");
 
     let mapping = ArrayMapping::new(plan.cols, plan.rows, cfg.code.rotated_placement());
@@ -93,7 +105,7 @@ pub fn run_planned(cfg: &ExperimentConfig, plan: &PlannedCampaign, source: PlanS
         mapping,
         data_stripes: cfg.stripes as u64,
     });
-    let report = engine.run(&plan.scripts);
+    let report = engine.run_with_scratch(&plan.scripts, scratch);
 
     Metrics::from_run(
         &report,

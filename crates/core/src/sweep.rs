@@ -22,7 +22,8 @@
 use crate::config::ExperimentConfig;
 use crate::metrics::Metrics;
 use crate::plan::{PlanSource, PlanStore};
-use crate::runner::{run_planned, RunError};
+use crate::runner::{run_planned_with_scratch, RunError};
+use fbf_disksim::EngineScratch;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -98,8 +99,12 @@ pub fn sweep_with_progress(
 
     // One worker's life: steal the next index, run it, repeat. On any
     // failure, flip the cancellation flag so idle workers stop claiming;
-    // in-flight siblings finish their current point untouched.
+    // in-flight siblings finish their current point untouched. Each worker
+    // owns one EngineScratch for its whole life, so the engine's event
+    // heap and per-worker vectors are allocated once per thread, not once
+    // per point.
     let work = |_: usize| {
+        let mut scratch = EngineScratch::default();
         while !cancelled.load(Ordering::Relaxed) {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             if i >= n {
@@ -109,7 +114,10 @@ pub fn sweep_with_progress(
             let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<_, RunError> {
                 cfg.validate()?;
                 let (plan, source) = store.plan(cfg)?;
-                Ok((run_planned(cfg, &plan, source), source))
+                Ok((
+                    run_planned_with_scratch(cfg, &plan, source, &mut scratch),
+                    source,
+                ))
             }));
             let result = match outcome {
                 Ok(Ok((metrics, plan))) => {

@@ -18,7 +18,7 @@ use crate::disk::{DiskModel, DiskStats};
 use crate::hist::Histogram;
 use crate::sched::{DiskSched, QueuedDisk};
 use crate::time::SimTime;
-use fbf_cache::{CacheStats, FbfConfig, FbfPolicy, PolicyKind, VdfPolicy};
+use fbf_cache::{CacheStats, FbfConfig, FbfPolicy, FxHashMap, PolicyKind, VdfPolicy};
 use fbf_codes::ChunkId;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -100,8 +100,9 @@ pub struct EngineConfig {
     pub fbf: FbfConfig,
     /// Stripes currently under repair (stripe → damaged column) — the
     /// victim map consulted by `PolicyKind::Vdf`; other policies ignore
-    /// it. `None` builds VDF with no victims (plain LRU).
-    pub victim_map: Option<std::sync::Arc<std::collections::HashMap<u32, u16>>>,
+    /// it. `None` builds VDF with no victims (plain LRU). Fast-hashed:
+    /// VDF looks the stripe up on every insert.
+    pub victim_map: Option<std::sync::Arc<FxHashMap<u32, u16>>>,
     /// Total buffer-cache capacity, in chunks.
     pub cache_chunks: usize,
     /// Cache partitioning across workers.
@@ -225,6 +226,43 @@ fn build_cache(cfg: &EngineConfig, capacity: usize) -> BufferCache {
     }
 }
 
+/// Reusable per-run working memory of [`Engine::run`].
+///
+/// One run needs an event heap plus four per-worker vectors; at sweep
+/// scale (thousands of points) re-allocating them for every point is pure
+/// overhead. Keep one `EngineScratch` per sweep worker thread and pass it
+/// to [`Engine::run_with_scratch`] — each run resets lengths and reuses
+/// the backing storage. A scratch carries no state between runs (every
+/// field is fully re-initialised), so reuse cannot change results; the
+/// determinism tests in `tests/engine_equivalence.rs` pin this.
+#[derive(Default)]
+pub struct EngineScratch {
+    heap: BinaryHeap<Reverse<(SimTime, u8, usize)>>,
+    next_op: Vec<usize>,
+    gather_left: Vec<usize>,
+    gather_floor: Vec<SimTime>,
+    touched_disks: Vec<usize>,
+}
+
+impl EngineScratch {
+    /// Fresh scratch; equivalent to `Default::default()`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reset for a run over `workers` scripts, keeping allocations.
+    fn reset(&mut self, workers: usize) {
+        self.heap.clear();
+        self.next_op.clear();
+        self.next_op.resize(workers, 0);
+        self.gather_left.clear();
+        self.gather_left.resize(workers, 0);
+        self.gather_floor.clear();
+        self.gather_floor.resize(workers, SimTime::ZERO);
+        self.touched_disks.clear();
+    }
+}
+
 /// The simulation engine. Build once per run.
 pub struct Engine {
     config: EngineConfig,
@@ -236,8 +274,21 @@ impl Engine {
         Engine { config }
     }
 
-    /// Execute all worker scripts to completion and report.
+    /// Execute all worker scripts to completion and report, allocating
+    /// fresh working memory. Sweeps should prefer
+    /// [`run_with_scratch`](Engine::run_with_scratch).
     pub fn run(&self, scripts: &[WorkerScript]) -> RunReport {
+        self.run_with_scratch(scripts, &mut EngineScratch::default())
+    }
+
+    /// [`run`](Engine::run) against caller-owned scratch memory, so the
+    /// event heap and per-worker vectors are reused across runs instead of
+    /// re-allocated per point.
+    pub fn run_with_scratch(
+        &self,
+        scripts: &[WorkerScript],
+        scratch: &mut EngineScratch,
+    ) -> RunReport {
         let cfg = &self.config;
         let workers = scripts.len();
         let mut disks: Vec<QueuedDisk> = (0..cfg.mapping.disks)
@@ -269,14 +320,19 @@ impl Engine {
         // replay exactly.
         const EV_DISK_DONE: u8 = 0;
         const EV_WORKER: u8 = 1;
-        let mut heap: BinaryHeap<Reverse<(SimTime, u8, usize)>> = (0..workers)
-            .filter(|&w| !scripts[w].ops.is_empty())
-            .map(|w| Reverse((SimTime::ZERO, EV_WORKER, w)))
-            .collect();
-        let mut next_op = vec![0usize; workers];
-        // Outstanding fan-out reads per worker (0 = plain blocking I/O).
-        let mut gather_left = vec![0usize; workers];
-        let mut gather_floor = vec![SimTime::ZERO; workers];
+        scratch.reset(workers);
+        let EngineScratch {
+            heap,
+            next_op,
+            gather_left,
+            gather_floor,
+            touched_disks,
+        } = scratch;
+        heap.extend(
+            (0..workers)
+                .filter(|&w| !scripts[w].ops.is_empty())
+                .map(|w| Reverse((SimTime::ZERO, EV_WORKER, w))),
+        );
         let mut report = RunReport::default();
 
         while let Some(Reverse((now, kind, id))) = heap.pop() {
@@ -358,7 +414,7 @@ impl Engine {
                             };
                             let mut misses = 0usize;
                             let mut floor = now;
-                            let mut touched_disks: Vec<usize> = Vec::new();
+                            touched_disks.clear();
                             for &(chunk, priority) in &group.chunks {
                                 let cache = &mut caches[cache_idx];
                                 match cache.access(chunk) {
@@ -386,7 +442,7 @@ impl Engine {
                                 gather_floor[w] = floor;
                                 touched_disks.sort_unstable();
                                 touched_disks.dedup();
-                                for disk in touched_disks {
+                                for &disk in touched_disks.iter() {
                                     if let Some((_, done)) = disks[disk].start_next(now) {
                                         heap.push(Reverse((done, EV_DISK_DONE, disk)));
                                     }

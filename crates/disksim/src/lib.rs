@@ -31,7 +31,9 @@ pub mod time;
 pub use array::ArrayMapping;
 pub use buffer::BufferCache;
 pub use disk::{DiskModel, DiskParams, DiskStats};
-pub use engine::{CacheSharing, Engine, EngineConfig, Op, ResponseStats, RunReport, WorkerScript};
+pub use engine::{
+    CacheSharing, Engine, EngineConfig, EngineScratch, Op, ResponseStats, RunReport, WorkerScript,
+};
 pub use hist::Histogram;
 pub use sched::{DiskSched, QueuedDisk};
 pub use time::SimTime;

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Run the hot-path performance baseline and write BENCH_<date>.json at the
+# repo root (see crates/bench/src/bin/perf_baseline.rs for the schema and
+# bench list). Knobs:
+#   FBF_BENCH_QUICK=1      tiny iteration counts (CI smoke)
+#   FBF_BENCH_OUT=<path>   write the snapshot elsewhere
+#   FBF_BENCH_DATE=<date>  override the YYYY-MM-DD stamp
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p fbf-bench --bin perf_baseline
+cargo run --release -q -p fbf-bench --bin perf_baseline
