@@ -6,18 +6,32 @@
 //! converge once the cache exceeds the per-stripe working set; STAR shows
 //! the highest ratios because its adjuster chunks are referenced many times.
 
-use fbf_bench::{base_config, save_csv, CACHE_MB, FIG8_PRIMES};
+//! `FBF_FIG8_SMOKE=1` shrinks the grid to one (TIP, p=7) sub-table over
+//! two cache sizes — the CI smoke configuration that pairs with
+//! `--trace` to exercise the whole observability path in seconds.
+
+use fbf_bench::{base_config, finish_obs, init_obs, save_csv, CACHE_MB, FIG8_PRIMES};
 use fbf_cache::PolicyKind;
 use fbf_codes::CodeSpec;
 use fbf_core::{report::f, sweep, Table};
 
 fn main() {
-    for code in CodeSpec::ALL {
-        for p in FIG8_PRIMES {
+    init_obs();
+    let smoke = std::env::var("FBF_FIG8_SMOKE").is_ok_and(|v| v == "1");
+    let codes: &[CodeSpec] = if smoke {
+        &[CodeSpec::Tip]
+    } else {
+        &CodeSpec::ALL
+    };
+    let primes: &[usize] = if smoke { &[7] } else { &FIG8_PRIMES };
+    let sizes: &[usize] = if smoke { &[2, 64] } else { &CACHE_MB };
+
+    for &code in codes {
+        for &p in primes {
             if p < code.min_prime() {
                 continue;
             }
-            let configs: Vec<_> = CACHE_MB
+            let configs: Vec<_> = sizes
                 .iter()
                 .flat_map(|&mb| {
                     PolicyKind::ALL
@@ -31,7 +45,7 @@ fn main() {
                 format!("Fig.8 hit ratio — {}(p={p})", code.name()),
                 &["cache_mb", "FIFO", "LRU", "LFU", "ARC", "FBF"],
             );
-            for (i, &mb) in CACHE_MB.iter().enumerate() {
+            for (i, &mb) in sizes.iter().enumerate() {
                 let row = &points[i * PolicyKind::ALL.len()..(i + 1) * PolicyKind::ALL.len()];
                 let mut cells = vec![mb.to_string()];
                 cells.extend(row.iter().map(|pt| f(pt.metrics.hit_ratio, 4)));
@@ -41,4 +55,5 @@ fn main() {
             save_csv(&format!("fig8_{}_p{p}", code.name().to_lowercase()), &table);
         }
     }
+    finish_obs();
 }

@@ -5,12 +5,13 @@
 //! biggest margin at restricted cache sizes (up to ~22% fewer than LFU in
 //! the paper).
 
-use fbf_bench::{base_config, save_csv, CACHE_MB, TIP_PRIMES};
+use fbf_bench::{base_config, finish_obs, init_obs, save_csv, CACHE_MB, TIP_PRIMES};
 use fbf_cache::PolicyKind;
 use fbf_codes::CodeSpec;
 use fbf_core::{sweep, Table};
 
 fn main() {
+    init_obs();
     for p in TIP_PRIMES {
         let configs: Vec<_> = CACHE_MB
             .iter()
@@ -35,4 +36,5 @@ fn main() {
         println!("{}", table.render());
         save_csv(&format!("fig9_tip_p{p}"), &table);
     }
+    finish_obs();
 }

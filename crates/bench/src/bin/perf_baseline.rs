@@ -283,6 +283,40 @@ fn main() {
         std::hint::black_box(report.makespan);
     }));
 
+    // The observability guard, both sides. Disabled: a span creation is
+    // one relaxed atomic load and must stay in the single-digit ns range.
+    // Enabled: the same engine workload with `obs: true` and a no-op
+    // subscriber, bounding the cost traces add to a real run.
+    benches.push(measure(
+        "obs_span_disabled",
+        scale.min(5),
+        100 * scale,
+        1_000,
+        || {
+            for _ in 0..1_000 {
+                let span = fbf_obs::span("bench", "disabled");
+                std::hint::black_box(&span);
+                span.end();
+            }
+        },
+    ));
+    fbf_obs::install(std::sync::Arc::new(fbf_obs::NoopSubscriber));
+    benches.push(measure(
+        "engine_run_8x_obs",
+        2,
+        scale.min(20),
+        events,
+        || {
+            let cfg = EngineConfig {
+                obs: true,
+                ..engine_cfg()
+            };
+            let report = Engine::new(cfg).run_with_scratch(&scripts, &mut scratch);
+            std::hint::black_box(report.makespan);
+        },
+    ));
+    fbf_obs::uninstall();
+
     // One Fig. 8-shaped end-to-end point (plan + simulate), env-scaled.
     let e2e_cfg = ExperimentConfig::builder()
         .policy(PolicyKind::Fbf)

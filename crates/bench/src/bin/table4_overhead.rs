@@ -6,12 +6,13 @@
 //! reconstruction time. The paper finds < 2.8% everywhere, growing mildly
 //! with P.
 
-use fbf_bench::{base_config, save_csv, TIP_PRIMES};
+use fbf_bench::{base_config, finish_obs, init_obs, save_csv, TIP_PRIMES};
 use fbf_cache::PolicyKind;
 use fbf_codes::CodeSpec;
 use fbf_core::{report::f, run_experiment, Table};
 
 fn main() {
+    init_obs();
     let mut table = Table::new(
         "Table IV — FBF temporal overhead",
         &[
@@ -54,4 +55,5 @@ fn main() {
     }
     println!("{}", table.render());
     save_csv("table4_overhead", &table);
+    finish_obs();
 }

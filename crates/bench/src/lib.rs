@@ -20,10 +20,17 @@
 //! Campaign scale is controlled by `FBF_ERRORS` / `FBF_STRIPES` /
 //! `FBF_WORKERS` environment variables (defaults reproduce the shapes in
 //! minutes on a laptop).
+//!
+//! The figure binaries that call [`init_obs`] also accept `--trace
+//! <path>` (stream a chrome://tracing JSONL run trace) and `--obs`
+//! (pretty-print events to stderr), or the equivalent `FBF_TRACE` /
+//! `FBF_OBS=1` environment knobs.
 
 use fbf_cache::PolicyKind;
 use fbf_codes::CodeSpec;
 use fbf_core::{ExperimentConfig, Table};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Cache sizes (MiB) swept by the figures, matching the paper's x-axes.
 pub const CACHE_MB: [usize; 8] = [2, 8, 32, 64, 128, 256, 512, 2048];
@@ -39,6 +46,92 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Set once [`init_obs`] installs a subscriber; consulted by
+/// [`base_config`] so every experiment the harness builds carries
+/// `obs = true` and the engine/runner/sweep emission sites light up.
+static OBS_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether [`init_obs`] installed a subscriber for this process.
+pub fn obs_requested() -> bool {
+    OBS_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Observability bootstrap shared by the figure/table binaries.
+///
+/// Recognises `--trace <path>` (or `--trace=<path>`) and `--obs` on the
+/// command line, plus `FBF_TRACE=<path>` and `FBF_OBS=1` in the
+/// environment. `--trace` streams chrome://tracing-compatible JSONL to
+/// the given file; `--obs` pretty-prints events to stderr; both together
+/// fan out to both sinks. With neither present this is a no-op and the
+/// run stays on the zero-cost disabled path.
+///
+/// Call at the top of `main`, and pair with [`finish_obs`] before exit —
+/// `std::process::exit` skips destructors, so the trace file must be
+/// flushed explicitly.
+pub fn init_obs() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace: Option<String> = None;
+    let mut stderr = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--obs" => stderr = true,
+            "--trace" => {
+                if let Some(p) = args.get(i + 1) {
+                    trace = Some(p.clone());
+                    i += 1;
+                }
+            }
+            s => {
+                if let Some(p) = s.strip_prefix("--trace=") {
+                    trace = Some(p.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    if trace.is_none() {
+        if let Ok(p) = std::env::var("FBF_TRACE") {
+            if !p.is_empty() {
+                trace = Some(p);
+            }
+        }
+    }
+    stderr = stderr || std::env::var("FBF_OBS").is_ok_and(|v| v == "1");
+
+    let mut sinks: Vec<Arc<dyn fbf_obs::Subscriber>> = Vec::new();
+    if let Some(path) = trace {
+        match fbf_obs::TraceWriter::create(std::path::Path::new(&path)) {
+            Ok(w) => {
+                eprintln!("(trace streaming to {path})");
+                sinks.push(Arc::new(w));
+            }
+            Err(e) => eprintln!("warning: cannot open trace file {path}: {e}"),
+        }
+    }
+    if stderr {
+        sinks.push(Arc::new(fbf_obs::StderrSubscriber::default()));
+    }
+    if sinks.is_empty() {
+        return;
+    }
+    let sub: Arc<dyn fbf_obs::Subscriber> = if sinks.len() == 1 {
+        sinks.pop().expect("one sink")
+    } else {
+        Arc::new(fbf_obs::FanoutSubscriber::new(sinks))
+    };
+    fbf_obs::install(sub);
+    OBS_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Flush and detach the subscriber installed by [`init_obs`] (no-op if
+/// none was). Call as the last line of a bench `main`.
+pub fn finish_obs() {
+    if OBS_REQUESTED.load(Ordering::Relaxed) {
+        fbf_obs::uninstall();
+    }
 }
 
 /// The figure-scale experiment base: paper constants, campaign sized by
@@ -57,6 +150,7 @@ pub fn base_config(
         .stripes(env_usize("FBF_STRIPES", 4096) as u32)
         .error_count(env_usize("FBF_ERRORS", 512))
         .workers(env_usize("FBF_WORKERS", 128))
+        .obs(obs_requested())
         .build()
         .expect("paper-shaped figure configuration is valid")
 }

@@ -54,6 +54,8 @@ pub struct FbfPolicy {
     queues: [OrderedQueue; 3],
     /// Which queue each resident key currently sits in (0..3).
     level_of: FxHashMap<Key, u8>,
+    /// Lifetime count of queue demotions (Algorithm 1's hit branch).
+    demotions: u64,
 }
 
 impl FbfPolicy {
@@ -73,6 +75,7 @@ impl FbfPolicy {
                 OrderedQueue::new(),
             ],
             level_of: FxHashMap::default(),
+            demotions: 0,
         }
     }
 
@@ -96,6 +99,7 @@ impl FbfPolicy {
 
     fn demote(&mut self, key: Key, from: u8) {
         debug_assert!(from > 0);
+        self.demotions += 1;
         let to = from - 1;
         self.queues[from as usize].remove(&key);
         match self.config.demote_to {
@@ -170,6 +174,19 @@ impl ReplacementPolicy for FbfPolicy {
             q.clear();
         }
         self.level_of.clear();
+        self.demotions = 0;
+    }
+
+    fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    fn queue_occupancy(&self) -> Option<[usize; 3]> {
+        Some([
+            self.queues[0].len(),
+            self.queues[1].len(),
+            self.queues[2].len(),
+        ])
     }
 }
 
@@ -286,6 +303,44 @@ mod tests {
         fbf.on_access(c(0, 0));
         fbf.on_access(c(0, 0));
         assert_eq!(fbf.level(&c(0, 0)), Some(3));
+    }
+
+    #[test]
+    fn demotions_counted_and_reset_by_clear() {
+        let mut fbf = FbfPolicy::new(16);
+        fbf.on_insert(c(1, 1), 3);
+        assert_eq!(fbf.demotions(), 0);
+        fbf.on_access(c(1, 1)); // Q3 → Q2
+        fbf.on_access(c(1, 1)); // Q2 → Q1
+        fbf.on_access(c(1, 1)); // Q1 hit: no demotion
+        assert_eq!(fbf.demotions(), 2);
+        // Re-insert of a resident is a hit and demotes too.
+        fbf.on_insert(c(0, 0), 3);
+        fbf.on_insert(c(0, 0), 3);
+        assert_eq!(fbf.demotions(), 3);
+        fbf.clear();
+        assert_eq!(fbf.demotions(), 0);
+    }
+
+    #[test]
+    fn queue_occupancy_mirrors_queue_len() {
+        let mut fbf = FbfPolicy::new(10);
+        fbf.on_insert(c(0, 0), 1);
+        fbf.on_insert(c(0, 1), 3);
+        fbf.on_insert(c(0, 2), 3);
+        assert_eq!(fbf.queue_occupancy(), Some([1, 0, 2]));
+    }
+
+    #[test]
+    fn disabled_demotion_counts_nothing() {
+        let cfg = FbfConfig {
+            disable_demotion: true,
+            ..Default::default()
+        };
+        let mut fbf = FbfPolicy::with_config(4, cfg);
+        fbf.on_insert(c(0, 0), 3);
+        fbf.on_access(c(0, 0));
+        assert_eq!(fbf.demotions(), 0);
     }
 
     #[test]

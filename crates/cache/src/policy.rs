@@ -89,6 +89,20 @@ pub trait ReplacementPolicy: Send {
 
     /// Drop all residents and internal history.
     fn clear(&mut self);
+
+    /// Lifetime count of queue demotions. Only multi-queue policies with a
+    /// demotion mechanism (FBF) report non-zero; the default is 0 so the
+    /// hot-path `on_access` signature stays untouched.
+    fn demotions(&self) -> u64 {
+        0
+    }
+
+    /// Current occupancy of the policy's priority queues as
+    /// `[Queue1, Queue2, Queue3]`, for policies that have them (FBF).
+    /// `None` for single-queue policies.
+    fn queue_occupancy(&self) -> Option<[usize; 3]> {
+        None
+    }
 }
 
 /// Selector for building policies from experiment configuration.
@@ -266,6 +280,23 @@ mod tests {
             // And with the cache full to the brim, still no eviction.
             assert_eq!(p.on_insert(b, 1), InsertOutcome::AlreadyResident, "{kind}");
             assert_eq!(p.len(), 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn demotion_hooks_default_to_inert_except_fbf() {
+        for kind in PolicyKind::EXTENDED {
+            let mut p = kind.build(4);
+            let a = key(0, 0, 0);
+            p.on_insert(a, 3);
+            p.on_access(a);
+            if kind == PolicyKind::Fbf {
+                assert_eq!(p.demotions(), 1, "{kind}");
+                assert!(p.queue_occupancy().is_some(), "{kind}");
+            } else {
+                assert_eq!(p.demotions(), 0, "{kind}");
+                assert_eq!(p.queue_occupancy(), None, "{kind}");
+            }
         }
     }
 

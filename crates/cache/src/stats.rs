@@ -13,6 +13,13 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Chunks inserted after a miss.
     pub inserts: u64,
+    /// FBF queue demotions (Q3→Q2, Q2→Q1 on re-access); zero for
+    /// single-queue policies.
+    pub demotions: u64,
+    /// Inserts by FBF priority (index 0 = priority 1 … index 2 =
+    /// priority 3) — the priority distribution of fetched chunks.
+    /// Single-priority policies count everything under priority 1.
+    pub prio_inserts: [u64; 3],
 }
 
 impl CacheStats {
@@ -43,10 +50,23 @@ impl CacheStats {
 
     /// Record an insert, with whether it evicted a resident.
     pub fn record_insert(&mut self, evicted: bool) {
+        self.record_insert_prio(1, evicted);
+    }
+
+    /// Record an insert at FBF `priority` (clamped to 1..=3), with
+    /// whether it evicted a resident.
+    pub fn record_insert_prio(&mut self, priority: u8, evicted: bool) {
         self.inserts += 1;
+        let idx = (priority.clamp(1, 3) - 1) as usize;
+        self.prio_inserts[idx] += 1;
         if evicted {
             self.evictions += 1;
         }
+    }
+
+    /// Record a queue demotion.
+    pub fn record_demotion(&mut self) {
+        self.demotions += 1;
     }
 
     /// Merge another instance's counters into this one (used when SOR
@@ -56,6 +76,10 @@ impl CacheStats {
         self.misses += other.misses;
         self.evictions += other.evictions;
         self.inserts += other.inserts;
+        self.demotions += other.demotions;
+        for (mine, theirs) in self.prio_inserts.iter_mut().zip(other.prio_inserts) {
+            *mine += theirs;
+        }
     }
 }
 
@@ -63,11 +87,12 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "hits={} misses={} ratio={:.4} evictions={}",
+            "hits={} misses={} ratio={:.4} evictions={} demotions={}",
             self.hits,
             self.misses,
             self.hit_ratio(),
-            self.evictions
+            self.evictions,
+            self.demotions
         )
     }
 }
@@ -95,6 +120,33 @@ mod tests {
         s.record_insert(true);
         assert_eq!(s.inserts, 2);
         assert_eq!(s.evictions, 1);
+        assert_eq!(
+            s.prio_inserts,
+            [2, 0, 0],
+            "plain inserts count as priority 1"
+        );
+    }
+
+    #[test]
+    fn priority_inserts_split_and_sum_to_inserts() {
+        let mut s = CacheStats::default();
+        s.record_insert_prio(3, false);
+        s.record_insert_prio(3, true);
+        s.record_insert_prio(2, false);
+        s.record_insert_prio(1, false);
+        s.record_insert_prio(0, false); // clamps to 1
+        s.record_insert_prio(9, false); // clamps to 3
+        assert_eq!(s.prio_inserts, [2, 1, 3]);
+        assert_eq!(s.prio_inserts.iter().sum::<u64>(), s.inserts);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn demotions_count_and_merge() {
+        let mut s = CacheStats::default();
+        s.record_demotion();
+        s.record_demotion();
+        assert_eq!(s.demotions, 2);
     }
 
     #[test]
@@ -104,12 +156,16 @@ mod tests {
             misses: 2,
             evictions: 3,
             inserts: 4,
+            demotions: 5,
+            prio_inserts: [1, 1, 2],
         };
         let b = CacheStats {
             hits: 10,
             misses: 20,
             evictions: 30,
             inserts: 40,
+            demotions: 50,
+            prio_inserts: [10, 10, 20],
         };
         a.merge(&b);
         assert_eq!(
@@ -118,7 +174,9 @@ mod tests {
                 hits: 11,
                 misses: 22,
                 evictions: 33,
-                inserts: 44
+                inserts: 44,
+                demotions: 55,
+                prio_inserts: [11, 11, 22],
             }
         );
     }

@@ -100,6 +100,10 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Host threads for scheme generation (0 = all cores).
     pub gen_threads: usize,
+    /// Emit fbf-obs events (plan spans, run counters) for this experiment.
+    /// Only takes effect when a subscriber is installed via
+    /// `fbf_obs::install`; off by default so plain runs stay zero-cost.
+    pub obs: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -122,6 +126,7 @@ impl Default for ExperimentConfig {
             cache_hit_time: SimTime::from_micros(500),
             seed: 0x5EED,
             gen_threads: 0,
+            obs: false,
         }
     }
 }
@@ -254,6 +259,8 @@ impl ExperimentConfigBuilder {
         seed: u64,
         /// Host threads for scheme generation (0 = all cores).
         gen_threads: usize,
+        /// Emit fbf-obs events for this experiment.
+        obs: bool,
     }
 
     /// Validate and produce the configuration.
@@ -325,6 +332,7 @@ mod tests {
             .workers(16)
             .seed(7)
             .gen_threads(2)
+            .obs(true)
             .build()
             .unwrap();
         assert_eq!(cfg.code, CodeSpec::Star);
@@ -338,6 +346,7 @@ mod tests {
         assert_eq!(cfg.workers, 16);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.gen_threads, 2);
+        assert!(cfg.obs);
     }
 
     #[test]

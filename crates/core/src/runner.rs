@@ -90,6 +90,12 @@ pub fn run_planned_with_scratch(
 ) -> Metrics {
     debug_assert_eq!(plan.key, PlanKey::of(cfg), "plan/config key mismatch");
 
+    let obs = cfg.obs && fbf_obs::enabled();
+    let sim_span = if obs {
+        Some(fbf_obs::span("runner", "simulate"))
+    } else {
+        None
+    };
     let mapping = ArrayMapping::new(plan.cols, plan.rows, cfg.code.rotated_placement());
     let engine = Engine::new(EngineConfig {
         policy: cfg.policy,
@@ -104,9 +110,17 @@ pub fn run_planned_with_scratch(
         chunk_bytes: cfg.chunk_bytes(),
         mapping,
         data_stripes: cfg.stripes as u64,
+        obs: cfg.obs,
     });
     let report = engine.run_with_scratch(&plan.scripts, scratch);
 
+    if let Some(span) = sim_span {
+        span.end_with(&[
+            ("policy", fbf_obs::Value::Str(cfg.policy.name())),
+            ("cache_mb", fbf_obs::Value::U64(cfg.cache_mb as u64)),
+            ("plan", fbf_obs::Value::Str(source.name())),
+        ]);
+    }
     Metrics::from_run(
         &report,
         plan.generation,

@@ -25,8 +25,9 @@ use crate::plan::{PlanSource, PlanStore};
 use crate::runner::{run_planned_with_scratch, RunError};
 use fbf_disksim::EngineScratch;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// One labelled point of a sweep.
 #[derive(Debug, Clone)]
@@ -91,6 +92,22 @@ pub fn sweep_with_progress(
     }
     .min(n);
 
+    // Sweep-level observability: emitted only when a subscriber is
+    // installed AND at least one point opted in — a sweep of plain
+    // configs stays silent even under an installed subscriber.
+    let obs = fbf_obs::enabled() && configs.iter().any(|c| c.obs);
+    let sweep_span = if obs {
+        Some(fbf_obs::span("sweep", "run"))
+    } else {
+        None
+    };
+    let sweep_t0 = Instant::now();
+    // Phase totals across all workers, nanoseconds (plan vs simulate
+    // split per point; busy = both plus per-point bookkeeping).
+    let plan_ns = AtomicU64::new(0);
+    let sim_ns = AtomicU64::new(0);
+    let busy_ns = AtomicU64::new(0);
+
     let cursor = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
     let cancelled = AtomicBool::new(false);
@@ -103,22 +120,59 @@ pub fn sweep_with_progress(
     // owns one EngineScratch for its whole life, so the engine's event
     // heap and per-worker vectors are allocated once per thread, not once
     // per point.
-    let work = |_: usize| {
+    let work = |worker: usize| {
         let mut scratch = EngineScratch::default();
+        let mut worker_points = 0u64;
+        let worker_t0 = Instant::now();
+        let mut worker_busy_ns = 0u64;
         while !cancelled.load(Ordering::Relaxed) {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             if i >= n {
                 break;
             }
             let cfg = &configs[i];
+            let point_obs = obs && cfg.obs;
+            let point_span = if point_obs {
+                Some(fbf_obs::span("sweep", "point"))
+            } else {
+                None
+            };
+            let point_t0 = Instant::now();
+            let mut point_plan_ns = 0u64;
+            let mut point_sim_ns = 0u64;
             let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<_, RunError> {
                 cfg.validate()?;
+                let t = Instant::now();
                 let (plan, source) = store.plan(cfg)?;
-                Ok((
-                    run_planned_with_scratch(cfg, &plan, source, &mut scratch),
-                    source,
-                ))
+                point_plan_ns = t.elapsed().as_nanos() as u64;
+                let t = Instant::now();
+                let metrics = run_planned_with_scratch(cfg, &plan, source, &mut scratch);
+                point_sim_ns = t.elapsed().as_nanos() as u64;
+                Ok((metrics, source))
             }));
+            let point_ns = point_t0.elapsed().as_nanos() as u64;
+            worker_points += 1;
+            worker_busy_ns += point_ns;
+            if obs {
+                plan_ns.fetch_add(point_plan_ns, Ordering::Relaxed);
+                sim_ns.fetch_add(point_sim_ns, Ordering::Relaxed);
+                busy_ns.fetch_add(point_ns, Ordering::Relaxed);
+            }
+            if let Some(span) = point_span {
+                let source = match &outcome {
+                    Ok(Ok((_, source))) => source.name(),
+                    Ok(Err(_)) => "error",
+                    Err(_) => "panic",
+                };
+                span.end_with(&[
+                    ("index", fbf_obs::Value::U64(i as u64)),
+                    ("policy", fbf_obs::Value::Str(cfg.policy.name())),
+                    ("cache_mb", fbf_obs::Value::U64(cfg.cache_mb as u64)),
+                    ("plan", fbf_obs::Value::Str(source)),
+                    ("plan_ms", fbf_obs::Value::F64(point_plan_ns as f64 / 1e6)),
+                    ("sim_ms", fbf_obs::Value::F64(point_sim_ns as f64 / 1e6)),
+                ]);
+            }
             let result = match outcome {
                 Ok(Ok((metrics, plan))) => {
                     let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
@@ -142,6 +196,21 @@ pub fn sweep_with_progress(
             };
             *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
         }
+        if obs && worker_points > 0 {
+            fbf_obs::instant(
+                "sweep",
+                "worker",
+                &[
+                    ("worker", fbf_obs::Value::U64(worker as u64)),
+                    ("points", fbf_obs::Value::U64(worker_points)),
+                    ("busy_ms", fbf_obs::Value::F64(worker_busy_ns as f64 / 1e6)),
+                    (
+                        "alive_ms",
+                        fbf_obs::Value::F64(worker_t0.elapsed().as_secs_f64() * 1e3),
+                    ),
+                ],
+            );
+        }
     };
 
     if threads <= 1 {
@@ -154,8 +223,10 @@ pub fn sweep_with_progress(
         });
     }
 
-    // Assemble in input order. With cancellation some points may never
-    // have run; the first recorded error (by index) is the sweep's error.
+    // Assemble in input order (the gather phase). With cancellation some
+    // points may never have run; the first recorded error (by index) is
+    // the sweep's error.
+    let gather_t0 = Instant::now();
     let mut out = Vec::with_capacity(n);
     let mut first_error = None;
     for (result, cfg) in results.into_iter().zip(configs) {
@@ -168,6 +239,49 @@ pub fn sweep_with_progress(
                 first_error.get_or_insert(e);
             }
             None => {}
+        }
+    }
+    if obs {
+        let wall_ms = sweep_t0.elapsed().as_secs_f64() * 1e3;
+        let busy_ms = busy_ns.load(Ordering::Relaxed) as f64 / 1e6;
+        // Utilization: fraction of the workers' combined wall-clock
+        // budget spent running points.
+        let util = if wall_ms > 0.0 {
+            (busy_ms / (wall_ms * threads as f64)).min(1.0) * 100.0
+        } else {
+            0.0
+        };
+        let store_stats = store.stats();
+        fbf_obs::counter(
+            "sweep",
+            "summary",
+            &[
+                ("points", fbf_obs::Value::U64(out.len() as u64)),
+                ("threads", fbf_obs::Value::U64(threads as u64)),
+                ("wall_ms", fbf_obs::Value::F64(wall_ms)),
+                (
+                    "plan_ms",
+                    fbf_obs::Value::F64(plan_ns.load(Ordering::Relaxed) as f64 / 1e6),
+                ),
+                (
+                    "sim_ms",
+                    fbf_obs::Value::F64(sim_ns.load(Ordering::Relaxed) as f64 / 1e6),
+                ),
+                (
+                    "gather_ms",
+                    fbf_obs::Value::F64(gather_t0.elapsed().as_secs_f64() * 1e3),
+                ),
+                ("busy_ms", fbf_obs::Value::F64(busy_ms)),
+                ("util_pct", fbf_obs::Value::F64(util)),
+                ("plan_cold", fbf_obs::Value::U64(store_stats.misses)),
+                ("plan_warm", fbf_obs::Value::U64(store_stats.hits)),
+            ],
+        );
+        if let Some(span) = sweep_span {
+            span.end_with(&[
+                ("points", fbf_obs::Value::U64(out.len() as u64)),
+                ("threads", fbf_obs::Value::U64(threads as u64)),
+            ]);
         }
     }
     match first_error {

@@ -59,7 +59,7 @@ impl BufferCache {
     pub fn insert(&mut self, key: Key, priority: u8) -> Option<Key> {
         match self.policy.on_insert(key, priority) {
             InsertOutcome::Inserted { evicted } => {
-                self.stats.record_insert(evicted.is_some());
+                self.stats.record_insert_prio(priority, evicted.is_some());
                 evicted
             }
             InsertOutcome::AlreadyResident | InsertOutcome::Rejected => None,
@@ -71,9 +71,19 @@ impl BufferCache {
         self.policy.contains(key)
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics. Demotions live inside the policy (the
+    /// hot-path `on_access` signature stays counter-free); they are folded
+    /// into the snapshot here so callers see one uniform struct.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.demotions = self.policy.demotions();
+        stats
+    }
+
+    /// Current `[Queue1, Queue2, Queue3]` occupancy for priority-queue
+    /// policies (FBF); `None` otherwise.
+    pub fn queue_occupancy(&self) -> Option<[usize; 3]> {
+        self.policy.queue_occupancy()
     }
 
     /// Number of resident chunks.
@@ -152,6 +162,25 @@ mod tests {
         assert_eq!(c.len(), 0);
         assert_eq!(c.stats(), CacheStats::default());
         assert_eq!(c.access(key(0, 0, 0)), Lookup::Miss);
+    }
+
+    #[test]
+    fn demotions_and_priority_split_surface_in_stats() {
+        let mut c = BufferCache::new(PolicyKind::Fbf, 8);
+        let k = key(0, 0, 0);
+        c.access(k);
+        c.insert(k, 3);
+        c.access(k); // Q3 → Q2 demotion
+        c.access(k); // Q2 → Q1 demotion
+        c.access(key(0, 0, 1));
+        c.insert(key(0, 0, 1), 1);
+        let s = c.stats();
+        assert_eq!(s.demotions, 2);
+        assert_eq!(s.prio_inserts, [1, 0, 1]);
+        assert_eq!(s.prio_inserts.iter().sum::<u64>(), s.inserts);
+        assert_eq!(c.queue_occupancy(), Some([2, 0, 0]));
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
     }
 
     #[test]

@@ -118,6 +118,8 @@ pub struct DiskStats {
     pub busy: SimTime,
     /// Total time requests waited in the disk queue before service.
     pub queued: SimTime,
+    /// Deepest the disk's queue ever got (pending + in-flight).
+    pub max_queue: u64,
 }
 
 impl DiskStats {

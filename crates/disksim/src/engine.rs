@@ -122,6 +122,10 @@ pub struct EngineConfig {
     pub mapping: ArrayMapping,
     /// Stripes in the data zone (spare area begins after it).
     pub data_stripes: u64,
+    /// Emit fbf-obs run events (span + cache/queue/disk counters) at run
+    /// boundaries. Off by default: nothing is emitted from the per-access
+    /// hot loop either way, so enabling this does not perturb results.
+    pub obs: bool,
 }
 
 impl EngineConfig {
@@ -145,6 +149,7 @@ impl EngineConfig {
             chunk_bytes: 32 << 10,
             mapping,
             data_stripes,
+            obs: false,
         }
     }
 }
@@ -290,6 +295,12 @@ impl Engine {
         scratch: &mut EngineScratch,
     ) -> RunReport {
         let cfg = &self.config;
+        let obs = cfg.obs && fbf_obs::enabled();
+        let run_span = if obs {
+            Some(fbf_obs::span("engine", "run"))
+        } else {
+            None
+        };
         let workers = scripts.len();
         let mut disks: Vec<QueuedDisk> = (0..cfg.mapping.disks)
             .map(|i| match cfg.straggler {
@@ -467,7 +478,84 @@ impl Engine {
             report.cache.merge(&cache.stats());
         }
         report.per_disk = disks.into_iter().map(|d| d.stats).collect();
+        if obs {
+            let run_id = fbf_obs::next_run_id();
+            emit_run_events(cfg, &caches, &report, run_id);
+            if let Some(span) = run_span {
+                span.end_with(&[
+                    ("run", fbf_obs::Value::U64(run_id)),
+                    ("policy", fbf_obs::Value::Str(cfg.policy.name())),
+                    ("workers", fbf_obs::Value::U64(workers as u64)),
+                    (
+                        "makespan_ms",
+                        fbf_obs::Value::F64(report.makespan.as_millis_f64()),
+                    ),
+                ]);
+            }
+        }
         report
+    }
+}
+
+/// Publish one run's counters as obs events: the aggregated cache totals,
+/// FBF's final queue occupancy, and per-disk I/O counters. Called once per
+/// run — never from the event loop — so observability cost is independent
+/// of simulated work.
+fn emit_run_events(cfg: &EngineConfig, caches: &[BufferCache], report: &RunReport, run_id: u64) {
+    use fbf_obs::Value;
+    let c = &report.cache;
+    fbf_obs::counter(
+        "engine",
+        "cache",
+        &[
+            ("run", Value::U64(run_id)),
+            ("policy", Value::Str(cfg.policy.name())),
+            ("hits", Value::U64(c.hits)),
+            ("misses", Value::U64(c.misses)),
+            ("evictions", Value::U64(c.evictions)),
+            ("inserts", Value::U64(c.inserts)),
+            ("demotions", Value::U64(c.demotions)),
+            ("prio1", Value::U64(c.prio_inserts[0])),
+            ("prio2", Value::U64(c.prio_inserts[1])),
+            ("prio3", Value::U64(c.prio_inserts[2])),
+        ],
+    );
+    let mut queues = [0u64; 3];
+    let mut have_queues = false;
+    for cache in caches {
+        if let Some(occ) = cache.queue_occupancy() {
+            have_queues = true;
+            for (total, q) in queues.iter_mut().zip(occ) {
+                *total += q as u64;
+            }
+        }
+    }
+    if have_queues {
+        fbf_obs::counter(
+            "engine",
+            "queues",
+            &[
+                ("run", Value::U64(run_id)),
+                ("q1", Value::U64(queues[0])),
+                ("q2", Value::U64(queues[1])),
+                ("q3", Value::U64(queues[2])),
+            ],
+        );
+    }
+    for (idx, d) in report.per_disk.iter().enumerate() {
+        fbf_obs::counter(
+            "engine",
+            "disk",
+            &[
+                ("run", Value::U64(run_id)),
+                ("disk", Value::U64(idx as u64)),
+                ("reads", Value::U64(d.reads)),
+                ("writes", Value::U64(d.writes)),
+                ("max_queue", Value::U64(d.max_queue)),
+                ("busy_ms", Value::F64(d.busy.as_millis_f64())),
+                ("queued_ms", Value::F64(d.queued.as_millis_f64())),
+            ],
+        );
     }
 }
 
@@ -695,6 +783,56 @@ mod tests {
         });
         let report = Engine::new(cfg).run(&[script]);
         assert_eq!(report.makespan, SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn obs_run_events_reconcile_with_report() {
+        // The only test in this binary touching the global subscriber, so
+        // no serialisation gate is needed.
+        let sub = std::sync::Arc::new(fbf_obs::CountingSubscriber::default());
+        fbf_obs::install(sub.clone());
+        let mut cfg = config(PolicyKind::Fbf, 4, CacheSharing::Shared);
+        cfg.obs = true;
+        let script = WorkerScript {
+            ops: vec![
+                Op::Read {
+                    chunk: chunk(0, 0, 0),
+                    priority: 3,
+                },
+                Op::Read {
+                    chunk: chunk(0, 0, 0),
+                    priority: 3,
+                },
+                read(0, 1, 0),
+            ],
+            ..Default::default()
+        };
+        let report = Engine::new(cfg).run(&[script]);
+        fbf_obs::uninstall();
+        assert_eq!(sub.total("engine/cache/hits"), report.cache.hits);
+        assert_eq!(sub.total("engine/cache/misses"), report.cache.misses);
+        assert_eq!(sub.total("engine/cache/demotions"), report.cache.demotions);
+        assert_eq!(report.cache.demotions, 1, "the repeat read demotes Q3→Q2");
+        let disk_reads: u64 = sub.total("engine/disk/reads");
+        assert_eq!(disk_reads, report.disk_reads);
+        assert!(
+            sub.total("engine/queues/q2") > 0,
+            "demoted chunk sits in Q2"
+        );
+    }
+
+    #[test]
+    fn obs_disabled_config_emits_nothing_even_with_subscriber() {
+        let sub = std::sync::Arc::new(fbf_obs::CountingSubscriber::default());
+        let cfg = config(PolicyKind::Fbf, 4, CacheSharing::Shared);
+        assert!(!cfg.obs, "paper config defaults to obs off");
+        // No install: enabled() is false, and cfg.obs is false too.
+        let script = WorkerScript {
+            ops: vec![read(0, 0, 0)],
+            ..Default::default()
+        };
+        Engine::new(cfg).run(&[script]);
+        assert_eq!(sub.events(), 0);
     }
 
     #[test]

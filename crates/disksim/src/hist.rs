@@ -38,10 +38,21 @@ impl Histogram {
 
     fn bucket_of(t: SimTime) -> usize {
         let ns = t.as_nanos().max(1);
-        // log2(ns) * SUB_BUCKETS, computed in integer arithmetic.
+        // log2(ns) * SUB_BUCKETS, computed in integer arithmetic: the
+        // exponent picks the power-of-two decade, the 3 bits below the
+        // leading bit pick the sub-bucket. Values below 8 ns have fewer
+        // than 3 bits after the leading one, so the fraction is scaled
+        // *up* instead — `(ns - base) * 8 / base` — which keeps the
+        // mapping monotonic instead of collapsing 1..8 ns into the
+        // bottom sub-bucket of each decade.
         let lz = 63 - ns.leading_zeros() as usize; // floor(log2)
-        let frac = ns >> lz.saturating_sub(3); // top 4 bits → 8 sub-steps
-        let sub = (frac as usize).saturating_sub(8).min(SUB_BUCKETS - 1);
+        let base = 1u64 << lz;
+        let sub = if lz >= 3 {
+            ((ns >> (lz - 3)) - 8) as usize
+        } else {
+            (((ns - base) << 3) >> lz) as usize
+        };
+        let sub = sub.min(SUB_BUCKETS - 1);
         (lz * SUB_BUCKETS + sub).min(BUCKETS - 1)
     }
 
@@ -50,7 +61,10 @@ impl Histogram {
         let exp = bucket / SUB_BUCKETS;
         let sub = bucket % SUB_BUCKETS;
         let base = 1u64 << exp.min(62);
-        SimTime::from_nanos(base + (base / SUB_BUCKETS as u64) * (sub as u64 + 1))
+        // base * (1 + (sub+1)/8), in u128 so small decades don't round
+        // the fractional step to zero.
+        let edge = base as u128 + (base as u128 * (sub as u128 + 1)) / SUB_BUCKETS as u128;
+        SimTime::from_nanos(edge.min(u64::MAX as u128) as u64)
     }
 
     /// Record one span.
@@ -162,6 +176,66 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!(a.quantile(1.0).unwrap() > SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn bucket_edges_pinned() {
+        let b = |ns: u64| Histogram::bucket_of(SimTime::from_nanos(ns));
+        // Decade lz=0 (1 ns): no sub-resolution possible.
+        assert_eq!(b(0), 0, "0 clamps to 1 ns");
+        assert_eq!(b(1), 0);
+        // Decade lz=1 (2..4 ns): 2 values over 8 sub-buckets.
+        assert_eq!(b(2), 8);
+        assert_eq!(b(3), 12);
+        // Decade lz=2 (4..8 ns): 4 values, every other sub-bucket.
+        assert_eq!(b(4), 16);
+        assert_eq!(b(5), 18);
+        assert_eq!(b(6), 20);
+        assert_eq!(b(7), 22);
+        // From 8 ns up, full 8-way sub-resolution.
+        assert_eq!(b(8), 24);
+        assert_eq!(b(9), 25);
+        assert_eq!(b(15), 31);
+        assert_eq!(b(16), 32);
+        // Every power of two starts its decade.
+        for lz in 0..40usize {
+            assert_eq!(b(1u64 << lz), lz * SUB_BUCKETS, "2^{lz}");
+        }
+    }
+
+    #[test]
+    fn bucket_of_is_monotonic() {
+        let mut prev = 0usize;
+        for ns in 1..=65_536u64 {
+            let bucket = Histogram::bucket_of(SimTime::from_nanos(ns));
+            assert!(
+                bucket >= prev,
+                "bucket_of({ns}) = {bucket} < bucket_of({}) = {prev}",
+                ns - 1
+            );
+            prev = bucket;
+        }
+    }
+
+    #[test]
+    fn bucket_value_is_an_upper_edge() {
+        // Each recorded value must not exceed its bucket's representative
+        // upper edge — quantile estimates then never under-report.
+        for ns in 1..=4_096u64 {
+            let bucket = Histogram::bucket_of(SimTime::from_nanos(ns));
+            let edge = Histogram::bucket_value(bucket).as_nanos();
+            assert!(edge >= ns, "bucket_value({bucket}) = {edge} < {ns}");
+        }
+    }
+
+    #[test]
+    fn sub_nanosecond_decades_resolve() {
+        // The old math collapsed everything under 8 ns into its decade's
+        // first sub-bucket; 3, 6, and 7 ns must now resolve distinctly.
+        let b = |ns: u64| Histogram::bucket_of(SimTime::from_nanos(ns));
+        assert_ne!(b(2), b(3));
+        assert_ne!(b(4), b(6));
+        assert_ne!(b(6), b(7));
     }
 
     #[test]

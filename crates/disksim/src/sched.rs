@@ -125,6 +125,8 @@ impl QueuedDisk {
             seq: self.next_seq,
         });
         self.next_seq += 1;
+        let depth = self.pending.len() as u64 + u64::from(self.current.is_some());
+        self.stats.max_queue = self.stats.max_queue.max(depth);
     }
 
     /// If idle and work is pending, pick the next request per the
@@ -295,6 +297,24 @@ mod tests {
         d.complete();
         d.start_next(t1).unwrap();
         assert_eq!(d.stats.queued, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn max_queue_is_a_high_water_mark() {
+        let mut d = disk(DiskSched::Fcfs);
+        d.enqueue(0, 1, 4096, false, SimTime::ZERO);
+        d.enqueue(1, 2, 4096, false, SimTime::ZERO);
+        d.enqueue(2, 3, 4096, false, SimTime::ZERO);
+        assert_eq!(d.stats.max_queue, 3);
+        d.start_next(SimTime::ZERO).unwrap();
+        d.complete();
+        d.start_next(SimTime::ZERO).unwrap();
+        d.complete();
+        // Draining never lowers the high-water mark; a fresh arrival on
+        // top of one in-flight request counts both.
+        d.start_next(SimTime::ZERO).unwrap();
+        d.enqueue(3, 4, 4096, false, SimTime::ZERO);
+        assert_eq!(d.stats.max_queue, 3);
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! # fbf-obs — structured tracing and event counters for the FBF stack
+//!
+//! The simulator, cache, and sweep engine explain themselves through this
+//! crate: phase spans (plan / simulate / gather), per-run cache and disk
+//! counter events, and a process-wide counter registry. The design follows
+//! the `tracing` crate in spirit — a global pluggable [`Subscriber`] that
+//! every layer emits into — vendored-stub style like the rest of the
+//! workspace (no external dependencies, the API subset we actually use).
+//!
+//! ## Zero cost when disabled
+//!
+//! No subscriber installed (the default) means every emission site reduces
+//! to one relaxed atomic load and a branch; spans skip even the clock
+//! read. Nothing in the simulator's per-access hot loop emits at all —
+//! hot-path counters ride on the stats structs the engine already owns
+//! (`CacheStats`, `DiskStats`) and are published *once per run* at run
+//! boundaries, so enabling observability does not perturb the measurements
+//! it reports. The `perf_baseline` bench pins both claims
+//! (`obs_span_disabled`, `engine_run_8x` vs `engine_run_8x_obs`).
+//!
+//! ## Event taxonomy
+//!
+//! Events are chrome-trace shaped (see [`TraceWriter`]): a category, a
+//! name, a phase (complete span / instant / counter), microsecond
+//! timestamps, a per-thread track id, and typed key→value args.
+//!
+//! | cat/name | kind | emitted by |
+//! |---|---|---|
+//! | `plan/cold` | span | campaign generation (code, p, stripes, …) |
+//! | `plan/warm` | instant | plan-store hit |
+//! | `runner/simulate` | span | one experiment's engine run |
+//! | `engine/run` | span | engine execution (makespan, event count) |
+//! | `engine/cache` | counter | per-run hit/miss/eviction/demotion totals |
+//! | `engine/queues` | counter | FBF Q1/Q2/Q3 final occupancy |
+//! | `engine/disk` | counter | per-disk reads/writes/queue depth |
+//! | `sweep/run` | span | whole sweep |
+//! | `sweep/point` | span | one sweep point (plan + simulate split) |
+//! | `sweep/worker` | instant | per-worker points + busy time |
+//! | `sweep/summary` | counter | end-of-sweep phase totals + utilization |
+//!
+//! ```
+//! use std::sync::Arc;
+//! let sub = Arc::new(fbf_obs::CountingSubscriber::default());
+//! fbf_obs::install(sub.clone());
+//! {
+//!     let span = fbf_obs::span("demo", "work");
+//!     fbf_obs::counter("demo", "cache", &[("hits", fbf_obs::Value::U64(3))]);
+//!     span.end_with(&[("ok", fbf_obs::Value::U64(1))]);
+//! }
+//! fbf_obs::uninstall();
+//! assert_eq!(sub.events(), 2);
+//! assert_eq!(sub.total("demo/cache/hits"), 3);
+//! ```
+
+pub mod registry;
+pub mod subscriber;
+pub mod trace;
+
+pub use registry::{registry, CounterHandle, Registry};
+pub use subscriber::{
+    CountingSubscriber, Event, EventKind, FanoutSubscriber, NoopSubscriber, StderrSubscriber,
+    Subscriber, Value,
+};
+pub use trace::TraceWriter;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Fast-path gate: `true` while a subscriber is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// The installed subscriber. Swapped atomically under the lock; emitters
+/// clone the `Arc` under a read lock and dispatch outside it, so a swap
+/// never blocks on (or races with) an in-flight event.
+static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+/// Process epoch for event timestamps.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+/// Monotonic run-id source, correlating the events of one engine run.
+static RUN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Is a subscriber installed? One relaxed load — the cost of every
+/// emission site when observability is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install `sub` as the global subscriber, replacing any previous one.
+/// Safe to call while other threads emit: each in-flight event is
+/// delivered to exactly one of the old or the new subscriber.
+pub fn install(sub: Arc<dyn Subscriber>) {
+    let prev = {
+        let mut slot = SUBSCRIBER.write().unwrap_or_else(|p| p.into_inner());
+        slot.replace(sub)
+    };
+    ENABLED.store(true, Ordering::SeqCst);
+    if let Some(prev) = prev {
+        prev.flush();
+    }
+}
+
+/// Remove and return the global subscriber (flushing it), disabling all
+/// emission sites again.
+pub fn uninstall() -> Option<Arc<dyn Subscriber>> {
+    ENABLED.store(false, Ordering::SeqCst);
+    let prev = {
+        let mut slot = SUBSCRIBER.write().unwrap_or_else(|p| p.into_inner());
+        slot.take()
+    };
+    if let Some(prev) = &prev {
+        prev.flush();
+    }
+    prev
+}
+
+/// Microseconds since the process's first observability action.
+pub fn now_us() -> f64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e6
+}
+
+/// A fresh run id, for correlating the counter events of one engine run.
+pub fn next_run_id() -> u64 {
+    RUN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Stable small integer identifying the calling thread (chrome-trace
+/// `tid`), assigned in first-use order.
+pub fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Deliver `event` to the installed subscriber, if any.
+fn emit(event: &Event<'_>) {
+    let sub = {
+        let slot = SUBSCRIBER.read().unwrap_or_else(|p| p.into_inner());
+        slot.clone()
+    };
+    if let Some(sub) = sub {
+        sub.event(event);
+    }
+}
+
+/// Emit a counter event (chrome phase `C`): a named set of series values
+/// at one instant.
+pub fn counter(cat: &str, name: &str, args: &[(&str, Value<'_>)]) {
+    if !enabled() {
+        return;
+    }
+    emit(&Event {
+        cat,
+        name,
+        kind: EventKind::Counter,
+        ts_us: now_us(),
+        tid: thread_id(),
+        args,
+    });
+}
+
+/// Emit an instant event (chrome phase `i`).
+pub fn instant(cat: &str, name: &str, args: &[(&str, Value<'_>)]) {
+    if !enabled() {
+        return;
+    }
+    emit(&Event {
+        cat,
+        name,
+        kind: EventKind::Instant,
+        ts_us: now_us(),
+        tid: thread_id(),
+        args,
+    });
+}
+
+/// A timed span. Create with [`span`]; emits one complete event (chrome
+/// phase `X`) when ended or dropped. When observability is disabled at
+/// creation the guard is inert — no clock read, nothing on drop.
+#[must_use = "a span measures the scope it lives in"]
+pub struct Span {
+    cat: &'static str,
+    name: &'static str,
+    start_us: f64,
+    tid: u64,
+    live: bool,
+}
+
+/// Start a span named `cat`/`name`.
+pub fn span(cat: &'static str, name: &'static str) -> Span {
+    if !enabled() {
+        return Span {
+            cat,
+            name,
+            start_us: 0.0,
+            tid: 0,
+            live: false,
+        };
+    }
+    Span {
+        cat,
+        name,
+        start_us: now_us(),
+        tid: thread_id(),
+        live: true,
+    }
+}
+
+impl Span {
+    /// End the span, attaching `args` to the emitted event.
+    pub fn end_with(mut self, args: &[(&str, Value<'_>)]) {
+        self.finish(args);
+    }
+
+    /// End the span with no args (equivalent to dropping it).
+    pub fn end(self) {}
+
+    fn finish(&mut self, args: &[(&str, Value<'_>)]) {
+        if !self.live {
+            return;
+        }
+        self.live = false;
+        let end = now_us();
+        emit(&Event {
+            cat: self.cat,
+            name: self.name,
+            kind: EventKind::Complete {
+                dur_us: (end - self.start_us).max(0.0),
+            },
+            ts_us: self.start_us,
+            tid: self.tid,
+            args,
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish(&[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that install the global subscriber.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_by_default_and_emits_nothing() {
+        let _g = lock();
+        uninstall();
+        assert!(!enabled());
+        // None of these may panic or emit.
+        counter("t", "c", &[("v", Value::U64(1))]);
+        instant("t", "i", &[]);
+        let s = span("t", "s");
+        drop(s);
+    }
+
+    #[test]
+    fn install_enables_and_uninstall_flushes() {
+        let _g = lock();
+        let sub = Arc::new(CountingSubscriber::default());
+        install(sub.clone());
+        assert!(enabled());
+        counter("t", "c", &[("v", Value::U64(41)), ("w", Value::U64(1))]);
+        let s = span("t", "s");
+        s.end_with(&[("n", Value::U64(1))]);
+        uninstall();
+        assert!(!enabled());
+        assert_eq!(sub.events(), 2);
+        assert_eq!(sub.total("t/c/v"), 41);
+        assert_eq!(sub.total("t/s/n"), 1);
+        assert_eq!(sub.flushes(), 1);
+    }
+
+    #[test]
+    fn span_measures_non_negative_duration() {
+        let _g = lock();
+        let sub = Arc::new(CountingSubscriber::default());
+        install(sub.clone());
+        let s = span("t", "timed");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        drop(s);
+        uninstall();
+        assert_eq!(sub.events(), 1);
+        assert!(sub.last_dur_us() >= 1_000.0, "dur {}", sub.last_dur_us());
+    }
+
+    #[test]
+    fn run_ids_are_unique_and_monotonic() {
+        let a = next_run_id();
+        let b = next_run_id();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn thread_ids_are_stable_per_thread() {
+        let here = thread_id();
+        assert_eq!(here, thread_id());
+        let other = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(here, other);
+    }
+
+    #[test]
+    fn end_with_suppresses_drop_emission() {
+        let _g = lock();
+        let sub = Arc::new(CountingSubscriber::default());
+        install(sub.clone());
+        let s = span("t", "once");
+        s.end_with(&[]);
+        uninstall();
+        assert_eq!(sub.events(), 1, "end_with + drop must emit exactly once");
+    }
+}

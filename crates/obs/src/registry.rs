@@ -1,0 +1,162 @@
+//! Process-wide counter/gauge registry.
+//!
+//! Events capture *moments*; the registry accumulates *totals* across a
+//! whole process run — plan-store cold/warm hits, demotions, per-priority
+//! fetch counts — cheap enough to bump unconditionally from cold paths
+//! (one atomic add), snapshot-able at exit for summary tables. Counters
+//! are created on first use and never removed.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A named set of monotonically updated `u64` cells.
+#[derive(Debug, Default)]
+pub struct Registry {
+    cells: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+}
+
+/// A handle to one registry cell: bump it without re-hashing the name.
+#[derive(Debug, Clone)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise the cell to `v` if `v` is larger (high-water gauge).
+    pub fn max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Overwrite the cell (last-write-wins gauge).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The handle for `name`, creating the cell at 0 on first use.
+    pub fn counter(&self, name: &str) -> CounterHandle {
+        {
+            let cells = self.cells.read().unwrap_or_else(|p| p.into_inner());
+            if let Some(cell) = cells.get(name) {
+                return CounterHandle(Arc::clone(cell));
+            }
+        }
+        let mut cells = self.cells.write().unwrap_or_else(|p| p.into_inner());
+        let cell = cells.entry(name.to_string()).or_default();
+        CounterHandle(Arc::clone(cell))
+    }
+
+    /// Shorthand: `counter(name).add(n)`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Shorthand: `counter(name).max(v)`.
+    pub fn max(&self, name: &str, v: u64) {
+        self.counter(name).max(v);
+    }
+
+    /// Current value of `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        let cells = self.cells.read().unwrap_or_else(|p| p.into_inner());
+        cells
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Sorted snapshot of every cell.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let cells = self.cells.read().unwrap_or_else(|p| p.into_inner());
+        cells
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Zero every cell (handles stay valid). Tests use this to isolate
+    /// runs sharing the global registry.
+    pub fn reset(&self) {
+        let cells = self.cells.read().unwrap_or_else(|p| p.into_inner());
+        for cell in cells.values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let reg = Registry::new();
+        reg.add("b/second", 2);
+        reg.add("a/first", 1);
+        reg.add("b/second", 3);
+        assert_eq!(reg.get("a/first"), 1);
+        assert_eq!(reg.get("b/second"), 5);
+        assert_eq!(reg.get("missing"), 0);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap,
+            vec![("a/first".to_string(), 1), ("b/second".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn handle_survives_reset_and_max_is_high_water() {
+        let reg = Registry::new();
+        let h = reg.counter("depth");
+        h.max(4);
+        h.max(2);
+        assert_eq!(h.get(), 4);
+        reg.reset();
+        assert_eq!(h.get(), 0);
+        h.add(7);
+        assert_eq!(reg.get("depth"), 7, "handle still points at the cell");
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let reg = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        reg.add("hot", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.get("hot"), 8_000);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = registry() as *const Registry;
+        let b = registry() as *const Registry;
+        assert_eq!(a, b);
+    }
+}

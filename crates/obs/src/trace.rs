@@ -1,0 +1,250 @@
+//! Chrome-trace JSONL export.
+//!
+//! [`TraceWriter`] serialises each event as one JSON object per line in
+//! the [chrome trace event format]. chrome://tracing and Perfetto load a
+//! JSON *array*; `scripts/check_trace.py --chrome out.json` wraps the
+//! JSONL into `{"traceEvents": [...]}` for that (JSONL itself is easier
+//! to validate, stream, and grep). JSON is hand-rolled — the workspace's
+//! vendored `serde` is a no-op stub.
+//!
+//! [chrome trace event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::subscriber::{Event, EventKind, Subscriber, Value};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A [`Subscriber`] writing chrome-trace events as JSONL.
+///
+/// Thread-safe: lines are rendered outside the lock and written whole, so
+/// events from concurrent sweep workers never interleave. Buffered output
+/// is flushed on `flush` (called by `fbf_obs::uninstall`) and on drop.
+pub struct TraceWriter {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl TraceWriter {
+    /// Create (truncate) `path` and write the process-metadata line.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
+    /// Wrap an arbitrary writer (tests use `Vec<u8>` via a shared buffer).
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
+        let writer = TraceWriter {
+            out: Mutex::new(BufWriter::new(writer)),
+        };
+        // Metadata record naming the process track, per the trace format.
+        let mut line = String::with_capacity(96);
+        line.push_str(r#"{"name":"process_name","cat":"__metadata","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"fbf"}}"#);
+        line.push('\n');
+        writer.write_line(&line);
+        writer
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    fn render(event: &Event<'_>) -> String {
+        let mut line = String::with_capacity(160);
+        line.push_str("{\"name\":");
+        push_json_str(&mut line, event.name);
+        line.push_str(",\"cat\":");
+        push_json_str(&mut line, event.cat);
+        match event.kind {
+            EventKind::Complete { dur_us } => {
+                line.push_str(",\"ph\":\"X\"");
+                line.push_str(",\"ts\":");
+                push_json_f64(&mut line, event.ts_us);
+                line.push_str(",\"dur\":");
+                push_json_f64(&mut line, dur_us);
+            }
+            EventKind::Instant => {
+                line.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+                line.push_str(",\"ts\":");
+                push_json_f64(&mut line, event.ts_us);
+            }
+            EventKind::Counter => {
+                line.push_str(",\"ph\":\"C\"");
+                line.push_str(",\"ts\":");
+                push_json_f64(&mut line, event.ts_us);
+            }
+        }
+        line.push_str(",\"pid\":1,\"tid\":");
+        line.push_str(&event.tid.to_string());
+        line.push_str(",\"args\":{");
+        for (i, (key, value)) in event.args.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            push_json_str(&mut line, key);
+            line.push(':');
+            match value {
+                Value::U64(v) => line.push_str(&v.to_string()),
+                Value::I64(v) => line.push_str(&v.to_string()),
+                Value::F64(v) => push_json_f64(&mut line, *v),
+                Value::Str(v) => push_json_str(&mut line, v),
+            }
+        }
+        line.push_str("}}\n");
+        line
+    }
+}
+
+impl Subscriber for TraceWriter {
+    fn event(&self, event: &Event<'_>) {
+        let line = Self::render(event);
+        self.write_line(&line);
+    }
+
+    fn flush(&self) {
+        let mut out = self.out.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = out.flush();
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Append `s` as a JSON string literal, escaping per RFC 8259.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite JSON number; non-finite values (invalid JSON) become 0.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:.3}"));
+    } else {
+        out.push('0');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A `Write` target tests can read back after the writer is dropped.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn capture(f: impl FnOnce(&TraceWriter)) -> String {
+        let buf = SharedBuf::default();
+        let writer = TraceWriter::from_writer(Box::new(buf.clone()));
+        f(&writer);
+        drop(writer);
+        let bytes = buf.0.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn emits_metadata_then_one_line_per_event() {
+        let out = capture(|w| {
+            w.event(&Event {
+                cat: "engine",
+                name: "cache",
+                kind: EventKind::Counter,
+                ts_us: 12.5,
+                tid: 3,
+                args: &[
+                    ("hits", Value::U64(10)),
+                    ("ratio", Value::F64(0.25)),
+                    ("policy", Value::Str("fbf")),
+                ],
+            });
+            w.event(&Event {
+                cat: "sweep",
+                name: "point",
+                kind: EventKind::Complete { dur_us: 42.0 },
+                ts_us: 1.0,
+                tid: 0,
+                args: &[],
+            });
+        });
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(r#""ph":"M""#));
+        assert!(lines[1].contains(r#""name":"cache""#));
+        assert!(lines[1].contains(r#""ph":"C""#));
+        assert!(lines[1].contains(r#""hits":10"#));
+        assert!(lines[1].contains(r#""ratio":0.250"#));
+        assert!(lines[1].contains(r#""policy":"fbf""#));
+        assert!(lines[2].contains(r#""ph":"X""#));
+        assert!(lines[2].contains(r#""dur":42.000"#));
+        // Every line is a single JSON object: balanced braces, no inner
+        // newlines (lines() already guarantees the latter).
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            let opens = line.matches('{').count();
+            let closes = line.matches('}').count();
+            assert_eq!(opens, closes, "{line}");
+        }
+    }
+
+    #[test]
+    fn instant_carries_scope() {
+        let out = capture(|w| {
+            w.event(&Event {
+                cat: "plan",
+                name: "warm",
+                kind: EventKind::Instant,
+                ts_us: 5.0,
+                tid: 1,
+                args: &[],
+            });
+        });
+        assert!(out.lines().nth(1).unwrap().contains(r#""ph":"i","s":"t""#));
+    }
+
+    #[test]
+    fn non_finite_numbers_stay_valid_json() {
+        let out = capture(|w| {
+            w.event(&Event {
+                cat: "t",
+                name: "n",
+                kind: EventKind::Counter,
+                ts_us: 0.0,
+                tid: 0,
+                args: &[("bad", Value::F64(f64::NAN))],
+            });
+        });
+        assert!(out.lines().nth(1).unwrap().contains(r#""bad":0"#));
+    }
+}

@@ -10,3 +10,18 @@ cd "$(dirname "$0")/.."
 
 cargo build --release -q -p fbf-bench --bin perf_baseline
 cargo run --release -q -p fbf-bench --bin perf_baseline
+
+# The snapshot carries the observability guard: `engine_run_8x` is the
+# obs-disabled engine throughput, `engine_run_8x_obs` the same workload
+# with tracing enabled (no-op subscriber), and `obs_span_disabled` the
+# per-span cost when no subscriber is installed. Surface the ratio here
+# so a regression is visible without opening the JSON.
+out="${FBF_BENCH_OUT:-BENCH_${FBF_BENCH_DATE:-$(date -u +%F)}.json}"
+python3 - "$out" <<'EOF'
+import json, sys
+benches = {b["name"]: b["ns_per_op"] for b in json.load(open(sys.argv[1]))["benches"]}
+off, on = benches.get("engine_run_8x"), benches.get("engine_run_8x_obs")
+if off and on:
+    print(f"obs overhead (engine_run_8x_obs / engine_run_8x): {on / off:.3f}x "
+          f"({off:.1f} -> {on:.1f} ns/op)")
+EOF

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validate an fbf JSONL run trace (and optionally convert it for chrome://tracing).
+
+Usage:
+    scripts/check_trace.py TRACE.jsonl [--chrome OUT.json]
+
+Checks every line is a standalone JSON object shaped like a chrome trace
+event: `name`/`cat` strings, known phase `ph`, non-negative microsecond
+timestamp, `pid`/`tid` integers, `args` object; complete events ("X")
+additionally carry a non-negative `dur`. Exits non-zero (printing the
+offending line number) on the first malformed line, so CI can gate on it.
+
+With `--chrome OUT.json` the validated events are re-wrapped as
+`{"traceEvents": [...]}` — the JSON-array form chrome://tracing and
+https://ui.perfetto.dev load directly.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_PHASES = {"X", "i", "C", "M"}
+
+
+def fail(lineno, msg, line=""):
+    print(f"check_trace: line {lineno}: {msg}", file=sys.stderr)
+    if line:
+        print(f"  {line.rstrip()}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(lineno, line, ev):
+    if not isinstance(ev, dict):
+        fail(lineno, "event is not a JSON object", line)
+    for key in ("name", "cat"):
+        if not isinstance(ev.get(key), str) or not ev[key]:
+            fail(lineno, f"`{key}` must be a non-empty string", line)
+    ph = ev.get("ph")
+    if ph not in KNOWN_PHASES:
+        fail(lineno, f"unknown phase {ph!r} (expected one of {sorted(KNOWN_PHASES)})", line)
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        fail(lineno, "`ts` must be a non-negative number (microseconds)", line)
+    for key in ("pid", "tid"):
+        if not isinstance(ev.get(key), int):
+            fail(lineno, f"`{key}` must be an integer", line)
+    if not isinstance(ev.get("args"), dict):
+        fail(lineno, "`args` must be an object", line)
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(lineno, "complete event needs a non-negative `dur`", line)
+    if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+        fail(lineno, "instant event needs scope `s` in {t,p,g}", line)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="JSONL trace emitted via --trace / FBF_TRACE")
+    ap.add_argument("--chrome", metavar="OUT", help="write a chrome://tracing JSON array file")
+    opts = ap.parse_args()
+
+    events = []
+    counts = {}
+    with open(opts.trace, encoding="utf-8") as fh:
+        lineno = 0
+        for lineno, line in enumerate(fh, start=1):
+            if not line.endswith("\n"):
+                fail(lineno, "unterminated final line (trace not flushed?)", line)
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(lineno, f"not valid JSON: {e}", line)
+            check_event(lineno, line, ev)
+            events.append(ev)
+            counts[ev["ph"]] = counts.get(ev["ph"], 0) + 1
+    if not events:
+        fail(0, "trace is empty")
+    if counts.get("M", 0) == 0:
+        fail(1, "missing process_name metadata event")
+
+    summary = ", ".join(f"{n} {ph}" for ph, n in sorted(counts.items()))
+    print(f"check_trace: OK — {len(events)} events ({summary})")
+
+    if opts.chrome:
+        with open(opts.chrome, "w", encoding="utf-8") as out:
+            json.dump({"traceEvents": events}, out)
+            out.write("\n")
+        print(f"check_trace: chrome://tracing file written to {opts.chrome}")
+
+
+if __name__ == "__main__":
+    main()

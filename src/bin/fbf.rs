@@ -14,6 +14,11 @@
 //! `p=7`, `policy=fifo|lru|lfu|arc|fbf|...`, `cache=64` (MiB),
 //! `stripes=4096`, `errors=512`, `workers=128`, `seed=N`,
 //! `scheme=typical|fbf|greedy`.
+//!
+//! Global observability flags (any command, extracted before parsing):
+//! `--trace <path>` streams a chrome://tracing-compatible JSONL run trace
+//! to `<path>`; `--obs` pretty-prints events to stderr. Either one turns
+//! on instrumented experiments for `run`/`sweep`.
 
 use fbf::cache::PolicyKind;
 use fbf::codes::{CodeSpec, StripeCode};
@@ -25,13 +30,17 @@ use fbf::recovery::{scheme::generate, PartialStripeError, PriorityDictionary, Sc
 use fbf::workload::{generate_errors, render_trace, ErrorGenConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, obs) = match install_obs_flags(&raw) {
+        Ok(v) => v,
+        Err(rc) => std::process::exit(rc),
+    };
     let code = match args.first().map(String::as_str) {
         Some("layout") => cmd_layout(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("run") => cmd_run(&args[1..], obs),
+        Some("sweep") => cmd_sweep(&args[1..], obs),
         Some("scrub") => cmd_scrub(&args[1..]),
         Some("mttdl") => cmd_mttdl(&args[1..]),
         Some("help") | None => {
@@ -44,7 +53,69 @@ fn main() {
             2
         }
     };
+    // `exit` skips destructors, so flush the trace subscriber explicitly.
+    if obs {
+        fbf::obs::uninstall();
+    }
     std::process::exit(code);
+}
+
+/// Pull `--trace <path>` / `--trace=<path>` / `--obs` out of the argument
+/// list (they may appear anywhere) and install the matching subscriber.
+/// Returns the remaining arguments plus whether observability is on.
+fn install_obs_flags(raw: &[String]) -> Result<(Vec<String>, bool), i32> {
+    let mut args = Vec::with_capacity(raw.len());
+    let mut trace: Option<String> = None;
+    let mut stderr = false;
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--obs" => stderr = true,
+            "--trace" => {
+                let Some(p) = raw.get(i + 1) else {
+                    eprintln!("--trace needs a file path");
+                    return Err(2);
+                };
+                trace = Some(p.clone());
+                i += 1;
+            }
+            s => {
+                if let Some(p) = s.strip_prefix("--trace=") {
+                    trace = Some(p.to_string());
+                } else {
+                    args.push(raw[i].clone());
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let mut sinks: Vec<std::sync::Arc<dyn fbf::obs::Subscriber>> = Vec::new();
+    if let Some(path) = trace {
+        match fbf::obs::TraceWriter::create(std::path::Path::new(&path)) {
+            Ok(w) => {
+                eprintln!("(trace streaming to {path})");
+                sinks.push(std::sync::Arc::new(w));
+            }
+            Err(e) => {
+                eprintln!("cannot open trace file {path}: {e}");
+                return Err(1);
+            }
+        }
+    }
+    if stderr {
+        sinks.push(std::sync::Arc::new(fbf::obs::StderrSubscriber::default()));
+    }
+    if sinks.is_empty() {
+        return Ok((args, false));
+    }
+    let sub: std::sync::Arc<dyn fbf::obs::Subscriber> = if sinks.len() == 1 {
+        sinks.pop().expect("one sink")
+    } else {
+        std::sync::Arc::new(fbf::obs::FanoutSubscriber::new(sinks))
+    };
+    fbf::obs::install(sub);
+    Ok((args, true))
 }
 
 fn print_usage() {
@@ -58,6 +129,8 @@ fn print_usage() {
          \u{20}  fbf sweep [key=value ...]\n\
          \u{20}  fbf scrub <code> <p>\n\
          \u{20}  fbf mttdl <disks> <mttr_hours>\n\n\
+         global flags: --trace <path> (JSONL run trace, chrome://tracing\n\
+         \u{20}  compatible), --obs (event log on stderr)\n\n\
          codes: tip hdd1 triplestar star rdp evenodd\n\
          policies: fifo lru lfu arc fbf lru-k 2q lrfu fbr vdf"
     );
@@ -262,8 +335,8 @@ fn build_or_report(builder: ExperimentConfigBuilder) -> Result<ExperimentConfig,
     })
 }
 
-fn cmd_run(args: &[String]) -> i32 {
-    let cfg = match parse_kv(args).and_then(build_or_report) {
+fn cmd_run(args: &[String], obs: bool) -> i32 {
+    let cfg = match parse_kv(args).map(|b| b.obs(obs)).and_then(build_or_report) {
         Ok(c) => c,
         Err(rc) => return rc,
     };
@@ -288,8 +361,8 @@ fn cmd_run(args: &[String]) -> i32 {
     }
 }
 
-fn cmd_sweep(args: &[String]) -> i32 {
-    let builder = match parse_kv(args) {
+fn cmd_sweep(args: &[String], obs: bool) -> i32 {
+    let builder = match parse_kv(args).map(|b| b.obs(obs)) {
         Ok(b) => b,
         Err(rc) => return rc,
     };

@@ -20,11 +20,15 @@
 //!   matching §IV-A;
 //! * [`core`] — experiment configuration, metrics, sweep drivers,
 //!   campaign verification and the MTTDL reliability model that
-//!   regenerate the paper's figures and tables.
+//!   regenerate the paper's figures and tables;
+//! * [`obs`] — structured tracing and event counters (spans, instants,
+//!   counter snapshots) with a chrome://tracing-compatible JSONL exporter;
+//!   zero-cost when no subscriber is installed.
 
 pub use fbf_cache as cache;
 pub use fbf_codes as codes;
 pub use fbf_core as core;
 pub use fbf_disksim as disksim;
+pub use fbf_obs as obs;
 pub use fbf_recovery as recovery;
 pub use fbf_workload as workload;

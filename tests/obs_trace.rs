@@ -1,0 +1,257 @@
+//! Observability integration: the run trace is an accurate ledger.
+//!
+//! Three contracts, each exercised through the public facade the way a
+//! user would hit them:
+//!
+//! 1. **Reconciliation** — counters carried by `engine/cache` events sum
+//!    to exactly the totals the sweep reports through [`Metrics`], on a
+//!    fixed-seed campaign, twice in a row (replay determinism).
+//! 2. **Well-formedness** — `--trace`-style JSONL output is one JSON
+//!    object per line, chrome://tracing-shaped, and internally complete.
+//! 3. **Swap safety** — replacing the subscriber mid-sweep (work-stealing
+//!    threads emitting concurrently) loses no events: the two counting
+//!    subscribers together still reconcile with the reported metrics.
+//!
+//! The subscriber slot is process-global, so every test here serialises
+//! on one mutex.
+
+use fbf::cache::PolicyKind;
+use fbf::core::{sweep, ExperimentConfig};
+use fbf::obs::{CountingSubscriber, TraceWriter};
+use std::io::Write;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Serialise tests that install a global subscriber.
+fn lock() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+/// A small fixed-seed campaign grid: two cache sizes across three
+/// policies, obs turned on so every emission site fires.
+fn grid() -> Vec<ExperimentConfig> {
+    [2usize, 8]
+        .into_iter()
+        .flat_map(|mb| {
+            [PolicyKind::Fbf, PolicyKind::Lru, PolicyKind::Arc]
+                .into_iter()
+                .map(move |policy| {
+                    ExperimentConfig::builder()
+                        .policy(policy)
+                        .cache_mb(mb)
+                        .stripes(192)
+                        .error_count(48)
+                        .workers(8)
+                        .gen_threads(1)
+                        .obs(true)
+                        .build()
+                        .expect("test grid is valid")
+                })
+        })
+        .collect()
+}
+
+/// The `engine/cache` arg names whose event totals must equal the summed
+/// [`fbf::cache::CacheStats`] fields of the reported metrics.
+const CACHE_KEYS: [&str; 8] = [
+    "hits",
+    "misses",
+    "evictions",
+    "inserts",
+    "demotions",
+    "prio1",
+    "prio2",
+    "prio3",
+];
+
+fn summed_cache_field(points: &[fbf::core::SweepPoint], key: &str) -> u64 {
+    points
+        .iter()
+        .map(|pt| {
+            let c = &pt.metrics.cache;
+            match key {
+                "hits" => c.hits,
+                "misses" => c.misses,
+                "evictions" => c.evictions,
+                "inserts" => c.inserts,
+                "demotions" => c.demotions,
+                "prio1" => c.prio_inserts[0],
+                "prio2" => c.prio_inserts[1],
+                "prio3" => c.prio_inserts[2],
+                other => unreachable!("unknown key {other}"),
+            }
+        })
+        .sum()
+}
+
+#[test]
+fn counters_reconcile_with_metrics_and_replay_deterministically() {
+    let _gate = lock();
+    let configs = grid();
+
+    let mut per_run_totals = Vec::new();
+    for _ in 0..2 {
+        let counting = Arc::new(CountingSubscriber::default());
+        fbf::obs::install(counting.clone());
+        let points = sweep(&configs, 2).expect("sweep runs");
+        fbf::obs::uninstall();
+
+        for key in CACHE_KEYS {
+            assert_eq!(
+                counting.total(&format!("engine/cache/{key}")),
+                summed_cache_field(&points, key),
+                "trace total for `{key}` must equal the reported metrics"
+            );
+        }
+        // Fetched-chunk priority distribution partitions the inserts.
+        assert_eq!(
+            counting.total("engine/cache/prio1")
+                + counting.total("engine/cache/prio2")
+                + counting.total("engine/cache/prio3"),
+            counting.total("engine/cache/inserts"),
+        );
+        // Per-disk read counters roll up to the reported read total.
+        assert_eq!(
+            counting.total("engine/disk/reads"),
+            points.iter().map(|pt| pt.metrics.disk_reads).sum::<u64>(),
+        );
+        // FBF points demote; the queue snapshot fired for them.
+        assert!(counting.total("engine/cache/demotions") > 0);
+        assert!(counting.total("engine/queues/q1") + counting.total("engine/queues/q2") > 0);
+        // Sweep bookkeeping: every point and the plan-store split showed up.
+        assert_eq!(counting.total("sweep/summary/points"), configs.len() as u64);
+        assert_eq!(
+            counting.total("sweep/summary/plan_cold") + counting.total("sweep/summary/plan_warm"),
+            configs.len() as u64,
+        );
+
+        per_run_totals.push(
+            CACHE_KEYS
+                .iter()
+                .map(|k| counting.total(&format!("engine/cache/{k}")))
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(
+        per_run_totals[0], per_run_totals[1],
+        "fixed-seed campaign must trace identically on replay"
+    );
+}
+
+/// `Write` sink whose bytes stay inspectable after the writer is consumed
+/// by [`TraceWriter::from_writer`].
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn jsonl_trace_is_well_formed() {
+    let _gate = lock();
+    let buf = SharedBuf::default();
+    fbf::obs::install(Arc::new(TraceWriter::from_writer(Box::new(buf.clone()))));
+    let points = sweep(&grid(), 2).expect("sweep runs");
+    fbf::obs::uninstall();
+
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("trace is UTF-8");
+    assert!(text.ends_with('\n'), "trace ends with a newline");
+
+    let mut phases = std::collections::BTreeSet::new();
+    let mut cache_events = 0usize;
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "each line is one JSON object: {line}"
+        );
+        // Balanced structure (no string in the trace contains braces, so
+        // plain counting is a faithful check here).
+        let open = line.matches('{').count();
+        let close = line.matches('}').count();
+        assert_eq!(open, close, "balanced braces: {line}");
+        assert_eq!(line.matches('"').count() % 2, 0, "paired quotes: {line}");
+        for field in [
+            "\"name\":",
+            "\"cat\":",
+            "\"ph\":",
+            "\"pid\":1",
+            "\"args\":{",
+        ] {
+            assert!(line.contains(field), "missing {field}: {line}");
+        }
+        let ph = line
+            .split("\"ph\":\"")
+            .nth(1)
+            .and_then(|rest| rest.chars().next())
+            .expect("ph present");
+        assert!("XiCM".contains(ph), "known phase {ph}: {line}");
+        phases.insert(ph);
+        if ph == 'X' {
+            assert!(line.contains("\"dur\":"), "complete events carry dur");
+        }
+        if line.contains("\"cat\":\"engine\"") && line.contains("\"name\":\"cache\"") {
+            cache_events += 1;
+            for key in CACHE_KEYS {
+                assert!(
+                    line.contains(&format!("\"{key}\":")),
+                    "cache event carries {key}"
+                );
+            }
+        }
+    }
+    assert!(phases.contains(&'X') && phases.contains(&'C') && phases.contains(&'M'));
+    assert_eq!(
+        cache_events,
+        points.len(),
+        "one engine/cache snapshot per sweep point"
+    );
+}
+
+#[test]
+fn subscriber_swap_mid_sweep_loses_no_events() {
+    let _gate = lock();
+    let configs = grid();
+    let a = Arc::new(CountingSubscriber::default());
+    let b = Arc::new(CountingSubscriber::default());
+
+    fbf::obs::install(a.clone());
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let swapper = {
+        let (a, b, stop) = (a.clone(), b.clone(), stop.clone());
+        std::thread::spawn(move || {
+            let mut flip = false;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let next: Arc<dyn fbf::obs::Subscriber> = if flip { a.clone() } else { b.clone() };
+                fbf::obs::install(next);
+                flip = !flip;
+                std::thread::yield_now();
+            }
+        })
+    };
+    let points = sweep(&configs, 4).expect("sweep runs under subscriber churn");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    swapper.join().expect("swapper thread exits");
+    fbf::obs::uninstall();
+
+    // Whichever subscriber each event landed in, none may be lost: the
+    // two ledgers together still reconcile exactly.
+    for key in CACHE_KEYS {
+        let k = format!("engine/cache/{key}");
+        assert_eq!(
+            a.total(&k) + b.total(&k),
+            summed_cache_field(&points, key),
+            "split ledger must still reconcile for `{key}`"
+        );
+    }
+    assert!(a.events() + b.events() > 0);
+}
