@@ -36,8 +36,8 @@ use fbf_codes::xor::{is_zero, xor_many};
 use fbf_codes::{Cell, ChunkId};
 use fbf_core::{run_experiment, ExperimentConfig};
 use fbf_disksim::{
-    ArrayMapping, DiskModel, DiskSched, Engine, EngineConfig, EngineScratch, Op, SimTime,
-    WorkerScript,
+    ArrayMapping, DiskModel, DiskSched, Engine, EngineConfig, EngineScratch, FaultPlan, Op,
+    SimTime, WorkerScript,
 };
 use std::time::Instant;
 
@@ -282,6 +282,25 @@ fn main() {
         let report = Engine::new(engine_cfg()).run_with_scratch(&scripts, &mut scratch);
         std::hint::black_box(report.makespan);
     }));
+
+    // The fault-injection guard: the same workload with the fault plan
+    // explicitly `none()`. Its ratio against `engine_run_8x` bounds what
+    // the per-op fault checks cost when no faults are configured — the
+    // disabled path must stay ≈ 1.0x (bench.sh prints the ratio).
+    benches.push(measure(
+        "engine_run_8x_faults_disabled",
+        2,
+        scale.min(20),
+        events,
+        || {
+            let cfg = EngineConfig {
+                faults: FaultPlan::none(),
+                ..engine_cfg()
+            };
+            let report = Engine::new(cfg).run_with_scratch(&scripts, &mut scratch);
+            std::hint::black_box(report.makespan);
+        },
+    ));
 
     // The observability guard, both sides. Disabled: a span creation is
     // one relaxed atomic load and must stay in the single-digit ns range.

@@ -90,11 +90,8 @@ impl ReplacementPolicy for ArcPolicy {
         }
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
+    fn admit(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         let c = self.capacity;
-        if c == 0 {
-            return InsertOutcome::Rejected;
-        }
         if self.contains(&key) {
             // Case I after all: treat as the resident hit it is.
             self.on_access(key);

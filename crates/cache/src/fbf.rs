@@ -141,10 +141,7 @@ impl ReplacementPolicy for FbfPolicy {
         true
     }
 
-    fn on_insert(&mut self, key: Key, priority: u8) -> InsertOutcome {
-        if self.capacity == 0 {
-            return InsertOutcome::Rejected;
-        }
+    fn admit(&mut self, key: Key, priority: u8) -> InsertOutcome {
         if self.contains(&key) {
             // Treat as the hit it is: Algorithm 1's demote-on-hit applies.
             self.on_access(key);

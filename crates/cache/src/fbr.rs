@@ -89,10 +89,7 @@ impl ReplacementPolicy for FbrPolicy {
         true
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
-        if self.capacity == 0 {
-            return InsertOutcome::Rejected;
-        }
+    fn admit(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.stack.contains(&key) {
             self.on_access(key);
             return InsertOutcome::AlreadyResident;

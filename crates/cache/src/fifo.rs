@@ -44,10 +44,7 @@ impl ReplacementPolicy for FifoPolicy {
         self.queue.contains(&key)
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
-        if self.capacity == 0 {
-            return InsertOutcome::Rejected;
-        }
+    fn admit(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.queue.contains(&key) {
             // FIFO order is insertion order: a re-insert changes nothing.
             return InsertOutcome::AlreadyResident;

@@ -66,10 +66,7 @@ impl ReplacementPolicy for LfuPolicy {
         }
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
-        if self.capacity == 0 {
-            return InsertOutcome::Rejected;
-        }
+    fn admit(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.info.contains_key(&key) {
             self.bump(key);
             return InsertOutcome::AlreadyResident;

@@ -107,10 +107,7 @@ impl ReplacementPolicy for LrfuPolicy {
         }
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
-        if self.capacity == 0 {
-            return InsertOutcome::Rejected;
-        }
+    fn admit(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.pages.contains_key(&key) {
             self.on_access(key);
             return InsertOutcome::AlreadyResident;

@@ -42,10 +42,7 @@ impl ReplacementPolicy for LruPolicy {
         self.queue.touch(key)
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
-        if self.capacity == 0 {
-            return InsertOutcome::Rejected;
-        }
+    fn admit(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.queue.touch(key) {
             return InsertOutcome::AlreadyResident;
         }

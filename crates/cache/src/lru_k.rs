@@ -123,10 +123,7 @@ impl ReplacementPolicy for LruKPolicy {
         }
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
-        if self.capacity == 0 {
-            return InsertOutcome::Rejected;
-        }
+    fn admit(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.resident.contains_key(&key) {
             self.on_access(key);
             return InsertOutcome::AlreadyResident;

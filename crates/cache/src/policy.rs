@@ -79,13 +79,26 @@ pub trait ReplacementPolicy: Send {
     /// policy ignores it.
     ///
     /// The outcome is fully defined — see [`InsertOutcome`]:
-    /// * zero-capacity caches return [`InsertOutcome::Rejected`];
+    /// * zero-capacity caches return [`InsertOutcome::Rejected`] (enforced
+    ///   here, once, for every policy);
     /// * inserting an already-resident key is treated as an access and
     ///   returns [`InsertOutcome::AlreadyResident`] (never an eviction);
     /// * otherwise the key is admitted and
     ///   [`InsertOutcome::Inserted`]`{ evicted }` reports the displaced
     ///   resident, if the cache was full.
-    fn on_insert(&mut self, key: Key, priority: u8) -> InsertOutcome;
+    fn on_insert(&mut self, key: Key, priority: u8) -> InsertOutcome {
+        if self.capacity() == 0 {
+            return InsertOutcome::Rejected;
+        }
+        self.admit(key, priority)
+    }
+
+    /// [`on_insert`](ReplacementPolicy::on_insert) behind the shared
+    /// zero-capacity guard. Implementations may assume `capacity() > 0`
+    /// but still own the `AlreadyResident`/eviction contract. Callers go
+    /// through `on_insert`; this hook exists so the guard lives in exactly
+    /// one place instead of being copy-pasted into every policy.
+    fn admit(&mut self, key: Key, priority: u8) -> InsertOutcome;
 
     /// Drop all residents and internal history.
     fn clear(&mut self);

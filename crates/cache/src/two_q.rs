@@ -86,10 +86,7 @@ impl ReplacementPolicy for TwoQPolicy {
         }
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
-        if self.capacity == 0 {
-            return InsertOutcome::Rejected;
-        }
+    fn admit(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.contains(&key) {
             self.on_access(key);
             return InsertOutcome::AlreadyResident;

@@ -98,10 +98,7 @@ impl ReplacementPolicy for VdfPolicy {
         self.normal.touch(key) || self.protected.touch(key)
     }
 
-    fn on_insert(&mut self, key: Key, _priority: u8) -> InsertOutcome {
-        if self.capacity == 0 {
-            return InsertOutcome::Rejected;
-        }
+    fn admit(&mut self, key: Key, _priority: u8) -> InsertOutcome {
         if self.contains(&key) {
             self.on_access(key);
             return InsertOutcome::AlreadyResident;

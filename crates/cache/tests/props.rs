@@ -40,6 +40,32 @@ proptest! {
         }
     }
 
+    /// Capacity-0 adversarial sequence: every policy must survive any
+    /// interleaving of access/insert/contains/clear without panicking,
+    /// miss on every access, reject every insert, and stay empty.
+    #[test]
+    fn zero_capacity_never_panics_never_admits(
+        kind_idx in 0usize..10,
+        ops in proptest::collection::vec((0u8..4, 0u32..8, 0usize..8, 0usize..8, 0u8..4), 1..400),
+    ) {
+        let kind = PolicyKind::EXTENDED[kind_idx];
+        let mut policy = kind.build(0);
+        for (op, s, r, c, prio) in ops {
+            let k = key(s, r, c);
+            match op {
+                0 => prop_assert!(!policy.on_access(k), "{}: hit in empty cache", kind),
+                1 => {
+                    let out = policy.on_insert(k, prio.max(1));
+                    prop_assert_eq!(out, fbf_cache::InsertOutcome::Rejected, "{}", kind);
+                }
+                2 => prop_assert!(!policy.contains(&k), "{}", kind),
+                _ => policy.clear(),
+            }
+            prop_assert_eq!(policy.len(), 0, "{}: residency crept in", kind);
+            prop_assert!(policy.is_empty());
+        }
+    }
+
     /// FBF-specific invariant: no chunk in Queue2/Queue3 is ever evicted
     /// while Queue1 is non-empty.
     #[test]

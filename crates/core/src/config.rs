@@ -3,7 +3,7 @@
 use fbf_cache::{FbfConfig, PolicyKind};
 use fbf_codes::prime::is_prime;
 use fbf_codes::CodeSpec;
-use fbf_disksim::{CacheSharing, DiskModel, DiskSched, SimTime};
+use fbf_disksim::{CacheSharing, DiskModel, DiskSched, FaultPlan, SimTime};
 use fbf_recovery::SchemeKind;
 use serde::{Deserialize, Serialize};
 
@@ -94,6 +94,10 @@ pub struct ExperimentConfig {
     /// Failure injection: one disk serving at a multiple of its normal
     /// service time (aged-disk straggler).
     pub straggler: Option<(usize, f64)>,
+    /// Deterministic mid-recovery fault injection (media errors, transient
+    /// stalls, straggler, disk kill). [`FaultPlan::none()`] — the default —
+    /// reproduces the fault-free baseline bit-for-bit.
+    pub faults: FaultPlan,
     /// Buffer-cache access time.
     pub cache_hit_time: SimTime,
     /// Campaign RNG seed.
@@ -123,6 +127,7 @@ impl Default for ExperimentConfig {
             disk_model: DiskModel::paper_default(),
             disk_sched: DiskSched::Fcfs,
             straggler: None,
+            faults: FaultPlan::none(),
             cache_hit_time: SimTime::from_micros(500),
             seed: 0x5EED,
             gen_threads: 0,
@@ -253,6 +258,8 @@ impl ExperimentConfigBuilder {
         disk_sched: DiskSched,
         /// Aged-disk straggler injection.
         straggler: Option<(usize, f64)>,
+        /// Deterministic mid-recovery fault injection.
+        faults: FaultPlan,
         /// Buffer-cache access time.
         cache_hit_time: SimTime,
         /// Campaign RNG seed.
@@ -352,6 +359,20 @@ mod tests {
     #[test]
     fn validate_accepts_paper_defaults() {
         assert!(ExperimentConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn default_faults_are_inactive() {
+        let cfg = ExperimentConfig::default();
+        assert!(!cfg.faults.is_active());
+        let faulted = ExperimentConfig::builder()
+            .faults(FaultPlan {
+                media_per_mille: 5,
+                ..FaultPlan::none()
+            })
+            .build()
+            .unwrap();
+        assert!(faulted.faults.is_active());
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! Multi-round faulted execution: run, absorb hard failures, re-plan,
+//! run again.
+//!
+//! When a [`FaultPlan`](fbf_disksim::FaultPlan) injects read faults, one
+//! engine pass is no longer the whole story: a hard failure (media error,
+//! exhausted retries, dead disk) abandons its stripe mid-repair, and the
+//! controller must fold the unreadable chunk into the stripe's damage and
+//! try again with a fresh plan. This module drives that loop:
+//!
+//! 1. **Round 0** executes the campaign's original scripts under the
+//!    configured fault plan.
+//! 2. Each round's [`FailedRead`](fbf_disksim::FailedRead)s feed the
+//!    [`Escalator`], which enlarges damage, declares [`DataLoss`] for
+//!    stripes past the code's fault tolerance, and re-plans the rest.
+//! 3. The re-plans become fresh worker scripts and run as the next round.
+//!    From round 1 on, a scheduled disk kill is moved to time zero — the
+//!    disk died in round 0 and stays dead.
+//!
+//! The loop terminates because damage grows strictly (a re-plan never
+//! reads a known-lost cell, so a chunk can fail at most once) and is
+//! bounded by stripe geometry; [`MAX_ROUNDS`] is a belt-and-braces cap.
+//! Every step is deterministic in the config's seeds, so two runs of the
+//! same faulted config produce identical merged reports.
+//!
+//! Each round starts with cold caches — conservative (round 0's survivors
+//! could seed round 1) but honest: the re-plan happens on the host after
+//! failure *detection*, and the simulator does not model cache retention
+//! across that host round-trip.
+
+use crate::config::ExperimentConfig;
+use crate::plan::PlannedCampaign;
+use fbf_codes::StripeCode;
+use fbf_disksim::{
+    ArrayMapping, Engine, EngineConfig, EngineScratch, FaultPlan, RunReport, SimTime, WorkerScript,
+};
+use fbf_recovery::{
+    build_scripts_from_plans, DataLoss, Escalator, ExecConfig, StripeDamage, StripePlan,
+};
+use std::collections::BTreeMap;
+
+/// Hard cap on escalation rounds. Unreachable in practice (damage is
+/// bounded by geometry long before this); it exists so a logic bug can
+/// never spin the driver forever.
+pub const MAX_ROUNDS: u64 = 32;
+
+/// Everything a faulted multi-round execution produced: the merged engine
+/// report plus the escalation verdicts needed for metrics and byte-exact
+/// verification.
+#[derive(Debug)]
+pub struct FaultedOutcome {
+    /// All rounds merged: makespans summed (rounds run back-to-back),
+    /// counters and distributions merged, write completions offset into
+    /// the combined timeline.
+    pub report: RunReport,
+    /// Stripe re-plans issued across all rounds.
+    pub replans: u64,
+    /// Escalation rounds absorbed (0 = no hard failures).
+    pub rounds: u64,
+    /// Stripes whose accumulated damage exceeded the code's fault
+    /// tolerance — typed, reported, never a panic.
+    pub data_loss: Vec<DataLoss>,
+    /// Final accumulated damage of every surviving stripe, in stripe
+    /// order — what the repair must have recovered.
+    pub surviving_damage: Vec<StripeDamage>,
+    /// The plan that ultimately repaired each surviving stripe (the
+    /// original scheme, or the last re-plan).
+    pub final_plans: BTreeMap<u32, StripePlan>,
+    /// Surviving stripes (repaired despite faults).
+    pub stripes_repaired: usize,
+    /// Chunks of surviving stripes recovered, counting escalated damage.
+    pub chunks_recovered: usize,
+}
+
+/// Build the engine configuration for one round of `cfg`'s campaign.
+fn engine_config(
+    cfg: &ExperimentConfig,
+    plan: &PlannedCampaign,
+    faults: FaultPlan,
+) -> EngineConfig {
+    EngineConfig {
+        policy: cfg.policy,
+        fbf: cfg.fbf,
+        victim_map: Some(std::sync::Arc::clone(&plan.victim_map)),
+        cache_chunks: cfg.cache_chunks(),
+        sharing: cfg.sharing,
+        disk_model: cfg.disk_model,
+        sched: cfg.disk_sched,
+        straggler: cfg.straggler,
+        faults,
+        cache_hit_time: cfg.cache_hit_time,
+        chunk_bytes: cfg.chunk_bytes(),
+        mapping: ArrayMapping::new(plan.cols, plan.rows, cfg.code.rotated_placement()),
+        data_stripes: cfg.stripes as u64,
+        obs: cfg.obs,
+    }
+}
+
+/// The fault plan for rounds ≥ 1: a disk killed in round 0 stays dead, so
+/// its kill instant moves to time zero.
+fn later_round_faults(f: FaultPlan) -> FaultPlan {
+    let mut later = f;
+    if let Some(kill) = later.disk_kill.as_mut() {
+        kill.at = SimTime::ZERO;
+    }
+    later
+}
+
+/// Fold one round's report into the running total. Rounds execute
+/// back-to-back on the virtual clock, so makespans add and each round's
+/// write completions shift by the time already elapsed.
+fn merge_round(total: &mut RunReport, round: &RunReport) {
+    let base = total.makespan;
+    total.makespan = base + round.makespan;
+    total.cache.merge(&round.cache);
+    total.disk_reads += round.disk_reads;
+    total.disk_writes += round.disk_writes;
+    total.read_response.merge(&round.read_response);
+    total.read_latency.merge(&round.read_latency);
+    total.write_response.merge(&round.write_response);
+    total
+        .write_completions
+        .extend(round.write_completions.iter().map(|&t| base + t));
+    for (t, r) in total.per_disk.iter_mut().zip(&round.per_disk) {
+        t.reads += r.reads;
+        t.writes += r.writes;
+        t.busy += r.busy;
+        t.queued += r.queued;
+        t.max_queue = t.max_queue.max(r.max_queue);
+    }
+    total.faults.merge(&round.faults);
+    total
+        .failed_reads
+        .extend(round.failed_reads.iter().copied());
+}
+
+/// Execute `plan` under `cfg.faults`, escalating hard read failures
+/// through re-planning until the campaign settles (or stripes are
+/// declared lost).
+///
+/// The plan must have been generated for `cfg` (the same invariant as
+/// [`run_planned`](crate::runner::run_planned)); in particular the code
+/// must build, which `cfg.validate()` already guaranteed.
+pub fn execute_faulted(
+    cfg: &ExperimentConfig,
+    plan: &PlannedCampaign,
+    scratch: &mut EngineScratch,
+) -> FaultedOutcome {
+    let code = StripeCode::build(cfg.code, cfg.p).expect("plan was built with this code/p");
+    let mut escalator = Escalator::new(&code, cfg.scheme, &plan.errors);
+    let mut final_plans: BTreeMap<u32, StripePlan> = plan
+        .schemes
+        .iter()
+        .map(|s| (s.stripe, StripePlan::Chained(s.clone())))
+        .collect();
+
+    let run = |scripts: &[WorkerScript], faults: FaultPlan, scratch: &mut EngineScratch| {
+        Engine::new(engine_config(cfg, plan, faults)).run_with_scratch(scripts, scratch)
+    };
+
+    let mut total = run(&plan.scripts, cfg.faults, scratch);
+    let mut pending = std::mem::take(&mut total.failed_reads);
+    total.failed_reads = pending.clone();
+
+    let later = later_round_faults(cfg.faults);
+    let exec_cfg = ExecConfig {
+        workers: cfg.workers,
+        ..Default::default()
+    };
+    let mut data_loss = Vec::new();
+    while !pending.is_empty() && escalator.rounds() < MAX_ROUNDS {
+        let absorbed = escalator.absorb(&pending);
+        for dl in &absorbed.data_loss {
+            final_plans.remove(&dl.stripe);
+        }
+        data_loss.extend(absorbed.data_loss);
+        if absorbed.replans.is_empty() {
+            // Every failure this round was on a stripe now declared (or
+            // already) lost — nothing left to retry.
+            break;
+        }
+        let scripts = build_scripts_from_plans(&absorbed.replans, &absorbed.dictionary, &exec_cfg);
+        for p in absorbed.replans {
+            final_plans.insert(p.stripe(), p);
+        }
+        let round = run(&scripts, later, scratch);
+        pending = round.failed_reads.clone();
+        merge_round(&mut total, &round);
+    }
+
+    let surviving_damage = escalator.surviving_damage();
+    let chunks_recovered = surviving_damage.iter().map(|d| d.cells.len()).sum();
+    FaultedOutcome {
+        report: total,
+        replans: escalator.replans(),
+        rounds: escalator.rounds(),
+        data_loss,
+        surviving_damage,
+        stripes_repaired: final_plans.len(),
+        chunks_recovered,
+        final_plans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbf_disksim::{DiskKill, RetryPolicy};
+
+    fn faulty(media: u16, kill: Option<u32>) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::builder()
+            .stripes(128)
+            .error_count(48)
+            .workers(8)
+            .gen_threads(1)
+            .build()
+            .unwrap();
+        cfg.faults = FaultPlan {
+            seed: 99,
+            media_per_mille: media,
+            retry: RetryPolicy::default(),
+            disk_kill: kill.map(|disk| DiskKill {
+                disk,
+                at: SimTime::from_millis(40),
+            }),
+            ..FaultPlan::none()
+        };
+        cfg
+    }
+
+    fn outcome(cfg: &ExperimentConfig) -> FaultedOutcome {
+        let plan = PlannedCampaign::cold(cfg).unwrap();
+        execute_faulted(cfg, &plan, &mut EngineScratch::default())
+    }
+
+    #[test]
+    fn media_faults_escalate_and_settle() {
+        let cfg = faulty(30, None);
+        let out = outcome(&cfg);
+        assert!(
+            out.report.faults.media_errors > 0,
+            "30‰ must fire on ~1k reads"
+        );
+        assert!(out.rounds >= 1);
+        assert!(out.replans >= 1);
+        assert_eq!(
+            out.stripes_repaired + out.data_loss.len(),
+            48,
+            "every damaged stripe is repaired or typed as lost"
+        );
+        // Escalated chunks count as recovered on surviving stripes.
+        let initial: usize = out.surviving_damage.iter().map(|d| d.cells.len()).sum();
+        assert_eq!(out.chunks_recovered, initial);
+    }
+
+    #[test]
+    fn faulted_execution_is_deterministic() {
+        let cfg = faulty(25, Some(3));
+        let a = outcome(&cfg);
+        let b = outcome(&cfg);
+        assert_eq!(a.report.makespan, b.report.makespan);
+        assert_eq!(a.report.faults, b.report.faults);
+        assert_eq!(a.report.disk_reads, b.report.disk_reads);
+        assert_eq!(a.replans, b.replans);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.data_loss, b.data_loss);
+        assert_eq!(a.surviving_damage, b.surviving_damage);
+    }
+
+    #[test]
+    fn disk_kill_keeps_the_disk_dead_in_later_rounds() {
+        let cfg = faulty(0, Some(2));
+        let out = outcome(&cfg);
+        if out.rounds > 0 {
+            // Re-planned reads avoid the dead column, so later rounds can
+            // only fail on *other* chunks of the killed disk; the merged
+            // counters stay consistent either way.
+            assert_eq!(
+                out.report.faults.hard_failures(),
+                out.report.failed_reads.len() as u64
+            );
+        }
+        assert_eq!(out.stripes_repaired + out.data_loss.len(), 48);
+    }
+
+    #[test]
+    fn no_faults_means_single_round_identity() {
+        let mut cfg = faulty(0, None);
+        cfg.faults = FaultPlan::none();
+        let plan = PlannedCampaign::cold(&cfg).unwrap();
+        let out = execute_faulted(&cfg, &plan, &mut EngineScratch::default());
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.replans, 0);
+        assert!(out.data_loss.is_empty());
+        assert_eq!(out.stripes_repaired, 48);
+        let direct = Engine::new(engine_config(&cfg, &plan, FaultPlan::none()))
+            .run_with_scratch(&plan.scripts, &mut EngineScratch::default());
+        assert_eq!(out.report.makespan, direct.makespan);
+        assert_eq!(out.report.disk_reads, direct.disk_reads);
+    }
+
+    #[test]
+    fn every_survivor_has_a_final_plan_covering_its_damage() {
+        let cfg = faulty(35, Some(5));
+        let out = outcome(&cfg);
+        for damage in &out.surviving_damage {
+            let plan = out
+                .final_plans
+                .get(&damage.stripe)
+                .expect("surviving stripe has a plan");
+            assert_eq!(plan.stripe(), damage.stripe);
+        }
+        for dl in &out.data_loss {
+            assert!(
+                !out.final_plans.contains_key(&dl.stripe),
+                "lost stripes carry no plan"
+            );
+            assert!(dl.columns > 3, "TIP tolerates 3 columns");
+        }
+    }
+}

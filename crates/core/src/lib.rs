@@ -35,6 +35,7 @@
 //! ```
 
 pub mod config;
+pub mod faulted;
 pub mod metrics;
 pub mod plan;
 pub mod reliability;
@@ -44,10 +45,11 @@ pub mod sweep;
 pub mod verify;
 
 pub use config::{ConfigError, ExperimentConfig, ExperimentConfigBuilder};
+pub use faulted::{execute_faulted, FaultedOutcome};
 pub use metrics::Metrics;
 pub use plan::{PlanKey, PlanSource, PlanStore, PlanStoreStats, PlannedCampaign};
 pub use reliability::{mttdl_gain, mttdl_hours, mttdl_years, ReliabilityParams};
 pub use report::Table;
-pub use runner::{run_experiment, run_planned, RunError};
+pub use runner::{run_experiment, run_experiment_with_errors, run_planned, RunError};
 pub use sweep::{sweep, sweep_with_progress, sweep_with_store, SweepPoint, SweepProgress};
-pub use verify::{verify_campaign, VerifyReport};
+pub use verify::{verify_campaign, verify_campaign_faulted, FaultedVerifyReport, VerifyReport};

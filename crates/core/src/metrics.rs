@@ -1,12 +1,15 @@
-//! The four evaluation metrics of §IV-A, plus FBF's overhead (Table IV).
+//! The four evaluation metrics of §IV-A, plus FBF's overhead (Table IV)
+//! and — when a fault plan is active — the fault/escalation counters.
 
+use crate::faulted::FaultedOutcome;
 use crate::plan::PlanSource;
 use fbf_cache::CacheStats;
-use fbf_disksim::{RunReport, SimTime};
+use fbf_disksim::{FaultCounters, RunReport, SimTime};
+use fbf_recovery::DataLoss;
 use serde::{Deserialize, Serialize};
 
 /// Everything measured over one experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Metric 1 — buffer-cache hit ratio during reconstruction.
     pub hit_ratio: f64,
@@ -44,6 +47,16 @@ pub struct Metrics {
     /// (`Warm`). The overhead figures always report the *cold* generation
     /// cost; this field records their provenance.
     pub plan_source: PlanSource,
+    /// Fault-path counters (all zero when the fault plan is inactive).
+    pub faults: FaultCounters,
+    /// Stripe re-plans issued by failure escalation.
+    pub replans: u64,
+    /// Escalation rounds executed (0 = no hard failures).
+    pub replan_rounds: u64,
+    /// Stripes whose damage exceeded the code's fault tolerance.
+    pub stripes_lost: usize,
+    /// Per-stripe data-loss verdicts (empty unless faults destroyed data).
+    pub data_loss: Vec<DataLoss>,
 }
 
 impl Metrics {
@@ -82,7 +95,73 @@ impl Metrics {
             stripes_repaired,
             chunks_recovered,
             plan_source,
+            faults: report.faults,
+            replans: 0,
+            replan_rounds: 0,
+            stripes_lost: 0,
+            data_loss: Vec::new(),
         }
+    }
+
+    /// Assemble from a multi-round faulted execution: the merged report's
+    /// figures plus the escalation verdicts.
+    pub fn from_faulted(
+        outcome: &FaultedOutcome,
+        overhead_host: std::time::Duration,
+        plan_source: PlanSource,
+    ) -> Self {
+        let mut m = Metrics::from_run(
+            &outcome.report,
+            overhead_host,
+            outcome.stripes_repaired,
+            outcome.chunks_recovered,
+            plan_source,
+        );
+        m.replans = outcome.replans;
+        m.replan_rounds = outcome.rounds;
+        m.stripes_lost = outcome.data_loss.len();
+        m.data_loss = outcome.data_loss.clone();
+        m
+    }
+
+    /// Hand-rolled JSON object of the scalar metrics (the vendored serde
+    /// is an offline stub, so reports serialise by hand like the bench
+    /// binaries do). Stable key order; data-loss stripes as an array.
+    pub fn to_json(&self) -> String {
+        let loss: Vec<String> = self
+            .data_loss
+            .iter()
+            .map(|d| format!("{{\"stripe\":{},\"columns\":{}}}", d.stripe, d.columns))
+            .collect();
+        format!(
+            concat!(
+                "{{\"hit_ratio\":{:.6},\"disk_reads\":{},\"disk_writes\":{},",
+                "\"avg_response_ms\":{:.6},\"p99_response_ms\":{:.6},",
+                "\"reconstruction_s\":{:.6},\"stripes_repaired\":{},",
+                "\"chunks_recovered\":{},\"media_errors\":{},",
+                "\"transient_faults\":{},\"retries\":{},\"retries_exhausted\":{},",
+                "\"dead_disk_reads\":{},\"skipped_ops\":{},\"replans\":{},",
+                "\"replan_rounds\":{},\"stripes_lost\":{},\"data_loss\":[{}]}}"
+            ),
+            self.hit_ratio,
+            self.disk_reads,
+            self.disk_writes,
+            self.avg_response_ms,
+            self.p99_response_ms,
+            self.reconstruction_s,
+            self.stripes_repaired,
+            self.chunks_recovered,
+            self.faults.media_errors,
+            self.faults.transient_faults,
+            self.faults.retries,
+            self.faults.retries_exhausted,
+            self.faults.dead_disk_reads,
+            self.faults.skipped_ops,
+            self.replans,
+            self.replan_rounds,
+            self.stripes_lost,
+            loss.join(",")
+        )
     }
 }
 
@@ -108,7 +187,19 @@ impl std::fmt::Display for Metrics {
             self.reconstruction_s,
             self.overhead_per_stripe_ms,
             self.overhead_pct
-        )
+        )?;
+        if !self.faults.is_empty() || self.stripes_lost > 0 {
+            write!(
+                f,
+                " faults[hard={} retries={} replans={} rounds={} lost={}]",
+                self.faults.hard_failures(),
+                self.faults.retries,
+                self.replans,
+                self.replan_rounds,
+                self.stripes_lost
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -70,6 +70,21 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<Metrics, RunError> {
     Ok(run_planned(cfg, &plan, PlanSource::Cold))
 }
 
+/// [`run_experiment`] with a caller-supplied error campaign instead of the
+/// seeded synthetic one — the trace-replay path (`fbf --trace-in`).
+///
+/// The errors must already be validated against the config's geometry
+/// (see [`fbf_workload::validate_against`]); planning and simulation are
+/// then byte-identical to a synthetic run that drew the same campaign.
+pub fn run_experiment_with_errors(
+    cfg: &ExperimentConfig,
+    errors: fbf_recovery::ErrorGroup,
+) -> Result<Metrics, RunError> {
+    cfg.validate()?;
+    let plan = PlannedCampaign::cold_with_errors(cfg, errors)?;
+    Ok(run_planned(cfg, &plan, PlanSource::Cold))
+}
+
 /// Simulate one experiment against an already-planned campaign.
 ///
 /// The plan must have been generated for `cfg`'s [`PlanKey`] (debug-checked)
@@ -96,23 +111,39 @@ pub fn run_planned_with_scratch(
     } else {
         None
     };
-    let mapping = ArrayMapping::new(plan.cols, plan.rows, cfg.code.rotated_placement());
-    let engine = Engine::new(EngineConfig {
-        policy: cfg.policy,
-        fbf: cfg.fbf,
-        victim_map: Some(std::sync::Arc::clone(&plan.victim_map)),
-        cache_chunks: cfg.cache_chunks(),
-        sharing: cfg.sharing,
-        disk_model: cfg.disk_model,
-        sched: cfg.disk_sched,
-        straggler: cfg.straggler,
-        cache_hit_time: cfg.cache_hit_time,
-        chunk_bytes: cfg.chunk_bytes(),
-        mapping,
-        data_stripes: cfg.stripes as u64,
-        obs: cfg.obs,
-    });
-    let report = engine.run_with_scratch(&plan.scripts, scratch);
+    // A fault plan that can fail reads needs the multi-round escalation
+    // driver; everything else (including straggler-only plans, which slow
+    // reads but never fail them) stays on the single-pass fast path.
+    let metrics = if cfg.faults.injects_read_faults() {
+        let outcome = crate::faulted::execute_faulted(cfg, plan, scratch);
+        Metrics::from_faulted(&outcome, plan.generation, source)
+    } else {
+        let mapping = ArrayMapping::new(plan.cols, plan.rows, cfg.code.rotated_placement());
+        let engine = Engine::new(EngineConfig {
+            policy: cfg.policy,
+            fbf: cfg.fbf,
+            victim_map: Some(std::sync::Arc::clone(&plan.victim_map)),
+            cache_chunks: cfg.cache_chunks(),
+            sharing: cfg.sharing,
+            disk_model: cfg.disk_model,
+            sched: cfg.disk_sched,
+            straggler: cfg.straggler,
+            faults: cfg.faults,
+            cache_hit_time: cfg.cache_hit_time,
+            chunk_bytes: cfg.chunk_bytes(),
+            mapping,
+            data_stripes: cfg.stripes as u64,
+            obs: cfg.obs,
+        });
+        let report = engine.run_with_scratch(&plan.scripts, scratch);
+        Metrics::from_run(
+            &report,
+            plan.generation,
+            plan.schemes.len(),
+            plan.chunks_lost,
+            source,
+        )
+    };
 
     if let Some(span) = sim_span {
         span.end_with(&[
@@ -121,13 +152,7 @@ pub fn run_planned_with_scratch(
             ("plan", fbf_obs::Value::Str(source.name())),
         ]);
     }
-    Metrics::from_run(
-        &report,
-        plan.generation,
-        plan.schemes.len(),
-        plan.chunks_lost,
-        source,
-    )
+    metrics
 }
 
 #[cfg(test)]

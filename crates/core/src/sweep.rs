@@ -277,6 +277,40 @@ pub fn sweep_with_progress(
                 ("plan_warm", fbf_obs::Value::U64(store_stats.hits)),
             ],
         );
+        // Fault/escalation totals across the sweep, only when any point
+        // actually injected faults — the common faultless sweep stays
+        // counter-for-counter identical to before.
+        let mut fault_totals = fbf_disksim::FaultCounters::default();
+        let (mut replans, mut lost) = (0u64, 0u64);
+        for p in &out {
+            fault_totals.merge(&p.metrics.faults);
+            replans += p.metrics.replans;
+            lost += p.metrics.stripes_lost as u64;
+        }
+        if !fault_totals.is_empty() || lost > 0 {
+            fbf_obs::counter(
+                "sweep",
+                "faults",
+                &[
+                    ("media", fbf_obs::Value::U64(fault_totals.media_errors)),
+                    (
+                        "transient",
+                        fbf_obs::Value::U64(fault_totals.transient_faults),
+                    ),
+                    ("retries", fbf_obs::Value::U64(fault_totals.retries)),
+                    (
+                        "exhausted",
+                        fbf_obs::Value::U64(fault_totals.retries_exhausted),
+                    ),
+                    (
+                        "dead_disk",
+                        fbf_obs::Value::U64(fault_totals.dead_disk_reads),
+                    ),
+                    ("replans", fbf_obs::Value::U64(replans)),
+                    ("stripes_lost", fbf_obs::Value::U64(lost)),
+                ],
+            );
+        }
         if let Some(span) = sweep_span {
             span.end_with(&[
                 ("points", fbf_obs::Value::U64(out.len() as u64)),

@@ -15,10 +15,11 @@
 use crate::array::ArrayMapping;
 use crate::buffer::{BufferCache, Lookup};
 use crate::disk::{DiskModel, DiskStats};
+use crate::fault::{FailedRead, FaultCounters, FaultDraw, FaultPlan, ReadFailure};
 use crate::hist::Histogram;
 use crate::sched::{DiskSched, QueuedDisk};
 use crate::time::SimTime;
-use fbf_cache::{CacheStats, FbfConfig, FbfPolicy, FxHashMap, PolicyKind, VdfPolicy};
+use fbf_cache::{CacheStats, FbfConfig, FbfPolicy, FxHashMap, FxHashSet, PolicyKind, VdfPolicy};
 use fbf_codes::ChunkId;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -112,8 +113,13 @@ pub struct EngineConfig {
     /// Head-scheduling discipline of each disk's request queue.
     pub sched: DiskSched,
     /// Failure injection: (disk index, service-time multiplier) for one
-    /// degraded/aged disk. `None` = all disks healthy.
+    /// degraded/aged disk. `None` = all disks healthy. Composes with
+    /// [`FaultPlan::straggler`] (multipliers stack) for back-compat.
     pub straggler: Option<(usize, f64)>,
+    /// Deterministic fault injection. [`FaultPlan::none()`] (the default)
+    /// keeps the event loop bit-identical to a fault-free build: the only
+    /// added cost is one well-predicted branch per operation.
+    pub faults: FaultPlan,
     /// Buffer-cache access time (the paper: 0.5 ms).
     pub cache_hit_time: SimTime,
     /// Chunk payload size in bytes (the paper: 32 KB).
@@ -145,6 +151,7 @@ impl EngineConfig {
             disk_model: DiskModel::paper_default(),
             sched: DiskSched::Fcfs,
             straggler: None,
+            faults: FaultPlan::none(),
             cache_hit_time: SimTime::from_micros(500),
             chunk_bytes: 32 << 10,
             mapping,
@@ -215,6 +222,11 @@ pub struct RunReport {
     pub write_completions: Vec<SimTime>,
     /// Per-disk counters.
     pub per_disk: Vec<DiskStats>,
+    /// Fault-path counters; all zero when faults are disabled.
+    pub faults: FaultCounters,
+    /// Hard read failures, in the deterministic order they were hit.
+    /// Each is an additional erasure the controller must re-plan around.
+    pub failed_reads: Vec<FailedRead>,
 }
 
 /// Build one cache slice honouring FBF-specific configuration.
@@ -302,12 +314,26 @@ impl Engine {
             None
         };
         let workers = scripts.len();
+        let faults = cfg.faults;
+        let faulting = faults.is_active();
+        // Stripes with a hard read failure this run: their remaining
+        // script ops are abandoned (the controller re-plans them).
+        let mut failed_stripes: FxHashSet<u32> = FxHashSet::default();
+        // Chunks already rewritten to the spare area this run; their data
+        // has left the (possibly faulty) original location.
+        let mut repaired: FxHashSet<ChunkId> = FxHashSet::default();
         let mut disks: Vec<QueuedDisk> = (0..cfg.mapping.disks)
-            .map(|i| match cfg.straggler {
-                Some((d, scale)) if d == i => {
-                    QueuedDisk::with_scale(cfg.disk_model, cfg.sched, scale)
+            .map(|i| {
+                let mut scale_milli: u64 = match cfg.straggler {
+                    Some((d, scale)) if d == i => (scale * 1000.0).round() as u64,
+                    _ => 1000,
+                };
+                if let Some(s) = faults.straggler {
+                    if s.disk as usize == i {
+                        scale_milli = scale_milli * u64::from(s.scale_milli) / 1000;
+                    }
                 }
-                _ => QueuedDisk::new(cfg.disk_model, cfg.sched),
+                QueuedDisk::with_scale_milli(cfg.disk_model, cfg.sched, scale_milli)
             })
             .collect();
 
@@ -388,6 +414,14 @@ impl Engine {
                     next_op[w] += 1;
                     match op {
                         Op::Read { chunk, priority } => {
+                            if faulting && failed_stripes.contains(&chunk.stripe) {
+                                // The stripe already failed hard this run:
+                                // abandon the repair, let re-planning
+                                // handle it.
+                                report.faults.skipped_ops += 1;
+                                heap.push(Reverse((now, EV_WORKER, w)));
+                                continue;
+                            }
                             let cache_idx = match cfg.sharing {
                                 CacheSharing::Shared => 0,
                                 CacheSharing::Partitioned => w,
@@ -400,14 +434,76 @@ impl Engine {
                                     heap.push(Reverse((now + cfg.cache_hit_time, EV_WORKER, w)));
                                 }
                                 Lookup::Miss => {
+                                    let disk = cfg.mapping.disk_of(chunk);
+                                    let mut delay = SimTime::ZERO;
+                                    if faulting && !repaired.contains(&chunk) {
+                                        let failure = if faults.disk_dead(disk, now) {
+                                            report.faults.dead_disk_reads += 1;
+                                            Some(ReadFailure::DeadDisk)
+                                        } else {
+                                            match faults.draw(chunk) {
+                                                FaultDraw::Ok => None,
+                                                FaultDraw::Media => {
+                                                    report.faults.media_errors += 1;
+                                                    Some(ReadFailure::Media)
+                                                }
+                                                FaultDraw::Transient { stalls } => {
+                                                    report.faults.transient_faults += 1;
+                                                    let max = faults.retry.max_retries;
+                                                    if stalls <= max {
+                                                        // Retries succeed:
+                                                        // the read just
+                                                        // takes longer.
+                                                        report.faults.retries += u64::from(stalls);
+                                                        delay = faults.retry.delay_for(stalls);
+                                                        None
+                                                    } else {
+                                                        report.faults.retries += u64::from(max);
+                                                        report.faults.retries_exhausted += 1;
+                                                        delay = faults.retry.delay_for(max);
+                                                        Some(ReadFailure::RetriesExhausted)
+                                                    }
+                                                }
+                                            }
+                                        };
+                                        if let Some(kind) = failure {
+                                            // Hard failure: no frame is
+                                            // reserved (no data will
+                                            // arrive), the chunk becomes
+                                            // an extra erasure.
+                                            report.failed_reads.push(FailedRead {
+                                                chunk,
+                                                worker: w as u32,
+                                                kind,
+                                            });
+                                            failed_stripes.insert(chunk.stripe);
+                                            let wasted = if kind == ReadFailure::RetriesExhausted {
+                                                delay
+                                            } else {
+                                                SimTime::ZERO
+                                            };
+                                            heap.push(Reverse((
+                                                now + wasted + faults.retry.detect,
+                                                EV_WORKER,
+                                                w,
+                                            )));
+                                            continue;
+                                        }
+                                    }
                                     // Reserve the frame at issue time (the
                                     // usual anti-thundering-herd design);
                                     // the worker blocks until DiskDone.
                                     cache.insert(chunk, priority);
                                     report.disk_reads += 1;
-                                    let disk = cfg.mapping.disk_of(chunk);
                                     let lba = cfg.mapping.lba_of(chunk);
-                                    disks[disk].enqueue(w, lba, cfg.chunk_bytes, false, now);
+                                    disks[disk].enqueue_after(
+                                        w,
+                                        lba,
+                                        cfg.chunk_bytes,
+                                        false,
+                                        now,
+                                        delay,
+                                    );
                                     if let Some((_, done)) = disks[disk].start_next(now) {
                                         heap.push(Reverse((done, EV_DISK_DONE, disk)));
                                     }
@@ -419,6 +515,70 @@ impl Engine {
                         }
                         Op::Gather { index } => {
                             let group = &scripts[w].gathers[index as usize];
+                            if faulting {
+                                // Pre-scan the fan-out for hard failures:
+                                // classification is pure, so scanning
+                                // before issuing changes nothing, and a
+                                // doomed gather issues no I/O at all.
+                                let mut stale = false;
+                                let mut new_failure = false;
+                                let mut wasted = SimTime::ZERO;
+                                for &(chunk, _) in &group.chunks {
+                                    if failed_stripes.contains(&chunk.stripe) {
+                                        stale = true;
+                                        continue;
+                                    }
+                                    if repaired.contains(&chunk) {
+                                        continue;
+                                    }
+                                    let disk = cfg.mapping.disk_of(chunk);
+                                    let kind = if faults.disk_dead(disk, now) {
+                                        report.faults.dead_disk_reads += 1;
+                                        Some(ReadFailure::DeadDisk)
+                                    } else {
+                                        match faults.draw(chunk) {
+                                            FaultDraw::Media => {
+                                                report.faults.media_errors += 1;
+                                                Some(ReadFailure::Media)
+                                            }
+                                            FaultDraw::Transient { stalls }
+                                                if stalls > faults.retry.max_retries =>
+                                            {
+                                                report.faults.transient_faults += 1;
+                                                report.faults.retries +=
+                                                    u64::from(faults.retry.max_retries);
+                                                report.faults.retries_exhausted += 1;
+                                                wasted = wasted.max(
+                                                    faults
+                                                        .retry
+                                                        .delay_for(faults.retry.max_retries),
+                                                );
+                                                Some(ReadFailure::RetriesExhausted)
+                                            }
+                                            _ => None,
+                                        }
+                                    };
+                                    if let Some(kind) = kind {
+                                        report.failed_reads.push(FailedRead {
+                                            chunk,
+                                            worker: w as u32,
+                                            kind,
+                                        });
+                                        failed_stripes.insert(chunk.stripe);
+                                        new_failure = true;
+                                    }
+                                }
+                                if new_failure || stale {
+                                    report.faults.skipped_ops += 1;
+                                    let wait = if new_failure {
+                                        wasted + faults.retry.detect
+                                    } else {
+                                        SimTime::ZERO
+                                    };
+                                    heap.push(Reverse((now + wait, EV_WORKER, w)));
+                                    continue;
+                                }
+                            }
                             let cache_idx = match cfg.sharing {
                                 CacheSharing::Shared => 0,
                                 CacheSharing::Partitioned => w,
@@ -440,7 +600,26 @@ impl Engine {
                                         misses += 1;
                                         let disk = cfg.mapping.disk_of(chunk);
                                         let lba = cfg.mapping.lba_of(chunk);
-                                        disks[disk].enqueue(w, lba, cfg.chunk_bytes, false, now);
+                                        let mut delay = SimTime::ZERO;
+                                        if faulting && !repaired.contains(&chunk) {
+                                            // Only survivable transients
+                                            // remain after the pre-scan.
+                                            if let FaultDraw::Transient { stalls } =
+                                                faults.draw(chunk)
+                                            {
+                                                report.faults.transient_faults += 1;
+                                                report.faults.retries += u64::from(stalls);
+                                                delay = faults.retry.delay_for(stalls);
+                                            }
+                                        }
+                                        disks[disk].enqueue_after(
+                                            w,
+                                            lba,
+                                            cfg.chunk_bytes,
+                                            false,
+                                            now,
+                                            delay,
+                                        );
                                         touched_disks.push(disk);
                                     }
                                 }
@@ -461,6 +640,25 @@ impl Engine {
                             }
                         }
                         Op::Write { chunk } => {
+                            if faulting && failed_stripes.contains(&chunk.stripe) {
+                                // Never write a spare chunk whose repair
+                                // inputs could not be read.
+                                report.faults.skipped_ops += 1;
+                                heap.push(Reverse((now, EV_WORKER, w)));
+                                continue;
+                            }
+                            if faulting {
+                                // The chunk's data now lives in the spare
+                                // area (redirected to a hot spare if the
+                                // home disk is gone): later reads of it —
+                                // chained schemes deliberately re-read
+                                // repaired cells — are no longer subject
+                                // to the *original* location's fault
+                                // draws. Recorded at issue: the reader
+                                // that follows in program order observes
+                                // the write that precedes it.
+                                repaired.insert(chunk);
+                            }
                             report.disk_writes += 1;
                             let disk = cfg.mapping.disk_of(chunk);
                             let lba = cfg.mapping.spare_lba_of(chunk, cfg.data_stripes);
@@ -539,6 +737,23 @@ fn emit_run_events(cfg: &EngineConfig, caches: &[BufferCache], report: &RunRepor
                 ("q1", Value::U64(queues[0])),
                 ("q2", Value::U64(queues[1])),
                 ("q3", Value::U64(queues[2])),
+            ],
+        );
+    }
+    if !report.faults.is_empty() {
+        let f = &report.faults;
+        fbf_obs::counter(
+            "engine",
+            "faults",
+            &[
+                ("run", Value::U64(run_id)),
+                ("media", Value::U64(f.media_errors)),
+                ("transient", Value::U64(f.transient_faults)),
+                ("retries", Value::U64(f.retries)),
+                ("exhausted", Value::U64(f.retries_exhausted)),
+                ("dead_disk", Value::U64(f.dead_disk_reads)),
+                ("skipped_ops", Value::U64(f.skipped_ops)),
+                ("failed_reads", Value::U64(report.failed_reads.len() as u64)),
             ],
         );
     }
@@ -833,6 +1048,199 @@ mod tests {
         };
         Engine::new(cfg).run(&[script]);
         assert_eq!(sub.events(), 0);
+    }
+
+    fn fault_config(plan: FaultPlan) -> EngineConfig {
+        EngineConfig {
+            faults: plan,
+            ..config(PolicyKind::Lru, 8, CacheSharing::Shared)
+        }
+    }
+
+    #[test]
+    fn media_error_abandons_the_stripe() {
+        let plan = FaultPlan {
+            media_per_mille: 1000, // every read is unreadable
+            ..FaultPlan::none()
+        };
+        let script = WorkerScript {
+            ops: vec![
+                read(0, 0, 0),
+                Op::Compute {
+                    duration: SimTime::from_millis(1),
+                },
+                read(0, 1, 0),
+                Op::Write {
+                    chunk: chunk(0, 2, 0),
+                },
+            ],
+            ..Default::default()
+        };
+        let report = Engine::new(fault_config(plan)).run(&[script]);
+        assert_eq!(report.faults.media_errors, 1, "first read fails hard");
+        assert_eq!(report.failed_reads.len(), 1);
+        assert_eq!(report.failed_reads[0].kind, ReadFailure::Media);
+        assert_eq!(report.disk_reads, 0, "no I/O issued for the doomed read");
+        assert_eq!(
+            report.disk_writes, 0,
+            "spare write of a failed stripe skipped"
+        );
+        assert_eq!(
+            report.faults.skipped_ops, 2,
+            "second read and the write are abandoned"
+        );
+        // Detection (2 ms) + compute (1 ms); skipped ops are free.
+        assert_eq!(report.makespan, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn transient_faults_delay_but_recover() {
+        let plan = FaultPlan {
+            transient_per_mille: 1000,
+            transient_failures_max: 1, // always exactly one stall
+            ..FaultPlan::none()
+        };
+        let script = WorkerScript {
+            ops: vec![read(0, 0, 0)],
+            ..Default::default()
+        };
+        let report = Engine::new(fault_config(plan)).run(&[script]);
+        assert_eq!(report.faults.transient_faults, 1);
+        assert_eq!(report.faults.retries, 1);
+        assert!(report.failed_reads.is_empty(), "the retry succeeded");
+        assert_eq!(report.disk_reads, 1);
+        // 10 ms service + one stall (10 ms timeout + 5 ms backoff).
+        assert_eq!(report.makespan, SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn dead_disk_fails_only_its_own_reads() {
+        let plan = FaultPlan {
+            disk_kill: Some(crate::fault::DiskKill {
+                disk: 0,
+                at: SimTime::ZERO,
+            }),
+            ..FaultPlan::none()
+        };
+        // Stripe 0 reads disk 0 (dead); stripe 1's read lands on disk 1.
+        let s0 = WorkerScript {
+            ops: vec![read(0, 0, 0)],
+            ..Default::default()
+        };
+        let s1 = WorkerScript {
+            ops: vec![read(1, 0, 1)],
+            ..Default::default()
+        };
+        let report = Engine::new(fault_config(plan)).run(&[s0, s1]);
+        assert_eq!(report.faults.dead_disk_reads, 1);
+        assert_eq!(report.failed_reads.len(), 1);
+        assert_eq!(report.failed_reads[0].kind, ReadFailure::DeadDisk);
+        assert_eq!(report.failed_reads[0].chunk.stripe, 0);
+        assert_eq!(report.disk_reads, 1, "the healthy disk still serves");
+    }
+
+    #[test]
+    fn cached_chunks_survive_a_disk_kill() {
+        let plan = FaultPlan {
+            disk_kill: Some(crate::fault::DiskKill {
+                disk: 0,
+                at: SimTime::from_millis(5),
+            }),
+            ..FaultPlan::none()
+        };
+        // First read issues before the kill; the repeat is a cache hit
+        // even though the disk is gone by then.
+        let script = WorkerScript {
+            ops: vec![read(0, 0, 0), read(0, 0, 0)],
+            ..Default::default()
+        };
+        let report = Engine::new(fault_config(plan)).run(&[script]);
+        assert!(report.failed_reads.is_empty());
+        assert_eq!(report.cache.hits, 1);
+    }
+
+    #[test]
+    fn gather_with_a_dead_chunk_issues_nothing() {
+        let plan = FaultPlan {
+            disk_kill: Some(crate::fault::DiskKill {
+                disk: 0,
+                at: SimTime::ZERO,
+            }),
+            ..FaultPlan::none()
+        };
+        let mut script = WorkerScript::default();
+        script.push_gather(vec![(chunk(0, 0, 0), 1), (chunk(0, 0, 1), 1)]);
+        let report = Engine::new(fault_config(plan)).run(&[script]);
+        assert_eq!(report.disk_reads, 0, "doomed gather aborts before any I/O");
+        assert_eq!(report.failed_reads.len(), 1);
+        assert_eq!(report.faults.skipped_ops, 1);
+    }
+
+    #[test]
+    fn fault_straggler_scales_service() {
+        let plan = FaultPlan {
+            straggler: Some(crate::fault::SlowDisk {
+                disk: 0,
+                scale_milli: 2000,
+            }),
+            ..FaultPlan::none()
+        };
+        let script = WorkerScript {
+            ops: vec![read(0, 0, 0)],
+            ..Default::default()
+        };
+        let report = Engine::new(fault_config(plan)).run(&[script]);
+        assert_eq!(report.makespan, SimTime::from_millis(20));
+        assert!(report.failed_reads.is_empty());
+    }
+
+    #[test]
+    fn faulted_runs_replay_exactly() {
+        let plan = FaultPlan {
+            seed: 7,
+            media_per_mille: 60,
+            transient_per_mille: 250,
+            transient_failures_max: 5,
+            disk_kill: Some(crate::fault::DiskKill {
+                disk: 2,
+                at: SimTime::from_millis(15),
+            }),
+            ..FaultPlan::none()
+        };
+        let scripts: Vec<WorkerScript> = (0..4)
+            .map(|w| WorkerScript {
+                ops: (0..20)
+                    .map(|i| read((i % 6) as u32, (i + w) % 4, i % 4))
+                    .collect(),
+                ..Default::default()
+            })
+            .collect();
+        let cfg = fault_config(plan);
+        let r1 = Engine::new(cfg.clone()).run(&scripts);
+        let r2 = Engine::new(cfg).run(&scripts);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.faults, r2.faults);
+        assert_eq!(r1.failed_reads, r2.failed_reads);
+        assert_eq!(r1.disk_reads, r2.disk_reads);
+        assert!(r1.faults.media_errors + r1.faults.transient_faults > 0);
+    }
+
+    #[test]
+    fn inactive_plan_changes_nothing() {
+        let scripts: Vec<WorkerScript> = (0..3)
+            .map(|w| WorkerScript {
+                ops: (0..12)
+                    .map(|i| read(i as u32 % 3, (i + w) % 4, i % 4))
+                    .collect(),
+                ..Default::default()
+            })
+            .collect();
+        let base = Engine::new(config(PolicyKind::Lru, 8, CacheSharing::Shared)).run(&scripts);
+        let faulted = Engine::new(fault_config(FaultPlan::none())).run(&scripts);
+        assert_eq!(base.makespan, faulted.makespan);
+        assert_eq!(base.disk_reads, faulted.disk_reads);
+        assert_eq!(base.cache, faulted.cache);
+        assert!(faulted.faults.is_empty());
     }
 
     #[test]

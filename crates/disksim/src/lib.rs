@@ -24,6 +24,7 @@ pub mod array;
 pub mod buffer;
 pub mod disk;
 pub mod engine;
+pub mod fault;
 pub mod hist;
 pub mod sched;
 pub mod time;
@@ -33,6 +34,9 @@ pub use buffer::BufferCache;
 pub use disk::{DiskModel, DiskParams, DiskStats};
 pub use engine::{
     CacheSharing, Engine, EngineConfig, EngineScratch, Op, ResponseStats, RunReport, WorkerScript,
+};
+pub use fault::{
+    DiskKill, FailedRead, FaultCounters, FaultDraw, FaultPlan, ReadFailure, RetryPolicy, SlowDisk,
 };
 pub use hist::Histogram;
 pub use sched::{DiskSched, QueuedDisk};

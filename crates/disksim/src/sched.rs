@@ -62,6 +62,9 @@ pub struct DiskRequest {
     pub issued: SimTime,
     /// Arrival sequence, for FCFS and deterministic tie-breaks.
     pub seq: u64,
+    /// Extra service latency injected on top of the model time (transient
+    /// fault stalls + retry backoff). Zero for healthy requests.
+    pub delay: SimTime,
 }
 
 /// A disk with a pending queue and a scheduling discipline.
@@ -92,10 +95,17 @@ impl QueuedDisk {
     /// the simulation stays integer-deterministic).
     pub fn with_scale(model: DiskModel, sched: DiskSched, scale: f64) -> Self {
         assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        Self::with_scale_milli(model, sched, (scale * 1000.0).round() as u64)
+    }
+
+    /// [`with_scale`](QueuedDisk::with_scale) with the multiplier already
+    /// in milli-units (fault plans carry integers for replay-exactness).
+    pub fn with_scale_milli(model: DiskModel, sched: DiskSched, scale_milli: u64) -> Self {
+        assert!(scale_milli > 0, "scale must be positive");
         QueuedDisk {
             model,
             sched,
-            scale_milli: (scale * 1000.0).round() as u64,
+            scale_milli,
             head_lba: 0,
             pending: Vec::new(),
             current: None,
@@ -116,6 +126,22 @@ impl QueuedDisk {
 
     /// Add a request to the pending queue.
     pub fn enqueue(&mut self, tag: usize, lba: u64, bytes: u64, write: bool, now: SimTime) {
+        self.enqueue_after(tag, lba, bytes, write, now, SimTime::ZERO);
+    }
+
+    /// [`enqueue`](QueuedDisk::enqueue) with an injected extra service
+    /// delay (fault stalls + retry backoff). The disk stays busy for the
+    /// delay: a stalling drive blocks everything queued behind it, which
+    /// is exactly the amplification transient faults cause in practice.
+    pub fn enqueue_after(
+        &mut self,
+        tag: usize,
+        lba: u64,
+        bytes: u64,
+        write: bool,
+        now: SimTime,
+        delay: SimTime,
+    ) {
         self.pending.push(DiskRequest {
             tag,
             lba,
@@ -123,6 +149,7 @@ impl QueuedDisk {
             write,
             issued: now,
             seq: self.next_seq,
+            delay,
         });
         self.next_seq += 1;
         let depth = self.pending.len() as u64 + u64::from(self.current.is_some());
@@ -172,7 +199,8 @@ impl QueuedDisk {
         };
         let req = self.pending.swap_remove(idx);
         let base = self.model.service_time(self.head_lba, req.lba, req.bytes);
-        let service = crate::time::SimTime::from_nanos(base.as_nanos() * self.scale_milli / 1000);
+        let service =
+            crate::time::SimTime::from_nanos(base.as_nanos() * self.scale_milli / 1000) + req.delay;
         let done = now + service;
         self.head_lba = req.lba;
         self.stats.busy += service;
@@ -286,6 +314,30 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn zero_scale_rejected() {
         QueuedDisk::with_scale(DiskModel::paper_default(), DiskSched::Fcfs, 0.0);
+    }
+
+    #[test]
+    fn injected_delay_extends_service() {
+        let mut d = QueuedDisk::new(DiskModel::paper_default(), DiskSched::Fcfs);
+        d.enqueue_after(0, 0, 1, false, SimTime::ZERO, SimTime::from_millis(25));
+        let (_, done) = d.start_next(SimTime::ZERO).unwrap();
+        // 10 ms model service + 25 ms injected stall.
+        assert_eq!(done, SimTime::from_millis(35));
+        d.complete();
+        // The delay occupies the disk: busy time includes it.
+        assert_eq!(d.stats.busy, SimTime::from_millis(35));
+    }
+
+    #[test]
+    fn integer_scale_matches_float_scale() {
+        let mut a = QueuedDisk::with_scale(DiskModel::paper_default(), DiskSched::Fcfs, 2.5);
+        let mut b = QueuedDisk::with_scale_milli(DiskModel::paper_default(), DiskSched::Fcfs, 2500);
+        a.enqueue(0, 0, 1, false, SimTime::ZERO);
+        b.enqueue(0, 0, 1, false, SimTime::ZERO);
+        assert_eq!(
+            a.start_next(SimTime::ZERO).unwrap().1,
+            b.start_next(SimTime::ZERO).unwrap().1
+        );
     }
 
     #[test]

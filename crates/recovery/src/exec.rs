@@ -38,6 +38,19 @@ impl Default for ExecConfig {
     }
 }
 
+/// Worker count actually used for a campaign of `stripes` stripes: capped
+/// at the stripe count (extra workers would sit idle) but never silently
+/// promoted from zero — `workers == 0` is a configuration bug the caller
+/// must reject up front (`ExperimentConfig::validate` returns
+/// `ConfigError::ZeroWorkers`), not a value to paper over.
+fn effective_workers(config: &ExecConfig, stripes: usize) -> usize {
+    assert!(
+        config.workers > 0,
+        "ExecConfig.workers must be positive (validate the config first)"
+    );
+    config.workers.min(stripes.max(1))
+}
+
 /// Lower a campaign into per-worker scripts.
 ///
 /// Scheme `i` (one stripe) goes to worker `i % workers` — SOR's
@@ -48,7 +61,7 @@ pub fn build_scripts(
     dictionary: &PriorityDictionary,
     config: &ExecConfig,
 ) -> Vec<WorkerScript> {
-    let workers = config.workers.max(1).min(schemes.len().max(1));
+    let workers = effective_workers(config, schemes.len());
     let mut scripts = vec![WorkerScript::default(); workers];
     for (i, scheme) in schemes.iter().enumerate() {
         let script = &mut scripts[i % workers];
@@ -81,7 +94,7 @@ pub fn build_scripts_from_plans(
     dictionary: &PriorityDictionary,
     config: &ExecConfig,
 ) -> Vec<WorkerScript> {
-    let workers = config.workers.max(1).min(plans.len().max(1));
+    let workers = effective_workers(config, plans.len());
     let mut scripts = vec![WorkerScript::default(); workers];
     for (i, plan) in plans.iter().enumerate() {
         let script = &mut scripts[i % workers];
@@ -326,6 +339,23 @@ mod tests {
             },
         );
         assert_eq!(scripts.len(), 1, "no point in more workers than stripes");
+    }
+
+    #[test]
+    #[should_panic(expected = "workers must be positive")]
+    fn zero_workers_is_a_programmer_error() {
+        let (code, _) = setup();
+        let e = PartialStripeError::new(&code, 0, 0, 0, 2).unwrap();
+        let scheme = generate(&code, &e, SchemeKind::Typical).unwrap();
+        let dict = PriorityDictionary::from_scheme(&scheme);
+        build_scripts(
+            std::slice::from_ref(&scheme),
+            &dict,
+            &ExecConfig {
+                workers: 0,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

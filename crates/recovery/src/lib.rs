@@ -29,6 +29,7 @@ pub mod controller;
 pub mod degraded;
 pub mod disk_rebuild;
 pub mod error;
+pub mod escalate;
 pub mod exec;
 pub mod joint;
 pub mod parallel;
@@ -40,6 +41,7 @@ pub use controller::{RecoveryController, StripePlan};
 pub use degraded::{degrade_script, LostMap};
 pub use disk_rebuild::{rebuild_campaign, rebuild_read_ratio, rebuild_schemes};
 pub use error::{ErrorGroup, PartialStripeError, StripeDamage};
+pub use escalate::{Absorbed, DataLoss, Escalator};
 pub use exec::{apply_scheme, build_scripts, build_scripts_from_plans, ExecConfig};
 pub use joint::JointRepair;
 pub use parallel::{assign_round_robin, generate_schemes_parallel};

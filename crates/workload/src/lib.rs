@@ -22,4 +22,4 @@ pub mod trace;
 
 pub use app_io::{generate_app_reads, AppIoConfig};
 pub use errors::{generate_errors, ErrorGenConfig, LengthDistribution};
-pub use trace::{parse_trace, render_trace};
+pub use trace::{parse_trace, render_trace, validate_against};

@@ -4,6 +4,7 @@
 //! lines allowed. Keeps campaigns archivable/replayable without pulling a
 //! serialisation dependency beyond what the workspace already approves.
 
+use fbf_codes::StripeCode;
 use fbf_recovery::{ErrorGroup, PartialStripeError};
 
 /// Render a campaign as trace text.
@@ -21,7 +22,9 @@ pub fn render_trace(group: &ErrorGroup) -> String {
 }
 
 /// Parse trace text back into a campaign. Validation against a specific
-/// code's geometry is the caller's job (traces are geometry-agnostic).
+/// code's geometry is [`validate_against`]'s job (traces themselves are
+/// geometry-agnostic), but structural nonsense — malformed lines,
+/// zero-length errors, stripe numbers past `u32` — is rejected here.
 pub fn parse_trace(text: &str) -> Result<ErrorGroup, String> {
     let mut group = ErrorGroup::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -42,7 +45,10 @@ pub fn parse_trace(text: &str) -> Result<ErrorGroup, String> {
                 .parse::<usize>()
                 .map_err(|e| format!("line {}: field {}: {e}", lineno + 1, i + 1))
         };
-        let stripe = parse(0)? as u32;
+        // Checked, not `as u32`: a stripe number past u32::MAX must be an
+        // error, not a silent truncation onto some unrelated stripe.
+        let stripe = u32::try_from(parse(0)?)
+            .map_err(|_| format!("line {}: stripe {} exceeds u32::MAX", lineno + 1, fields[0]))?;
         let (col, first_row, len) = (parse(1)?, parse(2)?, parse(3)?);
         if len == 0 {
             return Err(format!("line {}: zero-length error", lineno + 1));
@@ -57,11 +63,36 @@ pub fn parse_trace(text: &str) -> Result<ErrorGroup, String> {
     Ok(group)
 }
 
+/// Check every error of a parsed trace against `code`'s geometry, using
+/// the same constructor the synthetic generator goes through
+/// ([`PartialStripeError::new`]): column in range, the run of rows within
+/// the stripe, length under `p - 1`. `stripes` bounds the stripe index
+/// (the campaign being replayed must fit the configured array).
+pub fn validate_against(
+    group: &ErrorGroup,
+    code: &StripeCode,
+    stripes: usize,
+) -> Result<(), String> {
+    for (i, e) in group.errors.iter().enumerate() {
+        if e.stripe as usize >= stripes {
+            return Err(format!(
+                "error {}: stripe {} out of range (campaign has {} stripes)",
+                i + 1,
+                e.stripe,
+                stripes
+            ));
+        }
+        PartialStripeError::new(code, e.stripe, e.col, e.first_row, e.len)
+            .map_err(|msg| format!("error {}: {msg}", i + 1))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::errors::{generate_errors, ErrorGenConfig};
-    use fbf_codes::{CodeSpec, StripeCode};
+    use fbf_codes::CodeSpec;
 
     #[test]
     fn roundtrip() {
@@ -70,6 +101,7 @@ mod tests {
         let text = render_trace(&g);
         let parsed = parse_trace(&text).unwrap();
         assert_eq!(g, parsed);
+        validate_against(&parsed, &code, 100).unwrap();
     }
 
     #[test]
@@ -86,6 +118,30 @@ mod tests {
         assert!(parse_trace("1 2 3").is_err());
         assert!(parse_trace("a b c d").is_err());
         assert!(parse_trace("1 2 3 0").is_err(), "zero length rejected");
+    }
+
+    #[test]
+    fn oversized_stripe_is_an_error_not_a_truncation() {
+        // 2^32 used to truncate to stripe 0 via `as u32`; it must fail.
+        let text = "4294967296 0 0 1\n";
+        let err = parse_trace(text).unwrap_err();
+        assert!(err.contains("u32::MAX"), "{err}");
+        // u32::MAX itself still parses (the type's full range is legal).
+        assert!(parse_trace("4294967295 0 0 1\n").is_ok());
+    }
+
+    #[test]
+    fn out_of_geometry_traces_rejected() {
+        let code = StripeCode::build(CodeSpec::Tip, 7).unwrap();
+        // TIP p=7 has 7 data columns (0..7) and 7 rows; len < p - 1.
+        let bad_col = parse_trace("0 99 0 1\n").unwrap();
+        assert!(validate_against(&bad_col, &code, 10).is_err());
+        let bad_run = parse_trace("0 0 6 3\n").unwrap();
+        assert!(validate_against(&bad_run, &code, 10).is_err());
+        let bad_stripe = parse_trace("10 0 0 1\n").unwrap();
+        assert!(validate_against(&bad_stripe, &code, 10).is_err());
+        let fine = parse_trace("9 0 0 1\n").unwrap();
+        assert!(validate_against(&fine, &code, 10).is_ok());
     }
 
     #[test]

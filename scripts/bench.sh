@@ -24,4 +24,9 @@ off, on = benches.get("engine_run_8x"), benches.get("engine_run_8x_obs")
 if off and on:
     print(f"obs overhead (engine_run_8x_obs / engine_run_8x): {on / off:.3f}x "
           f"({off:.1f} -> {on:.1f} ns/op)")
+nf = benches.get("engine_run_8x_faults_disabled")
+if off and nf:
+    print(f"fault-layer disabled-path overhead "
+          f"(engine_run_8x_faults_disabled / engine_run_8x): {nf / off:.3f}x "
+          f"({off:.1f} -> {nf:.1f} ns/op, expect ~1.0x)")
 EOF

@@ -13,7 +13,13 @@
 //! `run`/`sweep` accept `code=tip|hdd1|triplestar|star|rdp|evenodd`,
 //! `p=7`, `policy=fifo|lru|lfu|arc|fbf|...`, `cache=64` (MiB),
 //! `stripes=4096`, `errors=512`, `workers=128`, `seed=N`,
-//! `scheme=typical|fbf|greedy`.
+//! `scheme=typical|fbf|greedy`, plus fault injection:
+//! `media=‰`, `transient=‰`, `fault_seed=N`, `kill=<disk>@<ms>`,
+//! `slow=<disk>@<permille>`.
+//!
+//! `run` additionally accepts `--trace-in <file>` to replay an error
+//! trace (as emitted by `fbf trace`) instead of drawing a synthetic
+//! campaign.
 //!
 //! Global observability flags (any command, extracted before parsing):
 //! `--trace <path>` streams a chrome://tracing-compatible JSONL run trace
@@ -24,10 +30,12 @@ use fbf::cache::PolicyKind;
 use fbf::codes::{CodeSpec, StripeCode};
 use fbf::core::report::f;
 use fbf::core::{
-    run_experiment, sweep, ExperimentConfig, ExperimentConfigBuilder, ReliabilityParams, Table,
+    run_experiment, run_experiment_with_errors, sweep, ExperimentConfig, ExperimentConfigBuilder,
+    ReliabilityParams, Table,
 };
+use fbf::disksim::{DiskKill, FaultPlan, SimTime, SlowDisk};
 use fbf::recovery::{scheme::generate, PartialStripeError, PriorityDictionary, SchemeKind};
-use fbf::workload::{generate_errors, render_trace, ErrorGenConfig};
+use fbf::workload::{generate_errors, parse_trace, render_trace, validate_against, ErrorGenConfig};
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -125,14 +133,16 @@ fn print_usage() {
          \u{20}  fbf layout <code> <p>\n\
          \u{20}  fbf plan <code> <p> <col> <first_row> <len> [scheme]\n\
          \u{20}  fbf trace <stripes> <count> [seed]\n\
-         \u{20}  fbf run [key=value ...]\n\
+         \u{20}  fbf run [key=value ...] [--trace-in <file>]\n\
          \u{20}  fbf sweep [key=value ...]\n\
          \u{20}  fbf scrub <code> <p>\n\
          \u{20}  fbf mttdl <disks> <mttr_hours>\n\n\
          global flags: --trace <path> (JSONL run trace, chrome://tracing\n\
          \u{20}  compatible), --obs (event log on stderr)\n\n\
          codes: tip hdd1 triplestar star rdp evenodd\n\
-         policies: fifo lru lfu arc fbf lru-k 2q lrfu fbr vdf"
+         policies: fifo lru lfu arc fbf lru-k 2q lrfu fbr vdf\n\
+         faults (run/sweep): media=N transient=N (per-mille), fault_seed=N,\n\
+         \u{20}  kill=<disk>@<ms>, slow=<disk>@<permille>"
     );
 }
 
@@ -298,6 +308,7 @@ fn cmd_trace(args: &[String]) -> i32 {
 /// before any work starts.
 fn parse_kv(args: &[String]) -> Result<ExperimentConfigBuilder, i32> {
     let mut builder = ExperimentConfig::builder();
+    let mut faults = FaultPlan::none();
     for arg in args {
         let Some((k, v)) = arg.split_once('=') else {
             eprintln!("expected key=value, got `{arg}`");
@@ -313,6 +324,34 @@ fn parse_kv(args: &[String]) -> Result<ExperimentConfigBuilder, i32> {
             "errors" => v.parse().ok().map(|e| builder.error_count(e)),
             "workers" => v.parse().ok().map(|w| builder.workers(w)),
             "seed" => v.parse().ok().map(|s| builder.seed(s)),
+            // Fault injection (all optional; any one activates the plan).
+            "media" => v.parse().ok().map(|m| {
+                faults.media_per_mille = m;
+                builder
+            }),
+            "transient" => v.parse().ok().map(|t| {
+                faults.transient_per_mille = t;
+                builder
+            }),
+            "fault_seed" | "fault-seed" => v.parse().ok().map(|s| {
+                faults.seed = s;
+                builder
+            }),
+            // kill=<disk>@<ms>: the disk dies at that (virtual) instant.
+            "kill" => parse_at(v).map(|(disk, ms)| {
+                faults.disk_kill = Some(DiskKill {
+                    disk,
+                    at: SimTime::from_millis(ms),
+                });
+                builder
+            }),
+            // slow=<disk>@<permille>: service time scaled by ‰ (2000 = 2x).
+            "slow" => parse_at(v).and_then(|(disk, scale)| {
+                u32::try_from(scale).ok().map(|scale_milli| {
+                    faults.straggler = Some(SlowDisk { disk, scale_milli });
+                    builder
+                })
+            }),
             _ => {
                 eprintln!("unknown key `{k}`");
                 return Err(2);
@@ -324,7 +363,45 @@ fn parse_kv(args: &[String]) -> Result<ExperimentConfigBuilder, i32> {
         };
         builder = b;
     }
+    if faults.is_active() {
+        builder = builder.faults(faults);
+    }
     Ok(builder)
+}
+
+/// Parse `<disk>@<n>` (e.g. `kill=3@40`, `slow=2@1500`).
+fn parse_at(v: &str) -> Option<(u32, u64)> {
+    let (disk, n) = v.split_once('@')?;
+    Some((disk.parse().ok()?, n.parse().ok()?))
+}
+
+/// Pull `--trace-in <file>` / `--trace-in=<file>` out of a command's
+/// arguments, leaving the `key=value` pairs.
+fn split_trace_in(args: &[String]) -> Result<(Vec<String>, Option<String>), i32> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace-in" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("--trace-in needs a file path");
+                    return Err(2);
+                };
+                path = Some(p.clone());
+                i += 1;
+            }
+            s => {
+                if let Some(p) = s.strip_prefix("--trace-in=") {
+                    path = Some(p.to_string());
+                } else {
+                    rest.push(args[i].clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok((rest, path))
 }
 
 /// Finish a builder, turning a [`ConfigError`] into exit code 2.
@@ -336,12 +413,51 @@ fn build_or_report(builder: ExperimentConfigBuilder) -> Result<ExperimentConfig,
 }
 
 fn cmd_run(args: &[String], obs: bool) -> i32 {
-    let cfg = match parse_kv(args).map(|b| b.obs(obs)).and_then(build_or_report) {
+    let (args, trace_in) = match split_trace_in(args) {
+        Ok(v) => v,
+        Err(rc) => return rc,
+    };
+    let cfg = match parse_kv(&args)
+        .map(|b| b.obs(obs))
+        .and_then(build_or_report)
+    {
         Ok(c) => c,
         Err(rc) => return rc,
     };
     println!("running {}", cfg.describe());
-    match run_experiment(&cfg) {
+    let result = match &trace_in {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read trace {path}: {e}");
+                    return 1;
+                }
+            };
+            let errors = match parse_trace(&text) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("bad trace {path}: {e}");
+                    return 2;
+                }
+            };
+            let code = match StripeCode::build(cfg.code, cfg.p) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot build {}: {e}", cfg.code.name());
+                    return 2;
+                }
+            };
+            if let Err(e) = validate_against(&errors, &code, cfg.stripes as usize) {
+                eprintln!("trace {path} does not fit the configured geometry: {e}");
+                return 2;
+            }
+            println!("  (replaying {} errors from {path})", errors.len());
+            run_experiment_with_errors(&cfg, errors)
+        }
+        None => run_experiment(&cfg),
+    };
+    match result {
         Ok(m) => {
             println!("  hit ratio          : {:.4}", m.hit_ratio);
             println!("  disk reads         : {}", m.disk_reads);
@@ -352,6 +468,26 @@ fn cmd_run(args: &[String], obs: bool) -> i32 {
                 m.overhead_per_stripe_ms, m.overhead_pct
             );
             println!("  chunks recovered   : {}", m.chunks_recovered);
+            if !m.faults.is_empty() || m.stripes_lost > 0 {
+                println!(
+                    "  faults             : {} media, {} transient ({} retries, {} exhausted), {} dead-disk",
+                    m.faults.media_errors,
+                    m.faults.transient_faults,
+                    m.faults.retries,
+                    m.faults.retries_exhausted,
+                    m.faults.dead_disk_reads
+                );
+                println!(
+                    "  escalation         : {} replans over {} rounds, {} stripes lost",
+                    m.replans, m.replan_rounds, m.stripes_lost
+                );
+                for dl in &m.data_loss {
+                    println!(
+                        "    DATA LOSS stripe {}: damage spans {} columns",
+                        dl.stripe, dl.columns
+                    );
+                }
+            }
             0
         }
         Err(e) => {
