@@ -10,13 +10,16 @@
 //! two cache sizes — the CI smoke configuration that pairs with
 //! `--trace` to exercise the whole observability path in seconds.
 
-use fbf_bench::{base_config, finish_obs, init_obs, save_csv, CACHE_MB, FIG8_PRIMES};
+use fbf_bench::{
+    base_config, finish_obs, init_obs, save_csv, save_metrics_snapshot, CACHE_MB, FIG8_PRIMES,
+};
 use fbf_cache::PolicyKind;
 use fbf_codes::CodeSpec;
 use fbf_core::{report::f, sweep, Table};
 
 fn main() {
     init_obs();
+    let mut all_points = Vec::new();
     let smoke = std::env::var("FBF_FIG8_SMOKE").is_ok_and(|v| v == "1");
     let codes: &[CodeSpec] = if smoke {
         &[CodeSpec::Tip]
@@ -53,7 +56,9 @@ fn main() {
             }
             println!("{}", table.render());
             save_csv(&format!("fig8_{}_p{p}", code.name().to_lowercase()), &table);
+            all_points.extend(points);
         }
     }
+    save_metrics_snapshot(&all_points);
     finish_obs();
 }

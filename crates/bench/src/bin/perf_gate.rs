@@ -1,0 +1,50 @@
+//! Perf-regression gate: diff two `BENCH_*.json` snapshots.
+//!
+//! ```text
+//! perf_gate BASELINE.json CANDIDATE.json [--quick]
+//! ```
+//!
+//! Compares every baseline bench's `ns_per_op` against the candidate
+//! under the noise tolerances in [`fbf_bench::gate`] (`--quick` selects
+//! the looser smoke-mode tolerances that pair with `scripts/bench.sh
+//! --quick`). Prints a per-bench verdict table and exits nonzero when any
+//! baseline bench regressed or vanished — CI runs this against the
+//! committed `BENCH_<date>.json`.
+
+use fbf_bench::gate::{diff, parse_snapshot};
+
+fn load(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf_gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_snapshot(&text).unwrap_or_else(|e| {
+        eprintln!("perf_gate: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline, candidate] = files.as_slice() else {
+        eprintln!("usage: perf_gate BASELINE.json CANDIDATE.json [--quick]");
+        std::process::exit(2);
+    };
+
+    let report = diff(&load(baseline), &load(candidate), quick);
+    print!("{}", report.render());
+    if report.pass() {
+        println!("perf gate: PASS ({} benches)", report.entries.len());
+    } else {
+        let failed: Vec<&str> = report.failures().map(|e| e.name.as_str()).collect();
+        println!(
+            "perf gate: FAIL ({}/{} benches regressed: {})",
+            failed.len(),
+            report.entries.len(),
+            failed.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

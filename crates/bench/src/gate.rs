@@ -1,0 +1,304 @@
+//! Performance-regression gate over `BENCH_*.json` snapshots.
+//!
+//! [`diff`] compares a candidate snapshot (freshly produced by
+//! `scripts/bench.sh`) against a committed baseline and flags any bench
+//! whose `ns_per_op` grew beyond its noise tolerance. The `perf_gate`
+//! binary wraps this for CI: exit 0 when every baseline bench is present
+//! and within tolerance, nonzero otherwise.
+//!
+//! ## Noise model
+//!
+//! Tolerances are per-bench multipliers on the baseline `ns_per_op`
+//! (see DESIGN.md §11):
+//!
+//! * **Full mode** allows 1.5× — generous against scheduler jitter and
+//!   thermal variance on shared runners, tight enough to flag a 2×
+//!   slowdown unambiguously.
+//! * **Quick mode** (`--quick`, paired with `FBF_BENCH_QUICK=1` runs)
+//!   allows 4.0× — quick iteration counts are CI smoke, their absolute
+//!   numbers are noisy by design; only gross regressions are actionable.
+//! * Benches under 10 ns/op get an extra 0.5× headroom in either mode:
+//!   at that scale one cache miss or timer-granularity artefact moves
+//!   the number double digits of percent.
+//!
+//! A baseline bench *missing* from the candidate fails the gate (a bench
+//! that silently disappears is how regressions hide); a candidate bench
+//! absent from the baseline is fine (new benches land before their
+//! baseline refresh).
+
+/// One bench's comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateEntry {
+    /// Bench name (snapshot `benches[].name`).
+    pub name: String,
+    /// Baseline cost, ns/op.
+    pub baseline_ns: f64,
+    /// Candidate cost, ns/op (`None` = missing from candidate).
+    pub candidate_ns: Option<f64>,
+    /// Allowed `candidate / baseline` ratio.
+    pub tolerance: f64,
+    /// Within tolerance (missing ⇒ `false`)?
+    pub pass: bool,
+}
+
+impl GateEntry {
+    /// Observed slowdown ratio (`None` when missing).
+    pub fn ratio(&self) -> Option<f64> {
+        self.candidate_ns.map(|c| {
+            if self.baseline_ns > 0.0 {
+                c / self.baseline_ns
+            } else {
+                1.0
+            }
+        })
+    }
+}
+
+/// The whole gate outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// One entry per baseline bench, in baseline order.
+    pub entries: Vec<GateEntry>,
+    /// Candidate benches with no baseline (informational, never failing).
+    pub new_benches: Vec<String>,
+    /// Quick-mode tolerances in effect?
+    pub quick: bool,
+}
+
+impl GateReport {
+    /// Every baseline bench present and within tolerance?
+    pub fn pass(&self) -> bool {
+        !self.entries.is_empty() && self.entries.iter().all(|e| e.pass)
+    }
+
+    /// Entries that failed.
+    pub fn failures(&self) -> impl Iterator<Item = &GateEntry> {
+        self.entries.iter().filter(|e| !e.pass)
+    }
+
+    /// Human-readable table for the CI log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perf gate ({} tolerances)\n{:<32} {:>12} {:>12} {:>8} {:>6}  verdict\n",
+            if self.quick { "quick" } else { "full" },
+            "bench",
+            "baseline",
+            "candidate",
+            "ratio",
+            "allow",
+        ));
+        for e in &self.entries {
+            let (cand, ratio) = match (e.candidate_ns, e.ratio()) {
+                (Some(c), Some(r)) => (format!("{c:.3}"), format!("{r:.2}x")),
+                _ => ("MISSING".to_string(), "-".to_string()),
+            };
+            out.push_str(&format!(
+                "{:<32} {:>12.3} {:>12} {:>8} {:>5.2}x  {}\n",
+                e.name,
+                e.baseline_ns,
+                cand,
+                ratio,
+                e.tolerance,
+                if e.pass { "ok" } else { "REGRESSION" },
+            ));
+        }
+        for name in &self.new_benches {
+            out.push_str(&format!("{name:<32} (new bench, no baseline — ok)\n"));
+        }
+        out
+    }
+}
+
+/// Tolerance for one bench: mode base plus sub-10ns jitter headroom.
+pub fn tolerance_for(_name: &str, baseline_ns: f64, quick: bool) -> f64 {
+    let base = if quick { 4.0 } else { 1.5 };
+    if baseline_ns < 10.0 {
+        base + 0.5
+    } else {
+        base
+    }
+}
+
+/// Parse a `BENCH_*.json` snapshot into `(name, ns_per_op)` pairs, in
+/// file order. Hand-rolled like every (de)serializer in this workspace:
+/// scans the `"benches"` array for `"name"` / `"ns_per_op"` keys, which
+/// the stable snapshot schema guarantees per object.
+pub fn parse_snapshot(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let start = json
+        .find("\"benches\"")
+        .ok_or_else(|| "no \"benches\" key".to_string())?;
+    let body = &json[start..];
+    let open = body
+        .find('[')
+        .ok_or_else(|| "\"benches\" is not an array".to_string())?;
+    let close = body[open..]
+        .find(']')
+        .ok_or_else(|| "unterminated benches array".to_string())?;
+    let array = &body[open + 1..open + close];
+
+    let mut out = Vec::new();
+    for obj in array.split('{').skip(1) {
+        let obj = obj.split('}').next().unwrap_or("");
+        let name = string_field(obj, "name")
+            .ok_or_else(|| format!("bench object without name: {obj:?}"))?;
+        let ns = number_field(obj, "ns_per_op")
+            .ok_or_else(|| format!("bench {name:?} without ns_per_op"))?;
+        out.push((name, ns));
+    }
+    if out.is_empty() {
+        return Err("benches array is empty".to_string());
+    }
+    Ok(out)
+}
+
+fn string_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let after = &obj[obj.find(&pat)? + pat.len()..];
+    let after = &after[after.find(':')? + 1..];
+    let first_quote = after.find('"')?;
+    let rest = &after[first_quote + 1..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn number_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let after = &obj[obj.find(&pat)? + pat.len()..];
+    let after = &after[after.find(':')? + 1..];
+    let num: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    num.parse().ok()
+}
+
+/// Compare `candidate` against `baseline` under the mode's tolerances.
+pub fn diff(baseline: &[(String, f64)], candidate: &[(String, f64)], quick: bool) -> GateReport {
+    let entries = baseline
+        .iter()
+        .map(|(name, base_ns)| {
+            let cand = candidate.iter().find(|(n, _)| n == name).map(|&(_, ns)| ns);
+            let tolerance = tolerance_for(name, *base_ns, quick);
+            let pass = match cand {
+                Some(c) => *base_ns <= 0.0 || c / base_ns <= tolerance,
+                None => false,
+            };
+            GateEntry {
+                name: name.clone(),
+                baseline_ns: *base_ns,
+                candidate_ns: cand,
+                tolerance,
+                pass,
+            }
+        })
+        .collect();
+    let new_benches = candidate
+        .iter()
+        .filter(|(n, _)| !baseline.iter().any(|(b, _)| b == n))
+        .map(|(n, _)| n.clone())
+        .collect();
+    GateReport {
+        entries,
+        new_benches,
+        quick,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(pairs: &[(&str, f64)]) -> Vec<(String, f64)> {
+        pairs.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+    }
+
+    const SAMPLE: &str = r#"{
+  "schema_version": 1,
+  "date": "2026-08-06",
+  "quick": false,
+  "machine": { "os": "linux", "arch": "x86_64", "cpus": 1 },
+  "benches": [
+    { "name": "queue_slab_churn", "ns_per_op": 10.177, "ops_per_sec": 98256205.7 },
+    { "name": "engine_run_8x", "ns_per_op": 104.715, "ops_per_sec": 9549698.9 },
+    { "name": "fig8_point_e2e", "ns_per_op": 451043.600, "ops_per_sec": 2217.1 }
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_committed_schema() {
+        let parsed = parse_snapshot(SAMPLE).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].0, "queue_slab_churn");
+        assert!((parsed[0].1 - 10.177).abs() < 1e-9);
+        assert!((parsed[2].1 - 451043.6).abs() < 1e-6);
+        // The machine object before the array must not confuse the scan.
+        assert!(parsed.iter().all(|(n, _)| !n.contains("linux")));
+    }
+
+    #[test]
+    fn rejects_malformed_snapshots() {
+        assert!(parse_snapshot("{}").is_err());
+        assert!(parse_snapshot("{\"benches\": []}").is_err());
+        assert!(parse_snapshot("{\"benches\": [{\"name\": \"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let base = parse_snapshot(SAMPLE).unwrap();
+        let report = diff(&base, &base, false);
+        assert!(report.pass(), "{}", report.render());
+        assert!(report.new_benches.is_empty());
+    }
+
+    #[test]
+    fn twofold_slowdown_is_flagged() {
+        let base = parse_snapshot(SAMPLE).unwrap();
+        let slow: Vec<(String, f64)> = base.iter().map(|(n, v)| (n.clone(), v * 2.0)).collect();
+        let report = diff(&base, &slow, false);
+        assert!(!report.pass());
+        // Every bench doubled; all must flag under full tolerances.
+        assert_eq!(report.failures().count(), base.len(), "{}", report.render());
+        // Quick mode tolerates the same doubling (smoke numbers are noise).
+        assert!(diff(&base, &slow, true).pass());
+    }
+
+    #[test]
+    fn small_noise_passes_but_missing_bench_fails() {
+        let base = snapshot(&[("a", 100.0), ("b", 50.0)]);
+        let wiggly = snapshot(&[("a", 120.0), ("b", 55.0)]);
+        assert!(diff(&base, &wiggly, false).pass());
+        let dropped = snapshot(&[("a", 100.0)]);
+        let report = diff(&base, &dropped, false);
+        assert!(!report.pass(), "a vanished bench must fail the gate");
+        let failure = report.failures().next().unwrap();
+        assert_eq!(failure.name, "b");
+        assert_eq!(failure.candidate_ns, None);
+    }
+
+    #[test]
+    fn extra_candidate_benches_are_fine() {
+        let base = snapshot(&[("a", 100.0)]);
+        let extended = snapshot(&[("a", 101.0), ("brand_new", 7.0)]);
+        let report = diff(&base, &extended, false);
+        assert!(report.pass());
+        assert_eq!(report.new_benches, vec!["brand_new".to_string()]);
+        assert!(report.render().contains("new bench"));
+    }
+
+    #[test]
+    fn sub_ten_ns_benches_get_extra_headroom() {
+        assert!((tolerance_for("is_zero_32k", 2.7, false) - 2.0).abs() < 1e-12);
+        assert!((tolerance_for("engine_run_8x", 104.7, false) - 1.5).abs() < 1e-12);
+        assert!((tolerance_for("is_zero_32k", 2.7, true) - 4.5).abs() < 1e-12);
+        // 1.9x on a 3ns bench passes full mode; 2.1x fails.
+        let base = snapshot(&[("tiny", 3.0)]);
+        assert!(diff(&base, &snapshot(&[("tiny", 5.7)]), false).pass());
+        assert!(!diff(&base, &snapshot(&[("tiny", 6.3)]), false).pass());
+    }
+
+    #[test]
+    fn empty_baseline_never_passes() {
+        assert!(!diff(&[], &snapshot(&[("a", 1.0)]), false).pass());
+    }
+}

@@ -32,6 +32,8 @@ use fbf_core::{ExperimentConfig, Table};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+pub mod gate;
+
 /// Cache sizes (MiB) swept by the figures, matching the paper's x-axes.
 pub const CACHE_MB: [usize; 8] = [2, 8, 32, 64, 128, 256, 512, 2048];
 
@@ -131,6 +133,39 @@ pub fn init_obs() {
 pub fn finish_obs() {
     if OBS_REQUESTED.load(Ordering::Relaxed) {
         fbf_obs::uninstall();
+    }
+}
+
+/// The Prometheus snapshot path requested via `--metrics <path>`,
+/// `--metrics=<path>`, or `FBF_METRICS=<path>` — the metrics counterpart
+/// of [`init_obs`]'s `--trace`. Figure binaries that sweep call
+/// [`fbf_core::prometheus_snapshot`] on their points and write it here.
+pub fn metrics_path() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--metrics" {
+            if let Some(p) = args.get(i + 1) {
+                return Some(p.clone());
+            }
+        } else if let Some(p) = args[i].strip_prefix("--metrics=") {
+            return Some(p.to_string());
+        }
+        i += 1;
+    }
+    std::env::var("FBF_METRICS").ok().filter(|p| !p.is_empty())
+}
+
+/// Write a Prometheus snapshot of `points` to the path from
+/// [`metrics_path`], if one was requested (best effort, like
+/// [`save_csv`]).
+pub fn save_metrics_snapshot(points: &[fbf_core::SweepPoint]) {
+    let Some(path) = metrics_path() else {
+        return;
+    };
+    match std::fs::write(&path, fbf_core::prometheus_snapshot(points)) {
+        Ok(()) => eprintln!("(metrics snapshot written to {path})"),
+        Err(e) => eprintln!("warning: cannot write metrics snapshot {path}: {e}"),
     }
 }
 

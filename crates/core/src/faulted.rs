@@ -117,15 +117,14 @@ fn merge_round(total: &mut RunReport, round: &RunReport) {
     total.read_response.merge(&round.read_response);
     total.read_latency.merge(&round.read_latency);
     total.write_response.merge(&round.write_response);
+    for (t, r) in total.class_latency.iter_mut().zip(&round.class_latency) {
+        t.merge(r);
+    }
     total
         .write_completions
         .extend(round.write_completions.iter().map(|&t| base + t));
     for (t, r) in total.per_disk.iter_mut().zip(&round.per_disk) {
-        t.reads += r.reads;
-        t.writes += r.writes;
-        t.busy += r.busy;
-        t.queued += r.queued;
-        t.max_queue = t.max_queue.max(r.max_queue);
+        t.merge(r);
     }
     total.faults.merge(&round.faults);
     total
@@ -162,8 +161,11 @@ pub fn execute_faulted(
     total.failed_reads = pending.clone();
 
     let later = later_round_faults(cfg.faults);
+    // Escalation rounds are re-planned retries, not first-pass recovery —
+    // attribute their latency to the replan class.
     let exec_cfg = ExecConfig {
         workers: cfg.workers,
+        class: fbf_disksim::RequestClass::Replan,
         ..Default::default()
     };
     let mut data_loss = Vec::new();
@@ -296,6 +298,20 @@ mod tests {
             .run_with_scratch(&plan.scripts, &mut EngineScratch::default());
         assert_eq!(out.report.makespan, direct.makespan);
         assert_eq!(out.report.disk_reads, direct.disk_reads);
+    }
+
+    #[test]
+    fn replan_rounds_attribute_latency_to_replan_class() {
+        use fbf_disksim::RequestClass;
+        let cfg = faulty(30, None);
+        let out = outcome(&cfg);
+        assert!(out.rounds >= 1, "30‰ media errors must force a re-plan");
+        let replan = &out.report.class_latency[RequestClass::Replan.index()];
+        assert!(replan.count() > 0, "round ≥1 reads carry the replan class");
+        // The class digests partition the overall read-latency digest
+        // exactly, even across merged rounds.
+        let by_class: u64 = out.report.class_latency.iter().map(|h| h.count()).sum();
+        assert_eq!(by_class, out.report.read_latency.count());
     }
 
     #[test]

@@ -38,16 +38,18 @@ pub mod config;
 pub mod faulted;
 pub mod metrics;
 pub mod plan;
+pub mod prom;
 pub mod reliability;
 pub mod report;
 pub mod runner;
 pub mod sweep;
 pub mod verify;
 
-pub use config::{ConfigError, ExperimentConfig, ExperimentConfigBuilder};
+pub use config::{ClassSlo, ConfigError, ExperimentConfig, ExperimentConfigBuilder, SloSpec};
 pub use faulted::{execute_faulted, FaultedOutcome};
-pub use metrics::Metrics;
+pub use metrics::{ClassLatency, ClassVerdict, Metrics, SloVerdict};
 pub use plan::{PlanKey, PlanSource, PlanStore, PlanStoreStats, PlannedCampaign};
+pub use prom::prometheus_snapshot;
 pub use reliability::{mttdl_gain, mttdl_hours, mttdl_years, ReliabilityParams};
 pub use report::Table;
 pub use runner::{run_experiment, run_experiment_with_errors, run_planned, RunError};

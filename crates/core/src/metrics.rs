@@ -1,12 +1,94 @@
 //! The four evaluation metrics of §IV-A, plus FBF's overhead (Table IV)
 //! and — when a fault plan is active — the fault/escalation counters.
 
+use crate::config::SloSpec;
 use crate::faulted::FaultedOutcome;
 use crate::plan::PlanSource;
 use fbf_cache::CacheStats;
-use fbf_disksim::{FaultCounters, RunReport, SimTime};
+use fbf_disksim::{FaultCounters, Histogram, RequestClass, RunReport, SimTime};
 use fbf_recovery::DataLoss;
 use serde::{Deserialize, Serialize};
+
+/// Tail summary of one request class's read latency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassLatency {
+    /// Reads attributed to the class.
+    pub count: u64,
+    /// Median, ms (0 when the class saw no reads).
+    pub p50_ms: f64,
+    /// 90th percentile, ms.
+    pub p90_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// 99.9th percentile, ms.
+    pub p999_ms: f64,
+}
+
+impl ClassLatency {
+    fn from_histogram(h: &Histogram) -> Self {
+        let ms = |q: Option<SimTime>| q.map_or(0.0, |t| t.as_millis_f64());
+        ClassLatency {
+            count: h.count(),
+            p50_ms: ms(h.p50()),
+            p90_ms: ms(h.p90()),
+            p99_ms: ms(h.p99()),
+            p999_ms: ms(h.p999()),
+        }
+    }
+}
+
+/// One class's SLO evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassVerdict {
+    /// Did the spec carry a threshold for this class?
+    pub active: bool,
+    /// The threshold evaluated against, ms (0 when inactive).
+    pub threshold_ms: f64,
+    /// Reads over the threshold (conservative, bucket-resolution).
+    pub violations: u64,
+    /// Reads the class saw in total.
+    pub total: u64,
+    /// Violation fraction stayed within the allowance? Inactive classes
+    /// pass vacuously.
+    pub pass: bool,
+}
+
+impl ClassVerdict {
+    /// Observed violation fraction (0 when the class saw no reads).
+    pub fn violation_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.total as f64
+        }
+    }
+}
+
+/// Typed outcome of evaluating an [`SloSpec`] against a run's per-class
+/// latency digests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SloVerdict {
+    /// Was any objective active? `false` means `pass` is vacuous.
+    pub evaluated: bool,
+    /// Every active class within its allowance?
+    pub pass: bool,
+    /// Per-class detail, indexed by [`RequestClass::index`].
+    pub classes: [ClassVerdict; RequestClass::COUNT],
+}
+
+impl SloVerdict {
+    /// The verdict of a run evaluated against an empty spec.
+    pub fn vacuous() -> Self {
+        SloVerdict {
+            evaluated: false,
+            pass: true,
+            classes: [ClassVerdict {
+                pass: true,
+                ..Default::default()
+            }; RequestClass::COUNT],
+        }
+    }
+}
 
 /// Everything measured over one experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,6 +139,21 @@ pub struct Metrics {
     pub stripes_lost: usize,
     /// Per-stripe data-loss verdicts (empty unless faults destroyed data).
     pub data_loss: Vec<DataLoss>,
+    /// Per-class read-latency tail summaries, indexed by
+    /// [`RequestClass::index`]. Counts partition `read_latency` exactly.
+    pub class_latency: [ClassLatency; RequestClass::COUNT],
+    /// The per-class digests themselves (mergeable; Prometheus exposition
+    /// and SLO evaluation read these).
+    pub class_digests: [Histogram; RequestClass::COUNT],
+    /// Deepest any disk queue got during the run (high-water, merged via
+    /// max across rounds and workers).
+    pub queue_depth_max: u64,
+    /// Declustering uniformity: busiest disk's reads over the per-disk
+    /// mean (1.0 = perfectly balanced; 0 = no reads).
+    pub read_balance: f64,
+    /// SLO evaluation outcome (vacuous pass until
+    /// [`evaluate_slo`](Self::evaluate_slo) runs with an active spec).
+    pub slo: SloVerdict,
 }
 
 impl Metrics {
@@ -100,7 +197,39 @@ impl Metrics {
             replan_rounds: 0,
             stripes_lost: 0,
             data_loss: Vec::new(),
+            class_latency: std::array::from_fn(|i| {
+                ClassLatency::from_histogram(&report.class_latency[i])
+            }),
+            class_digests: report.class_latency.clone(),
+            queue_depth_max: report.queue_depth_max(),
+            read_balance: report.read_balance(),
+            slo: SloVerdict::vacuous(),
         }
+    }
+
+    /// Evaluate `spec` against the run's per-class digests, storing the
+    /// typed verdict in `self.slo`. Violation counting is conservative at
+    /// bucket resolution (see [`ClassSlo`](crate::ClassSlo)): a read
+    /// counts against the threshold when its bucket's upper edge exceeds
+    /// it.
+    pub fn evaluate_slo(&mut self, spec: &SloSpec) {
+        let mut verdict = SloVerdict::vacuous();
+        verdict.evaluated = spec.is_active();
+        for class in RequestClass::ALL {
+            let slot = &mut verdict.classes[class.index()];
+            let Some(threshold_ms) = spec.get(class).threshold_ms else {
+                continue;
+            };
+            let digest = self.class_digests[class.index()].digest();
+            let threshold_ns = (threshold_ms * 1e6).max(0.0) as u64;
+            slot.active = true;
+            slot.threshold_ms = threshold_ms;
+            slot.total = digest.count();
+            slot.violations = digest.count_over_ns(threshold_ns);
+            slot.pass = slot.violation_fraction() <= spec.get(class).allowed_violation_fraction;
+            verdict.pass &= slot.pass;
+        }
+        self.slo = verdict;
     }
 
     /// Assemble from a multi-round faulted execution: the merged report's
@@ -133,6 +262,42 @@ impl Metrics {
             .iter()
             .map(|d| format!("{{\"stripe\":{},\"columns\":{}}}", d.stripe, d.columns))
             .collect();
+        let classes: Vec<String> = RequestClass::ALL
+            .iter()
+            .map(|c| {
+                let l = &self.class_latency[c.index()];
+                format!(
+                    concat!(
+                        "\"{}\":{{\"count\":{},\"p50_ms\":{:.6},\"p90_ms\":{:.6},",
+                        "\"p99_ms\":{:.6},\"p999_ms\":{:.6}}}"
+                    ),
+                    c.name(),
+                    l.count,
+                    l.p50_ms,
+                    l.p90_ms,
+                    l.p99_ms,
+                    l.p999_ms
+                )
+            })
+            .collect();
+        let slo_classes: Vec<String> = RequestClass::ALL
+            .iter()
+            .map(|c| {
+                let v = &self.slo.classes[c.index()];
+                format!(
+                    concat!(
+                        "\"{}\":{{\"active\":{},\"threshold_ms\":{:.6},",
+                        "\"violations\":{},\"total\":{},\"pass\":{}}}"
+                    ),
+                    c.name(),
+                    v.active,
+                    v.threshold_ms,
+                    v.violations,
+                    v.total,
+                    v.pass
+                )
+            })
+            .collect();
         format!(
             concat!(
                 "{{\"hit_ratio\":{:.6},\"disk_reads\":{},\"disk_writes\":{},",
@@ -141,7 +306,10 @@ impl Metrics {
                 "\"chunks_recovered\":{},\"media_errors\":{},",
                 "\"transient_faults\":{},\"retries\":{},\"retries_exhausted\":{},",
                 "\"dead_disk_reads\":{},\"skipped_ops\":{},\"replans\":{},",
-                "\"replan_rounds\":{},\"stripes_lost\":{},\"data_loss\":[{}]}}"
+                "\"replan_rounds\":{},\"stripes_lost\":{},\"data_loss\":[{}],",
+                "\"queue_depth_max\":{},\"read_balance\":{:.6},",
+                "\"classes\":{{{}}},",
+                "\"slo\":{{\"evaluated\":{},\"pass\":{},\"classes\":{{{}}}}}}}"
             ),
             self.hit_ratio,
             self.disk_reads,
@@ -160,7 +328,13 @@ impl Metrics {
             self.replans,
             self.replan_rounds,
             self.stripes_lost,
-            loss.join(",")
+            loss.join(","),
+            self.queue_depth_max,
+            self.read_balance,
+            classes.join(","),
+            self.slo.evaluated,
+            self.slo.pass,
+            slo_classes.join(",")
         )
     }
 }
@@ -198,6 +372,15 @@ impl std::fmt::Display for Metrics {
                 self.replan_rounds,
                 self.stripes_lost
             )?;
+        }
+        for class in RequestClass::ALL {
+            let l = &self.class_latency[class.index()];
+            if l.count > 0 {
+                write!(f, " {}[n={} p99={:.2}ms]", class.name(), l.count, l.p99_ms)?;
+            }
+        }
+        if self.slo.evaluated {
+            write!(f, " slo={}", if self.slo.pass { "PASS" } else { "FAIL" })?;
         }
         Ok(())
     }
@@ -279,6 +462,91 @@ mod tests {
         );
         assert_eq!(m.repair_p50_s, 0.0);
         assert_eq!(m.repair_p90_s, 0.0);
+    }
+
+    #[test]
+    fn class_summaries_and_balance_map_from_report() {
+        use fbf_disksim::DiskStats;
+        let mut r = report();
+        for _ in 0..90 {
+            r.class_latency[RequestClass::App.index()].record(SimTime::from_millis(2));
+        }
+        for _ in 0..10 {
+            r.class_latency[RequestClass::Recovery.index()].record(SimTime::from_millis(40));
+        }
+        r.per_disk = vec![
+            DiskStats {
+                reads: 30,
+                max_queue: 4,
+                ..Default::default()
+            },
+            DiskStats {
+                reads: 10,
+                max_queue: 9,
+                ..Default::default()
+            },
+        ];
+        let m = Metrics::from_run(&r, std::time::Duration::ZERO, 1, 1, PlanSource::Cold);
+        assert_eq!(m.class_latency[RequestClass::App.index()].count, 90);
+        assert_eq!(m.class_latency[RequestClass::Recovery.index()].count, 10);
+        assert!(m.class_latency[RequestClass::App.index()].p99_ms < 3.0);
+        assert!(m.class_latency[RequestClass::Recovery.index()].p99_ms > 30.0);
+        assert_eq!(m.queue_depth_max, 9, "high-water is a max over disks");
+        // 30 reads on the busiest of two disks, mean 20 → balance 1.5.
+        assert!((m.read_balance - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_verdict_passes_and_fails_per_class() {
+        let mut r = report();
+        for _ in 0..99 {
+            r.class_latency[RequestClass::App.index()].record(SimTime::from_millis(2));
+        }
+        r.class_latency[RequestClass::App.index()].record(SimTime::from_millis(100));
+        let mut m = Metrics::from_run(&r, std::time::Duration::ZERO, 1, 1, PlanSource::Cold);
+        assert!(m.slo.pass && !m.slo.evaluated, "vacuous until evaluated");
+
+        // 1% of reads at 100 ms: a 25 ms threshold with 2% allowance passes.
+        m.evaluate_slo(&SloSpec::none().class(RequestClass::App, 25.0, 0.02));
+        assert!(m.slo.evaluated);
+        assert!(m.slo.pass, "{:?}", m.slo.classes[RequestClass::App.index()]);
+        let v = m.slo.classes[RequestClass::App.index()];
+        assert!(v.active);
+        assert_eq!(v.total, 100);
+        assert_eq!(v.violations, 1);
+
+        // Zero allowance fails on the same tail.
+        m.evaluate_slo(&SloSpec::none().class(RequestClass::App, 25.0, 0.0));
+        assert!(!m.slo.pass);
+        // A class with no traffic passes vacuously even at zero allowance.
+        m.evaluate_slo(&SloSpec::none().class(RequestClass::Scrub, 1.0, 0.0));
+        assert!(m.slo.pass);
+        assert_eq!(m.slo.classes[RequestClass::Scrub.index()].total, 0);
+    }
+
+    #[test]
+    fn json_carries_classes_and_slo() {
+        let mut r = report();
+        r.class_latency[RequestClass::App.index()].record(SimTime::from_millis(2));
+        let mut m = Metrics::from_run(&r, std::time::Duration::ZERO, 1, 1, PlanSource::Cold);
+        m.evaluate_slo(&SloSpec::none().class(RequestClass::App, 25.0, 0.0));
+        let json = m.to_json();
+        assert!(json.contains("\"queue_depth_max\":"));
+        assert!(json.contains("\"read_balance\":"));
+        assert!(json.contains("\"app\":{\"count\":1,"));
+        assert!(json.contains("\"slo\":{\"evaluated\":true,\"pass\":true,"));
+    }
+
+    #[test]
+    fn display_mentions_busy_classes_and_verdict() {
+        let mut r = report();
+        r.class_latency[RequestClass::Recovery.index()].record(SimTime::from_millis(5));
+        let mut m = Metrics::from_run(&r, std::time::Duration::ZERO, 1, 1, PlanSource::Cold);
+        m.evaluate_slo(&SloSpec::none().class(RequestClass::Recovery, 50.0, 0.0));
+        let s = m.to_string();
+        assert!(s.contains("recovery[n=1"), "{s}");
+        assert!(s.contains("slo=PASS"), "{s}");
+        assert!(!s.contains("scrub["), "idle classes stay out of the line");
     }
 
     #[test]

@@ -114,7 +114,7 @@ pub fn run_planned_with_scratch(
     // A fault plan that can fail reads needs the multi-round escalation
     // driver; everything else (including straggler-only plans, which slow
     // reads but never fail them) stays on the single-pass fast path.
-    let metrics = if cfg.faults.injects_read_faults() {
+    let mut metrics = if cfg.faults.injects_read_faults() {
         let outcome = crate::faulted::execute_faulted(cfg, plan, scratch);
         Metrics::from_faulted(&outcome, plan.generation, source)
     } else {
@@ -144,6 +144,7 @@ pub fn run_planned_with_scratch(
             source,
         )
     };
+    metrics.evaluate_slo(&cfg.slo);
 
     if let Some(span) = sim_span {
         span.end_with(&[
@@ -243,6 +244,28 @@ mod tests {
             run_experiment(&cfg),
             Err(RunError::Config(ConfigError::ZeroWorkers))
         ));
+    }
+
+    #[test]
+    fn runner_evaluates_slo_from_config() {
+        use crate::config::SloSpec;
+        use fbf_disksim::RequestClass;
+        // Recovery reads wait behind 10 ms disk accesses — a 1 ms
+        // zero-allowance objective cannot hold; a lenient one must.
+        let mut cfg = small(PolicyKind::Fbf, 16);
+        cfg.slo = SloSpec::none().class(RequestClass::Recovery, 1.0, 0.0);
+        let strict = run_experiment(&cfg).unwrap();
+        assert!(strict.slo.evaluated);
+        assert!(!strict.slo.pass);
+        cfg.slo = SloSpec::none().class(RequestClass::Recovery, 1e6, 0.0);
+        let lenient = run_experiment(&cfg).unwrap();
+        assert!(lenient.slo.evaluated && lenient.slo.pass);
+        // The verdict covers every recovery read.
+        let v = lenient.slo.classes[RequestClass::Recovery.index()];
+        assert_eq!(
+            v.total,
+            lenient.class_latency[RequestClass::Recovery.index()].count
+        );
     }
 
     #[test]

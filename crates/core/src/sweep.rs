@@ -275,6 +275,18 @@ pub fn sweep_with_progress(
                 ("util_pct", fbf_obs::Value::F64(util)),
                 ("plan_cold", fbf_obs::Value::U64(store_stats.misses)),
                 ("plan_warm", fbf_obs::Value::U64(store_stats.hits)),
+                // High-water across the sweep: a max over points, computed
+                // here because CountingSubscriber *sums* across events —
+                // per-point emission would corrupt the high-water on merge.
+                (
+                    "queue_depth_max",
+                    fbf_obs::Value::U64(
+                        out.iter()
+                            .map(|p| p.metrics.queue_depth_max)
+                            .max()
+                            .unwrap_or(0),
+                    ),
+                ),
             ],
         );
         // Fault/escalation totals across the sweep, only when any point

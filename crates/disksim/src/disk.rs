@@ -127,6 +127,18 @@ impl DiskStats {
     pub fn ops(&self) -> u64 {
         self.reads + self.writes
     }
+
+    /// Fold another snapshot of the *same* disk in (escalation rounds,
+    /// per-worker shards). Flows and times add; `max_queue` is a
+    /// high-water mark and must merge via `max` — summing two snapshots'
+    /// deepest queues would report a depth the disk never reached.
+    pub fn merge(&mut self, other: &DiskStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.busy += other.busy;
+        self.queued += other.queued;
+        self.max_queue = self.max_queue.max(other.max_queue);
+    }
 }
 
 /// Mutable state of one simulated disk.
@@ -231,6 +243,34 @@ mod tests {
         d.access(SimTime::ZERO, 0, 1, false);
         d.access(SimTime::ZERO, 1, 1, false);
         assert_eq!(d.stats.busy, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn merge_sums_flows_but_maxes_high_water() {
+        // Two worker snapshots of the same disk: one saw a deep queue,
+        // the other a shallow one. The merged high-water is the deepest
+        // either saw, not their sum (regression: max_queue must survive
+        // digest merge).
+        let mut a = DiskStats {
+            reads: 10,
+            writes: 2,
+            busy: SimTime::from_millis(120),
+            queued: SimTime::from_millis(30),
+            max_queue: 7,
+        };
+        let b = DiskStats {
+            reads: 4,
+            writes: 1,
+            busy: SimTime::from_millis(50),
+            queued: SimTime::from_millis(5),
+            max_queue: 3,
+        };
+        a.merge(&b);
+        assert_eq!(a.reads, 14);
+        assert_eq!(a.writes, 3);
+        assert_eq!(a.busy, SimTime::from_millis(170));
+        assert_eq!(a.queued, SimTime::from_millis(35));
+        assert_eq!(a.max_queue, 7, "high-water marks merge via max, not sum");
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::sched::{DiskSched, QueuedDisk};
 use crate::time::SimTime;
 use fbf_cache::{CacheStats, FbfConfig, FbfPolicy, FxHashMap, FxHashSet, PolicyKind, VdfPolicy};
 use fbf_codes::ChunkId;
+use fbf_obs::RequestClass;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -57,6 +58,11 @@ pub struct WorkerScript {
     pub ops: Vec<Op>,
     /// Fan-out read groups referenced by [`Op::Gather`].
     pub gathers: Vec<GatherOp>,
+    /// Traffic class every completion of this script is attributed to
+    /// (defaults to [`RequestClass::Recovery`] — the planned repair
+    /// campaign). The engine records each read's response into the
+    /// matching per-class digest of [`RunReport::class_latency`].
+    pub class: RequestClass,
 }
 
 impl WorkerScript {
@@ -214,6 +220,11 @@ pub struct RunReport {
     /// Full latency distribution of read requests (log buckets; p50/p95/
     /// p99 queries).
     pub read_latency: Histogram,
+    /// Read-latency digests split by [`RequestClass`], indexed by
+    /// [`RequestClass::index`]. Their counts partition
+    /// `read_latency.count()` exactly: every read completion (hit or
+    /// miss) lands in precisely one class digest.
+    pub class_latency: [Histogram; RequestClass::COUNT],
     /// Response-time summary of spare writes.
     pub write_response: ResponseStats,
     /// Completion instant of every spare write, in completion order — the
@@ -227,6 +238,28 @@ pub struct RunReport {
     /// Hard read failures, in the deterministic order they were hit.
     /// Each is an additional erasure the controller must re-plan around.
     pub failed_reads: Vec<FailedRead>,
+}
+
+impl RunReport {
+    /// Deepest any disk's queue ever got — the run's queue-depth
+    /// high-water mark. A *max* over per-disk high-waters (and across
+    /// merged rounds), never a sum.
+    pub fn queue_depth_max(&self) -> u64 {
+        self.per_disk.iter().map(|d| d.max_queue).max().unwrap_or(0)
+    }
+
+    /// Per-disk read-balance: the busiest disk's read count over the
+    /// per-disk mean — the declustering uniformity metric (1.0 is a
+    /// perfectly even spread; 0.0 when no reads reached the disks).
+    pub fn read_balance(&self) -> f64 {
+        let total: u64 = self.per_disk.iter().map(|d| d.reads).sum();
+        if total == 0 || self.per_disk.is_empty() {
+            return 0.0;
+        }
+        let max = self.per_disk.iter().map(|d| d.reads).max().unwrap_or(0);
+        let mean = total as f64 / self.per_disk.len() as f64;
+        max as f64 / mean
+    }
 }
 
 /// Build one cache slice honouring FBF-specific configuration.
@@ -384,6 +417,7 @@ impl Engine {
                     } else {
                         report.read_response.record(response);
                         report.read_latency.record(response);
+                        report.class_latency[scripts[req.tag].class.index()].record(response);
                     }
                     if gather_left[req.tag] > 0 {
                         // Part of a fan-out read: the worker resumes only
@@ -431,6 +465,8 @@ impl Engine {
                                 Lookup::Hit => {
                                     report.read_response.record(cfg.cache_hit_time);
                                     report.read_latency.record(cfg.cache_hit_time);
+                                    report.class_latency[scripts[w].class.index()]
+                                        .record(cfg.cache_hit_time);
                                     heap.push(Reverse((now + cfg.cache_hit_time, EV_WORKER, w)));
                                 }
                                 Lookup::Miss => {
@@ -592,6 +628,8 @@ impl Engine {
                                     Lookup::Hit => {
                                         report.read_response.record(cfg.cache_hit_time);
                                         report.read_latency.record(cfg.cache_hit_time);
+                                        report.class_latency[scripts[w].class.index()]
+                                            .record(cfg.cache_hit_time);
                                         floor = floor.max(now + cfg.cache_hit_time);
                                     }
                                     Lookup::Miss => {

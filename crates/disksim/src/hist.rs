@@ -3,31 +3,25 @@
 //! Mean response time (the paper's Fig. 10 metric) hides tail behaviour —
 //! and recovery workloads have heavy tails: a chunk read behind a deep
 //! disk queue waits many service times. [`Histogram`] records every
-//! response in logarithmic buckets (~7% relative width) so the engine can
-//! report p50/p95/p99 alongside the mean at negligible cost.
+//! response in logarithmic buckets (~9% relative width) so the engine can
+//! report p50/p90/p95/p99/p999 alongside the mean at negligible cost.
+//!
+//! The bucketing itself lives in [`fbf_obs::digest::Digest`] — the
+//! mergeable `fbf-metrics` digest — and this type is a [`SimTime`]-typed
+//! wrapper over it. Same math, same buckets, same quantile estimates as
+//! before the extraction (the `bucket_edges_pinned` test pins that), plus
+//! the digest's guarantees: deterministic associative merge and exact
+//! count conservation, so per-worker histograms recorded independently
+//! combine at sweep gather time into exactly the serial-run histogram.
 
 use crate::time::SimTime;
+use fbf_obs::digest::Digest;
 use serde::{Deserialize, Serialize};
 
-/// Buckets per power of two — 2^(1/8) spacing ≈ 9% relative resolution.
-const SUB_BUCKETS: usize = 8;
-/// Covers 1 ns .. ~2^40 ns (≈ 18 minutes) of latency.
-const BUCKETS: usize = 40 * SUB_BUCKETS;
-
 /// A fixed-size logarithmic histogram of time spans.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Histogram {
-    counts: Vec<u64>,
-    total: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            counts: vec![0; BUCKETS],
-            total: 0,
-        }
-    }
+    digest: Digest,
 }
 
 impl Histogram {
@@ -36,69 +30,40 @@ impl Histogram {
         Self::default()
     }
 
+    #[cfg(test)]
     fn bucket_of(t: SimTime) -> usize {
-        let ns = t.as_nanos().max(1);
-        // log2(ns) * SUB_BUCKETS, computed in integer arithmetic: the
-        // exponent picks the power-of-two decade, the 3 bits below the
-        // leading bit pick the sub-bucket. Values below 8 ns have fewer
-        // than 3 bits after the leading one, so the fraction is scaled
-        // *up* instead — `(ns - base) * 8 / base` — which keeps the
-        // mapping monotonic instead of collapsing 1..8 ns into the
-        // bottom sub-bucket of each decade.
-        let lz = 63 - ns.leading_zeros() as usize; // floor(log2)
-        let base = 1u64 << lz;
-        let sub = if lz >= 3 {
-            ((ns >> (lz - 3)) - 8) as usize
-        } else {
-            (((ns - base) << 3) >> lz) as usize
-        };
-        let sub = sub.min(SUB_BUCKETS - 1);
-        (lz * SUB_BUCKETS + sub).min(BUCKETS - 1)
+        Digest::bucket_of_ns(t.as_nanos())
     }
 
-    /// Representative (upper-edge) value of a bucket.
+    #[cfg(test)]
     fn bucket_value(bucket: usize) -> SimTime {
-        let exp = bucket / SUB_BUCKETS;
-        let sub = bucket % SUB_BUCKETS;
-        let base = 1u64 << exp.min(62);
-        // base * (1 + (sub+1)/8), in u128 so small decades don't round
-        // the fractional step to zero.
-        let edge = base as u128 + (base as u128 * (sub as u128 + 1)) / SUB_BUCKETS as u128;
-        SimTime::from_nanos(edge.min(u64::MAX as u128) as u64)
+        SimTime::from_nanos(Digest::bucket_upper_ns(bucket))
     }
 
     /// Record one span.
     pub fn record(&mut self, t: SimTime) {
-        self.counts[Self::bucket_of(t)] += 1;
-        self.total += 1;
+        self.digest.record_ns(t.as_nanos());
     }
 
     /// Number of recorded spans.
     pub fn count(&self) -> u64 {
-        self.total
+        self.digest.count()
     }
 
     /// The `q`-quantile (0 < q <= 1) as a bucket-resolution estimate;
     /// `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<SimTime> {
-        if self.total == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((self.total as f64 * q).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(Self::bucket_value(i));
-            }
-        }
-        Some(Self::bucket_value(BUCKETS - 1))
+        self.digest.quantile_ns(q).map(SimTime::from_nanos)
     }
 
     /// Median.
     pub fn p50(&self) -> Option<SimTime> {
         self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<SimTime> {
+        self.quantile(0.90)
     }
 
     /// 95th percentile.
@@ -111,18 +76,28 @@ impl Histogram {
         self.quantile(0.99)
     }
 
-    /// Merge another histogram in.
+    /// 99.9th percentile — the deep tail the paper's mean metric hides.
+    pub fn p999(&self) -> Option<SimTime> {
+        self.quantile(0.999)
+    }
+
+    /// Merge another histogram in (associative and commutative; counts
+    /// are conserved exactly).
     pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
+        self.digest.merge(&other.digest);
+    }
+
+    /// The underlying mergeable digest (SLO evaluation, Prometheus
+    /// exposition).
+    pub fn digest(&self) -> &Digest {
+        &self.digest
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fbf_obs::digest::{BUCKETS, SUB_BUCKETS};
 
     #[test]
     fn empty_has_no_quantiles() {
@@ -150,6 +125,8 @@ mod tests {
         }
         let (p50, p95, p99) = (h.p50().unwrap(), h.p95().unwrap(), h.p99().unwrap());
         assert!(p50 <= p95 && p95 <= p99);
+        assert!(h.p90().unwrap() <= p95);
+        assert!(p99 <= h.p999().unwrap());
         // p50 ≈ 5 ms, p99 ≈ 9.9 ms.
         assert!((p50.as_millis_f64() - 5.0).abs() < 1.0, "p50 {}", p50);
         assert!((p99.as_millis_f64() - 9.9).abs() < 1.5, "p99 {}", p99);
@@ -245,5 +222,14 @@ mod tests {
         h.record(SimTime::from_secs(1 << 20));
         assert_eq!(h.count(), 2);
         assert!(h.p50().is_some());
+        let _ = BUCKETS; // dimension re-exported from the digest
+    }
+
+    #[test]
+    fn wrapper_exposes_the_digest() {
+        let mut h = Histogram::new();
+        h.record(SimTime::from_millis(3));
+        assert_eq!(h.digest().count(), 1);
+        assert_eq!(h.digest().sum_ns(), 3_000_000);
     }
 }

@@ -38,6 +38,7 @@ pub use engine::{
 pub use fault::{
     DiskKill, FailedRead, FaultCounters, FaultDraw, FaultPlan, ReadFailure, RetryPolicy, SlowDisk,
 };
+pub use fbf_obs::{Digest, RequestClass};
 pub use hist::Histogram;
 pub use sched::{DiskSched, QueuedDisk};
 pub use time::SimTime;

@@ -1,0 +1,105 @@
+//! Property tests for the mergeable latency digest re-exported as
+//! [`fbf_disksim::Digest`] — the invariants the sweep gather path leans
+//! on (see `crates/obs/src/digest.rs` and DESIGN.md §11).
+
+use fbf_disksim::Digest;
+use proptest::prelude::*;
+
+/// Nanosecond samples across the digest's whole 1ns..2^40ns range, with a
+/// shard index so properties can split them across "workers".
+fn samples() -> impl Strategy<Value = Vec<(u64, u8)>> {
+    proptest::collection::vec((1u64..(1u64 << 40), 0u8..4), 1..200)
+}
+
+fn digest_of<'a>(xs: impl IntoIterator<Item = &'a u64>) -> Digest {
+    let mut d = Digest::new();
+    for &x in xs {
+        d.record_ns(x);
+    }
+    d
+}
+
+/// The oracle: exact quantile of the raw samples under the digest's rank
+/// rule (`ceil(n*q)`, 1-based).
+fn oracle_ns(xs: &[u64], q: f64) -> u64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merge is commutative and associative up to equality of the whole
+    /// digest (counts, total, and sum — not just quantiles).
+    #[test]
+    fn merge_is_commutative_and_associative(xs in samples()) {
+        let shard = |s: u8| digest_of(xs.iter().filter(|&&(_, i)| i == s).map(|(v, _)| v));
+        let (a, b, c) = (shard(0), shard(1), shard(2));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "a+b must equal b+a");
+
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc, "(a+b)+c must equal a+(b+c)");
+    }
+
+    /// Sharding samples across workers and merging reproduces the serial
+    /// digest exactly; counts and sums are conserved to the last sample.
+    #[test]
+    fn sharded_merge_equals_serial_recording(xs in samples()) {
+        let serial = digest_of(xs.iter().map(|(v, _)| v));
+        let mut merged = Digest::new();
+        for s in 0..4u8 {
+            merged.merge(&digest_of(xs.iter().filter(|&&(_, i)| i == s).map(|(v, _)| v)));
+        }
+        prop_assert_eq!(&merged, &serial);
+        prop_assert_eq!(merged.count(), xs.len() as u64);
+        prop_assert_eq!(merged.sum_ns(), xs.iter().map(|&(v, _)| v as u128).sum::<u128>());
+    }
+
+    /// Every quantile estimate is the upper edge of the bucket holding the
+    /// sorted-vector oracle's sample: never an under-report, and exactly
+    /// one bucket of error.
+    #[test]
+    fn quantiles_track_the_sorted_oracle(xs in samples(), q_pct in 1u32..100) {
+        let q = q_pct as f64 / 100.0;
+        let values: Vec<u64> = xs.iter().map(|&(v, _)| v).collect();
+        let d = digest_of(&values);
+        let estimate = d.quantile_ns(q).expect("non-empty digest");
+        let oracle = oracle_ns(&values, q);
+        prop_assert!(
+            estimate >= oracle,
+            "quantile under-reported: estimate {estimate} < oracle {oracle}"
+        );
+        prop_assert_eq!(
+            estimate,
+            Digest::bucket_upper_ns(Digest::bucket_of_ns(oracle)),
+            "estimate must be the oracle's own bucket edge (one-bucket error bound)"
+        );
+    }
+
+    /// The bucket mapping is monotone and the edge function is its upper
+    /// bound — the two facts the oracle comparison above rests on.
+    #[test]
+    fn bucketing_is_monotone_with_true_upper_edges(ns in 1u64..(1u64 << 40)) {
+        let b = Digest::bucket_of_ns(ns);
+        prop_assert!(ns <= Digest::bucket_upper_ns(b), "value above its bucket edge");
+        prop_assert!(Digest::bucket_of_ns(ns + 1) >= b, "bucket index not monotone");
+        if b > 0 {
+            prop_assert!(
+                Digest::bucket_upper_ns(b - 1) < ns,
+                "value {ns} also fits the previous bucket"
+            );
+        }
+    }
+}

@@ -38,6 +38,15 @@
 //! | `sweep/worker` | instant | per-worker points + busy time |
 //! | `sweep/summary` | counter | end-of-sweep phase totals + utilization |
 //!
+//! ## Metrics layer
+//!
+//! Beyond events, the crate carries the `fbf-metrics` module family:
+//! [`digest`] — mergeable log-linear quantile digests plus the
+//! [`RequestClass`] taxonomy that attributes every engine completion to
+//! app / recovery / replan / scrub traffic — and [`prom`], a Prometheus
+//! text-exposition snapshot writer rendering those digests as cumulative
+//! `le` histograms (see DESIGN.md §11).
+//!
 //! ```
 //! use std::sync::Arc;
 //! let sub = Arc::new(fbf_obs::CountingSubscriber::default());
@@ -52,10 +61,14 @@
 //! assert_eq!(sub.total("demo/cache/hits"), 3);
 //! ```
 
+pub mod digest;
+pub mod prom;
 pub mod registry;
 pub mod subscriber;
 pub mod trace;
 
+pub use digest::{Digest, RequestClass};
+pub use prom::PromWriter;
 pub use registry::{registry, CounterHandle, Registry};
 pub use subscriber::{
     CountingSubscriber, Event, EventKind, FanoutSubscriber, NoopSubscriber, StderrSubscriber,

@@ -71,7 +71,13 @@ pub fn degrade_script(
     dictionary: &PriorityDictionary,
     xor_time_per_chunk: SimTime,
 ) -> (WorkerScript, usize) {
-    let mut out = WorkerScript::default();
+    // Degraded reads are still application reads — keep the app stream's
+    // request class so latency attribution does not misfile them as
+    // recovery traffic.
+    let mut out = WorkerScript {
+        class: app.class,
+        ..Default::default()
+    };
     let mut degraded = 0usize;
     for op in &app.ops {
         match *op {

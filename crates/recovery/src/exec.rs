@@ -16,7 +16,7 @@ use crate::error::ErrorGroup;
 use crate::priority::PriorityDictionary;
 use crate::scheme::RecoveryScheme;
 use fbf_codes::{ChunkId, CodeError, Stripe, StripeCode};
-use fbf_disksim::{Op, SimTime, WorkerScript};
+use fbf_disksim::{Op, RequestClass, SimTime, WorkerScript};
 use serde::{Deserialize, Serialize};
 
 /// Execution-shaping parameters.
@@ -26,6 +26,11 @@ pub struct ExecConfig {
     pub workers: usize,
     /// XOR cost charged per chunk participating in a repair.
     pub xor_time_per_chunk: SimTime,
+    /// Request class stamped on every lowered script — recovery traffic
+    /// by default; escalation rounds lower with [`RequestClass::Replan`]
+    /// so the latency attribution separates first-pass repair from
+    /// re-planned retries.
+    pub class: RequestClass,
 }
 
 impl Default for ExecConfig {
@@ -34,6 +39,7 @@ impl Default for ExecConfig {
             workers: 128,
             // 32 KB XOR at a conservative 4 GB/s.
             xor_time_per_chunk: SimTime::from_micros(8),
+            class: RequestClass::Recovery,
         }
     }
 }
@@ -62,7 +68,13 @@ pub fn build_scripts(
     config: &ExecConfig,
 ) -> Vec<WorkerScript> {
     let workers = effective_workers(config, schemes.len());
-    let mut scripts = vec![WorkerScript::default(); workers];
+    let mut scripts = vec![
+        WorkerScript {
+            class: config.class,
+            ..Default::default()
+        };
+        workers
+    ];
     for (i, scheme) in schemes.iter().enumerate() {
         let script = &mut scripts[i % workers];
         for repair in &scheme.repairs {
@@ -95,7 +107,13 @@ pub fn build_scripts_from_plans(
     config: &ExecConfig,
 ) -> Vec<WorkerScript> {
     let workers = effective_workers(config, plans.len());
-    let mut scripts = vec![WorkerScript::default(); workers];
+    let mut scripts = vec![
+        WorkerScript {
+            class: config.class,
+            ..Default::default()
+        };
+        workers
+    ];
     for (i, plan) in plans.iter().enumerate() {
         let script = &mut scripts[i % workers];
         match plan {

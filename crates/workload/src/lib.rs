@@ -20,6 +20,6 @@ pub mod app_io;
 pub mod errors;
 pub mod trace;
 
-pub use app_io::{generate_app_reads, AppIoConfig};
+pub use app_io::{generate_app_reads, generate_scrub_reads, AppIoConfig, ScrubConfig};
 pub use errors::{generate_errors, ErrorGenConfig, LengthDistribution};
 pub use trace::{parse_trace, render_trace, validate_against};

@@ -2,11 +2,21 @@
 # Run the hot-path performance baseline and write BENCH_<date>.json at the
 # repo root (see crates/bench/src/bin/perf_baseline.rs for the schema and
 # bench list). Knobs:
+#   --quick                shorthand for FBF_BENCH_QUICK=1
 #   FBF_BENCH_QUICK=1      tiny iteration counts (CI smoke)
 #   FBF_BENCH_OUT=<path>   write the snapshot elsewhere
 #   FBF_BENCH_DATE=<date>  override the YYYY-MM-DD stamp
+# Gate a fresh snapshot against a committed baseline with:
+#   cargo run --release -q -p fbf-bench --bin perf_gate -- BASELINE.json NEW.json [--quick]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+for arg in "$@"; do
+    case "$arg" in
+        --quick) export FBF_BENCH_QUICK=1 ;;
+        *) echo "bench.sh: unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 cargo build --release -q -p fbf-bench --bin perf_baseline
 cargo run --release -q -p fbf-bench --bin perf_baseline

@@ -1,25 +1,42 @@
 #!/usr/bin/env python3
-"""Validate an fbf JSONL run trace (and optionally convert it for chrome://tracing).
+"""Validate fbf observability artefacts: JSONL run traces and Prometheus snapshots.
 
 Usage:
     scripts/check_trace.py TRACE.jsonl [--chrome OUT.json]
+    scripts/check_trace.py --prom METRICS.prom [TRACE.jsonl]
 
-Checks every line is a standalone JSON object shaped like a chrome trace
-event: `name`/`cat` strings, known phase `ph`, non-negative microsecond
-timestamp, `pid`/`tid` integers, `args` object; complete events ("X")
-additionally carry a non-negative `dur`. Exits non-zero (printing the
-offending line number) on the first malformed line, so CI can gate on it.
+Trace mode checks every line is a standalone JSON object shaped like a
+chrome trace event: `name`/`cat` strings, known phase `ph`, non-negative
+microsecond timestamp, `pid`/`tid` integers, `args` object; complete
+events ("X") additionally carry a non-negative `dur`. Exits non-zero
+(printing the offending line number) on the first malformed line, so CI
+can gate on it.
 
 With `--chrome OUT.json` the validated events are re-wrapped as
 `{"traceEvents": [...]}` — the JSON-array form chrome://tracing and
 https://ui.perfetto.dev load directly.
+
+With `--prom METRICS.prom` (the file written by `fbf ... --metrics` or a
+figure binary) the snapshot is checked against text-exposition format
+0.0.4: legal metric names, every sample preceded by `# HELP`/`# TYPE`,
+counters non-negative, histogram `_bucket` series cumulative/monotone and
+ending in `+Inf`, with `_count` equal to the `+Inf` bucket. Prints a
+one-line digest summary per request class.
 """
 
 import argparse
 import json
+import re
 import sys
 
 KNOWN_PHASES = {"X", "i", "C", "M"}
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
 
 
 def fail(lineno, msg, line=""):
@@ -54,11 +71,125 @@ def check_event(lineno, line, ev):
         fail(lineno, "instant event needs scope `s` in {t,p,g}", line)
 
 
+def prom_fail(lineno, msg, line=""):
+    print(f"check_trace: prom line {lineno}: {msg}", file=sys.stderr)
+    if line:
+        print(f"  {line.rstrip()}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_prom(path):
+    """Validate a Prometheus text-exposition snapshot; return parsed samples."""
+    declared_type = {}  # base metric name -> type from `# TYPE`
+    samples = []  # (lineno, name, labels-dict, value)
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                parts = line.split(" ", 3)
+                if len(parts) < 4 or not METRIC_NAME_RE.match(parts[2]):
+                    prom_fail(lineno, "malformed HELP/TYPE line", line)
+                if parts[1] == "TYPE":
+                    if parts[3] not in ("counter", "gauge", "histogram"):
+                        prom_fail(lineno, f"unknown metric type {parts[3]!r}", line)
+                    declared_type[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                prom_fail(lineno, "unparseable sample line", line)
+            labels = {}
+            for item in filter(None, (m.group("labels") or "").split(",")):
+                key, _, raw = item.partition("=")
+                if not raw.startswith('"') or not raw.endswith('"'):
+                    prom_fail(lineno, f"unquoted label value in {item!r}", line)
+                labels[key] = raw[1:-1]
+            try:
+                value = float(m.group("value"))
+            except ValueError:
+                prom_fail(lineno, f"non-numeric sample value {m.group('value')!r}", line)
+            samples.append((lineno, m.group("name"), labels, value))
+
+    if not samples:
+        prom_fail(0, "snapshot has no samples")
+
+    histogram_buckets = {}  # (base, frozenset(non-le labels)) -> [(le, value)]
+    counts = {}
+    for lineno, name, labels, value in samples:
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared_type:
+                base = name[: -len(suffix)]
+                break
+        mtype = declared_type.get(base)
+        if mtype is None:
+            prom_fail(lineno, f"sample {name!r} has no preceding # TYPE")
+        if mtype == "counter" and value < 0:
+            prom_fail(lineno, f"counter {name} is negative ({value})")
+        if name.endswith("_bucket"):
+            le = labels.get("le")
+            if le is None:
+                prom_fail(lineno, f"{name} bucket without `le` label")
+            key = (base, frozenset((k, v) for k, v in labels.items() if k != "le"))
+            histogram_buckets.setdefault(key, []).append(
+                (float("inf") if le == "+Inf" else float(le), value)
+            )
+        if name.endswith("_count"):
+            key = (base, frozenset(labels.items()))
+            counts[key] = (lineno, value)
+
+    for (base, labelset), buckets in histogram_buckets.items():
+        les = [le for le, _ in buckets]
+        if les != sorted(les):
+            prom_fail(0, f"{base}{dict(labelset)}: bucket `le` bounds not ascending")
+        values = [v for _, v in buckets]
+        if values != sorted(values):
+            prom_fail(0, f"{base}{dict(labelset)}: cumulative buckets not monotone")
+        if les[-1] != float("inf"):
+            prom_fail(0, f"{base}{dict(labelset)}: missing +Inf bucket")
+        lineno_count = counts.get((base, labelset))
+        if lineno_count is None:
+            prom_fail(0, f"{base}{dict(labelset)}: histogram without _count")
+        if lineno_count[1] != values[-1]:
+            prom_fail(
+                lineno_count[0],
+                f"{base}{dict(labelset)}: _count {lineno_count[1]} != +Inf bucket {values[-1]}",
+            )
+
+    by_class = {}
+    for _, name, labels, value in samples:
+        if name == "fbf_read_latency_seconds_count":
+            by_class.setdefault(labels.get("class", "?"), {})["count"] = value
+        if name == "fbf_read_latency_p99_seconds":
+            by_class.setdefault(labels.get("class", "?"), {})["p99"] = value
+    for cls in sorted(by_class):
+        d = by_class[cls]
+        print(
+            f"check_trace: prom class {cls}: n={int(d.get('count', 0))}"
+            f" p99={d.get('p99', 0.0) * 1e3:.3f}ms"
+        )
+    print(
+        f"check_trace: prom OK — {len(samples)} samples, "
+        f"{len(declared_type)} metrics, {len(histogram_buckets)} histogram series"
+    )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("trace", help="JSONL trace emitted via --trace / FBF_TRACE")
+    ap.add_argument("trace", nargs="?", help="JSONL trace emitted via --trace / FBF_TRACE")
     ap.add_argument("--chrome", metavar="OUT", help="write a chrome://tracing JSON array file")
+    ap.add_argument("--prom", metavar="METRICS", help="validate a Prometheus snapshot too")
     opts = ap.parse_args()
+
+    if opts.prom:
+        check_prom(opts.prom)
+    if not opts.trace:
+        if not opts.prom:
+            ap.error("need a trace file, --prom, or both")
+        return
 
     events = []
     counts = {}

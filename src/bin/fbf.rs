@@ -24,7 +24,9 @@
 //! Global observability flags (any command, extracted before parsing):
 //! `--trace <path>` streams a chrome://tracing-compatible JSONL run trace
 //! to `<path>`; `--obs` pretty-prints events to stderr. Either one turns
-//! on instrumented experiments for `run`/`sweep`.
+//! on instrumented experiments for `run`/`sweep`. `--metrics <path>`
+//! writes a Prometheus text-exposition snapshot of `run`/`sweep` results
+//! (validated by `scripts/check_trace.py --prom`).
 
 use fbf::cache::PolicyKind;
 use fbf::codes::{CodeSpec, StripeCode};
@@ -39,16 +41,17 @@ use fbf::workload::{generate_errors, parse_trace, render_trace, validate_against
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (args, obs) = match install_obs_flags(&raw) {
+    let (args, obs, metrics_out) = match install_obs_flags(&raw) {
         Ok(v) => v,
         Err(rc) => std::process::exit(rc),
     };
+    let metrics_out = metrics_out.as_deref();
     let code = match args.first().map(String::as_str) {
         Some("layout") => cmd_layout(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
-        Some("run") => cmd_run(&args[1..], obs),
-        Some("sweep") => cmd_sweep(&args[1..], obs),
+        Some("run") => cmd_run(&args[1..], obs, metrics_out),
+        Some("sweep") => cmd_sweep(&args[1..], obs, metrics_out),
         Some("scrub") => cmd_scrub(&args[1..]),
         Some("mttdl") => cmd_mttdl(&args[1..]),
         Some("help") | None => {
@@ -68,12 +71,14 @@ fn main() {
     std::process::exit(code);
 }
 
-/// Pull `--trace <path>` / `--trace=<path>` / `--obs` out of the argument
-/// list (they may appear anywhere) and install the matching subscriber.
-/// Returns the remaining arguments plus whether observability is on.
-fn install_obs_flags(raw: &[String]) -> Result<(Vec<String>, bool), i32> {
+/// Pull `--trace <path>` / `--trace=<path>` / `--obs` / `--metrics <path>`
+/// out of the argument list (they may appear anywhere) and install the
+/// matching subscriber. Returns the remaining arguments, whether event
+/// observability is on, and the Prometheus snapshot path if requested.
+fn install_obs_flags(raw: &[String]) -> Result<(Vec<String>, bool, Option<String>), i32> {
     let mut args = Vec::with_capacity(raw.len());
     let mut trace: Option<String> = None;
+    let mut metrics: Option<String> = None;
     let mut stderr = false;
     let mut i = 0;
     while i < raw.len() {
@@ -87,9 +92,19 @@ fn install_obs_flags(raw: &[String]) -> Result<(Vec<String>, bool), i32> {
                 trace = Some(p.clone());
                 i += 1;
             }
+            "--metrics" => {
+                let Some(p) = raw.get(i + 1) else {
+                    eprintln!("--metrics needs a file path");
+                    return Err(2);
+                };
+                metrics = Some(p.clone());
+                i += 1;
+            }
             s => {
                 if let Some(p) = s.strip_prefix("--trace=") {
                     trace = Some(p.to_string());
+                } else if let Some(p) = s.strip_prefix("--metrics=") {
+                    metrics = Some(p.to_string());
                 } else {
                     args.push(raw[i].clone());
                 }
@@ -115,7 +130,7 @@ fn install_obs_flags(raw: &[String]) -> Result<(Vec<String>, bool), i32> {
         sinks.push(std::sync::Arc::new(fbf::obs::StderrSubscriber::default()));
     }
     if sinks.is_empty() {
-        return Ok((args, false));
+        return Ok((args, false, metrics));
     }
     let sub: std::sync::Arc<dyn fbf::obs::Subscriber> = if sinks.len() == 1 {
         sinks.pop().expect("one sink")
@@ -123,7 +138,17 @@ fn install_obs_flags(raw: &[String]) -> Result<(Vec<String>, bool), i32> {
         std::sync::Arc::new(fbf::obs::FanoutSubscriber::new(sinks))
     };
     fbf::obs::install(sub);
-    Ok((args, true))
+    Ok((args, true, metrics))
+}
+
+/// Write a Prometheus snapshot of `points` to `path` (best-effort: an I/O
+/// failure is reported but does not change the command's exit code — the
+/// experiment itself succeeded).
+fn write_metrics_snapshot(path: &str, points: &[fbf::core::SweepPoint]) {
+    match std::fs::write(path, fbf::core::prometheus_snapshot(points)) {
+        Ok(()) => eprintln!("(metrics snapshot written to {path})"),
+        Err(e) => eprintln!("cannot write metrics snapshot {path}: {e}"),
+    }
 }
 
 fn print_usage() {
@@ -138,7 +163,8 @@ fn print_usage() {
          \u{20}  fbf scrub <code> <p>\n\
          \u{20}  fbf mttdl <disks> <mttr_hours>\n\n\
          global flags: --trace <path> (JSONL run trace, chrome://tracing\n\
-         \u{20}  compatible), --obs (event log on stderr)\n\n\
+         \u{20}  compatible), --obs (event log on stderr), --metrics <path>\n\
+         \u{20}  (Prometheus snapshot of run/sweep results)\n\n\
          codes: tip hdd1 triplestar star rdp evenodd\n\
          policies: fifo lru lfu arc fbf lru-k 2q lrfu fbr vdf\n\
          faults (run/sweep): media=N transient=N (per-mille), fault_seed=N,\n\
@@ -412,7 +438,7 @@ fn build_or_report(builder: ExperimentConfigBuilder) -> Result<ExperimentConfig,
     })
 }
 
-fn cmd_run(args: &[String], obs: bool) -> i32 {
+fn cmd_run(args: &[String], obs: bool, metrics_out: Option<&str>) -> i32 {
     let (args, trace_in) = match split_trace_in(args) {
         Ok(v) => v,
         Err(rc) => return rc,
@@ -468,6 +494,21 @@ fn cmd_run(args: &[String], obs: bool) -> i32 {
                 m.overhead_per_stripe_ms, m.overhead_pct
             );
             println!("  chunks recovered   : {}", m.chunks_recovered);
+            if m.slo.evaluated {
+                println!(
+                    "  slo                : {}",
+                    if m.slo.pass { "PASS" } else { "FAIL" }
+                );
+            }
+            if let Some(path) = metrics_out {
+                write_metrics_snapshot(
+                    path,
+                    &[fbf::core::SweepPoint {
+                        config: cfg,
+                        metrics: m.clone(),
+                    }],
+                );
+            }
             if !m.faults.is_empty() || m.stripes_lost > 0 {
                 println!(
                     "  faults             : {} media, {} transient ({} retries, {} exhausted), {} dead-disk",
@@ -497,7 +538,7 @@ fn cmd_run(args: &[String], obs: bool) -> i32 {
     }
 }
 
-fn cmd_sweep(args: &[String], obs: bool) -> i32 {
+fn cmd_sweep(args: &[String], obs: bool, metrics_out: Option<&str>) -> i32 {
     let builder = match parse_kv(args).map(|b| b.obs(obs)) {
         Ok(b) => b,
         Err(rc) => return rc,
@@ -526,6 +567,9 @@ fn cmd_sweep(args: &[String], obs: bool) -> i32 {
             return 1;
         }
     };
+    if let Some(path) = metrics_out {
+        write_metrics_snapshot(path, &points);
+    }
     let mut table = Table::new(
         format!("hit ratio — {}(p={})", base.code.name(), base.p),
         &["cache_mb", "FIFO", "LRU", "LFU", "ARC", "FBF"],

@@ -140,6 +140,50 @@ fn counters_reconcile_with_metrics_and_replay_deterministically() {
     );
 }
 
+#[test]
+fn class_digests_partition_read_totals() {
+    let _gate = lock();
+    let configs = grid();
+    let points = sweep(&configs, 2).expect("sweep runs");
+
+    for pt in &points {
+        let m = &pt.metrics;
+        // Every chunk read completion was attributed to exactly one class:
+        // digest counts partition the read total (hits + disk reads).
+        let by_digest: u64 = m.class_digests.iter().map(|h| h.count()).sum();
+        let by_summary: u64 = m.class_latency.iter().map(|c| c.count).sum();
+        assert_eq!(by_digest, by_summary, "summaries mirror the digests");
+        assert_eq!(
+            by_digest,
+            m.cache.hits + m.disk_reads,
+            "class digests must cover every read exactly once"
+        );
+        // This grid runs a pure reconstruction campaign: all traffic is
+        // Recovery-classed, the other classes stay empty.
+        use fbf::disksim::RequestClass;
+        assert_eq!(
+            m.class_digests[RequestClass::Recovery.index()].count(),
+            by_digest
+        );
+        for class in [RequestClass::App, RequestClass::Replan, RequestClass::Scrub] {
+            assert_eq!(m.class_digests[class.index()].count(), 0, "{class} is idle");
+        }
+        // The high-water and balance gauges are live on a real campaign.
+        assert!(m.queue_depth_max > 0);
+        assert!(m.read_balance >= 1.0, "busiest disk is at least the mean");
+    }
+
+    // Replay determinism: the per-class tails are part of the fixed-seed
+    // contract, not just the scalar counters.
+    let replay = sweep(&configs, 2).expect("sweep replays");
+    for (a, b) in points.iter().zip(&replay) {
+        assert_eq!(
+            a.metrics.class_digests, b.metrics.class_digests,
+            "class digests must replay bit-identically"
+        );
+    }
+}
+
 /// `Write` sink whose bytes stay inspectable after the writer is consumed
 /// by [`TraceWriter::from_writer`].
 #[derive(Clone, Default)]
