@@ -120,11 +120,38 @@ pub fn tolerance_for(_name: &str, baseline_ns: f64, quick: bool) -> f64 {
     }
 }
 
+/// Snapshot schema revision this gate understands. Matches
+/// `fbf_core::METRICS_SCHEMA_VERSION`; `perf_baseline` stamps it into
+/// every snapshot it writes.
+pub const SNAPSHOT_SCHEMA_VERSION: u64 = 1;
+
 /// Parse a `BENCH_*.json` snapshot into `(name, ns_per_op)` pairs, in
 /// file order. Hand-rolled like every (de)serializer in this workspace:
 /// scans the `"benches"` array for `"name"` / `"ns_per_op"` keys, which
 /// the stable snapshot schema guarantees per object.
+///
+/// Rejects snapshots whose top-level `schema_version` is missing or not
+/// [`SNAPSHOT_SCHEMA_VERSION`] — comparing across schema revisions would
+/// produce confidently wrong verdicts, which is worse than failing loud.
 pub fn parse_snapshot(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let benches_at = json.find("\"benches\"").unwrap_or(json.len());
+    match number_field(&json[..benches_at], "schema_version") {
+        Some(v) if v == SNAPSHOT_SCHEMA_VERSION as f64 => {}
+        Some(v) => {
+            return Err(format!(
+                "snapshot schema_version {v} is not the supported \
+                 {SNAPSHOT_SCHEMA_VERSION}; regenerate the snapshot with \
+                 this tree's perf_baseline (or update the gate)"
+            ));
+        }
+        None => {
+            return Err(format!(
+                "snapshot has no top-level schema_version (expected \
+                 {SNAPSHOT_SCHEMA_VERSION}); regenerate it with this \
+                 tree's perf_baseline"
+            ));
+        }
+    }
     let start = json
         .find("\"benches\"")
         .ok_or_else(|| "no \"benches\" key".to_string())?;
@@ -241,6 +268,23 @@ mod tests {
         assert!(parse_snapshot("{}").is_err());
         assert!(parse_snapshot("{\"benches\": []}").is_err());
         assert!(parse_snapshot("{\"benches\": [{\"name\": \"x\"}]}").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_or_missing_schema_version() {
+        let future = SAMPLE.replace("\"schema_version\": 1", "\"schema_version\": 2");
+        let err = parse_snapshot(&future).unwrap_err();
+        assert!(err.contains("schema_version 2"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+
+        let missing = SAMPLE.replace("\"schema_version\": 1,", "");
+        let err = parse_snapshot(&missing).unwrap_err();
+        assert!(err.contains("no top-level schema_version"), "{err}");
+
+        // A bench whose *name* mentions schema_version must not satisfy
+        // the top-level check (the scan stops at the benches array).
+        let sneaky = r#"{"benches": [{"name": "schema_version", "ns_per_op": 1.0}]}"#;
+        assert!(parse_snapshot(sneaky).is_err());
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Execute a planned campaign against a [`StorageBackend`] data plane.
+//!
+//! Where [`run_planned`](crate::runner::run_planned) moves chunk
+//! *identities* on the simulator's virtual clock, [`run_planned_on`]
+//! moves actual payload bytes: every repair reads its source chunks
+//! through the same per-worker buffer-cache slices the engine would
+//! build ([`fbf_disksim::build_caches`]), XORs them, and writes the
+//! recovered chunk to the backend's spare area.
+//!
+//! # What matches the simulator, and what cannot
+//!
+//! Under [`CacheSharing::Partitioned`] (the default) each worker's cache
+//! slice sees exactly that worker's accesses in script order, so hit /
+//! miss accounting — and therefore `disk_reads` — reproduces the engine
+//! *by construction*: same caches, same access sequence. The backend
+//! conformance suite pins this. Under [`CacheSharing::Shared`] the
+//! engine interleaves workers on virtual time while this executor runs
+//! them sequentially, so shared-cache hit counts may legitimately
+//! differ.
+//!
+//! Latency figures are **host wall-clock** (recorded as [`SimTime`]
+//! nanoseconds), not simulated disk time; they describe the backend's
+//! real I/O, not the paper's disk model. Fault classification reuses the
+//! deterministic per-chunk draw, but escalation stays single-pass: a
+//! hard failure abandons the stripe (counted in
+//! [`FaultCounters::skipped_ops`] and surfaced via `failed_reads`)
+//! instead of entering the simulator's multi-round re-planning, which
+//! needs a virtual clock to be meaningful.
+
+use crate::config::ExperimentConfig;
+use crate::metrics::Metrics;
+use crate::plan::{PlanKey, PlanSource, PlannedCampaign};
+use crate::runner::RunError;
+use fbf_cache::FxHashMap;
+use fbf_codes::ChunkId;
+use fbf_disksim::{
+    build_caches, ArrayMapping, BackendError, CacheSharing, DiskStats, EngineConfig, FailedRead,
+    FaultDraw, FileBackend, Lookup, ReadFailure, RunReport, SimBackend, SimTime, StorageBackend,
+};
+use std::path::Path;
+use std::time::Instant;
+
+/// Run one experiment end to end on `backend`: validate, plan cold,
+/// execute the data plane. The backend-flavoured counterpart of
+/// [`run_experiment`](crate::runner::run_experiment).
+pub fn run_experiment_on(
+    cfg: &ExperimentConfig,
+    backend: &mut dyn StorageBackend,
+) -> Result<Metrics, RunError> {
+    cfg.validate()?;
+    let plan = PlannedCampaign::cold(cfg)?;
+    run_planned_on(cfg, &plan, PlanSource::Cold, backend)
+}
+
+/// Execute an already-planned campaign's data plane on `backend`.
+///
+/// The backend must match the plan's geometry and the config's chunk
+/// size; mismatches are reported as [`RunError::Backend`], never
+/// silently truncated.
+pub fn run_planned_on(
+    cfg: &ExperimentConfig,
+    plan: &PlannedCampaign,
+    source: PlanSource,
+    backend: &mut dyn StorageBackend,
+) -> Result<Metrics, RunError> {
+    debug_assert_eq!(plan.key, PlanKey::of(cfg), "plan/config key mismatch");
+    let mapping = backend.mapping();
+    if (mapping.disks, mapping.rows) != (plan.cols, plan.rows) {
+        return Err(RunError::Backend(BackendError::Geometry {
+            expected: (plan.cols, plan.rows),
+            got: (mapping.disks, mapping.rows),
+        }));
+    }
+    let chunk_bytes = cfg.chunk_bytes() as usize;
+    if backend.chunk_bytes() != chunk_bytes {
+        return Err(RunError::Backend(BackendError::SizeMismatch {
+            expected: chunk_bytes,
+            got: backend.chunk_bytes(),
+        }));
+    }
+
+    let workers = plan.scripts.len();
+    let ecfg = engine_config(cfg, plan, mapping);
+    let mut caches = build_caches(&ecfg, workers);
+    // The cache tracks identities; the data plane must also hold the
+    // resident payloads. One mirror per slice, kept in lockstep with the
+    // cache via insert()'s evicted key.
+    let mut payloads: Vec<FxHashMap<ChunkId, Vec<u8>>> = vec![FxHashMap::default(); caches.len()];
+
+    let mut report = RunReport {
+        per_disk: vec![DiskStats::default(); mapping.disks],
+        ..Default::default()
+    };
+    let mut stripes_repaired = 0usize;
+    let mut chunks_recovered = 0usize;
+    let started = Instant::now();
+    let mut acc = vec![0u8; chunk_bytes];
+    let mut chunk_buf = vec![0u8; chunk_bytes];
+
+    // Scheme i runs on worker i % workers — the same round-robin
+    // `build_scripts` lowered the plan's scripts with, so each cache
+    // slice replays its script's access sequence exactly.
+    for (i, scheme) in plan.schemes.iter().enumerate() {
+        let worker = i % workers;
+        let slice = match cfg.sharing {
+            CacheSharing::Shared => 0,
+            CacheSharing::Partitioned => worker,
+        };
+        let class = plan.scripts[worker].class;
+        let mut abandoned = false;
+        for (done, repair) in scheme.repairs.iter().enumerate() {
+            if abandoned {
+                // Mirror the engine: every op of a failed stripe's
+                // remaining repairs is skipped (reads + compute + write).
+                report.faults.skipped_ops += repair.option.reads.len() as u64 + 2;
+                continue;
+            }
+            acc.fill(0);
+            let mut read_idx = 0usize;
+            for &cell in &repair.option.reads {
+                let chunk = ChunkId::new(scheme.stripe, cell);
+                let t0 = Instant::now();
+                let served = match caches[slice].access(chunk) {
+                    Lookup::Hit => {
+                        let bytes = payloads[slice]
+                            .get(&chunk)
+                            .expect("cache hit without mirrored payload");
+                        fbf_codes::xor::xor_into(&mut acc, bytes);
+                        true
+                    }
+                    Lookup::Miss => match classify(backend, chunk, &mut report) {
+                        Some(kind) => {
+                            report.failed_reads.push(FailedRead {
+                                chunk,
+                                worker: worker as u32,
+                                kind,
+                            });
+                            false
+                        }
+                        None => {
+                            backend
+                                .read_chunk(chunk, &mut chunk_buf)
+                                .map_err(RunError::Backend)?;
+                            report.disk_reads += 1;
+                            let priority = plan.dictionary.priority_of(&chunk);
+                            if let Some(evicted) = caches[slice].insert(chunk, priority) {
+                                payloads[slice].remove(&evicted);
+                            }
+                            if caches[slice].contains(&chunk) {
+                                payloads[slice].insert(chunk, chunk_buf.clone());
+                            }
+                            fbf_codes::xor::xor_into(&mut acc, &chunk_buf);
+                            true
+                        }
+                    },
+                };
+                let elapsed = SimTime::from_nanos(t0.elapsed().as_nanos() as u64);
+                report.read_response.record(elapsed);
+                report.read_latency.record(elapsed);
+                report.class_latency[class.index()].record(elapsed);
+                read_idx += 1;
+                if !served {
+                    // Hard failure: abandon the stripe. Remaining ops of
+                    // this repair (unread sources + compute + write) are
+                    // skipped, like the engine's failed-stripe fast path.
+                    report.faults.skipped_ops += (repair.option.reads.len() - read_idx) as u64 + 2;
+                    abandoned = true;
+                    break;
+                }
+            }
+            if abandoned {
+                // Repairs this stripe *did* finish before failing still
+                // count as recovered chunks (their spare writes landed).
+                chunks_recovered += done;
+                continue;
+            }
+            let t0 = Instant::now();
+            backend
+                .write_spare(ChunkId::new(scheme.stripe, repair.target), &acc)
+                .map_err(RunError::Backend)?;
+            let elapsed = SimTime::from_nanos(t0.elapsed().as_nanos() as u64);
+            report.disk_writes += 1;
+            report.write_response.record(elapsed);
+            report
+                .write_completions
+                .push(SimTime::from_nanos(started.elapsed().as_nanos() as u64));
+        }
+        if !abandoned {
+            stripes_repaired += 1;
+            chunks_recovered += scheme.repairs.len();
+        }
+    }
+    backend.flush().map_err(RunError::Backend)?;
+    report.makespan = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
+    for cache in &caches {
+        report.cache.merge(&cache.stats());
+    }
+    for (disk, stats) in backend.disk_stats().iter().enumerate() {
+        if let Some(d) = report.per_disk.get_mut(disk) {
+            d.reads += stats.reads;
+            d.writes += stats.writes;
+        }
+    }
+
+    let mut metrics = Metrics::from_run(
+        &report,
+        plan.generation,
+        stripes_repaired,
+        chunks_recovered,
+        source,
+    );
+    metrics.evaluate_slo(&cfg.slo);
+    Ok(metrics)
+}
+
+/// Pre-read fault classification, mirroring the engine's order: a dead
+/// disk swallows the read before any media/transient draw.
+fn classify(
+    backend: &dyn StorageBackend,
+    chunk: ChunkId,
+    report: &mut RunReport,
+) -> Option<ReadFailure> {
+    let disk = backend.mapping().disk_of(chunk);
+    if backend.disk_dead(disk) {
+        report.faults.dead_disk_reads += 1;
+        return Some(ReadFailure::DeadDisk);
+    }
+    match backend.classify_read(chunk) {
+        FaultDraw::Ok => None,
+        FaultDraw::Media => {
+            report.faults.media_errors += 1;
+            Some(ReadFailure::Media)
+        }
+        FaultDraw::Transient { stalls } => {
+            let max = backend.fault_plan().retry.max_retries;
+            if stalls <= max {
+                report.faults.transient_faults += 1;
+                report.faults.retries += u64::from(stalls);
+                None
+            } else {
+                report.faults.retries += u64::from(max);
+                report.faults.retries_exhausted += 1;
+                Some(ReadFailure::RetriesExhausted)
+            }
+        }
+    }
+}
+
+/// The engine-config slice the executor shares with the simulator path:
+/// only the cache-construction fields matter here, but building the full
+/// struct keeps the two paths from drifting.
+fn engine_config(
+    cfg: &ExperimentConfig,
+    plan: &PlannedCampaign,
+    mapping: ArrayMapping,
+) -> EngineConfig {
+    EngineConfig {
+        policy: cfg.policy,
+        fbf: cfg.fbf,
+        victim_map: Some(std::sync::Arc::clone(&plan.victim_map)),
+        cache_chunks: cfg.cache_chunks(),
+        sharing: cfg.sharing,
+        disk_model: cfg.disk_model,
+        sched: cfg.disk_sched,
+        straggler: cfg.straggler,
+        faults: cfg.faults,
+        cache_hit_time: cfg.cache_hit_time,
+        chunk_bytes: cfg.chunk_bytes(),
+        mapping,
+        data_stripes: cfg.stripes as u64,
+        obs: cfg.obs,
+    }
+}
+
+/// A [`SimBackend`] matching `cfg`'s geometry with `plan`'s damage set —
+/// the in-memory data plane every campaign can run against with no
+/// setup cost.
+pub fn sim_backend_for(
+    cfg: &ExperimentConfig,
+    plan: &PlannedCampaign,
+) -> Result<SimBackend, RunError> {
+    let code = fbf_codes::StripeCode::build(cfg.code, cfg.p)?;
+    Ok(SimBackend::new(
+        code,
+        cfg.chunk_bytes() as usize,
+        cfg.stripes as u64,
+        damaged_chunks(plan),
+        cfg.faults,
+    ))
+}
+
+/// A freshly formatted [`FileBackend`] under `dir` holding exactly the
+/// stripes `plan` touches (the rest of the per-disk files stay sparse),
+/// with `plan`'s damaged cells left unwritten.
+pub fn file_backend_for(
+    cfg: &ExperimentConfig,
+    plan: &PlannedCampaign,
+    dir: &Path,
+) -> Result<FileBackend, RunError> {
+    let code = fbf_codes::StripeCode::build(cfg.code, cfg.p)?;
+    let stripes: Vec<u32> = plan
+        .errors
+        .damage_by_stripe()
+        .iter()
+        .map(|d| d.stripe)
+        .collect();
+    let damaged: Vec<ChunkId> = damaged_chunks(plan);
+    FileBackend::format(
+        dir,
+        &code,
+        cfg.chunk_bytes() as usize,
+        cfg.stripes as u64,
+        &stripes,
+        &damaged,
+        cfg.faults,
+    )
+    .map_err(RunError::Backend)
+}
+
+/// Every lost chunk of the campaign, as chunk ids.
+fn damaged_chunks(plan: &PlannedCampaign) -> Vec<ChunkId> {
+    plan.errors
+        .damage_by_stripe()
+        .iter()
+        .flat_map(|d| d.cells.iter().map(|&c| ChunkId::new(d.stripe, c)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_experiment;
+    use fbf_cache::PolicyKind;
+
+    fn small(policy: PolicyKind) -> ExperimentConfig {
+        ExperimentConfig::builder()
+            .policy(policy)
+            .cache_mb(1)
+            .chunk_kb(1)
+            .stripes(128)
+            .error_count(32)
+            .workers(8)
+            .gen_threads(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sim_backend_reproduces_engine_disk_reads() {
+        for policy in [PolicyKind::Fbf, PolicyKind::Lru, PolicyKind::Arc] {
+            let cfg = small(policy);
+            let engine = run_experiment(&cfg).unwrap();
+            let plan = PlannedCampaign::cold(&cfg).unwrap();
+            let mut backend = sim_backend_for(&cfg, &plan).unwrap();
+            let data = run_planned_on(&cfg, &plan, PlanSource::Cold, &mut backend).unwrap();
+            assert_eq!(
+                data.disk_reads, engine.disk_reads,
+                "{policy:?}: data plane must replay the engine's misses"
+            );
+            assert_eq!(data.disk_writes, engine.disk_writes);
+            assert_eq!(data.hit_ratio, engine.hit_ratio);
+            assert_eq!(data.stripes_repaired, engine.stripes_repaired);
+            assert_eq!(data.chunks_recovered, engine.chunks_recovered);
+        }
+    }
+
+    #[test]
+    fn repaired_bytes_verify_against_pristine_payloads() {
+        let cfg = small(PolicyKind::Fbf);
+        let plan = PlannedCampaign::cold(&cfg).unwrap();
+        let mut backend = sim_backend_for(&cfg, &plan).unwrap();
+        run_planned_on(&cfg, &plan, PlanSource::Cold, &mut backend).unwrap();
+        let code = fbf_codes::StripeCode::build(cfg.code, cfg.p).unwrap();
+        let mut buf = vec![0u8; cfg.chunk_bytes() as usize];
+        for damage in plan.errors.damage_by_stripe() {
+            let mut pristine = fbf_codes::Stripe::patterned_seeded(
+                code.layout(),
+                cfg.chunk_bytes() as usize,
+                damage.stripe as u64,
+            );
+            fbf_codes::encode::encode(&code, &mut pristine).unwrap();
+            for &cell in &damage.cells {
+                let chunk = ChunkId::new(damage.stripe, cell);
+                assert!(backend.is_repaired(chunk));
+                backend.read_chunk(chunk, &mut buf).unwrap();
+                assert_eq!(
+                    &buf[..],
+                    &pristine.get(code.layout(), cell)[..],
+                    "stripe {} cell ({},{})",
+                    damage.stripe,
+                    cell.r(),
+                    cell.c()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_mismatch_is_reported() {
+        let cfg = small(PolicyKind::Lru);
+        let plan = PlannedCampaign::cold(&cfg).unwrap();
+        let other = ExperimentConfig {
+            p: 11,
+            ..small(PolicyKind::Lru)
+        };
+        let mut backend = {
+            let code = fbf_codes::StripeCode::build(other.code, other.p).unwrap();
+            SimBackend::new(
+                code,
+                other.chunk_bytes() as usize,
+                other.stripes as u64,
+                [],
+                other.faults,
+            )
+        };
+        assert!(matches!(
+            run_planned_on(&cfg, &plan, PlanSource::Cold, &mut backend),
+            Err(RunError::Backend(BackendError::Geometry { .. }))
+        ));
+    }
+}

@@ -217,6 +217,48 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// Parse a code name as the CLI and daemon protocol spell it
+/// (`tip`, `hdd1`, `triplestar`, `star`, `rdp`, `evenodd`).
+pub fn code_from_name(s: &str) -> Option<CodeSpec> {
+    match s.to_ascii_lowercase().as_str() {
+        "tip" => Some(CodeSpec::Tip),
+        "hdd1" => Some(CodeSpec::Hdd1),
+        "triplestar" | "triple-star" | "ts" => Some(CodeSpec::TripleStar),
+        "star" => Some(CodeSpec::Star),
+        "rdp" => Some(CodeSpec::Rdp),
+        "evenodd" | "eo" => Some(CodeSpec::Evenodd),
+        _ => None,
+    }
+}
+
+/// Parse a replacement-policy name (`fifo`, `lru`, `lfu`, `arc`, `fbf`,
+/// `lru-k`, `2q`, `lrfu`, `fbr`, `vdf`).
+pub fn policy_from_name(s: &str) -> Option<PolicyKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "fifo" => Some(PolicyKind::Fifo),
+        "lru" => Some(PolicyKind::Lru),
+        "lfu" => Some(PolicyKind::Lfu),
+        "arc" => Some(PolicyKind::Arc),
+        "fbf" => Some(PolicyKind::Fbf),
+        "lru-k" | "lruk" | "lru2" => Some(PolicyKind::LruK),
+        "2q" | "twoq" => Some(PolicyKind::TwoQ),
+        "lrfu" => Some(PolicyKind::Lrfu),
+        "fbr" => Some(PolicyKind::Fbr),
+        "vdf" => Some(PolicyKind::Vdf),
+        _ => None,
+    }
+}
+
+/// Parse a recovery-scheme name (`typical`, `fbf`/`cycling`, `greedy`).
+pub fn scheme_from_name(s: &str) -> Option<SchemeKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "typical" | "horizontal" => Some(SchemeKind::Typical),
+        "fbf" | "cycling" => Some(SchemeKind::FbfCycling),
+        "greedy" => Some(SchemeKind::Greedy),
+        _ => None,
+    }
+}
+
 impl ExperimentConfig {
     /// Start building a configuration from the paper's defaults, with
     /// validation at the end.

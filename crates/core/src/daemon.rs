@@ -1,0 +1,881 @@
+//! `fbfd` — recovery as a long-running service.
+//!
+//! The daemon accepts repair / status / read requests over a unix or TCP
+//! socket, executes campaigns on a small worker pool (each worker reuses
+//! one [`EngineScratch`] and a shared [`PlanStore`], like a sweep
+//! thread), and streams progress events to subscribed clients through
+//! the [`fbf_obs`] bridge. Everything is hand-rolled on `std` — the
+//! workspace's async crates are vendored stubs, and a poll loop with
+//! short read timeouts is all this protocol needs.
+//!
+//! # Wire protocol
+//!
+//! Length-prefixed JSON frames in both directions: a 4-byte big-endian
+//! payload length, then that many bytes of UTF-8 JSON (one object per
+//! frame, 64 MiB cap). Requests carry `{"cmd": ...}`; replies carry
+//! `{"ok": true, ...}` or `{"ok": false, "error": "..."}` and always
+//! include `"schema_version"`. Commands:
+//!
+//! | cmd         | request fields                               | reply |
+//! |-------------|----------------------------------------------|-------|
+//! | `ping`      | —                                            | `pong`, version info |
+//! | `repair`    | `backend` (`engine`/`sim`/`file`), `config` overrides, optional `dir`, optional inline `trace` | `job` id |
+//! | `status`    | `job`                                        | `state`, `metrics` when done |
+//! | `jobs`      | —                                            | array of `{job, state}` |
+//! | `read`      | `job`, `stripe`, `row`, `col`                | chunk length + FNV-1a digest |
+//! | `metrics`   | —                                            | Prometheus text of finished jobs |
+//! | `subscribe` | —                                            | stream of `{"event": <chrome line>}` frames |
+//! | `shutdown`  | —                                            | ack, then the daemon exits |
+//!
+//! The `read` command serves from the job's retained [`StorageBackend`]
+//! (repaired chunks come from the spare area), so a client can verify
+//! recovered content end to end without shipping chunk payloads through
+//! JSON — it gets a digest instead.
+
+use crate::backend_run::{file_backend_for, run_planned_on, sim_backend_for};
+use crate::config::ExperimentConfig;
+use crate::json::Json;
+use crate::metrics::{Metrics, METRICS_SCHEMA_VERSION};
+use crate::plan::{PlanSource, PlanStore, PlannedCampaign};
+use crate::runner::run_planned_with_scratch;
+use crate::sweep::SweepPoint;
+use fbf_codes::{Cell, ChunkId, StripeCode};
+use fbf_disksim::{EngineScratch, StorageBackend};
+use fbf_obs::BridgeSubscriber;
+use std::collections::HashMap;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Protocol revision spoken by this daemon (bumped on breaking changes).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard cap on one frame's payload (a config + inline trace fits in a
+/// fraction of this; anything bigger is a corrupt length prefix).
+pub const MAX_FRAME: usize = 64 << 20;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(50);
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerAddr {
+    /// Unix-domain socket at this path (created, removed on shutdown).
+    Unix(PathBuf),
+    /// TCP socket (use port 0 to let the OS pick; see
+    /// [`DaemonHandle::addr`] for the bound address).
+    Tcp(SocketAddr),
+}
+
+/// Daemon tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonOptions {
+    /// Repair worker threads (each owns an [`EngineScratch`]).
+    pub workers: usize,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        DaemonOptions { workers: 2 }
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, body: &str) -> io::Result<()> {
+    let bytes = body.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(io::Error::new(ErrorKind::InvalidInput, "frame too large"));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. `Ok(None)` means the peer closed the
+/// connection cleanly before a frame started. Read timeouts are retried
+/// internally until `stop` flips (then `Ok(None)`), so callers never see
+/// a frame torn across a timeout boundary.
+pub fn read_frame(r: &mut impl Read, stop: &AtomicBool) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    if !read_exact_stoppable(r, &mut len_buf, stop, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            ErrorKind::InvalidData,
+            "frame length exceeds cap",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    if !read_exact_stoppable(r, &mut body, stop, false)? {
+        return Err(io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "connection closed mid-frame",
+        ));
+    }
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| io::Error::new(ErrorKind::InvalidData, "frame is not UTF-8"))
+}
+
+/// `read_exact` that treats timeouts as "check `stop`, keep going" and a
+/// clean EOF *before any byte* as `Ok(false)` when `eof_ok`.
+fn read_exact_stoppable(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    eof_ok: bool,
+) -> io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && eof_ok {
+                    Ok(false)
+                } else {
+                    Err(io::Error::new(ErrorKind::UnexpectedEof, "peer closed"))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// One job's lifecycle state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished successfully (metrics available).
+    Done,
+    /// Failed; the payload is the error message.
+    Failed(String),
+}
+
+impl JobState {
+    /// Wire spelling of the state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+struct Job {
+    cfg: ExperimentConfig,
+    backend_kind: String,
+    dir: Option<PathBuf>,
+    errors: Option<fbf_recovery::ErrorGroup>,
+    state: JobState,
+    metrics: Option<Metrics>,
+    /// Retained after completion so `read` can serve repaired chunks.
+    backend: Option<Box<dyn StorageBackend>>,
+}
+
+struct Ctx {
+    shutdown: Arc<AtomicBool>,
+    jobs: Mutex<HashMap<u64, Job>>,
+    queue: mpsc::Sender<u64>,
+    next_id: AtomicU64,
+    bridge: Arc<BridgeSubscriber>,
+}
+
+/// A running daemon: join it via [`DaemonHandle::shutdown`].
+pub struct DaemonHandle {
+    addr: ServerAddr,
+    shutdown_flag: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// The bound address (TCP port resolved when the OS picked one).
+    pub fn addr(&self) -> &ServerAddr {
+        &self.addr
+    }
+
+    /// Has a `shutdown` command (or an explicit stop) been issued?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown_flag.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain the worker pool, and clean up the socket.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Block until the daemon stops on its own (a client's `shutdown`
+    /// command), then clean up. Used by the `fbfd` binary's foreground
+    /// mode.
+    pub fn wait(mut self) {
+        while !self.shutdown_flag.load(Ordering::Relaxed) {
+            std::thread::sleep(ACCEPT_POLL);
+        }
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown_flag.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let ServerAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<ClientStream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| ClientStream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| ClientStream::Tcp(s)),
+        }
+    }
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nb),
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+        }
+    }
+}
+
+/// A connected protocol stream (either transport), used by both the
+/// daemon's connection handlers and [`DaemonClient`].
+pub enum ClientStream {
+    /// Unix-domain transport.
+    Unix(UnixStream),
+    /// TCP transport.
+    Tcp(TcpStream),
+}
+
+impl ClientStream {
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            ClientStream::Unix(s) => s.set_read_timeout(t),
+            ClientStream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            ClientStream::Unix(s) => s.set_nonblocking(nb),
+            ClientStream::Tcp(s) => s.set_nonblocking(nb),
+        }
+    }
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.read(buf),
+            ClientStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.write(buf),
+            ClientStream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ClientStream::Unix(s) => s.flush(),
+            ClientStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Start serving on `addr`. Installs a [`BridgeSubscriber`] as the
+/// process-wide observability sink (unless one is already installed) so
+/// repair progress streams to `subscribe`d clients.
+pub fn serve(addr: &ServerAddr, opts: DaemonOptions) -> io::Result<DaemonHandle> {
+    let (listener, bound) = match addr {
+        ServerAddr::Unix(path) => {
+            // A stale socket file from a crashed daemon blocks bind.
+            let _ = std::fs::remove_file(path);
+            (
+                Listener::Unix(UnixListener::bind(path)?),
+                ServerAddr::Unix(path.clone()),
+            )
+        }
+        ServerAddr::Tcp(sock) => {
+            let l = TcpListener::bind(sock)?;
+            let actual = l.local_addr()?;
+            (Listener::Tcp(l), ServerAddr::Tcp(actual))
+        }
+    };
+    listener.set_nonblocking(true)?;
+
+    let bridge = Arc::new(BridgeSubscriber::new());
+    if !fbf_obs::enabled() {
+        fbf_obs::install(bridge.clone());
+    }
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (queue_tx, queue_rx) = mpsc::channel::<u64>();
+    let ctx = Arc::new(Ctx {
+        shutdown: shutdown.clone(),
+        jobs: Mutex::new(HashMap::new()),
+        queue: queue_tx,
+        next_id: AtomicU64::new(1),
+        bridge,
+    });
+
+    let queue_rx = Arc::new(Mutex::new(queue_rx));
+    let store = Arc::new(PlanStore::new());
+    let workers: Vec<_> = (0..opts.workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&queue_rx);
+            let ctx = Arc::clone(&ctx);
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || worker_loop(&rx, &ctx, &store))
+        })
+        .collect();
+
+    let accept_ctx = Arc::clone(&ctx);
+    let accept = std::thread::spawn(move || {
+        while !accept_ctx.shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok(stream) => {
+                    let conn_ctx = Arc::clone(&accept_ctx);
+                    std::thread::spawn(move || handle_conn(stream, &conn_ctx));
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+    });
+
+    Ok(DaemonHandle {
+        addr: bound,
+        shutdown_flag: shutdown,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<u64>>, ctx: &Ctx, store: &PlanStore) {
+    let mut scratch = EngineScratch::default();
+    loop {
+        if ctx.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let job_id = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            match guard.recv_timeout(READ_POLL) {
+                Ok(id) => id,
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        let Some((cfg, backend_kind, dir, errors)) = ({
+            let mut jobs = ctx.jobs.lock().unwrap_or_else(|p| p.into_inner());
+            jobs.get_mut(&job_id).map(|job| {
+                job.state = JobState::Running;
+                (
+                    job.cfg,
+                    job.backend_kind.clone(),
+                    job.dir.clone(),
+                    job.errors.take(),
+                )
+            })
+        }) else {
+            continue;
+        };
+        fbf_obs::instant(
+            "daemon",
+            "job-start",
+            &[
+                ("job", fbf_obs::Value::U64(job_id)),
+                ("backend", fbf_obs::Value::Str(&backend_kind)),
+            ],
+        );
+        let outcome = execute_job(&cfg, &backend_kind, dir, errors, store, &mut scratch);
+        let mut jobs = ctx.jobs.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(job) = jobs.get_mut(&job_id) {
+            match outcome {
+                Ok((metrics, backend)) => {
+                    job.metrics = Some(metrics);
+                    job.backend = backend;
+                    job.state = JobState::Done;
+                }
+                Err(msg) => job.state = JobState::Failed(msg),
+            }
+        }
+        drop(jobs);
+        fbf_obs::instant("daemon", "job-end", &[("job", fbf_obs::Value::U64(job_id))]);
+    }
+}
+
+type JobOutcome = Result<(Metrics, Option<Box<dyn StorageBackend>>), String>;
+
+fn execute_job(
+    cfg: &ExperimentConfig,
+    backend_kind: &str,
+    dir: Option<PathBuf>,
+    errors: Option<fbf_recovery::ErrorGroup>,
+    store: &PlanStore,
+    scratch: &mut EngineScratch,
+) -> JobOutcome {
+    cfg.validate().map_err(|e| e.to_string())?;
+    // Trace-supplied campaigns bypass the plan store (their errors are
+    // not derivable from the PlanKey); synthetic ones share it.
+    let (plan, source) = match errors {
+        Some(errors) => (
+            Arc::new(PlannedCampaign::cold_with_errors(cfg, errors).map_err(|e| e.to_string())?),
+            PlanSource::Cold,
+        ),
+        None => store.plan(cfg).map_err(|e| e.to_string())?,
+    };
+    match backend_kind {
+        "engine" => Ok((run_planned_with_scratch(cfg, &plan, source, scratch), None)),
+        "sim" => {
+            let mut backend = sim_backend_for(cfg, &plan).map_err(|e| e.to_string())?;
+            let metrics =
+                run_planned_on(cfg, &plan, source, &mut backend).map_err(|e| e.to_string())?;
+            Ok((metrics, Some(Box::new(backend))))
+        }
+        "file" => {
+            let dir = dir.unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("fbfd-{}", std::process::id()))
+            });
+            let mut backend = file_backend_for(cfg, &plan, &dir).map_err(|e| e.to_string())?;
+            let metrics =
+                run_planned_on(cfg, &plan, source, &mut backend).map_err(|e| e.to_string())?;
+            Ok((metrics, Some(Box::new(backend))))
+        }
+        other => Err(format!(
+            "unknown backend `{other}` (expected engine, sim, or file)"
+        )),
+    }
+}
+
+fn handle_conn(mut stream: ClientStream, ctx: &Ctx) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    loop {
+        let frame = match read_frame(&mut stream, &ctx.shutdown) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean EOF or shutdown
+            Err(_) => return,
+        };
+        let reply = match Json::parse(&frame) {
+            Ok(req) => {
+                let cmd = req.get("cmd").and_then(Json::as_str).unwrap_or("");
+                match cmd {
+                    "subscribe" => {
+                        // Acknowledge, then turn this connection into an
+                        // event stream until the client goes away.
+                        let ack = ok_reply([("subscribed", Json::Bool(true))]);
+                        if write_frame(&mut stream, &ack.render()).is_err() {
+                            return;
+                        }
+                        stream_events(&mut stream, ctx);
+                        return;
+                    }
+                    "shutdown" => {
+                        let ack = ok_reply([("stopping", Json::Bool(true))]);
+                        let _ = write_frame(&mut stream, &ack.render());
+                        ctx.shutdown.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    _ => dispatch(cmd, &req, ctx),
+                }
+            }
+            Err(e) => err_reply(&format!("bad request: {e}")),
+        };
+        if write_frame(&mut stream, &reply.render()).is_err() {
+            return;
+        }
+    }
+}
+
+fn stream_events(stream: &mut ClientStream, ctx: &Ctx) {
+    let rx = ctx.bridge.subscribe();
+    loop {
+        if ctx.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match rx.recv_timeout(READ_POLL) {
+            Ok(line) => {
+                let frame = Json::obj([("event", Json::Str(line.trim_end().to_string()))]);
+                if write_frame(stream, &frame.render()).is_err() {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn ok_reply(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut pairs = vec![
+        ("ok", Json::Bool(true)),
+        ("schema_version", Json::Num(METRICS_SCHEMA_VERSION as f64)),
+    ];
+    pairs.extend(fields);
+    Json::obj(pairs)
+}
+
+fn err_reply(msg: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("schema_version", Json::Num(METRICS_SCHEMA_VERSION as f64)),
+        ("error", Json::Str(msg.to_string())),
+    ])
+}
+
+fn dispatch(cmd: &str, req: &Json, ctx: &Ctx) -> Json {
+    match cmd {
+        "ping" => ok_reply([
+            ("pong", Json::Bool(true)),
+            ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
+        ]),
+        "repair" => cmd_repair(req, ctx),
+        "status" => cmd_status(req, ctx),
+        "jobs" => cmd_jobs(ctx),
+        "read" => cmd_read(req, ctx),
+        "metrics" => cmd_metrics(ctx),
+        "" => err_reply("missing cmd field"),
+        other => err_reply(&format!("unknown cmd `{other}`")),
+    }
+}
+
+/// Apply the request's `config` object onto the paper-default
+/// [`ExperimentConfig`]. Unknown keys are an error (a typo'd override
+/// silently running the default experiment would be worse).
+fn config_from_request(req: &Json) -> Result<ExperimentConfig, String> {
+    let mut builder = ExperimentConfig::builder().obs(true);
+    if let Some(Json::Obj(map)) = req.get("config") {
+        for (key, value) in map {
+            builder = apply_override(builder, key, value)?;
+        }
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn apply_override(
+    b: crate::config::ExperimentConfigBuilder,
+    key: &str,
+    value: &Json,
+) -> Result<crate::config::ExperimentConfigBuilder, String> {
+    let bad = || format!("bad value for config.{key}");
+    Ok(match key {
+        "code" => b.code(
+            value
+                .as_str()
+                .and_then(crate::config::code_from_name)
+                .ok_or_else(bad)?,
+        ),
+        "p" => b.p(value.as_u64().ok_or_else(bad)? as usize),
+        "policy" => b.policy(
+            value
+                .as_str()
+                .and_then(crate::config::policy_from_name)
+                .ok_or_else(bad)?,
+        ),
+        "scheme" => b.scheme(
+            value
+                .as_str()
+                .and_then(crate::config::scheme_from_name)
+                .ok_or_else(bad)?,
+        ),
+        "cache_mb" => b.cache_mb(value.as_u64().ok_or_else(bad)? as usize),
+        "chunk_kb" => b.chunk_kb(value.as_u64().ok_or_else(bad)? as usize),
+        "stripes" => b.stripes(value.as_u64().ok_or_else(bad)? as u32),
+        "errors" | "error_count" => b.error_count(value.as_u64().ok_or_else(bad)? as usize),
+        "workers" => b.workers(value.as_u64().ok_or_else(bad)? as usize),
+        "seed" => b.seed(value.as_u64().ok_or_else(bad)?),
+        "gen_threads" => b.gen_threads(value.as_u64().ok_or_else(bad)? as usize),
+        other => return Err(format!("unknown config key `{other}`")),
+    })
+}
+
+fn cmd_repair(req: &Json, ctx: &Ctx) -> Json {
+    let cfg = match config_from_request(req) {
+        Ok(c) => c,
+        Err(e) => return err_reply(&e),
+    };
+    let backend_kind = req
+        .get("backend")
+        .and_then(Json::as_str)
+        .unwrap_or("engine")
+        .to_string();
+    if !matches!(backend_kind.as_str(), "engine" | "sim" | "file") {
+        return err_reply(&format!("unknown backend `{backend_kind}`"));
+    }
+    let dir = req.get("dir").and_then(Json::as_str).map(PathBuf::from);
+    let errors = match req.get("trace").and_then(Json::as_str) {
+        Some(text) => {
+            let group = match fbf_workload::parse_trace(text) {
+                Ok(g) => g,
+                Err(e) => return err_reply(&format!("bad trace: {e}")),
+            };
+            let code = match StripeCode::build(cfg.code, cfg.p) {
+                Ok(c) => c,
+                Err(e) => return err_reply(&format!("cannot build code: {e}")),
+            };
+            if let Err(e) = fbf_workload::validate_against(&group, &code, cfg.stripes as usize) {
+                return err_reply(&format!("trace does not fit geometry: {e}"));
+            }
+            Some(group)
+        }
+        None => None,
+    };
+
+    let id = ctx.next_id.fetch_add(1, Ordering::Relaxed);
+    ctx.jobs.lock().unwrap_or_else(|p| p.into_inner()).insert(
+        id,
+        Job {
+            cfg,
+            backend_kind,
+            dir,
+            errors,
+            state: JobState::Queued,
+            metrics: None,
+            backend: None,
+        },
+    );
+    if ctx.queue.send(id).is_err() {
+        return err_reply("daemon is shutting down");
+    }
+    ok_reply([("job", Json::Num(id as f64))])
+}
+
+fn cmd_status(req: &Json, ctx: &Ctx) -> Json {
+    let Some(id) = req.get("job").and_then(Json::as_u64) else {
+        return err_reply("status needs a numeric `job`");
+    };
+    let jobs = ctx.jobs.lock().unwrap_or_else(|p| p.into_inner());
+    let Some(job) = jobs.get(&id) else {
+        return err_reply(&format!("no such job {id}"));
+    };
+    let mut fields = vec![
+        ("job", Json::Num(id as f64)),
+        ("state", Json::Str(job.state.name().to_string())),
+        ("backend", Json::Str(job.backend_kind.clone())),
+    ];
+    if let JobState::Failed(msg) = &job.state {
+        fields.push(("error", Json::Str(msg.clone())));
+    }
+    if let Some(metrics) = &job.metrics {
+        match Json::parse(&metrics.to_json()) {
+            Ok(m) => fields.push(("metrics", m)),
+            Err(e) => fields.push(("error", Json::Str(format!("metrics render bug: {e}")))),
+        }
+    }
+    ok_reply(fields)
+}
+
+fn cmd_jobs(ctx: &Ctx) -> Json {
+    let jobs = ctx.jobs.lock().unwrap_or_else(|p| p.into_inner());
+    let mut ids: Vec<u64> = jobs.keys().copied().collect();
+    ids.sort_unstable();
+    let list: Vec<Json> = ids
+        .iter()
+        .map(|id| {
+            let job = &jobs[id];
+            Json::obj([
+                ("job", Json::Num(*id as f64)),
+                ("state", Json::Str(job.state.name().to_string())),
+                ("backend", Json::Str(job.backend_kind.clone())),
+            ])
+        })
+        .collect();
+    ok_reply([("jobs", Json::Arr(list))])
+}
+
+fn cmd_read(req: &Json, ctx: &Ctx) -> Json {
+    let (Some(id), Some(stripe), Some(row), Some(col)) = (
+        req.get("job").and_then(Json::as_u64),
+        req.get("stripe").and_then(Json::as_u64),
+        req.get("row").and_then(Json::as_u64),
+        req.get("col").and_then(Json::as_u64),
+    ) else {
+        return err_reply("read needs numeric `job`, `stripe`, `row`, `col`");
+    };
+    let mut jobs = ctx.jobs.lock().unwrap_or_else(|p| p.into_inner());
+    let Some(job) = jobs.get_mut(&id) else {
+        return err_reply(&format!("no such job {id}"));
+    };
+    let Some(backend) = job.backend.as_mut() else {
+        return err_reply("job has no data-plane backend (engine jobs move identities only)");
+    };
+    let chunk = ChunkId::new(stripe as u32, Cell::new(row as usize, col as usize));
+    let mut buf = vec![0u8; backend.chunk_bytes()];
+    match backend.read_chunk(chunk, &mut buf) {
+        Ok(()) => ok_reply([
+            ("len", Json::Num(buf.len() as f64)),
+            ("fnv1a", Json::Str(format!("{:016x}", fnv1a(&buf)))),
+            ("repaired", Json::Bool(backend.is_repaired(chunk))),
+        ]),
+        Err(e) => err_reply(&format!("read failed: {e}")),
+    }
+}
+
+fn cmd_metrics(ctx: &Ctx) -> Json {
+    let jobs = ctx.jobs.lock().unwrap_or_else(|p| p.into_inner());
+    let points: Vec<SweepPoint> = jobs
+        .values()
+        .filter_map(|job| {
+            job.metrics.as_ref().map(|m| SweepPoint {
+                config: job.cfg,
+                metrics: m.clone(),
+            })
+        })
+        .collect();
+    ok_reply([
+        ("completed", Json::Num(points.len() as f64)),
+        (
+            "prometheus",
+            Json::Str(crate::prom::prometheus_snapshot(&points)),
+        ),
+    ])
+}
+
+/// FNV-1a over a chunk payload — the digest `read` replies carry.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Blocking protocol client for `fbfd` (used by `fbf client` and tests).
+pub struct DaemonClient {
+    stream: ClientStream,
+    stop: AtomicBool,
+}
+
+impl DaemonClient {
+    /// Connect to a daemon at `addr`.
+    pub fn connect(addr: &ServerAddr) -> io::Result<Self> {
+        let stream = match addr {
+            ServerAddr::Unix(path) => ClientStream::Unix(UnixStream::connect(path)?),
+            ServerAddr::Tcp(sock) => ClientStream::Tcp(TcpStream::connect(sock)?),
+        };
+        stream.set_nonblocking(false)?;
+        Ok(DaemonClient {
+            stream,
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Send one request and wait for its reply.
+    pub fn call(&mut self, req: &Json) -> io::Result<Json> {
+        write_frame(&mut self.stream, &req.render())?;
+        self.recv()?
+            .ok_or_else(|| io::Error::new(ErrorKind::UnexpectedEof, "daemon closed connection"))
+    }
+
+    /// Receive the next frame (used after `subscribe`). `Ok(None)` on a
+    /// clean close.
+    pub fn recv(&mut self) -> io::Result<Option<Json>> {
+        match read_frame(&mut self.stream, &self.stop)? {
+            Some(body) => Json::parse(&body)
+                .map(Some)
+                .map_err(|e| io::Error::new(ErrorKind::InvalidData, e.to_string())),
+            None => Ok(None),
+        }
+    }
+
+    /// Send without waiting (used for `shutdown` fire-and-forget paths).
+    pub fn send(&mut self, req: &Json) -> io::Result<()> {
+        write_frame(&mut self.stream, &req.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, r#"{"cmd":"ping"}"#).unwrap();
+        assert_eq!(&buf[..4], &[0, 0, 0, 14]);
+        let stop = AtomicBool::new(false);
+        let mut cursor = io::Cursor::new(buf);
+        let frame = read_frame(&mut cursor, &stop).unwrap().unwrap();
+        assert_eq!(frame, r#"{"cmd":"ping"}"#);
+        assert!(read_frame(&mut cursor, &stop).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        let stop = AtomicBool::new(false);
+        assert!(read_frame(&mut io::Cursor::new(buf), &stop).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello").unwrap();
+        buf.truncate(6); // length says 5, only 2 payload bytes present
+        let stop = AtomicBool::new(false);
+        let err = read_frame(&mut io::Cursor::new(buf), &stop).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn config_overrides_apply_and_unknown_keys_fail() {
+        let req = Json::parse(
+            r#"{"cmd":"repair","config":{"policy":"lru","stripes":128,"errors":16,"chunk_kb":1}}"#,
+        )
+        .unwrap();
+        let cfg = config_from_request(&req).unwrap();
+        assert_eq!(cfg.stripes, 128);
+        assert_eq!(cfg.error_count, 16);
+        assert_eq!(cfg.chunk_kb, 1);
+        let bad = Json::parse(r#"{"config":{"striipes":128}}"#).unwrap();
+        assert!(config_from_request(&bad).is_err());
+    }
+}

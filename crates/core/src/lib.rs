@@ -34,8 +34,11 @@
 //! println!("hit ratio {:.3}", metrics.hit_ratio);
 //! ```
 
+pub mod backend_run;
 pub mod config;
+pub mod daemon;
 pub mod faulted;
+pub mod json;
 pub mod metrics;
 pub mod plan;
 pub mod prom;
@@ -45,9 +48,17 @@ pub mod runner;
 pub mod sweep;
 pub mod verify;
 
-pub use config::{ClassSlo, ConfigError, ExperimentConfig, ExperimentConfigBuilder, SloSpec};
+pub use backend_run::{file_backend_for, run_experiment_on, run_planned_on, sim_backend_for};
+pub use config::{
+    code_from_name, policy_from_name, scheme_from_name, ClassSlo, ConfigError, ExperimentConfig,
+    ExperimentConfigBuilder, SloSpec,
+};
+pub use daemon::{
+    serve, ClientStream, DaemonClient, DaemonHandle, DaemonOptions, JobState, ServerAddr,
+};
 pub use faulted::{execute_faulted, FaultedOutcome};
-pub use metrics::{ClassLatency, ClassVerdict, Metrics, SloVerdict};
+pub use json::{Json, JsonError};
+pub use metrics::{ClassLatency, ClassVerdict, Metrics, SloVerdict, METRICS_SCHEMA_VERSION};
 pub use plan::{PlanKey, PlanSource, PlanStore, PlanStoreStats, PlannedCampaign};
 pub use prom::prometheus_snapshot;
 pub use reliability::{mttdl_gain, mttdl_hours, mttdl_years, ReliabilityParams};

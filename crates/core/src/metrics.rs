@@ -9,6 +9,13 @@ use fbf_disksim::{FaultCounters, Histogram, RequestClass, RunReport, SimTime};
 use fbf_recovery::DataLoss;
 use serde::{Deserialize, Serialize};
 
+/// Schema revision of every metrics JSON document this workspace emits
+/// ([`Metrics::to_json`], `BENCH_*.json` snapshots, daemon replies).
+/// Bump when a key is renamed, removed, or changes meaning — consumers
+/// ([`fbf-bench`'s gate, `scripts/check_trace.py`) reject documents whose
+/// version they do not understand instead of misreading them.
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
+
 /// Tail summary of one request class's read latency.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ClassLatency {
@@ -300,7 +307,8 @@ impl Metrics {
             .collect();
         format!(
             concat!(
-                "{{\"hit_ratio\":{:.6},\"disk_reads\":{},\"disk_writes\":{},",
+                "{{\"schema_version\":{},",
+                "\"hit_ratio\":{:.6},\"disk_reads\":{},\"disk_writes\":{},",
                 "\"avg_response_ms\":{:.6},\"p99_response_ms\":{:.6},",
                 "\"reconstruction_s\":{:.6},\"stripes_repaired\":{},",
                 "\"chunks_recovered\":{},\"media_errors\":{},",
@@ -311,6 +319,7 @@ impl Metrics {
                 "\"classes\":{{{}}},",
                 "\"slo\":{{\"evaluated\":{},\"pass\":{},\"classes\":{{{}}}}}}}"
             ),
+            METRICS_SCHEMA_VERSION,
             self.hit_ratio,
             self.disk_reads,
             self.disk_writes,
@@ -531,6 +540,7 @@ mod tests {
         let mut m = Metrics::from_run(&r, std::time::Duration::ZERO, 1, 1, PlanSource::Cold);
         m.evaluate_slo(&SloSpec::none().class(RequestClass::App, 25.0, 0.0));
         let json = m.to_json();
+        assert!(json.starts_with("{\"schema_version\":1,"));
         assert!(json.contains("\"queue_depth_max\":"));
         assert!(json.contains("\"read_balance\":"));
         assert!(json.contains("\"app\":{\"count\":1,"));

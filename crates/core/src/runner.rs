@@ -22,6 +22,10 @@ pub enum RunError {
     Code(CodeError),
     /// Scheme generation failed (unschedulable damage).
     Scheme(SchemeError),
+    /// A storage backend refused or failed an operation (I/O error,
+    /// geometry/chunk-size mismatch, damaged read) — the data-plane
+    /// execution paths ([`crate::backend_run`]) only.
+    Backend(fbf_disksim::BackendError),
     /// A sweep worker died; the payload is the panic message. Unlike the
     /// other variants this indicates a bug, but it is reported as an error
     /// so one poisoned point cannot abort a whole campaign's process.
@@ -34,6 +38,7 @@ impl std::fmt::Display for RunError {
             RunError::Config(e) => write!(f, "invalid configuration: {e}"),
             RunError::Code(e) => write!(f, "code construction failed: {e}"),
             RunError::Scheme(e) => write!(f, "scheme generation failed: {e}"),
+            RunError::Backend(e) => write!(f, "storage backend failed: {e}"),
             RunError::Worker(msg) => write!(f, "sweep worker panicked: {msg}"),
         }
     }

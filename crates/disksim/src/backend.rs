@@ -1,0 +1,743 @@
+//! Pluggable storage backends: the seam between planned recovery and the
+//! medium it runs against.
+//!
+//! The engine ([`crate::engine`]) moves chunk *identities* on a virtual
+//! clock; this module defines [`StorageBackend`] — chunk-granular
+//! read / spare-write / XOR-gather operations plus a deterministic fault
+//! surface and per-disk counters — so the same planned campaign can also
+//! execute against real payload bytes:
+//!
+//! * [`SimBackend`] synthesises the array's content in memory from the
+//!   same seeded generator the verification path uses
+//!   (`Stripe::patterned_seeded` + encode), so repaired bytes can be
+//!   checked against `verify_campaign` exactly.
+//! * [`FileBackend`] performs actual file I/O against one backing file
+//!   per disk, laid out by [`ArrayMapping`] (chunk LBA × chunk size, the
+//!   spare area past the data zone).
+//!
+//! # Contract (see DESIGN.md §12)
+//!
+//! * **Addressing.** A chunk's home location is
+//!   `(mapping.disk_of(chunk), mapping.lba_of(chunk))`; its spare
+//!   location is `mapping.spare_lba_of(chunk, data_stripes)` on the same
+//!   disk. Implementations must not invent their own placement.
+//! * **Spare redirect.** After `write_spare(chunk, data)` succeeds, every
+//!   later `read_chunk(chunk)` must return `data` (the recovered copy),
+//!   and the chunk is exempt from fault draws — its bytes have left the
+//!   (possibly faulty) original location. This mirrors the engine's
+//!   `repaired` set.
+//! * **Damaged cells.** Reading a chunk that is marked damaged and has
+//!   not been repaired is a caller bug and must fail with
+//!   [`BackendError::DamagedRead`], never return stale or zero bytes.
+//! * **Fault surface.** `classify_read` must be a pure function of the
+//!   fault plan's seed and the chunk identity (plus the redirect rule
+//!   above); `disk_dead` models a whole-disk kill. Data-plane executors
+//!   have no virtual clock, so a scheduled kill counts as dead only when
+//!   its instant is time zero (escalation rounds move it there).
+//! * **Ordering.** Callers issue the reads of one repair before its
+//!   spare write, and repairs of one stripe in scheme order; backends may
+//!   not reorder a read past the write that precedes it in program order.
+
+use crate::array::ArrayMapping;
+use crate::fault::{FaultDraw, FaultPlan};
+use crate::time::SimTime;
+use fbf_cache::{FxHashMap, FxHashSet};
+use fbf_codes::encode::encode;
+use fbf_codes::{ChunkId, Stripe, StripeCode};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Why a backend operation failed.
+#[derive(Debug)]
+pub enum BackendError {
+    /// An I/O operation against a disk's backing store failed.
+    Io {
+        /// Disk index the operation targeted.
+        disk: usize,
+        /// Operation name ("read", "write", "create", …).
+        op: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A damaged (erased) chunk was read before being repaired — a
+    /// planner/executor bug, surfaced instead of returning garbage.
+    DamagedRead(ChunkId),
+    /// The caller's buffer does not match the backend's chunk size.
+    SizeMismatch {
+        /// Backend chunk size in bytes.
+        expected: usize,
+        /// Caller buffer length.
+        got: usize,
+    },
+    /// The backend's geometry does not match the campaign it was asked
+    /// to execute.
+    Geometry {
+        /// What the campaign requires (disks, rows).
+        expected: (usize, usize),
+        /// What the backend has.
+        got: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Io { disk, op, source } => {
+                write!(f, "disk {disk}: {op} failed: {source}")
+            }
+            BackendError::DamagedRead(chunk) => write!(
+                f,
+                "read of damaged, unrepaired chunk (stripe {}, r{} c{})",
+                chunk.stripe,
+                chunk.cell.r(),
+                chunk.cell.c()
+            ),
+            BackendError::SizeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "chunk buffer of {got} B, backend chunk size {expected} B"
+                )
+            }
+            BackendError::Geometry { expected, got } => write!(
+                f,
+                "backend geometry {}x{} does not match campaign {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BackendError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Per-disk I/O counters of a backend (host-side, no virtual time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendDiskStats {
+    /// Chunk reads served (data zone + spare area).
+    pub reads: u64,
+    /// Spare-area chunk writes served.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+/// Chunk-granular storage under a recovery campaign.
+///
+/// Implementations are single-threaded (`&mut self` per operation); a
+/// daemon shards campaigns so each backend instance is owned by one
+/// worker. See the module docs for the full contract.
+pub trait StorageBackend: Send {
+    /// Short implementation name ("sim", "file") for reports and logs.
+    fn kind(&self) -> &'static str;
+
+    /// The chunk→(disk, LBA) mapping this backend lays data out by.
+    fn mapping(&self) -> ArrayMapping;
+
+    /// Chunk payload size in bytes.
+    fn chunk_bytes(&self) -> usize;
+
+    /// Stripes in the data zone (the spare area begins after it).
+    fn data_stripes(&self) -> u64;
+
+    /// The deterministic fault plan in force.
+    fn fault_plan(&self) -> &FaultPlan;
+
+    /// Has `chunk` been rewritten to the spare area?
+    fn is_repaired(&self, chunk: ChunkId) -> bool;
+
+    /// Classify a prospective read of `chunk`. Spare-redirected chunks
+    /// always classify `Ok` (their bytes left the faulty location).
+    fn classify_read(&self, chunk: ChunkId) -> FaultDraw {
+        if self.is_repaired(chunk) {
+            FaultDraw::Ok
+        } else {
+            self.fault_plan().draw(chunk)
+        }
+    }
+
+    /// Is `disk` dead for the whole run? Data-plane executors have no
+    /// virtual clock, so only a kill scheduled at time zero counts.
+    fn disk_dead(&self, disk: usize) -> bool {
+        matches!(
+            self.fault_plan().disk_kill,
+            Some(kill) if kill.disk as usize == disk && kill.at == SimTime::ZERO
+        )
+    }
+
+    /// Read `chunk`'s payload into `buf` (`buf.len()` must equal
+    /// [`chunk_bytes`](Self::chunk_bytes)). Serves the spare copy when
+    /// the chunk has been repaired.
+    fn read_chunk(&mut self, chunk: ChunkId, buf: &mut [u8]) -> Result<(), BackendError>;
+
+    /// Write a recovered chunk to its spare location and register the
+    /// redirect for later reads.
+    fn write_spare(&mut self, chunk: ChunkId, data: &[u8]) -> Result<(), BackendError>;
+
+    /// Read every chunk in `chunks` and XOR the payloads into `acc`.
+    /// The default loops [`read_chunk`](Self::read_chunk); backends with
+    /// cheaper bulk paths may override.
+    fn xor_gather(&mut self, chunks: &[ChunkId], acc: &mut [u8]) -> Result<(), BackendError> {
+        if acc.len() != self.chunk_bytes() {
+            return Err(BackendError::SizeMismatch {
+                expected: self.chunk_bytes(),
+                got: acc.len(),
+            });
+        }
+        let mut tmp = vec![0u8; self.chunk_bytes()];
+        for &chunk in chunks {
+            self.read_chunk(chunk, &mut tmp)?;
+            fbf_codes::xor::xor_into(acc, &tmp);
+        }
+        Ok(())
+    }
+
+    /// Per-disk I/O counters accumulated over the backend's lifetime.
+    fn disk_stats(&self) -> &[BackendDiskStats];
+
+    /// Durably persist outstanding writes (no-op for volatile backends).
+    fn flush(&mut self) -> Result<(), BackendError> {
+        Ok(())
+    }
+}
+
+/// Materialise the encoded payloads of one stripe, seeded by its id —
+/// the exact generator `verify_campaign` checks recovered bytes against.
+fn materialize(code: &StripeCode, stripe: u32, chunk_bytes: usize) -> Stripe {
+    let mut s = Stripe::patterned_seeded(code.layout(), chunk_bytes, stripe as u64);
+    encode(code, &mut s).expect("encode of a well-formed stripe cannot fail");
+    s
+}
+
+/// In-memory backend synthesising array content on demand.
+///
+/// Stripes are materialised lazily (seeded by stripe id, then encoded),
+/// damaged cells are erased, and spare writes are held in a map — so a
+/// campaign's data plane runs with no setup cost and its repaired bytes
+/// are directly comparable to the verification path's pristine payloads.
+pub struct SimBackend {
+    code: StripeCode,
+    mapping: ArrayMapping,
+    chunk_bytes: usize,
+    data_stripes: u64,
+    faults: FaultPlan,
+    damaged: FxHashSet<ChunkId>,
+    spare: FxHashMap<ChunkId, Vec<u8>>,
+    stripes: FxHashMap<u32, Stripe>,
+    stats: Vec<BackendDiskStats>,
+}
+
+impl SimBackend {
+    /// Backend over `code`'s geometry with the given damage set.
+    pub fn new(
+        code: StripeCode,
+        chunk_bytes: usize,
+        data_stripes: u64,
+        damaged: impl IntoIterator<Item = ChunkId>,
+        faults: FaultPlan,
+    ) -> Self {
+        let mapping = ArrayMapping::new(code.cols(), code.rows(), code.spec().rotated_placement());
+        let disks = mapping.disks;
+        SimBackend {
+            code,
+            mapping,
+            chunk_bytes,
+            data_stripes,
+            faults,
+            damaged: damaged.into_iter().collect(),
+            spare: FxHashMap::default(),
+            stripes: FxHashMap::default(),
+            stats: vec![BackendDiskStats::default(); disks],
+        }
+    }
+}
+
+impl StorageBackend for SimBackend {
+    fn kind(&self) -> &'static str {
+        "sim"
+    }
+
+    fn mapping(&self) -> ArrayMapping {
+        self.mapping
+    }
+
+    fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    fn data_stripes(&self) -> u64 {
+        self.data_stripes
+    }
+
+    fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    fn is_repaired(&self, chunk: ChunkId) -> bool {
+        self.spare.contains_key(&chunk)
+    }
+
+    fn read_chunk(&mut self, chunk: ChunkId, buf: &mut [u8]) -> Result<(), BackendError> {
+        if buf.len() != self.chunk_bytes {
+            return Err(BackendError::SizeMismatch {
+                expected: self.chunk_bytes,
+                got: buf.len(),
+            });
+        }
+        let disk = self.mapping.disk_of(chunk);
+        if let Some(spare) = self.spare.get(&chunk) {
+            buf.copy_from_slice(spare);
+        } else {
+            if self.damaged.contains(&chunk) {
+                return Err(BackendError::DamagedRead(chunk));
+            }
+            let code = &self.code;
+            let chunk_bytes = self.chunk_bytes;
+            let stripe = self
+                .stripes
+                .entry(chunk.stripe)
+                .or_insert_with(|| materialize(code, chunk.stripe, chunk_bytes));
+            buf.copy_from_slice(stripe.get(code.layout(), chunk.cell));
+        }
+        self.stats[disk].reads += 1;
+        self.stats[disk].bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    fn write_spare(&mut self, chunk: ChunkId, data: &[u8]) -> Result<(), BackendError> {
+        if data.len() != self.chunk_bytes {
+            return Err(BackendError::SizeMismatch {
+                expected: self.chunk_bytes,
+                got: data.len(),
+            });
+        }
+        let disk = self.mapping.disk_of(chunk);
+        self.spare.insert(chunk, data.to_vec());
+        self.stats[disk].writes += 1;
+        self.stats[disk].bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn disk_stats(&self) -> &[BackendDiskStats] {
+        &self.stats
+    }
+}
+
+/// File-backed storage: one backing file per disk, chunk-addressed.
+///
+/// The file holds the data zone (`data_stripes × rows` chunks) followed
+/// by an equally sized spare area, matching
+/// [`ArrayMapping::spare_lba_of`]. [`FileBackend::format`] materialises
+/// only the stripes a campaign touches; the rest stays sparse.
+pub struct FileBackend {
+    dir: PathBuf,
+    files: Vec<File>,
+    mapping: ArrayMapping,
+    chunk_bytes: usize,
+    data_stripes: u64,
+    faults: FaultPlan,
+    damaged: FxHashSet<ChunkId>,
+    repaired: FxHashSet<ChunkId>,
+    stats: Vec<BackendDiskStats>,
+}
+
+impl FileBackend {
+    /// Create (truncating) per-disk backing files under `dir` for
+    /// `code`'s geometry, writing the encoded payloads of `stripes`
+    /// (seeded by stripe id) and leaving `damaged` cells unwritten.
+    #[allow(clippy::too_many_arguments)]
+    pub fn format(
+        dir: &Path,
+        code: &StripeCode,
+        chunk_bytes: usize,
+        data_stripes: u64,
+        stripes: &[u32],
+        damaged: &[ChunkId],
+        faults: FaultPlan,
+    ) -> Result<Self, BackendError> {
+        let mapping = ArrayMapping::new(code.cols(), code.rows(), code.spec().rotated_placement());
+        std::fs::create_dir_all(dir).map_err(|source| BackendError::Io {
+            disk: 0,
+            op: "create-dir",
+            source,
+        })?;
+        let file_len = 2 * data_stripes * mapping.rows as u64 * chunk_bytes as u64;
+        let mut files = Vec::with_capacity(mapping.disks);
+        for disk in 0..mapping.disks {
+            let path = dir.join(format!("disk-{disk:03}.dat"));
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&path)
+                .map_err(|source| BackendError::Io {
+                    disk,
+                    op: "create",
+                    source,
+                })?;
+            file.set_len(file_len).map_err(|source| BackendError::Io {
+                disk,
+                op: "set-len",
+                source,
+            })?;
+            files.push(file);
+        }
+        let damaged: FxHashSet<ChunkId> = damaged.iter().copied().collect();
+        let mut backend = FileBackend {
+            dir: dir.to_path_buf(),
+            files,
+            mapping,
+            chunk_bytes,
+            data_stripes,
+            faults,
+            damaged,
+            repaired: FxHashSet::default(),
+            stats: vec![BackendDiskStats::default(); mapping.disks],
+        };
+        for &s in stripes {
+            let stripe = materialize(code, s, chunk_bytes);
+            for r in 0..mapping.rows {
+                for c in 0..mapping.disks {
+                    let cell = fbf_codes::Cell::new(r, c);
+                    let chunk = ChunkId::new(s, cell);
+                    if backend.damaged.contains(&chunk) {
+                        continue; // lost cells hold no data
+                    }
+                    let disk = backend.mapping.disk_of(chunk);
+                    let offset = backend.mapping.lba_of(chunk) * chunk_bytes as u64;
+                    write_at(
+                        &mut backend.files[disk],
+                        disk,
+                        offset,
+                        stripe.get(code.layout(), cell),
+                    )?;
+                }
+            }
+        }
+        Ok(backend)
+    }
+
+    /// Reopen an array previously created by [`format`](Self::format).
+    ///
+    /// `repaired` lists the chunks whose authoritative copy lives in
+    /// the spare area — typically the damage set of the campaign that
+    /// ran against this array. Reads of those chunks come back from
+    /// spare; everything else reads the data zone. Geometry is taken
+    /// from `code` and must match what the array was formatted with
+    /// (the first out-of-range access reports it as an I/O error).
+    pub fn open(
+        dir: &Path,
+        code: &StripeCode,
+        chunk_bytes: usize,
+        data_stripes: u64,
+        repaired: &[ChunkId],
+    ) -> Result<Self, BackendError> {
+        let mapping = ArrayMapping::new(code.cols(), code.rows(), code.spec().rotated_placement());
+        let mut files = Vec::with_capacity(mapping.disks);
+        for disk in 0..mapping.disks {
+            let path = dir.join(format!("disk-{disk:03}.dat"));
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .map_err(|source| BackendError::Io {
+                    disk,
+                    op: "open",
+                    source,
+                })?;
+            files.push(file);
+        }
+        Ok(FileBackend {
+            dir: dir.to_path_buf(),
+            files,
+            mapping,
+            chunk_bytes,
+            data_stripes,
+            faults: FaultPlan::none(),
+            damaged: FxHashSet::default(),
+            repaired: repaired.iter().copied().collect(),
+            stats: vec![BackendDiskStats::default(); mapping.disks],
+        })
+    }
+
+    /// Directory holding the backing files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn write_at(file: &mut File, disk: usize, offset: u64, data: &[u8]) -> Result<(), BackendError> {
+    file.seek(SeekFrom::Start(offset))
+        .and_then(|_| file.write_all(data))
+        .map_err(|source| BackendError::Io {
+            disk,
+            op: "write",
+            source,
+        })
+}
+
+fn read_at(file: &mut File, disk: usize, offset: u64, buf: &mut [u8]) -> Result<(), BackendError> {
+    file.seek(SeekFrom::Start(offset))
+        .and_then(|_| file.read_exact(buf))
+        .map_err(|source| BackendError::Io {
+            disk,
+            op: "read",
+            source,
+        })
+}
+
+impl StorageBackend for FileBackend {
+    fn kind(&self) -> &'static str {
+        "file"
+    }
+
+    fn mapping(&self) -> ArrayMapping {
+        self.mapping
+    }
+
+    fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    fn data_stripes(&self) -> u64 {
+        self.data_stripes
+    }
+
+    fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    fn is_repaired(&self, chunk: ChunkId) -> bool {
+        self.repaired.contains(&chunk)
+    }
+
+    fn read_chunk(&mut self, chunk: ChunkId, buf: &mut [u8]) -> Result<(), BackendError> {
+        if buf.len() != self.chunk_bytes {
+            return Err(BackendError::SizeMismatch {
+                expected: self.chunk_bytes,
+                got: buf.len(),
+            });
+        }
+        let disk = self.mapping.disk_of(chunk);
+        let offset = if self.repaired.contains(&chunk) {
+            self.mapping.spare_lba_of(chunk, self.data_stripes) * self.chunk_bytes as u64
+        } else {
+            if self.damaged.contains(&chunk) {
+                return Err(BackendError::DamagedRead(chunk));
+            }
+            self.mapping.lba_of(chunk) * self.chunk_bytes as u64
+        };
+        read_at(&mut self.files[disk], disk, offset, buf)?;
+        self.stats[disk].reads += 1;
+        self.stats[disk].bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    fn write_spare(&mut self, chunk: ChunkId, data: &[u8]) -> Result<(), BackendError> {
+        if data.len() != self.chunk_bytes {
+            return Err(BackendError::SizeMismatch {
+                expected: self.chunk_bytes,
+                got: data.len(),
+            });
+        }
+        let disk = self.mapping.disk_of(chunk);
+        let offset = self.mapping.spare_lba_of(chunk, self.data_stripes) * self.chunk_bytes as u64;
+        write_at(&mut self.files[disk], disk, offset, data)?;
+        self.repaired.insert(chunk);
+        self.stats[disk].writes += 1;
+        self.stats[disk].bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn disk_stats(&self) -> &[BackendDiskStats] {
+        &self.stats
+    }
+
+    fn flush(&mut self) -> Result<(), BackendError> {
+        for (disk, file) in self.files.iter_mut().enumerate() {
+            file.sync_all().map_err(|source| BackendError::Io {
+                disk,
+                op: "sync",
+                source,
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbf_codes::{Cell, CodeSpec};
+
+    fn code() -> StripeCode {
+        StripeCode::build(CodeSpec::Tip, 5).unwrap()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fbf-backend-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn pristine_bytes(code: &StripeCode, stripe: u32, cell: Cell, chunk_bytes: usize) -> Vec<u8> {
+        materialize(code, stripe, chunk_bytes)
+            .get(code.layout(), cell)
+            .to_vec()
+    }
+
+    fn backends_agree(mut a: impl StorageBackend, mut b: impl StorageBackend, chunks: &[ChunkId]) {
+        let n = a.chunk_bytes();
+        let (mut ba, mut bb) = (vec![0u8; n], vec![0u8; n]);
+        for &chunk in chunks {
+            a.read_chunk(chunk, &mut ba).unwrap();
+            b.read_chunk(chunk, &mut bb).unwrap();
+            assert_eq!(ba, bb, "backends disagree on {chunk:?}");
+        }
+    }
+
+    #[test]
+    fn sim_reads_match_verification_payloads() {
+        let code = code();
+        let mut b = SimBackend::new(code.clone(), 256, 16, [], FaultPlan::none());
+        let cell = Cell::new(1, 2);
+        let chunk = ChunkId::new(3, cell);
+        let mut buf = vec![0u8; 256];
+        b.read_chunk(chunk, &mut buf).unwrap();
+        assert_eq!(buf, pristine_bytes(&code, 3, cell, 256));
+        assert_eq!(b.disk_stats()[b.mapping().disk_of(chunk)].reads, 1);
+    }
+
+    #[test]
+    fn file_backend_agrees_with_sim_backend() {
+        let code = code();
+        let chunks: Vec<ChunkId> = (0..code.rows())
+            .flat_map(|r| (0..code.cols()).map(move |c| ChunkId::new(2, Cell::new(r, c))))
+            .collect();
+        let sim = SimBackend::new(code.clone(), 128, 8, [], FaultPlan::none());
+        let dir = tmpdir("agree");
+        let file = FileBackend::format(&dir, &code, 128, 8, &[2], &[], FaultPlan::none()).unwrap();
+        backends_agree(sim, file, &chunks);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spare_write_redirects_later_reads() {
+        let code = code();
+        let chunk = ChunkId::new(1, Cell::new(0, 0));
+        let dir = tmpdir("spare");
+        for mut b in [
+            Box::new(SimBackend::new(
+                code.clone(),
+                64,
+                8,
+                [chunk],
+                FaultPlan::none(),
+            )) as Box<dyn StorageBackend>,
+            Box::new(
+                FileBackend::format(&dir, &code, 64, 8, &[1], &[chunk], FaultPlan::none()).unwrap(),
+            ),
+        ] {
+            let mut buf = vec![0u8; 64];
+            assert!(matches!(
+                b.read_chunk(chunk, &mut buf),
+                Err(BackendError::DamagedRead(_))
+            ));
+            let recovered = vec![0xAB; 64];
+            b.write_spare(chunk, &recovered).unwrap();
+            assert!(b.is_repaired(chunk));
+            b.read_chunk(chunk, &mut buf).unwrap();
+            assert_eq!(buf, recovered, "{} backend", b.kind());
+            assert_eq!(b.classify_read(chunk), FaultDraw::Ok);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn xor_gather_equals_manual_xor() {
+        let code = code();
+        let mut b = SimBackend::new(code.clone(), 32, 8, [], FaultPlan::none());
+        let chunks = [
+            ChunkId::new(0, Cell::new(0, 0)),
+            ChunkId::new(0, Cell::new(0, 1)),
+            ChunkId::new(0, Cell::new(1, 0)),
+        ];
+        let mut acc = vec![0u8; 32];
+        b.xor_gather(&chunks, &mut acc).unwrap();
+        let mut manual = vec![0u8; 32];
+        let mut tmp = vec![0u8; 32];
+        for &c in &chunks {
+            b.read_chunk(c, &mut tmp).unwrap();
+            for (m, t) in manual.iter_mut().zip(&tmp) {
+                *m ^= t;
+            }
+        }
+        assert_eq!(acc, manual);
+    }
+
+    #[test]
+    fn size_mismatch_is_typed() {
+        let code = code();
+        let mut b = SimBackend::new(code, 64, 8, [], FaultPlan::none());
+        let chunk = ChunkId::new(0, Cell::new(0, 0));
+        let mut small = vec![0u8; 32];
+        assert!(matches!(
+            b.read_chunk(chunk, &mut small),
+            Err(BackendError::SizeMismatch {
+                expected: 64,
+                got: 32
+            })
+        ));
+    }
+
+    #[test]
+    fn fault_surface_classifies_deterministically() {
+        let code = code();
+        let faults = FaultPlan {
+            seed: 11,
+            media_per_mille: 500,
+            ..FaultPlan::none()
+        };
+        let b = SimBackend::new(code, 64, 8, [], faults);
+        let chunk = ChunkId::new(4, Cell::new(2, 1));
+        assert_eq!(b.classify_read(chunk), b.classify_read(chunk));
+        assert_eq!(b.classify_read(chunk), faults.draw(chunk));
+        assert!(!b.disk_dead(0));
+    }
+
+    #[test]
+    fn dead_disk_requires_time_zero_kill() {
+        let code = code();
+        let killed = FaultPlan {
+            disk_kill: Some(crate::fault::DiskKill {
+                disk: 1,
+                at: SimTime::ZERO,
+            }),
+            ..FaultPlan::none()
+        };
+        let b = SimBackend::new(code.clone(), 64, 8, [], killed);
+        assert!(b.disk_dead(1));
+        assert!(!b.disk_dead(0));
+        let later = FaultPlan {
+            disk_kill: Some(crate::fault::DiskKill {
+                disk: 1,
+                at: SimTime::from_millis(5),
+            }),
+            ..FaultPlan::none()
+        };
+        let b = SimBackend::new(code, 64, 8, [], later);
+        assert!(
+            !b.disk_dead(1),
+            "mid-run kills need a clock the data plane lacks"
+        );
+    }
+}

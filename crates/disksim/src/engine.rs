@@ -179,7 +179,8 @@ pub struct ResponseStats {
 }
 
 impl ResponseStats {
-    fn record(&mut self, t: SimTime) {
+    /// Record one completed request's response time.
+    pub fn record(&mut self, t: SimTime) {
         self.count += 1;
         self.total += t;
         self.max = self.max.max(t);
@@ -259,6 +260,30 @@ impl RunReport {
         let max = self.per_disk.iter().map(|d| d.reads).max().unwrap_or(0);
         let mean = total as f64 / self.per_disk.len() as f64;
         max as f64 / mean
+    }
+}
+
+/// Build the per-worker cache slice vector for `workers` scripts exactly
+/// as [`Engine::run_with_scratch`] does: one cache of the full capacity
+/// under [`CacheSharing::Shared`], or equal shares (remainder spread over
+/// the first workers) under [`CacheSharing::Partitioned`].
+///
+/// Exported so data-plane executors over a
+/// [`StorageBackend`](crate::backend::StorageBackend) reproduce the
+/// engine's hit/miss accounting by construction instead of by imitation.
+pub fn build_caches(cfg: &EngineConfig, workers: usize) -> Vec<BufferCache> {
+    match cfg.sharing {
+        CacheSharing::Shared => vec![build_cache(cfg, cfg.cache_chunks)],
+        CacheSharing::Partitioned => {
+            // Equal shares, remainder spread over the first workers —
+            // so a cache smaller than the worker count still caches
+            // *somewhere* instead of rounding every share to zero.
+            let w = workers.max(1);
+            let (share, extra) = (cfg.cache_chunks / w, cfg.cache_chunks % w);
+            (0..w)
+                .map(|i| build_cache(cfg, share + usize::from(i < extra)))
+                .collect()
+        }
     }
 }
 
@@ -370,19 +395,7 @@ impl Engine {
             })
             .collect();
 
-        let mut caches: Vec<BufferCache> = match cfg.sharing {
-            CacheSharing::Shared => vec![build_cache(cfg, cfg.cache_chunks)],
-            CacheSharing::Partitioned => {
-                // Equal shares, remainder spread over the first workers —
-                // so a cache smaller than the worker count still caches
-                // *somewhere* instead of rounding every share to zero.
-                let w = workers.max(1);
-                let (share, extra) = (cfg.cache_chunks / w, cfg.cache_chunks % w);
-                (0..w)
-                    .map(|i| build_cache(cfg, share + usize::from(i < extra)))
-                    .collect()
-            }
-        };
+        let mut caches: Vec<BufferCache> = build_caches(cfg, workers);
 
         // Two event kinds, ordered by (time, kind, id): disk completions
         // before worker steps at the same instant (a completion is what

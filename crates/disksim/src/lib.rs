@@ -21,6 +21,7 @@
 //! timings, which the integration tests rely on.
 
 pub mod array;
+pub mod backend;
 pub mod buffer;
 pub mod disk;
 pub mod engine;
@@ -30,10 +31,12 @@ pub mod sched;
 pub mod time;
 
 pub use array::ArrayMapping;
-pub use buffer::BufferCache;
+pub use backend::{BackendDiskStats, BackendError, FileBackend, SimBackend, StorageBackend};
+pub use buffer::{BufferCache, Lookup};
 pub use disk::{DiskModel, DiskParams, DiskStats};
 pub use engine::{
-    CacheSharing, Engine, EngineConfig, EngineScratch, Op, ResponseStats, RunReport, WorkerScript,
+    build_caches, CacheSharing, Engine, EngineConfig, EngineScratch, Op, ResponseStats, RunReport,
+    WorkerScript,
 };
 pub use fault::{
     DiskKill, FailedRead, FaultCounters, FaultDraw, FaultPlan, ReadFailure, RetryPolicy, SlowDisk,

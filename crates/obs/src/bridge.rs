@@ -1,0 +1,94 @@
+//! Fan-out subscriber bridging events to live consumers.
+//!
+//! The daemon streams repair progress to connected clients by installing
+//! a [`BridgeSubscriber`]: every observability event is rendered once as
+//! a chrome-trace line (the exact format the JSONL trace files hold, see
+//! [`render_chrome_line`](crate::trace::render_chrome_line)) and pushed
+//! to each subscribed channel. Receivers that have gone away are pruned
+//! on the next event, so a dropped client costs one failed send, not a
+//! leak.
+
+use crate::subscriber::{Event, Subscriber};
+use crate::trace::render_chrome_line;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Mutex;
+
+/// A [`Subscriber`] that fans rendered event lines out to channels.
+#[derive(Default)]
+pub struct BridgeSubscriber {
+    sinks: Mutex<Vec<Sender<String>>>,
+}
+
+impl BridgeSubscriber {
+    /// An empty bridge (no subscribers yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a new consumer; every later event arrives on the receiver
+    /// as one rendered chrome-trace line (trailing newline included).
+    pub fn subscribe(&self) -> Receiver<String> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.sinks
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(tx);
+        rx
+    }
+
+    /// Current live subscriber count (after pruning on the last event).
+    pub fn subscribers(&self) -> usize {
+        self.sinks.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+}
+
+impl Subscriber for BridgeSubscriber {
+    fn event(&self, event: &Event<'_>) {
+        let mut sinks = self.sinks.lock().unwrap_or_else(|p| p.into_inner());
+        if sinks.is_empty() {
+            return; // don't render for nobody
+        }
+        let line = render_chrome_line(event);
+        sinks.retain(|tx| tx.send(line.clone()).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscriber::EventKind;
+
+    fn event<'a>() -> Event<'a> {
+        Event {
+            cat: "daemon",
+            name: "job",
+            kind: EventKind::Instant,
+            ts_us: 1.0,
+            tid: 0,
+            args: &[],
+        }
+    }
+
+    #[test]
+    fn delivers_rendered_lines_to_every_subscriber() {
+        let bridge = BridgeSubscriber::new();
+        let a = bridge.subscribe();
+        let b = bridge.subscribe();
+        bridge.event(&event());
+        let la = a.try_recv().unwrap();
+        let lb = b.try_recv().unwrap();
+        assert_eq!(la, lb);
+        assert!(la.contains(r#""name":"job""#));
+        assert!(la.ends_with('\n'));
+    }
+
+    #[test]
+    fn prunes_dropped_receivers() {
+        let bridge = BridgeSubscriber::new();
+        let keep = bridge.subscribe();
+        drop(bridge.subscribe());
+        bridge.event(&event());
+        assert_eq!(bridge.subscribers(), 1);
+        assert!(keep.try_recv().is_ok());
+    }
+}

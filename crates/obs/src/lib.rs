@@ -61,12 +61,14 @@
 //! assert_eq!(sub.total("demo/cache/hits"), 3);
 //! ```
 
+pub mod bridge;
 pub mod digest;
 pub mod prom;
 pub mod registry;
 pub mod subscriber;
 pub mod trace;
 
+pub use bridge::BridgeSubscriber;
 pub use digest::{Digest, RequestClass};
 pub use prom::PromWriter;
 pub use registry::{registry, CounterHandle, Registry};
@@ -74,7 +76,7 @@ pub use subscriber::{
     CountingSubscriber, Event, EventKind, FanoutSubscriber, NoopSubscriber, StderrSubscriber,
     Subscriber, Value,
 };
-pub use trace::TraceWriter;
+pub use trace::{render_chrome_line, TraceWriter};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};

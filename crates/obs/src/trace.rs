@@ -50,6 +50,16 @@ impl TraceWriter {
     }
 
     fn render(event: &Event<'_>) -> String {
+        render_chrome_line(event)
+    }
+}
+
+/// Render one event as a chrome-trace JSON object plus trailing newline —
+/// the exact line [`TraceWriter`] files end up holding. Public so other
+/// sinks (the daemon's progress bridge) stream the same format over the
+/// wire that the JSONL files contain on disk.
+pub fn render_chrome_line(event: &Event<'_>) -> String {
+    {
         let mut line = String::with_capacity(160);
         line.push_str("{\"name\":");
         push_json_str(&mut line, event.name);

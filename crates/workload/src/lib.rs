@@ -15,11 +15,15 @@
 //!   where recovery competes with foreground traffic.
 //! * [`trace`] — a plain-text serialisation of error campaigns so runs can
 //!   be archived and replayed without extra dependencies.
+//! * [`loadgen`] — campaign sharding and per-class latency aggregation for
+//!   driving the repair daemon from concurrent client connections.
 
 pub mod app_io;
 pub mod errors;
+pub mod loadgen;
 pub mod trace;
 
 pub use app_io::{generate_app_reads, generate_scrub_reads, AppIoConfig, ScrubConfig};
 pub use errors::{generate_errors, ErrorGenConfig, LengthDistribution};
+pub use loadgen::{shard_campaign, LoadReport};
 pub use trace::{parse_trace, render_trace, validate_against};

@@ -9,10 +9,10 @@
 //! dominate; once the cache exceeds the per-stripe working set everyone
 //! converges.
 
-use fbf::cache::PolicyKind;
-use fbf::codes::CodeSpec;
-use fbf::core::report::f;
-use fbf::core::{sweep, ExperimentConfig, Table};
+use fbf::report::f;
+use fbf::CodeSpec;
+use fbf::PolicyKind;
+use fbf::{sweep, ExperimentConfig, Table};
 
 fn main() {
     let sizes: Vec<usize> = {

@@ -9,15 +9,16 @@
 //! example builds such a mixed workload and compares how each cache policy
 //! carries it, with the FBF reconstruction running alongside.
 
-use fbf::cache::PolicyKind;
-use fbf::codes::{CodeSpec, StripeCode};
-use fbf::core::report::f;
-use fbf::core::Table;
-use fbf::disksim::{ArrayMapping, CacheSharing, Engine, EngineConfig, SimTime};
+use fbf::disksim::{Engine, EngineConfig};
 use fbf::recovery::{
     build_scripts, degrade_script, ExecConfig, LostMap, RecoveryController, SchemeKind,
 };
+use fbf::report::f;
 use fbf::workload::{generate_app_reads, generate_errors, AppIoConfig, ErrorGenConfig};
+use fbf::PolicyKind;
+use fbf::Table;
+use fbf::{ArrayMapping, CacheSharing, SimTime};
+use fbf::{CodeSpec, StripeCode};
 
 fn main() {
     let stripes = 1024u32;

@@ -10,14 +10,14 @@
 //! partial-stripe schemes, so whole-disk rebuild is one call away — and
 //! the greedy generator lands on the published optimum.
 
-use fbf::cache::PolicyKind;
-use fbf::codes::{CodeSpec, StripeCode};
-use fbf::core::report::f;
-use fbf::core::Table;
 use fbf::disksim::{ArrayMapping, Engine, EngineConfig};
 use fbf::recovery::{
     build_scripts, rebuild_read_ratio, rebuild_schemes, ExecConfig, PriorityDictionary, SchemeKind,
 };
+use fbf::report::f;
+use fbf::PolicyKind;
+use fbf::Table;
+use fbf::{CodeSpec, StripeCode};
 
 fn main() {
     let stripes = 256u32;

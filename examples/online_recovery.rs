@@ -10,15 +10,15 @@
 //! how each policy's reconstruction time and application response time
 //! hold up under the mixed load.
 
-use fbf::cache::PolicyKind;
-use fbf::codes::{CodeSpec, StripeCode};
-use fbf::core::report::f;
-use fbf::core::Table;
 use fbf::disksim::{ArrayMapping, Engine, EngineConfig};
 use fbf::recovery::{
     build_scripts, generate_schemes_parallel, ExecConfig, PriorityDictionary, SchemeKind,
 };
+use fbf::report::f;
 use fbf::workload::{generate_app_reads, generate_errors, AppIoConfig, ErrorGenConfig};
+use fbf::PolicyKind;
+use fbf::Table;
+use fbf::{CodeSpec, StripeCode};
 
 fn main() {
     let code = StripeCode::build(CodeSpec::Tip, 11).expect("build");

@@ -8,11 +8,11 @@
 //! shrinking until the disks saturate, and (b) the partitioned-vs-shared
 //! cache trade-off at a fixed worker count.
 
-use fbf::cache::PolicyKind;
-use fbf::codes::CodeSpec;
-use fbf::core::report::f;
-use fbf::core::{run_experiment, ExperimentConfig, Table};
-use fbf::disksim::CacheSharing;
+use fbf::report::f;
+use fbf::CacheSharing;
+use fbf::CodeSpec;
+use fbf::PolicyKind;
+use fbf::{run_experiment, ExperimentConfig, Table};
 
 fn main() {
     // A builder is `Copy`, so the base grid point can be re-specialised

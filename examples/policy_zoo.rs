@@ -9,10 +9,10 @@
 //! sharing). This example ranks them all on a single reconstruction
 //! campaign.
 
-use fbf::cache::PolicyKind;
-use fbf::codes::CodeSpec;
-use fbf::core::report::f;
-use fbf::core::{sweep, ExperimentConfig, Table};
+use fbf::report::f;
+use fbf::CodeSpec;
+use fbf::PolicyKind;
+use fbf::{sweep, ExperimentConfig, Table};
 
 fn main() {
     let cache_mb: usize = std::env::args()

@@ -11,13 +11,13 @@
 //! 6. run the same campaign through the disk simulator with the FBF cache
 //!    and print the metrics.
 
-use fbf::cache::PolicyKind;
 use fbf::codes::encode::encode;
-use fbf::codes::{CodeSpec, Stripe, StripeCode};
-use fbf::core::{run_experiment, ExperimentConfig};
 use fbf::recovery::{
     apply_scheme, scheme::generate, PartialStripeError, PriorityDictionary, SchemeKind,
 };
+use fbf::PolicyKind;
+use fbf::{run_experiment, ExperimentConfig};
+use fbf::{CodeSpec, Stripe, StripeCode};
 
 fn main() {
     // 1. TIP-code over p = 5: 6 disks, 4 rows per stripe (paper Fig. 1).

@@ -7,8 +7,8 @@
 //! how the FBF scheme's overlapping chains produce the multi-level
 //! priority dictionary of Table III.
 
-use fbf::codes::{CodeSpec, StripeCode};
 use fbf::recovery::{scheme::generate, PartialStripeError, PriorityDictionary, SchemeKind};
+use fbf::{CodeSpec, StripeCode};
 
 fn walkthrough(spec: CodeSpec, p: usize, error_len: usize, figure: &str) {
     let code = StripeCode::build(spec, p).expect("prime");

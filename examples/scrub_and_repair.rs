@@ -10,8 +10,8 @@
 //! repair through the erasure decoder.
 
 use fbf::codes::encode::encode;
-use fbf::codes::{Cell, CodeSpec, Stripe, StripeCode};
 use fbf::recovery::{scrub, ScrubOutcome};
+use fbf::{Cell, CodeSpec, Stripe, StripeCode};
 
 fn main() {
     let code = StripeCode::build(CodeSpec::TripleStar, 7).expect("prime");

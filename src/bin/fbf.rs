@@ -4,56 +4,67 @@
 //! fbf layout <code> <p>                     print a stripe layout and chain summary
 //! fbf plan <code> <p> <col> <row> <len>     show recovery schemes for one error
 //! fbf trace <stripes> <count> [seed]        emit a synthetic error trace (stdout)
-//! fbf run [key=value ...]                   one experiment, all metrics
-//! fbf sweep [key=value ...]                 cache-size sweep across the five policies
+//! fbf run [--key value ...]                 one experiment, all metrics
+//! fbf replay <file> [--key value ...]       replay an error trace instead of drawing one
+//! fbf sweep [--key value ...]               cache-size sweep across the five policies
+//! fbf serve [--socket P | --tcp A]          run the repair daemon in the foreground
+//! fbf client [--socket P | --tcp A] <cmd>   talk to a running daemon
 //! fbf scrub <code> <p>                      silent-corruption scrub demo
 //! fbf mttdl <disks> <mttr_hours>            reliability model for a 3DFT array
 //! ```
 //!
-//! `run`/`sweep` accept `code=tip|hdd1|triplestar|star|rdp|evenodd`,
-//! `p=7`, `policy=fifo|lru|lfu|arc|fbf|...`, `cache=64` (MiB),
-//! `stripes=4096`, `errors=512`, `workers=128`, `seed=N`,
-//! `scheme=typical|fbf|greedy`, plus fault injection:
-//! `media=‰`, `transient=‰`, `fault_seed=N`, `kill=<disk>@<ms>`,
-//! `slow=<disk>@<permille>`.
+//! Experiment flags (`run`/`replay`/`sweep`, also `client repair`/`load`):
+//! `--code tip|hdd1|triplestar|star|rdp|evenodd`, `--p 7`,
+//! `--policy fifo|lru|lfu|arc|fbf|...`, `--scheme typical|fbf|greedy`,
+//! `--cache-mb 64`, `--chunk-kb 32`, `--stripes 4096`, `--errors 512`,
+//! `--workers 128`, `--seed N`, `--gen-threads N`, plus fault injection:
+//! `--media ‰`, `--transient ‰`, `--fault-seed N`, `--kill <disk>@<ms>`,
+//! `--slow <disk>@<permille>`. The pre-daemon `key=value` spelling still
+//! works as a deprecated alias (a warning points at the flag form).
 //!
-//! `run` additionally accepts `--trace-in <file>` to replay an error
-//! trace (as emitted by `fbf trace`) instead of drawing a synthetic
-//! campaign.
-//!
-//! Global observability flags (any command, extracted before parsing):
+//! `--json` (any command) emits the result as one JSON object on stdout
+//! instead of human-readable text. Global observability flags:
 //! `--trace <path>` streams a chrome://tracing-compatible JSONL run trace
-//! to `<path>`; `--obs` pretty-prints events to stderr. Either one turns
-//! on instrumented experiments for `run`/`sweep`. `--metrics <path>`
+//! to `<path>`; `--obs` pretty-prints events to stderr. `--metrics <path>`
 //! writes a Prometheus text-exposition snapshot of `run`/`sweep` results
 //! (validated by `scripts/check_trace.py --prom`).
+//!
+//! Daemon transport selection (`serve`/`client`): `--socket <path>` for a
+//! unix socket (default `$TMPDIR/fbfd.sock`), `--tcp <addr:port>` for TCP.
 
-use fbf::cache::PolicyKind;
-use fbf::codes::{CodeSpec, StripeCode};
-use fbf::core::report::f;
-use fbf::core::{
-    run_experiment, run_experiment_with_errors, sweep, ExperimentConfig, ExperimentConfigBuilder,
-    ReliabilityParams, Table,
-};
 use fbf::disksim::{DiskKill, FaultPlan, SimTime, SlowDisk};
 use fbf::recovery::{scheme::generate, PartialStripeError, PriorityDictionary, SchemeKind};
-use fbf::workload::{generate_errors, parse_trace, render_trace, validate_against, ErrorGenConfig};
+use fbf::report::f;
+use fbf::workload::{
+    generate_errors, parse_trace, render_trace, shard_campaign, validate_against, ErrorGenConfig,
+    LoadReport,
+};
+use fbf::PolicyKind;
+use fbf::{
+    run_experiment, run_experiment_with_errors, sweep, DaemonClient, DaemonOptions,
+    ExperimentConfig, ExperimentConfigBuilder, Json, ReliabilityParams, ServerAddr, Table,
+};
+use fbf::{CodeSpec, StripeCode};
+use std::time::{Duration, Instant};
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let (args, obs, metrics_out) = match install_obs_flags(&raw) {
+    let (args, obs, metrics_out, json) = match install_obs_flags(&raw) {
         Ok(v) => v,
         Err(rc) => std::process::exit(rc),
     };
     let metrics_out = metrics_out.as_deref();
     let code = match args.first().map(String::as_str) {
-        Some("layout") => cmd_layout(&args[1..]),
-        Some("plan") => cmd_plan(&args[1..]),
-        Some("trace") => cmd_trace(&args[1..]),
-        Some("run") => cmd_run(&args[1..], obs, metrics_out),
-        Some("sweep") => cmd_sweep(&args[1..], obs, metrics_out),
-        Some("scrub") => cmd_scrub(&args[1..]),
-        Some("mttdl") => cmd_mttdl(&args[1..]),
+        Some("layout") => cmd_layout(&args[1..], json),
+        Some("plan") => cmd_plan(&args[1..], json),
+        Some("trace") => cmd_trace(&args[1..], json),
+        Some("run") => cmd_run(&args[1..], obs, metrics_out, json),
+        Some("replay") => cmd_replay(&args[1..], obs, metrics_out, json),
+        Some("sweep") => cmd_sweep(&args[1..], obs, metrics_out, json),
+        Some("serve") => cmd_serve(&args[1..], json),
+        Some("client") => cmd_client(&args[1..], json),
+        Some("scrub") => cmd_scrub(&args[1..], json),
+        Some("mttdl") => cmd_mttdl(&args[1..], json),
         Some("help") | None => {
             print_usage();
             0
@@ -72,18 +83,22 @@ fn main() {
 }
 
 /// Pull `--trace <path>` / `--trace=<path>` / `--obs` / `--metrics <path>`
-/// out of the argument list (they may appear anywhere) and install the
-/// matching subscriber. Returns the remaining arguments, whether event
-/// observability is on, and the Prometheus snapshot path if requested.
-fn install_obs_flags(raw: &[String]) -> Result<(Vec<String>, bool, Option<String>), i32> {
+/// / `--json` out of the argument list (they may appear anywhere) and
+/// install the matching subscriber. Returns the remaining arguments,
+/// whether event observability is on, the Prometheus snapshot path if
+/// requested, and whether JSON output was selected.
+#[allow(clippy::type_complexity)]
+fn install_obs_flags(raw: &[String]) -> Result<(Vec<String>, bool, Option<String>, bool), i32> {
     let mut args = Vec::with_capacity(raw.len());
     let mut trace: Option<String> = None;
     let mut metrics: Option<String> = None;
     let mut stderr = false;
+    let mut json = false;
     let mut i = 0;
     while i < raw.len() {
         match raw[i].as_str() {
             "--obs" => stderr = true,
+            "--json" => json = true,
             "--trace" => {
                 let Some(p) = raw.get(i + 1) else {
                     eprintln!("--trace needs a file path");
@@ -130,7 +145,7 @@ fn install_obs_flags(raw: &[String]) -> Result<(Vec<String>, bool, Option<String
         sinks.push(std::sync::Arc::new(fbf::obs::StderrSubscriber::default()));
     }
     if sinks.is_empty() {
-        return Ok((args, false, metrics));
+        return Ok((args, false, metrics, json));
     }
     let sub: std::sync::Arc<dyn fbf::obs::Subscriber> = if sinks.len() == 1 {
         sinks.pop().expect("one sink")
@@ -138,14 +153,14 @@ fn install_obs_flags(raw: &[String]) -> Result<(Vec<String>, bool, Option<String
         std::sync::Arc::new(fbf::obs::FanoutSubscriber::new(sinks))
     };
     fbf::obs::install(sub);
-    Ok((args, true, metrics))
+    Ok((args, true, metrics, json))
 }
 
 /// Write a Prometheus snapshot of `points` to `path` (best-effort: an I/O
 /// failure is reported but does not change the command's exit code — the
 /// experiment itself succeeded).
-fn write_metrics_snapshot(path: &str, points: &[fbf::core::SweepPoint]) {
-    match std::fs::write(path, fbf::core::prometheus_snapshot(points)) {
+fn write_metrics_snapshot(path: &str, points: &[fbf::SweepPoint]) {
+    match std::fs::write(path, fbf::prometheus_snapshot(points)) {
         Ok(()) => eprintln!("(metrics snapshot written to {path})"),
         Err(e) => eprintln!("cannot write metrics snapshot {path}: {e}"),
     }
@@ -158,177 +173,82 @@ fn print_usage() {
          \u{20}  fbf layout <code> <p>\n\
          \u{20}  fbf plan <code> <p> <col> <first_row> <len> [scheme]\n\
          \u{20}  fbf trace <stripes> <count> [seed]\n\
-         \u{20}  fbf run [key=value ...] [--trace-in <file>]\n\
-         \u{20}  fbf sweep [key=value ...]\n\
+         \u{20}  fbf run [--key value ...] [--trace-in <file>]\n\
+         \u{20}  fbf replay <file> [--key value ...]\n\
+         \u{20}  fbf sweep [--key value ...]\n\
+         \u{20}  fbf serve [--socket <path> | --tcp <addr>] [--daemon-workers N]\n\
+         \u{20}  fbf client [--socket <path> | --tcp <addr>] \\\n\
+         \u{20}      ping | repair [...] | status <job> | jobs | read <job> <stripe> <row> <col> |\n\
+         \u{20}      metrics | watch | load [...] | shutdown\n\
          \u{20}  fbf scrub <code> <p>\n\
          \u{20}  fbf mttdl <disks> <mttr_hours>\n\n\
-         global flags: --trace <path> (JSONL run trace, chrome://tracing\n\
-         \u{20}  compatible), --obs (event log on stderr), --metrics <path>\n\
+         experiment flags: --code --p --policy --scheme --cache-mb --chunk-kb\n\
+         \u{20}  --stripes --errors --workers --seed --gen-threads\n\
+         \u{20}  --media --transient --fault-seed --kill d@ms --slow d@permille\n\
+         \u{20}  (key=value spelling is a deprecated alias)\n\n\
+         global flags: --json (machine-readable stdout), --trace <path>\n\
+         \u{20}  (JSONL run trace), --obs (event log on stderr), --metrics <path>\n\
          \u{20}  (Prometheus snapshot of run/sweep results)\n\n\
          codes: tip hdd1 triplestar star rdp evenodd\n\
-         policies: fifo lru lfu arc fbf lru-k 2q lrfu fbr vdf\n\
-         faults (run/sweep): media=N transient=N (per-mille), fault_seed=N,\n\
-         \u{20}  kill=<disk>@<ms>, slow=<disk>@<permille>"
+         policies: fifo lru lfu arc fbf lru-k 2q lrfu fbr vdf"
     );
 }
 
 fn parse_code(s: &str) -> Option<CodeSpec> {
-    match s.to_ascii_lowercase().as_str() {
-        "tip" => Some(CodeSpec::Tip),
-        "hdd1" => Some(CodeSpec::Hdd1),
-        "triplestar" | "triple-star" | "ts" => Some(CodeSpec::TripleStar),
-        "star" => Some(CodeSpec::Star),
-        "rdp" => Some(CodeSpec::Rdp),
-        "evenodd" | "eo" => Some(CodeSpec::Evenodd),
-        _ => None,
-    }
+    fbf::code_from_name(s)
 }
 
 fn parse_policy(s: &str) -> Option<PolicyKind> {
-    match s.to_ascii_lowercase().as_str() {
-        "fifo" => Some(PolicyKind::Fifo),
-        "lru" => Some(PolicyKind::Lru),
-        "lfu" => Some(PolicyKind::Lfu),
-        "arc" => Some(PolicyKind::Arc),
-        "fbf" => Some(PolicyKind::Fbf),
-        "lru-k" | "lruk" | "lru2" => Some(PolicyKind::LruK),
-        "2q" | "twoq" => Some(PolicyKind::TwoQ),
-        "lrfu" => Some(PolicyKind::Lrfu),
-        "fbr" => Some(PolicyKind::Fbr),
-        "vdf" => Some(PolicyKind::Vdf),
-        _ => None,
-    }
+    fbf::policy_from_name(s)
 }
 
 fn parse_scheme(s: &str) -> Option<SchemeKind> {
-    match s.to_ascii_lowercase().as_str() {
-        "typical" | "horizontal" => Some(SchemeKind::Typical),
-        "fbf" | "cycling" => Some(SchemeKind::FbfCycling),
-        "greedy" => Some(SchemeKind::Greedy),
-        _ => None,
-    }
+    fbf::scheme_from_name(s)
 }
 
-/// Build a code from two positional args, reporting errors to stderr.
-fn build_code(args: &[String]) -> Result<StripeCode, i32> {
-    let spec = args.first().and_then(|s| parse_code(s)).ok_or_else(|| {
-        eprintln!("expected a code name (tip/hdd1/triplestar/star/rdp/evenodd)");
-        2
-    })?;
-    let p: usize = args.get(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
-        eprintln!("expected a prime p");
-        2
-    })?;
-    StripeCode::build(spec, p).map_err(|e| {
-        eprintln!("cannot build {spec}: {e}");
-        1
-    })
-}
-
-fn cmd_layout(args: &[String]) -> i32 {
-    let code = match build_code(args) {
-        Ok(c) => c,
-        Err(rc) => return rc,
-    };
-    println!(
-        "{}  ({} rows x {} disks, tolerates {} failures)",
-        code.describe(),
-        code.rows(),
-        code.cols(),
-        code.spec().fault_tolerance()
-    );
-    println!("{}", code.layout().ascii_art());
-    let mut per_dir = [0usize; 3];
-    for chain in code.chains() {
-        per_dir[chain.direction.index()] += 1;
-    }
-    println!(
-        "chains: {} horizontal, {} diagonal, {} anti-diagonal",
-        per_dir[0], per_dir[1], per_dir[2]
-    );
-    let avg_len: f64 =
-        code.chains().iter().map(|c| c.len() as f64).sum::<f64>() / code.chains().len() as f64;
-    println!("average chain length: {avg_len:.2} members");
-    0
-}
-
-fn cmd_plan(args: &[String]) -> i32 {
-    let code = match build_code(args) {
-        Ok(c) => c,
-        Err(rc) => return rc,
-    };
-    let (Some(col), Some(first), Some(len)) = (
-        args.get(2).and_then(|s| s.parse::<usize>().ok()),
-        args.get(3).and_then(|s| s.parse::<usize>().ok()),
-        args.get(4).and_then(|s| s.parse::<usize>().ok()),
-    ) else {
-        eprintln!("usage: fbf plan <code> <p> <col> <first_row> <len> [scheme]");
-        return 2;
-    };
-    let kind = args
-        .get(5)
-        .and_then(|s| parse_scheme(s))
-        .unwrap_or(SchemeKind::FbfCycling);
-
-    let error = match PartialStripeError::new(&code, 0, col, first, len) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("invalid error: {e}");
-            return 1;
+/// Normalise experiment arguments: typed `--key value` / `--key=value`
+/// flags become `key=value` pairs (dashes to underscores), and bare
+/// legacy `key=value` pairs pass through with a one-time deprecation
+/// warning. Anything else is rejected.
+fn normalize_config_args(args: &[String]) -> Result<Vec<String>, i32> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut warned = false;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(flag) = arg.strip_prefix("--") {
+            let (key, value) = match flag.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => {
+                    let Some(v) = args.get(i + 1) else {
+                        eprintln!("--{flag} needs a value");
+                        return Err(2);
+                    };
+                    i += 1;
+                    (flag.to_string(), v.clone())
+                }
+            };
+            out.push(format!("{}={}", key.replace('-', "_"), value));
+        } else if arg.contains('=') {
+            if !warned {
+                eprintln!(
+                    "warning: `key=value` arguments are deprecated; \
+                     use `--key value` (e.g. `--{}`)",
+                    arg.replacen('=', " ", 1)
+                );
+                warned = true;
+            }
+            out.push(arg.clone());
+        } else {
+            eprintln!("unexpected argument `{arg}` (expected --key value)");
+            return Err(2);
         }
-    };
-    let scheme = match generate(&code, &error, kind) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("scheme generation failed: {e}");
-            return 1;
-        }
-    };
-    println!("{} / {} scheme for {error}:", code.describe(), kind.name());
-    for r in &scheme.repairs {
-        let reads: Vec<String> = r.option.reads.iter().map(|c| c.to_string()).collect();
-        println!(
-            "  {} via {:>13}: {}",
-            r.target,
-            r.option.direction.to_string(),
-            reads.join(" ")
-        );
+        i += 1;
     }
-    println!(
-        "totals: {} slots / {} distinct / {} saved",
-        scheme.total_read_slots(),
-        scheme.unique_reads(),
-        scheme.shared_savings()
-    );
-    let dict = PriorityDictionary::from_scheme(&scheme);
-    for prio in (1..=3).rev() {
-        let cells = dict.cells_with_priority(0, prio);
-        if !cells.is_empty() {
-            let names: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
-            println!("priority {prio}: {}", names.join(", "));
-        }
-    }
-    0
+    Ok(out)
 }
 
-fn cmd_trace(args: &[String]) -> i32 {
-    let (Some(stripes), Some(count)) = (
-        args.first().and_then(|s| s.parse::<u32>().ok()),
-        args.get(1).and_then(|s| s.parse::<usize>().ok()),
-    ) else {
-        eprintln!("usage: fbf trace <stripes> <count> [seed]");
-        return 2;
-    };
-    let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0x5EED);
-    // Trace geometry bound: use TIP(p=13) so traces replay on any shipped
-    // code with p >= 13 — or adjust to taste.
-    let code = StripeCode::build(CodeSpec::Tip, 13).expect("13 is prime");
-    let group = generate_errors(&code, &ErrorGenConfig::paper_default(stripes, count, seed));
-    print!("{}", render_trace(&group));
-    0
-}
-
-/// Parse `key=value` arguments into an [`ExperimentConfigBuilder`]
+/// Parse normalised `key=value` pairs into an [`ExperimentConfigBuilder`]
 /// (starting from the paper's defaults). Validation happens in
 /// [`build_or_report`], so a bad combination fails with a typed message
 /// before any work starts.
@@ -346,10 +266,12 @@ fn parse_kv(args: &[String]) -> Result<ExperimentConfigBuilder, i32> {
             "policy" => parse_policy(v).map(|p| builder.policy(p)),
             "scheme" => parse_scheme(v).map(|s| builder.scheme(s)),
             "cache" | "cache_mb" => v.parse().ok().map(|c| builder.cache_mb(c)),
+            "chunk_kb" => v.parse().ok().map(|c| builder.chunk_kb(c)),
             "stripes" => v.parse().ok().map(|s| builder.stripes(s)),
             "errors" => v.parse().ok().map(|e| builder.error_count(e)),
             "workers" => v.parse().ok().map(|w| builder.workers(w)),
             "seed" => v.parse().ok().map(|s| builder.seed(s)),
+            "gen_threads" => v.parse().ok().map(|g| builder.gen_threads(g)),
             // Fault injection (all optional; any one activates the plan).
             "media" => v.parse().ok().map(|m| {
                 faults.media_per_mille = m;
@@ -359,7 +281,7 @@ fn parse_kv(args: &[String]) -> Result<ExperimentConfigBuilder, i32> {
                 faults.transient_per_mille = t;
                 builder
             }),
-            "fault_seed" | "fault-seed" => v.parse().ok().map(|s| {
+            "fault_seed" => v.parse().ok().map(|s| {
                 faults.seed = s;
                 builder
             }),
@@ -401,36 +323,53 @@ fn parse_at(v: &str) -> Option<(u32, u64)> {
     Some((disk.parse().ok()?, n.parse().ok()?))
 }
 
-/// Pull `--trace-in <file>` / `--trace-in=<file>` out of a command's
-/// arguments, leaving the `key=value` pairs.
-fn split_trace_in(args: &[String]) -> Result<(Vec<String>, Option<String>), i32> {
+/// Pull a valued flag (`--name <v>` / `--name=<v>`) out of an argument
+/// list, returning the remaining arguments and the value.
+fn split_flag(args: &[String], name: &str) -> Result<(Vec<String>, Option<String>), i32> {
+    let long = format!("--{name}");
+    let prefixed = format!("--{name}=");
     let mut rest = Vec::with_capacity(args.len());
-    let mut path = None;
+    let mut value = None;
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
-            "--trace-in" => {
-                let Some(p) = args.get(i + 1) else {
-                    eprintln!("--trace-in needs a file path");
-                    return Err(2);
-                };
-                path = Some(p.clone());
-                i += 1;
-            }
-            s => {
-                if let Some(p) = s.strip_prefix("--trace-in=") {
-                    path = Some(p.to_string());
-                } else {
-                    rest.push(args[i].clone());
-                }
-            }
+        let s = args[i].as_str();
+        if s == long {
+            let Some(v) = args.get(i + 1) else {
+                eprintln!("{long} needs a value");
+                return Err(2);
+            };
+            value = Some(v.clone());
+            i += 1;
+        } else if let Some(v) = s.strip_prefix(&prefixed) {
+            value = Some(v.to_string());
+        } else {
+            rest.push(args[i].clone());
         }
         i += 1;
     }
-    Ok((rest, path))
+    Ok((rest, value))
 }
 
-/// Finish a builder, turning a [`ConfigError`] into exit code 2.
+/// Pull a boolean flag (`--name`) out of an argument list.
+fn split_switch(args: &[String], name: &str) -> (Vec<String>, bool) {
+    let long = format!("--{name}");
+    let mut found = false;
+    let rest = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == long {
+                found = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    (rest, found)
+}
+
+/// Finish a builder, turning a `ConfigError` into exit code 2.
 fn build_or_report(builder: ExperimentConfigBuilder) -> Result<ExperimentConfig, i32> {
     builder.build().map_err(|e| {
         eprintln!("invalid configuration: {e}");
@@ -438,53 +377,277 @@ fn build_or_report(builder: ExperimentConfigBuilder) -> Result<ExperimentConfig,
     })
 }
 
-fn cmd_run(args: &[String], obs: bool, metrics_out: Option<&str>) -> i32 {
-    let (args, trace_in) = match split_trace_in(args) {
+fn print_json(value: &Json) {
+    println!("{}", value.render());
+}
+
+fn cmd_layout(args: &[String], json: bool) -> i32 {
+    let code = match build_code(args) {
+        Ok(c) => c,
+        Err(rc) => return rc,
+    };
+    let mut per_dir = [0usize; 3];
+    for chain in code.chains() {
+        per_dir[chain.direction.index()] += 1;
+    }
+    let avg_len: f64 =
+        code.chains().iter().map(|c| c.len() as f64).sum::<f64>() / code.chains().len() as f64;
+    if json {
+        print_json(&Json::obj([
+            ("code", Json::Str(code.spec().name().to_string())),
+            ("rows", Json::Num(code.rows() as f64)),
+            ("disks", Json::Num(code.cols() as f64)),
+            (
+                "fault_tolerance",
+                Json::Num(code.spec().fault_tolerance() as f64),
+            ),
+            (
+                "chains",
+                Json::obj([
+                    ("horizontal", Json::Num(per_dir[0] as f64)),
+                    ("diagonal", Json::Num(per_dir[1] as f64)),
+                    ("anti_diagonal", Json::Num(per_dir[2] as f64)),
+                ]),
+            ),
+            ("avg_chain_len", Json::Num(avg_len)),
+        ]));
+        return 0;
+    }
+    println!(
+        "{}  ({} rows x {} disks, tolerates {} failures)",
+        code.describe(),
+        code.rows(),
+        code.cols(),
+        code.spec().fault_tolerance()
+    );
+    println!("{}", code.layout().ascii_art());
+    println!(
+        "chains: {} horizontal, {} diagonal, {} anti-diagonal",
+        per_dir[0], per_dir[1], per_dir[2]
+    );
+    println!("average chain length: {avg_len:.2} members");
+    0
+}
+
+/// Build a code from two positional args, reporting errors to stderr.
+fn build_code(args: &[String]) -> Result<StripeCode, i32> {
+    let spec = args.first().and_then(|s| parse_code(s)).ok_or_else(|| {
+        eprintln!("expected a code name (tip/hdd1/triplestar/star/rdp/evenodd)");
+        2
+    })?;
+    let p: usize = args.get(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+        eprintln!("expected a prime p");
+        2
+    })?;
+    StripeCode::build(spec, p).map_err(|e| {
+        eprintln!("cannot build {spec}: {e}");
+        1
+    })
+}
+
+fn cmd_plan(args: &[String], json: bool) -> i32 {
+    let code = match build_code(args) {
+        Ok(c) => c,
+        Err(rc) => return rc,
+    };
+    let (Some(col), Some(first), Some(len)) = (
+        args.get(2).and_then(|s| s.parse::<usize>().ok()),
+        args.get(3).and_then(|s| s.parse::<usize>().ok()),
+        args.get(4).and_then(|s| s.parse::<usize>().ok()),
+    ) else {
+        eprintln!("usage: fbf plan <code> <p> <col> <first_row> <len> [scheme]");
+        return 2;
+    };
+    let kind = args
+        .get(5)
+        .and_then(|s| parse_scheme(s))
+        .unwrap_or(SchemeKind::FbfCycling);
+
+    let error = match PartialStripeError::new(&code, 0, col, first, len) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("invalid error: {e}");
+            return 1;
+        }
+    };
+    let scheme = match generate(&code, &error, kind) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scheme generation failed: {e}");
+            return 1;
+        }
+    };
+    if json {
+        let repairs: Vec<Json> = scheme
+            .repairs
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("target", Json::Str(r.target.to_string())),
+                    ("direction", Json::Str(r.option.direction.to_string())),
+                    (
+                        "reads",
+                        Json::Arr(
+                            r.option
+                                .reads
+                                .iter()
+                                .map(|c| Json::Str(c.to_string()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        print_json(&Json::obj([
+            ("code", Json::Str(code.spec().name().to_string())),
+            ("scheme", Json::Str(kind.name().to_string())),
+            ("repairs", Json::Arr(repairs)),
+            ("read_slots", Json::Num(scheme.total_read_slots() as f64)),
+            ("unique_reads", Json::Num(scheme.unique_reads() as f64)),
+            ("shared_savings", Json::Num(scheme.shared_savings() as f64)),
+        ]));
+        return 0;
+    }
+    println!("{} / {} scheme for {error}:", code.describe(), kind.name());
+    for r in &scheme.repairs {
+        let reads: Vec<String> = r.option.reads.iter().map(|c| c.to_string()).collect();
+        println!(
+            "  {} via {:>13}: {}",
+            r.target,
+            r.option.direction.to_string(),
+            reads.join(" ")
+        );
+    }
+    println!(
+        "totals: {} slots / {} distinct / {} saved",
+        scheme.total_read_slots(),
+        scheme.unique_reads(),
+        scheme.shared_savings()
+    );
+    let dict = PriorityDictionary::from_scheme(&scheme);
+    for prio in (1..=3).rev() {
+        let cells = dict.cells_with_priority(0, prio);
+        if !cells.is_empty() {
+            let names: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+            println!("priority {prio}: {}", names.join(", "));
+        }
+    }
+    0
+}
+
+fn cmd_trace(args: &[String], json: bool) -> i32 {
+    let (Some(stripes), Some(count)) = (
+        args.first().and_then(|s| s.parse::<u32>().ok()),
+        args.get(1).and_then(|s| s.parse::<usize>().ok()),
+    ) else {
+        eprintln!("usage: fbf trace <stripes> <count> [seed]");
+        return 2;
+    };
+    let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0x5EED);
+    // Trace geometry bound: use TIP(p=13) so traces replay on any shipped
+    // code with p >= 13 — or adjust to taste.
+    let code = StripeCode::build(CodeSpec::Tip, 13).expect("13 is prime");
+    let group = generate_errors(&code, &ErrorGenConfig::paper_default(stripes, count, seed));
+    if json {
+        print_json(&Json::obj([
+            ("stripes", Json::Num(stripes as f64)),
+            ("count", Json::Num(group.len() as f64)),
+            ("seed", Json::Num(seed as f64)),
+            ("trace", Json::Str(render_trace(&group))),
+        ]));
+        return 0;
+    }
+    print!("{}", render_trace(&group));
+    0
+}
+
+/// Load, parse, and geometry-check an error trace file against `cfg`.
+fn load_trace(path: &str, cfg: &ExperimentConfig) -> Result<fbf::recovery::ErrorGroup, i32> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read trace {path}: {e}");
+        1
+    })?;
+    let errors = parse_trace(&text).map_err(|e| {
+        eprintln!("bad trace {path}: {e}");
+        2
+    })?;
+    let code = StripeCode::build(cfg.code, cfg.p).map_err(|e| {
+        eprintln!("cannot build {}: {e}", cfg.code.name());
+        2
+    })?;
+    validate_against(&errors, &code, cfg.stripes as usize).map_err(|e| {
+        eprintln!("trace {path} does not fit the configured geometry: {e}");
+        2
+    })?;
+    Ok(errors)
+}
+
+fn cmd_run(args: &[String], obs: bool, metrics_out: Option<&str>, json: bool) -> i32 {
+    let (args, trace_in) = match split_flag(args, "trace-in") {
         Ok(v) => v,
         Err(rc) => return rc,
     };
-    let cfg = match parse_kv(&args)
+    run_with(&args, trace_in.as_deref(), obs, metrics_out, json)
+}
+
+fn cmd_replay(args: &[String], obs: bool, metrics_out: Option<&str>, json: bool) -> i32 {
+    let Some((path, rest)) = args.split_first() else {
+        eprintln!("usage: fbf replay <trace-file> [--key value ...]");
+        return 2;
+    };
+    if path.starts_with("--") {
+        eprintln!("usage: fbf replay <trace-file> [--key value ...]");
+        return 2;
+    }
+    run_with(rest, Some(path), obs, metrics_out, json)
+}
+
+fn run_with(
+    args: &[String],
+    trace_in: Option<&str>,
+    obs: bool,
+    metrics_out: Option<&str>,
+    json: bool,
+) -> i32 {
+    let cfg = match normalize_config_args(args)
+        .and_then(|kv| parse_kv(&kv))
         .map(|b| b.obs(obs))
         .and_then(build_or_report)
     {
         Ok(c) => c,
         Err(rc) => return rc,
     };
-    println!("running {}", cfg.describe());
-    let result = match &trace_in {
+    if !json {
+        println!("running {}", cfg.describe());
+    }
+    let result = match trace_in {
         Some(path) => {
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("cannot read trace {path}: {e}");
-                    return 1;
-                }
-            };
-            let errors = match parse_trace(&text) {
+            let errors = match load_trace(path, &cfg) {
                 Ok(g) => g,
-                Err(e) => {
-                    eprintln!("bad trace {path}: {e}");
-                    return 2;
-                }
+                Err(rc) => return rc,
             };
-            let code = match StripeCode::build(cfg.code, cfg.p) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("cannot build {}: {e}", cfg.code.name());
-                    return 2;
-                }
-            };
-            if let Err(e) = validate_against(&errors, &code, cfg.stripes as usize) {
-                eprintln!("trace {path} does not fit the configured geometry: {e}");
-                return 2;
+            if !json {
+                println!("  (replaying {} errors from {path})", errors.len());
             }
-            println!("  (replaying {} errors from {path})", errors.len());
             run_experiment_with_errors(&cfg, errors)
         }
         None => run_experiment(&cfg),
     };
     match result {
         Ok(m) => {
+            if let Some(path) = metrics_out {
+                write_metrics_snapshot(
+                    path,
+                    &[fbf::SweepPoint {
+                        config: cfg,
+                        metrics: m.clone(),
+                    }],
+                );
+            }
+            if json {
+                println!("{}", m.to_json());
+                return 0;
+            }
             println!("  hit ratio          : {:.4}", m.hit_ratio);
             println!("  disk reads         : {}", m.disk_reads);
             println!("  avg response       : {:.3} ms", m.avg_response_ms);
@@ -498,15 +661,6 @@ fn cmd_run(args: &[String], obs: bool, metrics_out: Option<&str>) -> i32 {
                 println!(
                     "  slo                : {}",
                     if m.slo.pass { "PASS" } else { "FAIL" }
-                );
-            }
-            if let Some(path) = metrics_out {
-                write_metrics_snapshot(
-                    path,
-                    &[fbf::core::SweepPoint {
-                        config: cfg,
-                        metrics: m.clone(),
-                    }],
                 );
             }
             if !m.faults.is_empty() || m.stripes_lost > 0 {
@@ -538,8 +692,11 @@ fn cmd_run(args: &[String], obs: bool, metrics_out: Option<&str>) -> i32 {
     }
 }
 
-fn cmd_sweep(args: &[String], obs: bool, metrics_out: Option<&str>) -> i32 {
-    let builder = match parse_kv(args).map(|b| b.obs(obs)) {
+fn cmd_sweep(args: &[String], obs: bool, metrics_out: Option<&str>, json: bool) -> i32 {
+    let builder = match normalize_config_args(args)
+        .and_then(|kv| parse_kv(&kv))
+        .map(|b| b.obs(obs))
+    {
         Ok(b) => b,
         Err(rc) => return rc,
     };
@@ -570,6 +727,26 @@ fn cmd_sweep(args: &[String], obs: bool, metrics_out: Option<&str>) -> i32 {
     if let Some(path) = metrics_out {
         write_metrics_snapshot(path, &points);
     }
+    if json {
+        let rows: Vec<Json> = points
+            .iter()
+            .map(|pt| {
+                let metrics =
+                    Json::parse(&pt.metrics.to_json()).expect("Metrics::to_json emits valid JSON");
+                Json::obj([
+                    ("cache_mb", Json::Num(pt.config.cache_mb as f64)),
+                    ("policy", Json::Str(pt.config.policy.name().to_string())),
+                    ("metrics", metrics),
+                ])
+            })
+            .collect();
+        print_json(&Json::obj([
+            ("code", Json::Str(base.code.name().to_string())),
+            ("p", Json::Num(base.p as f64)),
+            ("points", Json::Arr(rows)),
+        ]));
+        return 0;
+    }
     let mut table = Table::new(
         format!("hit ratio — {}(p={})", base.code.name(), base.p),
         &["cache_mb", "FIFO", "LRU", "LFU", "ARC", "FBF"],
@@ -586,10 +763,590 @@ fn cmd_sweep(args: &[String], obs: bool, metrics_out: Option<&str>) -> i32 {
     0
 }
 
-fn cmd_scrub(args: &[String]) -> i32 {
+/// Resolve the daemon address from `--socket` / `--tcp`, defaulting to a
+/// unix socket at `$TMPDIR/fbfd.sock`.
+fn split_addr(args: &[String]) -> Result<(Vec<String>, ServerAddr), i32> {
+    let (args, socket) = split_flag(args, "socket")?;
+    let (args, tcp) = split_flag(&args, "tcp")?;
+    match (socket, tcp) {
+        (Some(_), Some(_)) => {
+            eprintln!("--socket and --tcp are mutually exclusive");
+            Err(2)
+        }
+        (Some(path), None) => Ok((args, ServerAddr::Unix(path.into()))),
+        (None, Some(addr)) => match addr.parse() {
+            Ok(sock) => Ok((args, ServerAddr::Tcp(sock))),
+            Err(e) => {
+                eprintln!("bad --tcp address `{addr}`: {e}");
+                Err(2)
+            }
+        },
+        (None, None) => Ok((
+            args,
+            ServerAddr::Unix(std::env::temp_dir().join("fbfd.sock")),
+        )),
+    }
+}
+
+fn addr_display(addr: &ServerAddr) -> String {
+    match addr {
+        ServerAddr::Unix(p) => format!("unix:{}", p.display()),
+        ServerAddr::Tcp(a) => format!("tcp:{a}"),
+    }
+}
+
+fn cmd_serve(args: &[String], json: bool) -> i32 {
+    let (args, addr) = match split_addr(args) {
+        Ok(v) => v,
+        Err(rc) => return rc,
+    };
+    let (args, workers) = match split_flag(&args, "daemon-workers") {
+        Ok(v) => v,
+        Err(rc) => return rc,
+    };
+    if let Some(stray) = args.first() {
+        eprintln!("unexpected argument `{stray}`");
+        return 2;
+    }
+    let mut opts = DaemonOptions::default();
+    if let Some(w) = workers {
+        match w.parse() {
+            Ok(n) => opts.workers = n,
+            Err(_) => {
+                eprintln!("bad --daemon-workers `{w}`");
+                return 2;
+            }
+        }
+    }
+    let handle = match fbf::serve(&addr, opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot serve on {}: {e}", addr_display(&addr));
+            return 1;
+        }
+    };
+    if json {
+        print_json(&Json::obj([
+            ("listening", Json::Str(addr_display(handle.addr()))),
+            ("workers", Json::Num(opts.workers as f64)),
+        ]));
+    } else {
+        println!(
+            "fbfd listening on {} ({} workers); stop with `fbf client shutdown`",
+            addr_display(handle.addr()),
+            opts.workers
+        );
+    }
+    handle.wait();
+    0
+}
+
+/// Collect experiment flags into the daemon's `config` override object.
+/// Only daemon-supported keys are accepted (fault flags need the local
+/// engine; the daemon's executor is explicit about what it honours).
+fn overrides_from_args(args: &[String]) -> Result<Json, i32> {
+    let kv = normalize_config_args(args)?;
+    let mut pairs: Vec<(String, Json)> = Vec::new();
+    for item in &kv {
+        let Some((k, v)) = item.split_once('=') else {
+            eprintln!("expected key=value, got `{item}`");
+            return Err(2);
+        };
+        let key = match k {
+            "cache" => "cache_mb",
+            other => other,
+        };
+        let value = match key {
+            "code" | "policy" | "scheme" => Json::Str(v.to_string()),
+            "p" | "cache_mb" | "chunk_kb" | "stripes" | "errors" | "workers" | "seed"
+            | "gen_threads" => match v.parse::<u64>() {
+                Ok(n) => Json::Num(n as f64),
+                Err(_) => {
+                    eprintln!("bad value for `{key}`: `{v}`");
+                    return Err(2);
+                }
+            },
+            other => {
+                eprintln!("`--{other}` is not supported for daemon repairs");
+                return Err(2);
+            }
+        };
+        pairs.push((key.to_string(), value));
+    }
+    let mut obj = std::collections::BTreeMap::new();
+    for (k, v) in pairs {
+        obj.insert(k, v);
+    }
+    Ok(Json::Obj(obj))
+}
+
+fn connect_or_report(addr: &ServerAddr) -> Result<DaemonClient, i32> {
+    DaemonClient::connect(addr).map_err(|e| {
+        eprintln!(
+            "cannot connect to fbfd at {}: {e} (is it running? start one with `fbf serve`)",
+            addr_display(addr)
+        );
+        1
+    })
+}
+
+/// One request/reply exchange; prints the reply and maps `ok` to the
+/// exit code.
+fn call_and_print(client: &mut DaemonClient, req: &Json, json: bool) -> i32 {
+    match client.call(req) {
+        Ok(reply) => {
+            let ok = reply.get("ok").and_then(Json::as_bool).unwrap_or(false);
+            if json {
+                print_json(&reply);
+            } else if ok {
+                println!("{}", reply.render());
+            } else {
+                let msg = reply
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error");
+                eprintln!("daemon error: {msg}");
+            }
+            i32::from(!ok)
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_client(args: &[String], json: bool) -> i32 {
+    let (args, addr) = match split_addr(args) {
+        Ok(v) => v,
+        Err(rc) => return rc,
+    };
+    let Some((action, rest)) = args.split_first() else {
+        eprintln!(
+            "usage: fbf client [--socket <path> | --tcp <addr>] \
+             ping|repair|status|jobs|read|metrics|watch|load|shutdown"
+        );
+        return 2;
+    };
+    match action.as_str() {
+        "ping" => {
+            let mut client = match connect_or_report(&addr) {
+                Ok(c) => c,
+                Err(rc) => return rc,
+            };
+            call_and_print(
+                &mut client,
+                &Json::obj([("cmd", Json::Str("ping".into()))]),
+                json,
+            )
+        }
+        "repair" => client_repair(rest, &addr, json),
+        "status" => {
+            let Some(id) = rest.first().and_then(|s| s.parse::<u64>().ok()) else {
+                eprintln!("usage: fbf client status <job>");
+                return 2;
+            };
+            let mut client = match connect_or_report(&addr) {
+                Ok(c) => c,
+                Err(rc) => return rc,
+            };
+            call_and_print(
+                &mut client,
+                &Json::obj([
+                    ("cmd", Json::Str("status".into())),
+                    ("job", Json::Num(id as f64)),
+                ]),
+                json,
+            )
+        }
+        "jobs" => {
+            let mut client = match connect_or_report(&addr) {
+                Ok(c) => c,
+                Err(rc) => return rc,
+            };
+            call_and_print(
+                &mut client,
+                &Json::obj([("cmd", Json::Str("jobs".into()))]),
+                json,
+            )
+        }
+        "read" => {
+            let nums: Vec<u64> = rest.iter().filter_map(|s| s.parse().ok()).collect();
+            if nums.len() != 4 {
+                eprintln!("usage: fbf client read <job> <stripe> <row> <col>");
+                return 2;
+            }
+            let mut client = match connect_or_report(&addr) {
+                Ok(c) => c,
+                Err(rc) => return rc,
+            };
+            call_and_print(
+                &mut client,
+                &Json::obj([
+                    ("cmd", Json::Str("read".into())),
+                    ("job", Json::Num(nums[0] as f64)),
+                    ("stripe", Json::Num(nums[1] as f64)),
+                    ("row", Json::Num(nums[2] as f64)),
+                    ("col", Json::Num(nums[3] as f64)),
+                ]),
+                json,
+            )
+        }
+        "metrics" => {
+            let mut client = match connect_or_report(&addr) {
+                Ok(c) => c,
+                Err(rc) => return rc,
+            };
+            match client.call(&Json::obj([("cmd", Json::Str("metrics".into()))])) {
+                Ok(reply) if json => {
+                    print_json(&reply);
+                    0
+                }
+                Ok(reply) => {
+                    // The Prometheus text is the payload; print it bare so
+                    // it pipes straight into check_trace.py --prom.
+                    match reply.get("prometheus").and_then(Json::as_str) {
+                        Some(text) => {
+                            print!("{text}");
+                            0
+                        }
+                        None => {
+                            eprintln!("daemon error: {}", reply.render());
+                            1
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("request failed: {e}");
+                    1
+                }
+            }
+        }
+        "watch" => {
+            let mut client = match connect_or_report(&addr) {
+                Ok(c) => c,
+                Err(rc) => return rc,
+            };
+            match client.call(&Json::obj([("cmd", Json::Str("subscribe".into()))])) {
+                Ok(_ack) => loop {
+                    match client.recv() {
+                        Ok(Some(frame)) => match frame.get("event").and_then(Json::as_str) {
+                            Some(line) => println!("{line}"),
+                            None => println!("{}", frame.render()),
+                        },
+                        Ok(None) => return 0,
+                        Err(e) => {
+                            eprintln!("stream ended: {e}");
+                            return 1;
+                        }
+                    }
+                },
+                Err(e) => {
+                    eprintln!("subscribe failed: {e}");
+                    1
+                }
+            }
+        }
+        "load" => client_load(rest, &addr, json),
+        "shutdown" => {
+            let mut client = match connect_or_report(&addr) {
+                Ok(c) => c,
+                Err(rc) => return rc,
+            };
+            call_and_print(
+                &mut client,
+                &Json::obj([("cmd", Json::Str("shutdown".into()))]),
+                json,
+            )
+        }
+        other => {
+            eprintln!("unknown client action `{other}`");
+            2
+        }
+    }
+}
+
+fn client_repair(args: &[String], addr: &ServerAddr, json: bool) -> i32 {
+    let (args, backend) = match split_flag(args, "backend") {
+        Ok(v) => v,
+        Err(rc) => return rc,
+    };
+    let (args, dir) = match split_flag(&args, "dir") {
+        Ok(v) => v,
+        Err(rc) => return rc,
+    };
+    let (args, trace_in) = match split_flag(&args, "trace-in") {
+        Ok(v) => v,
+        Err(rc) => return rc,
+    };
+    let (args, wait) = split_switch(&args, "wait");
+    let overrides = match overrides_from_args(&args) {
+        Ok(o) => o,
+        Err(rc) => return rc,
+    };
+    let mut fields = vec![("cmd", Json::Str("repair".into())), ("config", overrides)];
+    if let Some(b) = backend {
+        fields.push(("backend", Json::Str(b)));
+    }
+    if let Some(d) = dir {
+        fields.push(("dir", Json::Str(d)));
+    }
+    if let Some(path) = &trace_in {
+        match std::fs::read_to_string(path) {
+            Ok(text) => fields.push(("trace", Json::Str(text))),
+            Err(e) => {
+                eprintln!("cannot read trace {path}: {e}");
+                return 1;
+            }
+        }
+    }
+    let mut client = match connect_or_report(addr) {
+        Ok(c) => c,
+        Err(rc) => return rc,
+    };
+    let reply = match client.call(&Json::obj(fields)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            return 1;
+        }
+    };
+    let ok = reply.get("ok").and_then(Json::as_bool).unwrap_or(false);
+    let job = reply.get("job").and_then(Json::as_u64);
+    if !ok || job.is_none() {
+        if json {
+            print_json(&reply);
+        } else {
+            eprintln!(
+                "daemon error: {}",
+                reply
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+            );
+        }
+        return 1;
+    }
+    let job = job.expect("checked above");
+    if !wait {
+        if json {
+            print_json(&reply);
+        } else {
+            println!("job {job} queued");
+        }
+        return 0;
+    }
+    match wait_for_job(&mut client, job) {
+        Ok(status) => {
+            let done = status.get("state").and_then(Json::as_str) == Some("done");
+            if json {
+                print_json(&status);
+            } else if done {
+                println!("job {job} done");
+                if let Some(m) = status.get("metrics") {
+                    println!("{}", m.render());
+                }
+            } else {
+                eprintln!(
+                    "job {job} failed: {}",
+                    status
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown error")
+                );
+            }
+            i32::from(!done)
+        }
+        Err(e) => {
+            eprintln!("waiting on job {job} failed: {e}");
+            1
+        }
+    }
+}
+
+/// Poll `status` until the job leaves queued/running.
+fn wait_for_job(client: &mut DaemonClient, job: u64) -> Result<Json, String> {
+    loop {
+        let status = client
+            .call(&Json::obj([
+                ("cmd", Json::Str("status".into())),
+                ("job", Json::Num(job as f64)),
+            ]))
+            .map_err(|e| e.to_string())?;
+        match status.get("state").and_then(Json::as_str) {
+            Some("done") | Some("failed") => return Ok(status),
+            Some(_) => std::thread::sleep(Duration::from_millis(50)),
+            None => {
+                return Err(format!("unexpected status reply: {}", status.render()));
+            }
+        }
+    }
+}
+
+/// Trace-driven load generator: shard a synthetic campaign across N
+/// connections, submit each shard as an inline-trace repair, and report
+/// per-class round-trip latency digests.
+fn client_load(args: &[String], addr: &ServerAddr, json: bool) -> i32 {
+    let (args, connections) = match split_flag(args, "connections") {
+        Ok(v) => v,
+        Err(rc) => return rc,
+    };
+    let connections: usize = match connections.as_deref().map(str::parse).transpose() {
+        Ok(n) => n.unwrap_or(4).max(1),
+        Err(_) => {
+            eprintln!("bad --connections value");
+            return 2;
+        }
+    };
+    let (args, backend) = match split_flag(&args, "backend") {
+        Ok(v) => v,
+        Err(rc) => return rc,
+    };
+    // The load campaign is generated locally so every connection replays
+    // a disjoint shard; the same config overrides ship with each repair
+    // so the daemon executes the shard against the intended geometry.
+    let kv = match normalize_config_args(&args) {
+        Ok(kv) => kv,
+        Err(rc) => return rc,
+    };
+    let cfg = match parse_kv(&kv).and_then(build_or_report) {
+        Ok(c) => c,
+        Err(rc) => return rc,
+    };
+    let overrides = match overrides_from_args(&args) {
+        Ok(o) => o,
+        Err(rc) => return rc,
+    };
+    let code = match StripeCode::build(cfg.code, cfg.p) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot build {}: {e}", cfg.code.name());
+            return 2;
+        }
+    };
+    let group = generate_errors(
+        &code,
+        &ErrorGenConfig::paper_default(cfg.stripes, cfg.error_count, cfg.seed),
+    );
+    let shards = shard_campaign(&group, connections);
+    let started = Instant::now();
+    let workers: Vec<_> = shards
+        .into_iter()
+        .map(|shard| {
+            let addr = addr.clone();
+            let overrides = overrides.clone();
+            let backend = backend.clone();
+            std::thread::spawn(move || -> LoadReport {
+                let mut report = LoadReport::new();
+                let mut client = match DaemonClient::connect(&addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        report.record_failure("connect");
+                        return report;
+                    }
+                };
+                let mut fields = vec![
+                    ("cmd", Json::Str("repair".into())),
+                    ("config", overrides),
+                    ("trace", Json::Str(render_trace(&shard))),
+                ];
+                if let Some(b) = backend {
+                    fields.push(("backend", Json::Str(b)));
+                }
+                let submit = Instant::now();
+                let job = match client.call(&Json::obj(fields)) {
+                    Ok(reply) if reply.get("ok").and_then(Json::as_bool) == Some(true) => {
+                        match reply.get("job").and_then(Json::as_u64) {
+                            Some(id) => id,
+                            None => {
+                                report.record_failure("repair");
+                                return report;
+                            }
+                        }
+                    }
+                    _ => {
+                        report.record_failure("repair");
+                        return report;
+                    }
+                };
+                loop {
+                    let poll = Instant::now();
+                    let status = client.call(&Json::obj([
+                        ("cmd", Json::Str("status".into())),
+                        ("job", Json::Num(job as f64)),
+                    ]));
+                    let Ok(status) = status else {
+                        report.record_failure("status");
+                        return report;
+                    };
+                    report.record("status", poll.elapsed().as_nanos() as u64);
+                    match status.get("state").and_then(Json::as_str) {
+                        Some("done") => {
+                            report.record("repair", submit.elapsed().as_nanos() as u64);
+                            return report;
+                        }
+                        Some("failed") => {
+                            report.record_failure("repair");
+                            return report;
+                        }
+                        Some(_) => std::thread::sleep(Duration::from_millis(20)),
+                        None => {
+                            report.record_failure("status");
+                            return report;
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    let mut merged = LoadReport::new();
+    for handle in workers {
+        match handle.join() {
+            Ok(report) => merged.merge(&report),
+            Err(_) => merged.record_failure("connect"),
+        }
+    }
+    let wall = started.elapsed();
+    if json {
+        let class = |name: &str| {
+            let d = merged.digest(name);
+            Json::obj([
+                ("count", Json::Num(merged.count(name) as f64)),
+                ("failures", Json::Num(merged.failure_count(name) as f64)),
+                (
+                    "p50_ms",
+                    Json::Num(d.and_then(|d| d.quantile_ns(0.5)).unwrap_or(0) as f64 / 1e6),
+                ),
+                (
+                    "p99_ms",
+                    Json::Num(d.and_then(|d| d.quantile_ns(0.99)).unwrap_or(0) as f64 / 1e6),
+                ),
+            ])
+        };
+        print_json(&Json::obj([
+            ("connections", Json::Num(connections as f64)),
+            ("errors", Json::Num(group.len() as f64)),
+            ("wall_ms", Json::Num(wall.as_secs_f64() * 1e3)),
+            ("repair", class("repair")),
+            ("status", class("status")),
+            ("failures", Json::Num(merged.total_failures() as f64)),
+        ]));
+    } else {
+        println!(
+            "load: {} errors over {} connections in {:.1} ms",
+            group.len(),
+            connections,
+            wall.as_secs_f64() * 1e3
+        );
+        print!("{}", merged.render());
+    }
+    i32::from(merged.total_failures() > 0 || merged.count("repair") == 0)
+}
+
+fn cmd_scrub(args: &[String], json: bool) -> i32 {
     use fbf::codes::encode::encode;
-    use fbf::codes::{Cell, Stripe};
     use fbf::recovery::{scrub, ScrubOutcome};
+    use fbf::{Cell, Stripe};
 
     let code = match build_code(args) {
         Ok(c) => c,
@@ -601,8 +1358,21 @@ fn cmd_scrub(args: &[String]) -> i32 {
     let mut buf = stripe.get(code.layout(), victim).to_vec();
     buf[0] ^= 0xFF;
     stripe.set(code.layout(), victim, buf.into());
-    println!("{}: silently corrupted {victim}", code.describe());
-    match scrub(&code, &mut stripe, 2) {
+    if !json {
+        println!("{}: silently corrupted {victim}", code.describe());
+    }
+    let outcome = scrub(&code, &mut stripe, 2);
+    let repaired = matches!(outcome, ScrubOutcome::Repaired(_));
+    if json {
+        print_json(&Json::obj([
+            ("code", Json::Str(code.spec().name().to_string())),
+            ("corrupted", Json::Str(victim.to_string())),
+            ("outcome", Json::Str(format!("{outcome:?}"))),
+            ("repaired", Json::Bool(repaired)),
+        ]));
+        return i32::from(!repaired);
+    }
+    match outcome {
         ScrubOutcome::Repaired(cells) => {
             println!("scrubber located {cells:?} and repaired it");
             0
@@ -614,7 +1384,7 @@ fn cmd_scrub(args: &[String]) -> i32 {
     }
 }
 
-fn cmd_mttdl(args: &[String]) -> i32 {
+fn cmd_mttdl(args: &[String], json: bool) -> i32 {
     let (Some(disks), Some(mttr)) = (
         args.first().and_then(|s| s.parse::<usize>().ok()),
         args.get(1).and_then(|s| s.parse::<f64>().ok()),
@@ -622,10 +1392,7 @@ fn cmd_mttdl(args: &[String]) -> i32 {
         eprintln!("usage: fbf mttdl <disks> <mttr_hours>");
         return 2;
     };
-    let mut table = Table::new(
-        format!("MTTDL, {disks} nearline disks, {mttr} h repair window"),
-        &["fault_tolerance", "mttdl_years"],
-    );
+    let mut rows = Vec::new();
     for ft in 1..=3 {
         let p = ReliabilityParams {
             disks,
@@ -633,10 +1400,34 @@ fn cmd_mttdl(args: &[String]) -> i32 {
             mttr_hours: mttr,
             ..ReliabilityParams::nearline_3dft(disks)
         };
-        table.push_row(vec![
-            ft.to_string(),
-            format!("{:.3e}", fbf::core::mttdl_years(&p)),
-        ]);
+        rows.push((ft, fbf::mttdl_years(&p)));
+    }
+    if json {
+        print_json(&Json::obj([
+            ("disks", Json::Num(disks as f64)),
+            ("mttr_hours", Json::Num(mttr)),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|&(ft, years)| {
+                            Json::obj([
+                                ("fault_tolerance", Json::Num(ft as f64)),
+                                ("mttdl_years", Json::Num(years)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+        return 0;
+    }
+    let mut table = Table::new(
+        format!("MTTDL, {disks} nearline disks, {mttr} h repair window"),
+        &["fault_tolerance", "mttdl_years"],
+    );
+    for (ft, years) in rows {
+        table.push_row(vec![ft.to_string(), format!("{years:.3e}")]);
     }
     println!("{}", table.render());
     0

@@ -1,0 +1,101 @@
+//! `fbfd` — the FBF repair daemon, as its own binary.
+//!
+//! Equivalent to `fbf serve`, for deployments that ship the daemon
+//! without the rest of the CLI:
+//!
+//! ```text
+//! fbfd [--socket <path> | --tcp <addr:port>] [--daemon-workers N]
+//! ```
+//!
+//! Listens on a unix socket (default `$TMPDIR/fbfd.sock`) or TCP, runs
+//! repair jobs on a worker pool, and exits when a client sends
+//! `shutdown` (`fbf client shutdown`). The wire protocol is documented
+//! on the daemon module; `fbf client` is the reference client.
+
+use fbf::{DaemonOptions, ServerAddr};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut workers: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let (flag, inline) = match args[i].split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (args[i].as_str(), None),
+        };
+        let take = |slot: &mut Option<String>, i: &mut usize| -> bool {
+            match inline.clone().or_else(|| {
+                args.get(*i + 1).map(|v| {
+                    *i += 1;
+                    v.clone()
+                })
+            }) {
+                Some(v) => {
+                    *slot = Some(v);
+                    true
+                }
+                None => false,
+            }
+        };
+        let ok = match flag {
+            "--socket" => take(&mut socket, &mut i),
+            "--tcp" => take(&mut tcp, &mut i),
+            "--daemon-workers" | "--workers" => take(&mut workers, &mut i),
+            "--help" | "-h" => {
+                eprintln!("usage: fbfd [--socket <path> | --tcp <addr:port>] [--daemon-workers N]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        };
+        if !ok {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        }
+        i += 1;
+    }
+
+    let addr = match (socket, tcp) {
+        (Some(_), Some(_)) => {
+            eprintln!("--socket and --tcp are mutually exclusive");
+            std::process::exit(2);
+        }
+        (Some(path), None) => ServerAddr::Unix(path.into()),
+        (None, Some(a)) => match a.parse() {
+            Ok(sock) => ServerAddr::Tcp(sock),
+            Err(e) => {
+                eprintln!("bad --tcp address `{a}`: {e}");
+                std::process::exit(2);
+            }
+        },
+        (None, None) => ServerAddr::Unix(std::env::temp_dir().join("fbfd.sock")),
+    };
+    let mut opts = DaemonOptions::default();
+    if let Some(w) = workers {
+        match w.parse() {
+            Ok(n) => opts.workers = n,
+            Err(_) => {
+                eprintln!("bad worker count `{w}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let handle = match fbf::serve(&addr, opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let shown = match handle.addr() {
+        ServerAddr::Unix(p) => format!("unix:{}", p.display()),
+        ServerAddr::Tcp(a) => format!("tcp:{a}"),
+    };
+    eprintln!("fbfd listening on {shown} ({} workers)", opts.workers);
+    handle.wait();
+}

@@ -1,34 +1,79 @@
 //! # fbf — Favorable Block First (ICPP 2017) reproduction, facade crate
 //!
-//! This crate re-exports the whole workspace behind one dependency so the
-//! examples, integration tests and downstream users can write
-//! `use fbf::...` and reach every layer:
+//! The crate root is the stable public surface: experiment configuration,
+//! the pluggable storage backend, the repair daemon, metrics, and the
+//! sweep/report helpers the examples and binaries are written against.
 //!
-//! * [`codes`] — erasure codes (TIP, HDD1, Triple-STAR, STAR, plus RDP and
-//!   EVENODD for RAID-6 generality), parity chains, encode/decode,
-//!   structural analysis;
-//! * [`cache`] — ten buffer-cache replacement policies: the paper's five
-//!   (FIFO, LRU, LFU, ARC, FBF) and the other §II-B citations (LRU-K, 2Q,
-//!   LRFU, FBR, VDF);
-//! * [`disksim`] — the event-driven disk-array simulator standing in for
-//!   DiskSim 4.0 (queued disks, scheduling disciplines, latency
-//!   histograms, straggler injection);
-//! * [`recovery`] — partial-stripe error model, recovery-scheme generators,
-//!   priority dictionary, format-memoised controller, scrubbing, degraded
-//!   reads, whole-disk rebuild, joint-decode fallback;
-//! * [`workload`] — synthetic error-trace and application-I/O generators
-//!   matching §IV-A;
-//! * [`core`] — experiment configuration, metrics, sweep drivers,
-//!   campaign verification and the MTTDL reliability model that
-//!   regenerate the paper's figures and tables;
-//! * [`obs`] — structured tracing and event counters (spans, instants,
-//!   counter snapshots) with a chrome://tracing-compatible JSONL exporter;
-//!   zero-cost when no subscriber is installed.
+//! ```no_run
+//! use fbf::{run_experiment, ExperimentConfig, PolicyKind};
+//!
+//! let cfg = ExperimentConfig::builder()
+//!     .policy(PolicyKind::Fbf)
+//!     .cache_mb(64)
+//!     .build()
+//!     .unwrap();
+//! let metrics = run_experiment(&cfg).unwrap();
+//! println!("hit ratio {:.3}", metrics.hit_ratio);
+//! ```
+//!
+//! Real I/O goes through the [`StorageBackend`] trait — [`SimBackend`]
+//! mirrors the discrete-event simulator chunk for chunk, [`FileBackend`]
+//! does the same against real files — and `fbfd` (see [`serve`]) exposes
+//! repair as a service over a unix or TCP socket.
+//!
+//! The workspace layers underneath (codes, cache policies, disk
+//! simulator, recovery planner, workload generators, observability) stay
+//! reachable through the module aliases below for anything not
+//! re-exported here, but those paths are implementation surface: they
+//! move between releases, the root does not.
 
+// Deep module aliases. Hidden from docs: reach through them when a layer
+// internal is genuinely needed, but prefer the root re-exports — deep
+// paths are not covered by the facade's stability intent.
+#[doc(hidden)]
 pub use fbf_cache as cache;
+#[doc(hidden)]
 pub use fbf_codes as codes;
+#[doc(hidden)]
 pub use fbf_core as core;
+#[doc(hidden)]
 pub use fbf_disksim as disksim;
+#[doc(hidden)]
 pub use fbf_obs as obs;
+#[doc(hidden)]
 pub use fbf_recovery as recovery;
+#[doc(hidden)]
 pub use fbf_workload as workload;
+
+// Cache policies under test.
+pub use fbf_cache::PolicyKind;
+
+// Erasure-code vocabulary every experiment references.
+pub use fbf_codes::{Cell, ChunkId, CodeSpec, Stripe, StripeCode};
+
+// Experiment configuration, execution, metrics, daemon, reporting.
+pub use fbf_core::report;
+pub use fbf_core::{
+    code_from_name, file_backend_for, mttdl_gain, mttdl_hours, mttdl_years, policy_from_name,
+    prometheus_snapshot, run_experiment, run_experiment_on, run_experiment_with_errors,
+    run_planned, run_planned_on, scheme_from_name, serve, sim_backend_for, sweep, sweep_with_store,
+    verify_campaign, ClassLatency, ConfigError, DaemonClient, DaemonHandle, DaemonOptions,
+    ExperimentConfig, ExperimentConfigBuilder, JobState, Json, JsonError, Metrics, PlanSource,
+    PlanStore, ReliabilityParams, RunError, ServerAddr, SloSpec, SloVerdict, SweepPoint, Table,
+    VerifyReport, METRICS_SCHEMA_VERSION,
+};
+
+// Storage backends and the simulator types that surface in reports.
+pub use fbf_disksim::{
+    ArrayMapping, BackendDiskStats, BackendError, CacheSharing, FaultPlan, FileBackend,
+    RequestClass, RunReport, SimBackend, SimTime, StorageBackend,
+};
+
+// Recovery-scheme generator selection.
+pub use fbf_recovery::SchemeKind;
+
+// Campaign generation, trace (de)serialisation, daemon load generation.
+pub use fbf_workload::{
+    generate_errors, parse_trace, render_trace, shard_campaign, validate_against, ErrorGenConfig,
+    LoadReport,
+};

@@ -1,0 +1,210 @@
+//! In-process round trip through the repair daemon's wire protocol.
+//!
+//! Serves on a throwaway unix socket, drives it with [`DaemonClient`]
+//! exactly like `fbf client` does, and checks that a repair job's
+//! metrics match a local run of the same configuration — the daemon is
+//! a transport, not a different executor. Also pins the lifecycle
+//! details a deployment depends on: protocol/schema versions in every
+//! reply, job state transitions, chunk reads with digests, Prometheus
+//! exposition, and a clean shutdown that removes the socket file.
+
+use fbf::{
+    run_experiment, DaemonClient, DaemonOptions, ExperimentConfig, Json, ServerAddr,
+    METRICS_SCHEMA_VERSION,
+};
+use std::time::{Duration, Instant};
+
+fn sock_addr(tag: &str) -> ServerAddr {
+    ServerAddr::Unix(
+        std::env::temp_dir().join(format!("fbf-test-{tag}-{}.sock", std::process::id())),
+    )
+}
+
+fn small_config_json() -> Json {
+    Json::obj([
+        ("chunk_kb", Json::Num(1.0)),
+        ("cache_mb", Json::Num(1.0)),
+        ("stripes", Json::Num(128.0)),
+        ("errors", Json::Num(32.0)),
+        ("workers", Json::Num(8.0)),
+        ("gen_threads", Json::Num(1.0)),
+    ])
+}
+
+fn small_config() -> ExperimentConfig {
+    ExperimentConfig::builder()
+        .chunk_kb(1)
+        .cache_mb(1)
+        .stripes(128)
+        .error_count(32)
+        .workers(8)
+        .gen_threads(1)
+        .obs(true)
+        .build()
+        .unwrap()
+}
+
+/// Poll `status` until the job settles, with a wall-clock guard so a
+/// daemon bug fails the test instead of hanging it.
+fn wait_done(client: &mut DaemonClient, job: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = client
+            .call(&Json::obj([
+                ("cmd", Json::Str("status".into())),
+                ("job", Json::Num(job as f64)),
+            ]))
+            .expect("status call");
+        match status.get("state").and_then(Json::as_str) {
+            Some("done") | Some("failed") => return status,
+            Some(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            other => panic!("job {job} stuck or malformed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn repair_over_the_wire_matches_a_local_run() {
+    let addr = sock_addr("roundtrip");
+    let handle = fbf::serve(&addr, DaemonOptions { workers: 2 }).expect("serve");
+    let mut client = DaemonClient::connect(&addr).expect("connect");
+
+    // Ping: protocol + schema versions are in every reply.
+    let pong = client
+        .call(&Json::obj([("cmd", Json::Str("ping".into()))]))
+        .expect("ping");
+    assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        pong.get("schema_version").and_then(Json::as_u64),
+        Some(METRICS_SCHEMA_VERSION)
+    );
+
+    // Submit a sim-backend repair and wait for it.
+    let reply = client
+        .call(&Json::obj([
+            ("cmd", Json::Str("repair".into())),
+            ("backend", Json::Str("sim".into())),
+            ("config", small_config_json()),
+        ]))
+        .expect("repair");
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        reply.render()
+    );
+    let job = reply.get("job").and_then(Json::as_u64).expect("job id");
+    let status = wait_done(&mut client, job);
+    assert_eq!(
+        status.get("state").and_then(Json::as_str),
+        Some("done"),
+        "{}",
+        status.render()
+    );
+
+    // The daemon is a transport: same config locally gives the same
+    // deterministic counters.
+    let local = run_experiment(&small_config()).expect("local run");
+    let metrics = status.get("metrics").expect("done status carries metrics");
+    assert_eq!(
+        metrics.get("disk_reads").and_then(Json::as_u64),
+        Some(local.disk_reads)
+    );
+    assert_eq!(
+        metrics.get("chunks_recovered").and_then(Json::as_u64),
+        Some(local.chunks_recovered as u64)
+    );
+    assert_eq!(
+        metrics.get("schema_version").and_then(Json::as_u64),
+        Some(METRICS_SCHEMA_VERSION)
+    );
+
+    // The sim job retains its backend: chunk reads come back with a
+    // digest and a consistent length.
+    let read = client
+        .call(&Json::obj([
+            ("cmd", Json::Str("read".into())),
+            ("job", Json::Num(job as f64)),
+            ("stripe", Json::Num(0.0)),
+            ("row", Json::Num(0.0)),
+            ("col", Json::Num(0.0)),
+        ]))
+        .expect("read");
+    assert_eq!(
+        read.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        read.render()
+    );
+    assert_eq!(read.get("len").and_then(Json::as_u64), Some(1024));
+    let digest = read.get("fnv1a").and_then(Json::as_str).expect("digest");
+    assert_eq!(digest.len(), 16, "fixed-width hex digest, got {digest}");
+
+    // Jobs listing knows about it; metrics exposition parses as text.
+    let jobs = client
+        .call(&Json::obj([("cmd", Json::Str("jobs".into()))]))
+        .expect("jobs");
+    assert_eq!(
+        jobs.get("jobs").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(1)
+    );
+    let prom = client
+        .call(&Json::obj([("cmd", Json::Str("metrics".into()))]))
+        .expect("metrics");
+    let text = prom
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .expect("prom text");
+    assert!(text.contains("fbf_disk_reads_total"), "{text}");
+
+    // Unknown config keys are rejected, not silently defaulted.
+    let bad = client
+        .call(&Json::obj([
+            ("cmd", Json::Str("repair".into())),
+            ("backend", Json::Str("sim".into())),
+            ("config", Json::obj([("cache_gb", Json::Num(1.0))])),
+        ]))
+        .expect("bad repair transport");
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+
+    // Shutdown: daemon acks, the accept loop drains, the socket file
+    // disappears with it.
+    let ack = client
+        .call(&Json::obj([("cmd", Json::Str("shutdown".into()))]))
+        .expect("shutdown");
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true));
+    handle.wait();
+    if let ServerAddr::Unix(path) = &addr {
+        assert!(!path.exists(), "socket file must be cleaned up");
+    }
+}
+
+#[test]
+fn daemon_rejects_malformed_and_oversized_requests_gracefully() {
+    let addr = sock_addr("reject");
+    let handle = fbf::serve(&addr, DaemonOptions { workers: 1 }).expect("serve");
+    let mut client = DaemonClient::connect(&addr).expect("connect");
+
+    // Unknown command: structured error, connection stays usable.
+    let err = client
+        .call(&Json::obj([("cmd", Json::Str("frobnicate".into()))]))
+        .expect("unknown cmd transport");
+    assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(err.get("error").and_then(Json::as_str).is_some());
+    let pong = client
+        .call(&Json::obj([("cmd", Json::Str("ping".into()))]))
+        .expect("connection survives an error reply");
+    assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+
+    // status for a job that never existed.
+    let missing = client
+        .call(&Json::obj([
+            ("cmd", Json::Str("status".into())),
+            ("job", Json::Num(999.0)),
+        ]))
+        .expect("missing job transport");
+    assert_eq!(missing.get("ok").and_then(Json::as_bool), Some(false));
+
+    let _ = client.call(&Json::obj([("cmd", Json::Str("shutdown".into()))]));
+    handle.wait();
+}

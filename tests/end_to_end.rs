@@ -2,15 +2,15 @@
 //! beat typical recovery structurally, and the whole pipeline is
 //! deterministic.
 
-use fbf::cache::PolicyKind;
 use fbf::codes::encode::encode;
-use fbf::codes::{CodeSpec, Stripe, StripeCode};
-use fbf::core::{run_experiment, ExperimentConfig};
 use fbf::recovery::{
     apply_scheme, generate_schemes_parallel, scheme::generate, PartialStripeError,
     PriorityDictionary, SchemeKind,
 };
 use fbf::workload::{generate_errors, parse_trace, render_trace, ErrorGenConfig};
+use fbf::PolicyKind;
+use fbf::{run_experiment, ExperimentConfig};
+use fbf::{CodeSpec, Stripe, StripeCode};
 
 /// A whole random campaign, applied to real stripe payloads, recovers
 /// every chunk bit-for-bit — for every code.
@@ -248,7 +248,7 @@ fn verify_campaign_certifies_bytes() {
         .gen_threads(1)
         .build()
         .unwrap();
-    let report = fbf::core::verify_campaign(&cfg).unwrap();
+    let report = fbf::verify_campaign(&cfg).unwrap();
     assert_eq!(report.stripes, 32);
     // The same config simulates with identical chunk accounting.
     let metrics = run_experiment(&cfg).unwrap();

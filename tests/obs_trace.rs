@@ -15,9 +15,9 @@
 //! The subscriber slot is process-global, so every test here serialises
 //! on one mutex.
 
-use fbf::cache::PolicyKind;
-use fbf::core::{sweep, ExperimentConfig};
 use fbf::obs::{CountingSubscriber, TraceWriter};
+use fbf::PolicyKind;
+use fbf::{sweep, ExperimentConfig};
 use std::io::Write;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -66,7 +66,7 @@ const CACHE_KEYS: [&str; 8] = [
     "prio3",
 ];
 
-fn summed_cache_field(points: &[fbf::core::SweepPoint], key: &str) -> u64 {
+fn summed_cache_field(points: &[fbf::SweepPoint], key: &str) -> u64 {
     points
         .iter()
         .map(|pt| {
@@ -160,7 +160,7 @@ fn class_digests_partition_read_totals() {
         );
         // This grid runs a pure reconstruction campaign: all traffic is
         // Recovery-classed, the other classes stay empty.
-        use fbf::disksim::RequestClass;
+        use fbf::RequestClass;
         assert_eq!(
             m.class_digests[RequestClass::Recovery.index()].count(),
             by_digest

@@ -2,9 +2,9 @@
 //! asserted at reduced scale. These are the properties EXPERIMENTS.md
 //! reports at full figure scale.
 
-use fbf::cache::PolicyKind;
-use fbf::codes::CodeSpec;
-use fbf::core::{run_experiment, ExperimentConfig};
+use fbf::CodeSpec;
+use fbf::PolicyKind;
+use fbf::{run_experiment, ExperimentConfig};
 
 fn cfg(policy: PolicyKind, cache_mb: usize, p: usize, code: CodeSpec) -> ExperimentConfig {
     ExperimentConfig::builder()

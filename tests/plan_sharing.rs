@@ -3,9 +3,9 @@
 //! measures. These tests pin the acceptance criteria of the shared-plan
 //! sweep engine at the facade level.
 
-use fbf::cache::PolicyKind;
-use fbf::codes::CodeSpec;
-use fbf::core::{
+use fbf::CodeSpec;
+use fbf::PolicyKind;
+use fbf::{
     run_experiment, sweep, sweep_with_store, ExperimentConfig, Metrics, PlanSource, PlanStore,
 };
 
@@ -125,7 +125,7 @@ fn failing_point_surfaces_as_error_not_abort() {
     let mut bad = good;
     bad.p = 8; // bypasses the builder deliberately: sweep must re-validate
     let err = sweep(&[good, bad, good], 2).unwrap_err();
-    assert!(matches!(err, fbf::core::RunError::Config(_)), "got: {err}");
+    assert!(matches!(err, fbf::RunError::Config(_)), "got: {err}");
     // The good points still sweep cleanly afterwards.
     assert_eq!(sweep(&[good, good], 2).unwrap().len(), 2);
 }

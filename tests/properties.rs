@@ -4,8 +4,8 @@
 
 use fbf::cache::{key, PolicyKind};
 use fbf::codes::encode::encode;
-use fbf::codes::{Cell, CodeSpec, Stripe, StripeCode};
 use fbf::recovery::{apply_scheme, scheme::generate, PartialStripeError, SchemeKind};
+use fbf::{Cell, CodeSpec, Stripe, StripeCode};
 use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = CodeSpec> {
