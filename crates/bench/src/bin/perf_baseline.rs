@@ -24,7 +24,7 @@
 //!   "schema_version": 1,
 //!   "date": "2026-08-06",
 //!   "commit": "abc123…",
-//!   "machine": { "os": "linux", "arch": "x86_64", "cpus": 16 },
+//!   "machine": { "os": "linux", "arch": "x86_64", "cpus": 16, "simd": "avx2" },
 //!   "benches": [ { "name": "…", "ns_per_op": 12.3, "ops_per_sec": 8.1e7 } ]
 //! }
 //! ```
@@ -32,12 +32,16 @@
 use fbf_bench::env_usize;
 use fbf_cache::queue::{oracle::MapQueue, OrderedQueue};
 use fbf_cache::{key, PolicyKind};
-use fbf_codes::xor::{is_zero, xor_many};
+use fbf_codes::xor::{
+    active_kernel, is_zero, supported_kernels, xor_fold_into_with, xor_many, xor_many_with,
+};
 use fbf_codes::{Cell, ChunkId};
-use fbf_core::{run_experiment, ExperimentConfig};
+use fbf_core::{
+    run_experiment, run_planned_on, sim_backend_for, ExperimentConfig, PlanSource, PlannedCampaign,
+};
 use fbf_disksim::{
-    ArrayMapping, DiskModel, DiskSched, Engine, EngineConfig, EngineScratch, FaultPlan, Op,
-    SimTime, WorkerScript,
+    equeue::oracle::HeapQueue, ArrayMapping, CalendarQueue, DiskModel, DiskSched, Engine,
+    EngineConfig, EngineScratch, EventQueue, FaultPlan, Op, SimTime, WorkerScript,
 };
 use std::time::Instant;
 
@@ -161,6 +165,40 @@ fn engine_scripts(workers: usize, ops: usize) -> Vec<WorkerScript> {
         .collect()
 }
 
+/// One event-queue churn pass at steady occupancy 128: pop the minimum,
+/// push a replacement a near-monotone xorshift delta into the future.
+/// This is the hold-and-advance pattern the engine main loop produces —
+/// the regime the calendar wheel is tuned for. Returns a checksum so the
+/// work cannot be optimised away.
+fn equeue_churn<Q: EventQueue>(ops: usize) -> u64 {
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut q = Q::default();
+    for i in 0..128usize {
+        q.push((SimTime::from_nanos(next() % 50_000), (i % 3) as u8, i));
+    }
+    let mut acc = 0u64;
+    for i in 0..ops {
+        let (now, kind, id) = q.pop().expect("occupancy is constant");
+        acc = acc
+            .wrapping_add(now.as_nanos())
+            .wrapping_add(kind as u64)
+            .wrapping_add(id as u64);
+        let delta = 200 + next() % 20_000;
+        q.push((
+            SimTime::from_nanos(now.as_nanos() + delta),
+            (i % 3) as u8,
+            i,
+        ));
+    }
+    acc
+}
+
 /// Civil date (UTC) from the system clock — Howard Hinnant's
 /// `civil_from_days`, so no chrono dependency.
 fn today() -> String {
@@ -268,6 +306,33 @@ fn main() {
         std::hint::black_box(is_zero(std::hint::black_box(&dst)));
     }));
 
+    // The same 6-source decode on the best kernel the host supports,
+    // explicitly — immune to an FBF_XOR_KERNEL downgrade of the
+    // dispatched path above.
+    let best = *supported_kernels().last().expect("scalar always present");
+    benches.push(measure(
+        "xor_many_simd_6x32k",
+        scale.min(5),
+        40 * scale,
+        1,
+        || {
+            xor_many_with(best, &mut dst, &src_refs);
+            std::hint::black_box(&dst);
+        },
+    ));
+    // One seeded fold-of-4 pass — the primitive the multi-source driver
+    // is built from (dst is written, never read).
+    benches.push(measure(
+        "xor_fold4_6x32k",
+        scale.min(5),
+        40 * scale,
+        1,
+        || {
+            xor_fold_into_with(best, &mut dst, &src_refs[..4], true);
+            std::hint::black_box(&dst);
+        },
+    ));
+
     // Event engine over a fixed workload, scratch reused like a sweep
     // worker would.
     let scripts = engine_scripts(8, if quick { 40 } else { 400 });
@@ -282,6 +347,29 @@ fn main() {
         let report = Engine::new(engine_cfg()).run_with_scratch(&scripts, &mut scratch);
         std::hint::black_box(report.makespan);
     }));
+
+    // The event queue in isolation: the calendar wheel the engine now
+    // runs on, and the BinaryHeap oracle it replaced, under identical
+    // churn streams.
+    let churn_ops = if quick { 2_000 } else { 100_000 };
+    benches.push(measure(
+        "calendar_queue_churn",
+        2,
+        scale.min(10),
+        churn_ops,
+        || {
+            std::hint::black_box(equeue_churn::<CalendarQueue>(churn_ops));
+        },
+    ));
+    benches.push(measure(
+        "binary_heap_churn",
+        2,
+        scale.min(10),
+        churn_ops,
+        || {
+            std::hint::black_box(equeue_churn::<HeapQueue>(churn_ops));
+        },
+    ));
 
     // The fault-injection guard: the same workload with the fault plan
     // explicitly `none()`. Its ratio against `engine_run_8x` bounds what
@@ -357,6 +445,36 @@ fn main() {
         },
     ));
 
+    // The batched data plane alone: plan once (cold) outside the timed
+    // region, then replay the same campaign through a fresh sim backend
+    // each iteration at decode_batch = 8. Isolates gather/decode/write
+    // from scheme generation.
+    let batch_cfg = ExperimentConfig::builder()
+        .policy(PolicyKind::Fbf)
+        .cache_mb(4)
+        .chunk_kb(8)
+        .stripes(128)
+        .error_count(32)
+        .workers(16)
+        .decode_batch(8)
+        .gen_threads(1)
+        .build()
+        .expect("bench config is valid");
+    let batch_plan = PlannedCampaign::cold(&batch_cfg).expect("bench campaign plans");
+    benches.push(measure(
+        "decode_batch_8x",
+        1,
+        if quick { 1 } else { 2 * scale.min(10) },
+        1,
+        || {
+            let mut backend =
+                sim_backend_for(&batch_cfg, &batch_plan).expect("bench backend builds");
+            let m = run_planned_on(&batch_cfg, &batch_plan, PlanSource::Cold, &mut backend)
+                .expect("bench campaign runs");
+            std::hint::black_box(m.chunks_recovered);
+        },
+    ));
+
     // Report.
     let slab = benches
         .iter()
@@ -388,13 +506,14 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"schema_version\": 1,\n  \"date\": \"{}\",\n  \"commit\": \"{}\",\n  \"quick\": {},\n  \"machine\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {} }},\n  \"queue_speedup_map_over_slab\": {:.2},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema_version\": 1,\n  \"date\": \"{}\",\n  \"commit\": \"{}\",\n  \"quick\": {},\n  \"machine\": {{ \"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}, \"simd\": \"{}\" }},\n  \"queue_speedup_map_over_slab\": {:.2},\n  \"benches\": [\n{}\n  ]\n}}\n",
         today(),
         commit_hash(),
         quick,
         std::env::consts::OS,
         std::env::consts::ARCH,
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        active_kernel().name(),
         map / slab,
         rows.join(",\n")
     );

@@ -7,21 +7,24 @@
 //! Compares every baseline bench's `ns_per_op` against the candidate
 //! under the noise tolerances in [`fbf_bench::gate`] (`--quick` selects
 //! the looser smoke-mode tolerances that pair with `scripts/bench.sh
-//! --quick`). Prints a per-bench verdict table and exits nonzero when any
+//! --quick`). Refuses outright (exit 2) when the snapshots came from
+//! different instruction sets — the machine `arch`/`simd` stamps must
+//! match. Prints a per-bench verdict table and exits nonzero when any
 //! baseline bench regressed or vanished — CI runs this against the
 //! committed `BENCH_<date>.json`.
 
-use fbf_bench::gate::{diff, parse_snapshot};
+use fbf_bench::gate::{check_comparable, diff, parse_machine, parse_snapshot, MachineInfo};
 
-fn load(path: &str) -> Vec<(String, f64)> {
+fn load(path: &str) -> (Vec<(String, f64)>, MachineInfo) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("perf_gate: cannot read {path}: {e}");
         std::process::exit(2);
     });
-    parse_snapshot(&text).unwrap_or_else(|e| {
+    let benches = parse_snapshot(&text).unwrap_or_else(|e| {
         eprintln!("perf_gate: {path}: {e}");
         std::process::exit(2);
-    })
+    });
+    (benches, parse_machine(&text))
 }
 
 fn main() {
@@ -33,7 +36,18 @@ fn main() {
         std::process::exit(2);
     };
 
-    let report = diff(&load(baseline), &load(candidate), quick);
+    let (base_benches, base_machine) = load(baseline);
+    let (cand_benches, cand_machine) = load(candidate);
+    match check_comparable(&base_machine, &cand_machine) {
+        Ok(None) => {}
+        Ok(Some(notice)) => eprintln!("perf_gate: note: {notice}"),
+        Err(e) => {
+            eprintln!("perf_gate: REFUSED: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let report = diff(&base_benches, &cand_benches, quick);
     print!("{}", report.render());
     if report.pass() {
         println!("perf gate: PASS ({} benches)", report.entries.len());

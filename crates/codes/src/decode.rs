@@ -17,11 +17,11 @@
 //! the pattern exceeds the code's correction capability.
 
 use crate::codes::StripeCode;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::layout::Cell;
 use crate::stripe::Stripe;
 use crate::xor::xor_into;
 use crate::{CodeError, Result};
-use std::collections::HashSet;
 
 /// Outcome details of a successful decode, for diagnostics and tests.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,7 +50,7 @@ pub fn decode(code: &StripeCode, stripe: &mut Stripe, erased: &[Cell]) -> Result
             return Err(CodeError::OutOfBounds(c));
         }
     }
-    let mut unknown: HashSet<Cell> = erased.iter().copied().collect();
+    let mut unknown: FxHashSet<Cell> = erased.iter().copied().collect();
     let mut report = DecodeReport {
         peeled: Vec::new(),
         eliminated: Vec::new(),
@@ -106,14 +106,14 @@ pub fn decode(code: &StripeCode, stripe: &mut Stripe, erased: &[Cell]) -> Result
 fn eliminate(
     code: &StripeCode,
     stripe: &Stripe,
-    unknown: &HashSet<Cell>,
+    unknown: &FxHashSet<Cell>,
 ) -> Result<Vec<(Cell, crate::ChunkBuf)>> {
     let unknowns: Vec<Cell> = {
         let mut v: Vec<Cell> = unknown.iter().copied().collect();
         v.sort_unstable();
         v
     };
-    let col_of: std::collections::HashMap<Cell, usize> =
+    let col_of: FxHashMap<Cell, usize> =
         unknowns.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     let nvars = unknowns.len();
     let words = nvars.div_ceil(64);

@@ -1,0 +1,153 @@
+//! Fast non-cryptographic hashing for simulator-internal maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, which buys DoS
+//! resistance the simulator does not need: every key it hashes is a
+//! [`ChunkId`](fbf_codes::ChunkId) (8 bytes) or a small integer generated
+//! by the simulator itself, never attacker-controlled input. [`FxHasher`]
+//! is the rustc-style multiply-rotate hash — one rotate, one XOR and one
+//! multiply per word — which benches several times faster on these tiny
+//! keys and shrinks every per-access map operation in the hot loop.
+//!
+//! Determinism note: unlike SipHash (which is seeded per-`HashMap` via
+//! `RandomState`), Fx hashing is fixed across runs and processes. Nothing
+//! in this workspace may depend on map *iteration order* regardless (see
+//! DESIGN.md §"Cache internals"), but fixed hashing additionally makes any
+//! accidental order dependence reproducible instead of flaky.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the 64-bit Fx hash (the golden-ratio-derived constant
+/// used by rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fast, deterministic, non-cryptographic hasher for small fixed-size
+/// keys. Do **not** use it on untrusted input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_word(u64::from_ne_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_ne_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; plugs into any std collection.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the fast hasher — drop-in for simulator-internal
+/// maps whose keys are small and trusted.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` over the fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cell, ChunkId};
+    use std::hash::{BuildHasher, Hash};
+
+    fn key(stripe: u32, row: usize, col: usize) -> ChunkId {
+        ChunkId::new(stripe, Cell::new(row, col))
+    }
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let k = key(7, 3, 2);
+        assert_eq!(hash_of(&k), hash_of(&k));
+        assert_eq!(hash_of(&12345u64), hash_of(&12345u64));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Sequential chunk ids (the common recovery access pattern) must
+        // not collide wholesale.
+        let mut hashes: Vec<u64> = (0..1000u32)
+            .map(|i| hash_of(&key(i / 8, (i % 8) as usize, (i % 5) as usize)))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 1000, "collisions among sequential keys");
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_tail() {
+        // write() must consume any length, including non-multiples of 8.
+        let mut h = FxHasher::default();
+        h.write(&[1, 2, 3]);
+        let short = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 0]);
+        // Zero-padding the tail is part of the scheme: 3 bytes and their
+        // zero-padded 4-byte variant coincide, which is fine for the
+        // fixed-width keys this hasher serves.
+        assert_eq!(short, h2.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1), Some(&2));
+        let mut s: FxHashSet<u16> = FxHashSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+}

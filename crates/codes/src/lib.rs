@@ -39,6 +39,7 @@ pub mod chain;
 pub mod codes;
 pub mod decode;
 pub mod encode;
+pub mod hash;
 pub mod layout;
 pub mod prime;
 pub mod repair;

@@ -68,23 +68,48 @@ pub fn usable_repair_options(code: &StripeCode, target: Cell, lost: &[Cell]) -> 
 
 /// For each direction, the cheapest usable option (if any). This is the menu
 /// the FBF direction-cycling scheme picks from.
+///
+/// Winners are selected on `(cost, chain order)` without materialising any
+/// read set — an equation of `n` members always costs `n` reads no matter
+/// which of its cells is the target, so the whole scan is compare-only and
+/// at most three `reads` vectors are ever allocated. The scheme planner
+/// calls this once per still-lost candidate per round, which made the
+/// allocating enumerate-sort-filter formulation the hottest part of
+/// campaign planning.
 pub fn best_per_direction(
     code: &StripeCode,
     target: Cell,
     lost: &[Cell],
 ) -> [Option<RepairOption>; 3] {
-    let mut best: [Option<RepairOption>; 3] = [None, None, None];
-    for opt in usable_repair_options(code, target, lost) {
-        let slot = &mut best[opt.direction.index()];
+    let mut win: [Option<(usize, ChainId)>; 3] = [None, None, None];
+    for &id in code.chains_of(target) {
+        let chain = code.chain(id);
+        // Usable iff no *other* lost cell sits on the equation (it would be
+        // part of the read set).
+        if lost.iter().any(|&c| c != target && chain.covers(c)) {
+            continue;
+        }
+        let cost = chain.len();
+        let slot = &mut win[chain.direction.index()];
         let better = match slot {
-            Some(cur) => opt.cost() < cur.cost(),
+            Some((cur, _)) => cost < *cur,
             None => true,
         };
         if better {
-            *slot = Some(opt);
+            *slot = Some((cost, id));
         }
     }
-    best
+    win.map(|w| {
+        w.map(|(_, id)| {
+            let chain = code.chain(id);
+            RepairOption {
+                target,
+                chain: id,
+                direction: chain.direction,
+                reads: chain.repair_reads(target),
+            }
+        })
+    })
 }
 
 #[cfg(test)]

@@ -1,59 +1,497 @@
-//! Word-wide XOR kernels.
+//! XOR kernels: runtime-dispatched SIMD with a scalar differential oracle.
 //!
 //! Everything in a 3DFT code — encoding, chain repair, full decode — reduces
-//! to XOR-ing chunk buffers together. These kernels process `u64` words in
-//! the aligned middle of the buffers and bytes at the unaligned edges, which
-//! is the standard allocation-free way to get the compiler to vectorise the
-//! loop (cf. the Rust Performance Book's advice to prefer simple word loops
-//! that LLVM can autovectorise over hand-rolled SIMD).
+//! to XOR-ing chunk buffers together. Three kernels implement the same
+//! contract:
+//!
+//! * [`XorKernel::Scalar`] — the original word-wide loop (`align_to::<u64>`
+//!   middle, byte edges). Kept verbatim in [`scalar`] as the differential
+//!   oracle: every SIMD path must produce byte-identical output, enforced by
+//!   the proptest suite in `tests/xor_diff.rs`.
+//! * [`XorKernel::Sse2`] — 16-byte lanes, 64-byte strides, unaligned loads.
+//! * [`XorKernel::Avx2`] — 32-byte lanes, 64-byte strides, unaligned loads.
+//!
+//! The active kernel is picked once per process via
+//! `is_x86_feature_detected!` and cached ([`active_kernel`]); the
+//! `FBF_XOR_KERNEL` env var can *downgrade* the choice (e.g. `scalar` to
+//! benchmark the oracle) but never selects an unsupported path.
+//!
+//! Multi-source decode ([`xor_many`]) folds many sources per pass over `dst`
+//! instead of one. The seeded first pass takes up to [`MANY_FOLD_WIDTH`] (8)
+//! sources and never reads `dst`; continuation passes take [`FOLD_WIDTH`] (4).
+//! For the paper's 6-source decode shape this cuts memory traffic by more
+//! than half: sequential `xor_into` does 6 passes (11 buffer reads + 6 writes
+//! counting dst re-reads), while the single seeded pass does 6 reads + 1
+//! write — `dst` is touched exactly once.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Maximum number of sources consumed per pass over `dst` in the public
+/// fold primitive ([`xor_fold_into_with`]).
+pub const FOLD_WIDTH: usize = 4;
+
+/// Maximum sources consumed by the *seeded* first pass of [`xor_many`].
+/// Wider than [`FOLD_WIDTH`] because the seeded pass never reads `dst`:
+/// at 8 sources plus the store stream the AVX2 loop still fits its four
+/// accumulators comfortably, and one pass covers every decode shape a
+/// triple-fault code produces (≤ 8 chain members).
+pub const MANY_FOLD_WIDTH: usize = 8;
+
+/// An XOR kernel implementation, ordered weakest to strongest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum XorKernel {
+    /// Word-wide (`u64`) loop; the differential oracle. Always available.
+    Scalar,
+    /// SSE2 128-bit lanes (baseline on `x86_64`).
+    Sse2,
+    /// AVX2 256-bit lanes.
+    Avx2,
+}
+
+impl XorKernel {
+    /// Stable lowercase name, recorded in bench snapshots (`machine.simd`).
+    pub fn name(self) -> &'static str {
+        match self {
+            XorKernel::Scalar => "scalar",
+            XorKernel::Sse2 => "sse2",
+            XorKernel::Avx2 => "avx2",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "scalar" => Some(XorKernel::Scalar),
+            "sse2" => Some(XorKernel::Sse2),
+            "avx2" => Some(XorKernel::Avx2),
+            _ => None,
+        }
+    }
+}
+
+/// Best kernel the host CPU supports. Under Miri only the scalar path runs:
+/// runtime feature detection and vendor intrinsics are not supported there,
+/// and the point of the Miri job is the `align_to` surface of the oracle.
+fn detect() -> XorKernel {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        if is_x86_feature_detected!("avx2") {
+            return XorKernel::Avx2;
+        }
+        if is_x86_feature_detected!("sse2") {
+            return XorKernel::Sse2;
+        }
+    }
+    XorKernel::Scalar
+}
+
+/// Every kernel the host supports, weakest first. Test suites iterate this
+/// so a run on non-x86 hardware still exercises (trivially) the full matrix.
+pub fn supported_kernels() -> Vec<XorKernel> {
+    let best = detect();
+    let mut out = vec![XorKernel::Scalar];
+    if best >= XorKernel::Sse2 {
+        out.push(XorKernel::Sse2);
+    }
+    if best >= XorKernel::Avx2 {
+        out.push(XorKernel::Avx2);
+    }
+    out
+}
+
+// 0 = not yet resolved; otherwise kernel discriminant + 1.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// The kernel used by [`xor_into`] / [`xor_many`] / [`is_zero`]. Resolved
+/// once: hardware detection, optionally downgraded by `FBF_XOR_KERNEL`
+/// (`scalar` | `sse2` | `avx2`). An override *above* what the CPU supports
+/// is clamped to the detected best, so the env var can never select an
+/// unsupported instruction set.
+pub fn active_kernel() -> XorKernel {
+    match ACTIVE.load(Ordering::Relaxed) {
+        1 => return XorKernel::Scalar,
+        2 => return XorKernel::Sse2,
+        3 => return XorKernel::Avx2,
+        _ => {}
+    }
+    let best = detect();
+    let chosen = match std::env::var("FBF_XOR_KERNEL") {
+        Ok(s) => match XorKernel::from_name(s.trim()) {
+            Some(k) => k.min(best),
+            None => best,
+        },
+        Err(_) => best,
+    };
+    let tag = match chosen {
+        XorKernel::Scalar => 1,
+        XorKernel::Sse2 => 2,
+        XorKernel::Avx2 => 3,
+    };
+    ACTIVE.store(tag, Ordering::Relaxed);
+    chosen
+}
 
 /// `dst ^= src`, element-wise. Panics if lengths differ.
 pub fn xor_into(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "xor_into length mismatch");
-    // Split both buffers at u64 alignment. align_to_mut is safe to *call*;
-    // reinterpreting u8 as u64 is valid for any bit pattern.
-    let (d_head, d_mid, d_tail) = unsafe { dst.align_to_mut::<u64>() };
-    let head_len = d_head.len();
-    let mid_bytes = d_mid.len() * 8;
-    let (s_head, s_rest) = src.split_at(head_len);
-    let (s_mid, s_tail) = s_rest.split_at(mid_bytes);
-
-    for (d, s) in d_head.iter_mut().zip(s_head) {
-        *d ^= s;
-    }
-    // The source's middle section need not be aligned; read it per-word.
-    for (i, d) in d_mid.iter_mut().enumerate() {
-        let mut w = [0u8; 8];
-        w.copy_from_slice(&s_mid[i * 8..i * 8 + 8]);
-        *d ^= u64::from_ne_bytes(w);
-    }
-    for (d, s) in d_tail.iter_mut().zip(s_tail) {
-        *d ^= s;
-    }
+    xor_into_with(active_kernel(), dst, src);
 }
 
-/// `dst = XOR(srcs)`. Seeds `dst` by copying the first source (one
-/// `memcpy` instead of a `fill(0)` pass plus an extra XOR pass), then
-/// folds the rest in; no sources zeroes `dst`. Panics if any source's
-/// length differs from `dst`'s.
+/// `dst = XOR(srcs)`; no sources zeroes `dst`. Panics if any source's
+/// length differs from `dst`'s. SIMD kernels fold up to [`FOLD_WIDTH`]
+/// sources per pass over `dst`; the first pass seeds `dst` directly from
+/// the sources without reading it.
 pub fn xor_many(dst: &mut [u8], srcs: &[&[u8]]) {
-    let Some((first, rest)) = srcs.split_first() else {
-        dst.fill(0);
-        return;
-    };
-    assert_eq!(dst.len(), first.len(), "xor_many length mismatch");
-    dst.copy_from_slice(first);
-    for s in rest {
-        xor_into(dst, s);
-    }
+    xor_many_with(active_kernel(), dst, srcs);
 }
 
 /// Returns true if the buffer is all zero — handy for parity-consistency
-/// checks (`XOR of a whole chain must be zero`). Word-wise over the
-/// aligned middle, like [`xor_into`].
+/// checks (`XOR of a whole chain must be zero`).
 pub fn is_zero(buf: &[u8]) -> bool {
-    let (head, mid, tail) = unsafe { buf.align_to::<u64>() };
-    head.iter().all(|&b| b == 0) && mid.iter().all(|&w| w == 0) && tail.iter().all(|&b| b == 0)
+    is_zero_with(active_kernel(), buf)
+}
+
+/// [`xor_into`] on an explicit kernel. Callers must only pass kernels from
+/// [`supported_kernels`].
+pub fn xor_into_with(kernel: XorKernel, dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_into length mismatch");
+    match kernel {
+        XorKernel::Scalar => scalar::xor_into(dst, src),
+        // SAFETY: callers only pass kernels reported by supported_kernels(),
+        // so the corresponding target feature is present on this CPU.
+        #[cfg(target_arch = "x86_64")]
+        XorKernel::Sse2 => unsafe { sse2::fold(dst, &[src], false) },
+        #[cfg(target_arch = "x86_64")]
+        XorKernel::Avx2 => unsafe { avx2::fold(dst, &[src], false) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::xor_into(dst, src),
+    }
+}
+
+/// [`xor_many`] on an explicit kernel. The scalar path is the plain
+/// copy-then-fold-one-at-a-time oracle; SIMD paths fold up to
+/// [`MANY_FOLD_WIDTH`] sources in the seeded first pass (so the paper's
+/// 6-source decode shape touches `dst` exactly once), then up to
+/// [`FOLD_WIDTH`] per continuation pass. A zero-source call zeroes `dst`
+/// on every path.
+pub fn xor_many_with(kernel: XorKernel, dst: &mut [u8], srcs: &[&[u8]]) {
+    for s in srcs {
+        assert_eq!(dst.len(), s.len(), "xor_many length mismatch");
+    }
+    if srcs.is_empty() {
+        // The fold path below never touches dst for an empty group; zero it
+        // explicitly so every dispatch path honours the documented contract.
+        dst.fill(0);
+        return;
+    }
+    match kernel {
+        XorKernel::Scalar => scalar::xor_many(dst, srcs),
+        _ => {
+            let lead = srcs.len().min(MANY_FOLD_WIDTH);
+            let (first, rest) = srcs.split_at(lead);
+            fold_dispatch(kernel, dst, first, true);
+            for group in rest.chunks(FOLD_WIDTH) {
+                fold_dispatch(kernel, dst, group, false);
+            }
+        }
+    }
+}
+
+/// One fold pass: `dst = XOR(group)` when `seed` is true (dst is not read),
+/// else `dst ^= XOR(group)`. At most [`FOLD_WIDTH`] sources per call; this
+/// is the primitive the `xor_fold4_6x32k` bench times. Panics on length
+/// mismatch, more than [`FOLD_WIDTH`] sources, or (`seed` only) an empty
+/// group.
+pub fn xor_fold_into_with(kernel: XorKernel, dst: &mut [u8], group: &[&[u8]], seed: bool) {
+    assert!(group.len() <= FOLD_WIDTH, "fold group too wide");
+    assert!(
+        !(seed && group.is_empty()),
+        "cannot seed from an empty group"
+    );
+    for s in group {
+        assert_eq!(dst.len(), s.len(), "xor_fold length mismatch");
+    }
+    fold_dispatch(kernel, dst, group, seed)
+}
+
+/// Width-unchecked fold dispatch. The SIMD fold loops accept any group
+/// length; only the public [`xor_fold_into_with`] entry enforces the
+/// [`FOLD_WIDTH`] contract. [`xor_many_with`] calls this directly so its
+/// seeded first pass can run [`MANY_FOLD_WIDTH`] wide.
+fn fold_dispatch(kernel: XorKernel, dst: &mut [u8], group: &[&[u8]], seed: bool) {
+    match kernel {
+        XorKernel::Scalar => fold_bytes(dst, group, seed),
+        // SAFETY: as in xor_into_with — kernel implies the target feature.
+        #[cfg(target_arch = "x86_64")]
+        XorKernel::Sse2 => unsafe { sse2::fold(dst, group, seed) },
+        #[cfg(target_arch = "x86_64")]
+        XorKernel::Avx2 => unsafe { avx2::fold(dst, group, seed) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => fold_bytes(dst, group, seed),
+    }
+}
+
+/// [`is_zero`] on an explicit kernel.
+pub fn is_zero_with(kernel: XorKernel, buf: &[u8]) -> bool {
+    match kernel {
+        XorKernel::Scalar => scalar::is_zero(buf),
+        // SAFETY: as in xor_into_with.
+        #[cfg(target_arch = "x86_64")]
+        XorKernel::Sse2 => unsafe { sse2::is_zero(buf) },
+        #[cfg(target_arch = "x86_64")]
+        XorKernel::Avx2 => unsafe { avx2::is_zero(buf) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::is_zero(buf),
+    }
+}
+
+/// Byte-wise fold used for SIMD tails and as the scalar fold reference.
+/// Bounds checks dominate here, which is fine: it only ever sees fewer than
+/// one SIMD stride's worth of bytes on the hot paths.
+fn fold_bytes(dst: &mut [u8], group: &[&[u8]], seed: bool) {
+    for i in 0..dst.len() {
+        let mut v = if seed { 0 } else { dst[i] };
+        for s in group {
+            v ^= s[i];
+        }
+        dst[i] = v;
+    }
+}
+
+/// The original word-wide kernels, kept verbatim as the differential oracle.
+/// `u64` words in the aligned middle of the buffers, bytes at the unaligned
+/// edges — the standard allocation-free way to get LLVM to autovectorise.
+pub mod scalar {
+    /// `dst ^= src`, element-wise. Lengths already checked by the caller.
+    pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len(), "xor_into length mismatch");
+        // Split both buffers at u64 alignment. align_to_mut is safe to
+        // *call*; reinterpreting u8 as u64 is valid for any bit pattern.
+        let (d_head, d_mid, d_tail) = unsafe { dst.align_to_mut::<u64>() };
+        let head_len = d_head.len();
+        let mid_bytes = d_mid.len() * 8;
+        let (s_head, s_rest) = src.split_at(head_len);
+        let (s_mid, s_tail) = s_rest.split_at(mid_bytes);
+
+        for (d, s) in d_head.iter_mut().zip(s_head) {
+            *d ^= s;
+        }
+        // The source's middle section need not be aligned; read it per-word.
+        for (i, d) in d_mid.iter_mut().enumerate() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&s_mid[i * 8..i * 8 + 8]);
+            *d ^= u64::from_ne_bytes(w);
+        }
+        for (d, s) in d_tail.iter_mut().zip(s_tail) {
+            *d ^= s;
+        }
+    }
+
+    /// `dst = XOR(srcs)`. Seeds `dst` by copying the first source (one
+    /// `memcpy` instead of a `fill(0)` pass plus an extra XOR pass), then
+    /// folds the rest in one at a time; no sources zeroes `dst`.
+    pub fn xor_many(dst: &mut [u8], srcs: &[&[u8]]) {
+        let Some((first, rest)) = srcs.split_first() else {
+            dst.fill(0);
+            return;
+        };
+        assert_eq!(dst.len(), first.len(), "xor_many length mismatch");
+        dst.copy_from_slice(first);
+        for s in rest {
+            xor_into(dst, s);
+        }
+    }
+
+    /// Word-wise all-zero scan.
+    pub fn is_zero(buf: &[u8]) -> bool {
+        let (head, mid, tail) = unsafe { buf.align_to::<u64>() };
+        head.iter().all(|&b| b == 0) && mid.iter().all(|&w| w == 0) && tail.iter().all(|&b| b == 0)
+    }
+}
+
+/// Collect the sub-`stride` tails of a fold group into a fixed array so the
+/// byte fallback can run without allocating. Returns the tail slices.
+#[cfg(target_arch = "x86_64")]
+fn group_tails<'a>(group: &[&'a [u8]], from: usize) -> ([&'a [u8]; MANY_FOLD_WIDTH], usize) {
+    let mut tails: [&[u8]; MANY_FOLD_WIDTH] = [&[]; MANY_FOLD_WIDTH];
+    for (t, s) in tails.iter_mut().zip(group) {
+        *t = &s[from..];
+    }
+    (tails, group.len())
+}
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use super::{fold_bytes, group_tails};
+    use std::arch::x86_64::*;
+
+    /// `dst (^)= XOR(group)` with 4×16-byte unrolled lanes. `seed` skips the
+    /// initial load of `dst`, seeding the accumulators from the first source.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports SSE2 (guaranteed on `x86_64`, but
+    /// dispatch still checks). All loads/stores are unaligned-safe
+    /// (`loadu`/`storeu`) and stay within the checked slice bounds.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn fold(dst: &mut [u8], group: &[&[u8]], seed: bool) {
+        const STRIDE: usize = 64;
+        let len = dst.len();
+        let main = len - len % STRIDE;
+        let dp = dst.as_mut_ptr();
+        let mut off = 0;
+        while off < main {
+            let (mut v0, mut v1, mut v2, mut v3);
+            let rest: &[&[u8]];
+            if seed {
+                let sp = group[0].as_ptr().add(off);
+                v0 = _mm_loadu_si128(sp as *const __m128i);
+                v1 = _mm_loadu_si128(sp.add(16) as *const __m128i);
+                v2 = _mm_loadu_si128(sp.add(32) as *const __m128i);
+                v3 = _mm_loadu_si128(sp.add(48) as *const __m128i);
+                rest = &group[1..];
+            } else {
+                v0 = _mm_loadu_si128(dp.add(off) as *const __m128i);
+                v1 = _mm_loadu_si128(dp.add(off + 16) as *const __m128i);
+                v2 = _mm_loadu_si128(dp.add(off + 32) as *const __m128i);
+                v3 = _mm_loadu_si128(dp.add(off + 48) as *const __m128i);
+                rest = group;
+            }
+            for s in rest {
+                let sp = s.as_ptr().add(off);
+                v0 = _mm_xor_si128(v0, _mm_loadu_si128(sp as *const __m128i));
+                v1 = _mm_xor_si128(v1, _mm_loadu_si128(sp.add(16) as *const __m128i));
+                v2 = _mm_xor_si128(v2, _mm_loadu_si128(sp.add(32) as *const __m128i));
+                v3 = _mm_xor_si128(v3, _mm_loadu_si128(sp.add(48) as *const __m128i));
+            }
+            _mm_storeu_si128(dp.add(off) as *mut __m128i, v0);
+            _mm_storeu_si128(dp.add(off + 16) as *mut __m128i, v1);
+            _mm_storeu_si128(dp.add(off + 32) as *mut __m128i, v2);
+            _mm_storeu_si128(dp.add(off + 48) as *mut __m128i, v3);
+            off += STRIDE;
+        }
+        if main < len {
+            let (tails, n) = group_tails(group, main);
+            fold_bytes(&mut dst[main..], &tails[..n], seed);
+        }
+    }
+
+    /// All-zero scan, 64 bytes per iteration with an early exit per block.
+    ///
+    /// # Safety
+    /// Caller must ensure SSE2; loads are unaligned-safe and in-bounds.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn is_zero(buf: &[u8]) -> bool {
+        const STRIDE: usize = 64;
+        let len = buf.len();
+        let main = len - len % STRIDE;
+        let bp = buf.as_ptr();
+        let mut off = 0;
+        while off < main {
+            let a = _mm_or_si128(
+                _mm_loadu_si128(bp.add(off) as *const __m128i),
+                _mm_loadu_si128(bp.add(off + 16) as *const __m128i),
+            );
+            let b = _mm_or_si128(
+                _mm_loadu_si128(bp.add(off + 32) as *const __m128i),
+                _mm_loadu_si128(bp.add(off + 48) as *const __m128i),
+            );
+            let acc = _mm_or_si128(a, b);
+            // SSE2 has no testz; compare against zero and check the mask.
+            let eq = _mm_cmpeq_epi8(acc, _mm_setzero_si128());
+            if _mm_movemask_epi8(eq) != 0xFFFF {
+                return false;
+            }
+            off += STRIDE;
+        }
+        buf[main..].iter().all(|&b| b == 0)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{fold_bytes, group_tails};
+    use std::arch::x86_64::*;
+
+    /// `dst (^)= XOR(group)` with 4×32-byte unrolled lanes (128-byte
+    /// stride). `seed` skips the initial load of `dst`, seeding the
+    /// accumulators from the first source. Four accumulators give the
+    /// out-of-order core enough independent chains to hide L2 latency
+    /// across up to five concurrent streams (4 sources + dst) — with only
+    /// two, the fold runs load-latency-bound well below L2 bandwidth.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2 (dispatch checks via
+    /// `is_x86_feature_detected!`). All loads/stores are unaligned-safe
+    /// (`loadu`/`storeu`) and stay within the checked slice bounds.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fold(dst: &mut [u8], group: &[&[u8]], seed: bool) {
+        const STRIDE: usize = 128;
+        let len = dst.len();
+        let main = len - len % STRIDE;
+        let dp = dst.as_mut_ptr();
+        let mut off = 0;
+        while off < main {
+            let (mut v0, mut v1, mut v2, mut v3);
+            let rest: &[&[u8]];
+            if seed {
+                let sp = group[0].as_ptr().add(off);
+                v0 = _mm256_loadu_si256(sp as *const __m256i);
+                v1 = _mm256_loadu_si256(sp.add(32) as *const __m256i);
+                v2 = _mm256_loadu_si256(sp.add(64) as *const __m256i);
+                v3 = _mm256_loadu_si256(sp.add(96) as *const __m256i);
+                rest = &group[1..];
+            } else {
+                v0 = _mm256_loadu_si256(dp.add(off) as *const __m256i);
+                v1 = _mm256_loadu_si256(dp.add(off + 32) as *const __m256i);
+                v2 = _mm256_loadu_si256(dp.add(off + 64) as *const __m256i);
+                v3 = _mm256_loadu_si256(dp.add(off + 96) as *const __m256i);
+                rest = group;
+            }
+            for s in rest {
+                let sp = s.as_ptr().add(off);
+                v0 = _mm256_xor_si256(v0, _mm256_loadu_si256(sp as *const __m256i));
+                v1 = _mm256_xor_si256(v1, _mm256_loadu_si256(sp.add(32) as *const __m256i));
+                v2 = _mm256_xor_si256(v2, _mm256_loadu_si256(sp.add(64) as *const __m256i));
+                v3 = _mm256_xor_si256(v3, _mm256_loadu_si256(sp.add(96) as *const __m256i));
+            }
+            _mm256_storeu_si256(dp.add(off) as *mut __m256i, v0);
+            _mm256_storeu_si256(dp.add(off + 32) as *mut __m256i, v1);
+            _mm256_storeu_si256(dp.add(off + 64) as *mut __m256i, v2);
+            _mm256_storeu_si256(dp.add(off + 96) as *mut __m256i, v3);
+            off += STRIDE;
+        }
+        if main < len {
+            let (tails, n) = group_tails(group, main);
+            fold_bytes(&mut dst[main..], &tails[..n], seed);
+        }
+    }
+
+    /// All-zero scan, 128 bytes per iteration with an early exit per block.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2; loads are unaligned-safe and in-bounds.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn is_zero(buf: &[u8]) -> bool {
+        const STRIDE: usize = 128;
+        let len = buf.len();
+        let main = len - len % STRIDE;
+        let bp = buf.as_ptr();
+        let mut off = 0;
+        while off < main {
+            let a = _mm256_or_si256(
+                _mm256_loadu_si256(bp.add(off) as *const __m256i),
+                _mm256_loadu_si256(bp.add(off + 32) as *const __m256i),
+            );
+            let b = _mm256_or_si256(
+                _mm256_loadu_si256(bp.add(off + 64) as *const __m256i),
+                _mm256_loadu_si256(bp.add(off + 96) as *const __m256i),
+            );
+            let acc = _mm256_or_si256(a, b);
+            if _mm256_testz_si256(acc, acc) == 0 {
+                return false;
+            }
+            off += STRIDE;
+        }
+        buf[main..].iter().all(|&b| b == 0)
+    }
 }
 
 #[cfg(test)]
@@ -79,15 +517,18 @@ mod tests {
     }
 
     #[test]
-    fn xor_into_odd_lengths() {
-        // Exercise the unaligned head/tail paths with awkward sizes.
-        for len in [0, 1, 3, 7, 8, 9, 15, 17, 31, 63, 65] {
-            let a_orig: Vec<u8> = (0..len).map(|i| i as u8).collect();
-            let b: Vec<u8> = (0..len).map(|i| (i * 3 + 1) as u8).collect();
-            let mut a = a_orig.clone();
-            xor_into(&mut a, &b);
-            for i in 0..len {
-                assert_eq!(a[i], a_orig[i] ^ b[i], "len={len} idx={i}");
+    fn xor_into_odd_lengths_all_kernels() {
+        // Exercise the unaligned head/tail paths with awkward sizes, on
+        // every kernel the host supports.
+        for kernel in supported_kernels() {
+            for len in [0, 1, 3, 7, 8, 9, 15, 17, 31, 63, 64, 65, 127, 129] {
+                let a_orig: Vec<u8> = (0..len).map(|i| i as u8).collect();
+                let b: Vec<u8> = (0..len).map(|i| (i * 3 + 1) as u8).collect();
+                let mut a = a_orig.clone();
+                xor_into_with(kernel, &mut a, &b);
+                for i in 0..len {
+                    assert_eq!(a[i], a_orig[i] ^ b[i], "{kernel:?} len={len} idx={i}");
+                }
             }
         }
     }
@@ -97,14 +538,16 @@ mod tests {
         // Force differing alignments of dst and src.
         let backing_a = [0xABu8; 80];
         let backing_b: Vec<u8> = (0..80).map(|i| i as u8).collect();
-        for off_a in 0..4 {
-            for off_b in 0..4 {
-                let mut a = backing_a[off_a..off_a + 64].to_vec();
-                // Copy with offset to change the underlying alignment of the slice start.
-                let b = &backing_b[off_b..off_b + 64];
-                let expect: Vec<u8> = a.iter().zip(b).map(|(x, y)| x ^ y).collect();
-                xor_into(&mut a, b);
-                assert_eq!(a, expect);
+        for kernel in supported_kernels() {
+            for off_a in 0..4 {
+                for off_b in 0..4 {
+                    let mut a = backing_a[off_a..off_a + 64].to_vec();
+                    // Copy with offset to change the underlying alignment.
+                    let b = &backing_b[off_b..off_b + 64];
+                    let expect: Vec<u8> = a.iter().zip(b).map(|(x, y)| x ^ y).collect();
+                    xor_into_with(kernel, &mut a, b);
+                    assert_eq!(a, expect, "{kernel:?} off_a={off_a} off_b={off_b}");
+                }
             }
         }
     }
@@ -121,15 +564,83 @@ mod tests {
         let a = vec![1u8; 32];
         let b = vec![2u8; 32];
         let c = vec![4u8; 32];
-        let mut out = vec![0xFFu8; 32];
-        xor_many(&mut out, &[&a, &b, &c]);
-        assert!(out.iter().all(|&x| x == 7));
+        for kernel in supported_kernels() {
+            let mut out = vec![0xFFu8; 32];
+            xor_many_with(kernel, &mut out, &[&a, &b, &c]);
+            assert!(out.iter().all(|&x| x == 7), "{kernel:?}");
+        }
     }
 
     #[test]
-    fn is_zero_detects() {
-        assert!(is_zero(&[0u8; 16]));
-        assert!(!is_zero(&[0, 0, 1, 0]));
-        assert!(is_zero(&[]));
+    fn xor_many_zero_sources_zeroes_dst_on_every_kernel() {
+        // Pinned: a zero-source decode must zero dst on every dispatch
+        // path, not just the scalar one (the fold path never reads dst for
+        // an empty group, so this is an explicit edge).
+        for kernel in supported_kernels() {
+            let mut out = vec![0xEEu8; 97];
+            xor_many_with(kernel, &mut out, &[]);
+            assert!(out.iter().all(|&x| x == 0), "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn xor_many_matches_scalar_for_six_source_decode() {
+        // The paper's decode shape: 6 sources, one destination.
+        let srcs: Vec<Vec<u8>> = (0..6u8)
+            .map(|k| (0..1000).map(|i| (i as u8).wrapping_mul(k + 3)).collect())
+            .collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(|v| v.as_slice()).collect();
+        let mut want = vec![0u8; 1000];
+        scalar::xor_many(&mut want, &refs);
+        for kernel in supported_kernels() {
+            let mut got = vec![0x5Au8; 1000];
+            xor_many_with(kernel, &mut got, &refs);
+            assert_eq!(got, want, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn fold_seed_and_accumulate_match_reference() {
+        let srcs: Vec<Vec<u8>> = (0..4u8)
+            .map(|k| (0..130).map(|i| (i as u8) ^ (k * 17)).collect())
+            .collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(|v| v.as_slice()).collect();
+        for kernel in supported_kernels() {
+            for n in 1..=4usize {
+                // seed: dst = XOR(group)
+                let mut got = vec![0xA5u8; 130];
+                xor_fold_into_with(kernel, &mut got, &refs[..n], true);
+                let mut want = vec![0u8; 130];
+                scalar::xor_many(&mut want, &refs[..n]);
+                assert_eq!(got, want, "{kernel:?} seed n={n}");
+                // accumulate: dst ^= XOR(group)
+                let base: Vec<u8> = (0..130).map(|i| (i * 13 % 251) as u8).collect();
+                let mut got = base.clone();
+                xor_fold_into_with(kernel, &mut got, &refs[..n], false);
+                let want2: Vec<u8> = base.iter().zip(&want).map(|(a, b)| a ^ b).collect();
+                assert_eq!(got, want2, "{kernel:?} acc n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_zero_detects_on_every_kernel() {
+        for kernel in supported_kernels() {
+            assert!(is_zero_with(kernel, &[0u8; 16]), "{kernel:?}");
+            assert!(!is_zero_with(kernel, &[0, 0, 1, 0]), "{kernel:?}");
+            assert!(is_zero_with(kernel, &[]), "{kernel:?}");
+            assert!(is_zero_with(kernel, &[0u8; 333]), "{kernel:?}");
+            let mut buf = vec![0u8; 333];
+            for poison in [0, 63, 64, 150, 332] {
+                buf[poison] = 1;
+                assert!(!is_zero_with(kernel, &buf), "{kernel:?} poison={poison}");
+                buf[poison] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn active_kernel_is_supported() {
+        assert!(supported_kernels().contains(&active_kernel()));
     }
 }

@@ -1,0 +1,162 @@
+//! Differential tests: every dispatchable XOR kernel vs the scalar
+//! reference.
+//!
+//! The SIMD rewrite keeps the original word-wise kernels verbatim in
+//! `xor::scalar` exactly so they can serve as the oracle here. Each
+//! property drives the full kernel matrix (`supported_kernels()` — on a
+//! non-x86 or pre-SSE2 host that is just `[Scalar]` and the suite
+//! degenerates to a self-check) over adversarial shapes: lengths that
+//! are not multiples of any vector width, buffers deliberately
+//! misaligned by 0..8 bytes, and source counts straddling the fold
+//! width on both sides.
+
+use fbf_codes::xor::{
+    is_zero_with, scalar, supported_kernels, xor_fold_into_with, xor_into_with, xor_many_with,
+    FOLD_WIDTH, MANY_FOLD_WIDTH,
+};
+use proptest::prelude::*;
+
+/// Deterministic bytes from a seed — xorshift, one byte per step.
+fn bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 24) as u8
+        })
+        .collect()
+}
+
+/// A buffer whose payload starts `off` bytes into the allocation, so
+/// SIMD loads/stores see every alignment class.
+fn offset_buf(seed: u64, off: usize, len: usize) -> (Vec<u8>, std::ops::Range<usize>) {
+    (bytes(seed, off + len + 8), off..off + len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// `xor_into` (dst ^= src) is byte-identical to the scalar kernel on
+    /// every supported kernel, at every length and misalignment.
+    #[test]
+    fn xor_into_matches_scalar(
+        len in 0usize..=4096,
+        dst_off in 0usize..8,
+        src_off in 0usize..8,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (src_buf, src_r) = offset_buf(seed ^ 0xBEEF, src_off, len);
+        let (dst_buf, dst_r) = offset_buf(seed, dst_off, len);
+
+        let mut expected = dst_buf.clone();
+        scalar::xor_into(&mut expected[dst_r.clone()], &src_buf[src_r.clone()]);
+
+        for &k in &supported_kernels() {
+            let mut got = dst_buf.clone();
+            xor_into_with(k, &mut got[dst_r.clone()], &src_buf[src_r.clone()]);
+            prop_assert_eq!(&got, &expected, "kernel {:?} diverged", k);
+        }
+    }
+
+    /// `xor_many` (dst = ⊕ srcs) is byte-identical to the scalar kernel
+    /// for source counts straddling both fold widths: 0..=13 covers the
+    /// single seeded pass (≤ MANY_FOLD_WIDTH=8), a partial continuation
+    /// group, and a full FOLD_WIDTH=4 continuation group (12+ sources) —
+    /// independent of the dst's prior contents.
+    #[test]
+    fn xor_many_matches_scalar(
+        len in 0usize..=4096,
+        dst_off in 0usize..8,
+        src_offs in proptest::collection::vec(0usize..8, 0..14),
+        seed in 0u64..u64::MAX,
+    ) {
+        prop_assert!(
+            MANY_FOLD_WIDTH + FOLD_WIDTH <= 13,
+            "widen src_offs to keep straddling both fold widths"
+        );
+        let srcs: Vec<(Vec<u8>, std::ops::Range<usize>)> = src_offs
+            .iter()
+            .enumerate()
+            .map(|(i, &off)| offset_buf(seed.wrapping_add(i as u64 * 0x9E37), off, len))
+            .collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(|(b, r)| &b[r.clone()]).collect();
+
+        let mut expected = vec![0u8; len];
+        scalar::xor_many(&mut expected, &refs);
+
+        for &k in &supported_kernels() {
+            // Poisoned dst: xor_many must fully overwrite it.
+            let (dst_buf, dst_r) = offset_buf(!seed, dst_off, len);
+            let mut got = dst_buf;
+            xor_many_with(k, &mut got[dst_r.clone()], &refs);
+            prop_assert_eq!(&got[dst_r.clone()], &expected[..], "kernel {:?} diverged", k);
+        }
+    }
+
+    /// The fold primitive agrees with a scalar re-derivation in both
+    /// seed modes: seeded folds overwrite dst with ⊕ group, unseeded
+    /// folds accumulate ⊕ group on top of dst.
+    #[test]
+    fn fold_matches_scalar_in_both_seed_modes(
+        len in 0usize..=4096,
+        group_len in 1usize..=4,
+        seed_sel in 0u8..2,
+        seed in 0u64..u64::MAX,
+    ) {
+        let seed_mode = seed_sel == 1;
+        let srcs: Vec<Vec<u8>> = (0..group_len)
+            .map(|i| bytes(seed.wrapping_add(i as u64), len))
+            .collect();
+        let refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+        let dst0 = bytes(!seed, len);
+
+        let mut expected = if seed_mode { vec![0u8; len] } else { dst0.clone() };
+        for r in &refs {
+            scalar::xor_into(&mut expected, r);
+        }
+
+        for &k in &supported_kernels() {
+            let mut got = dst0.clone();
+            xor_fold_into_with(k, &mut got, &refs, seed_mode);
+            prop_assert_eq!(&got, &expected, "kernel {:?} seed={} diverged", k, seed_mode);
+        }
+    }
+
+    /// `is_zero` agrees with the scalar kernel on all-zero buffers and on
+    /// buffers poisoned at an arbitrary position.
+    #[test]
+    fn is_zero_matches_scalar(
+        len in 0usize..=4096,
+        off in 0usize..8,
+        poison_sel in 0usize..8192,
+        bit in 0u8..8,
+    ) {
+        // poison_sel >= 4096 means "no poison" (the stub proptest has no
+        // Option strategy); otherwise it picks the poisoned byte.
+        let mut buf = vec![0u8; off + len + 8];
+        if poison_sel < 4096 && len > 0 {
+            buf[off + poison_sel % len] = 1 << bit;
+        }
+        let slice = &buf[off..off + len];
+        let expected = scalar::is_zero(slice);
+        for &k in &supported_kernels() {
+            prop_assert_eq!(is_zero_with(k, slice), expected, "kernel {:?} diverged", k);
+        }
+    }
+}
+
+/// Zero sources must zero the destination on every dispatch path — the
+/// edge the fold rewrite originally got wrong (pinned here and in the
+/// unit suite).
+#[test]
+fn zero_sources_zero_the_dst_on_every_kernel() {
+    for &k in &supported_kernels() {
+        for len in [0usize, 1, 7, 64, 4097] {
+            let mut dst = vec![0xEEu8; len];
+            xor_many_with(k, &mut dst, &[]);
+            assert!(dst.iter().all(|&b| b == 0), "kernel {k:?} len {len}");
+        }
+    }
+}

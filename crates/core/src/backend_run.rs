@@ -12,11 +12,14 @@
 //! Under [`CacheSharing::Partitioned`] (the default) each worker's cache
 //! slice sees exactly that worker's accesses in script order, so hit /
 //! miss accounting — and therefore `disk_reads` — reproduces the engine
-//! *by construction*: same caches, same access sequence. The backend
-//! conformance suite pins this. Under [`CacheSharing::Shared`] the
-//! engine interleaves workers on virtual time while this executor runs
-//! them sequentially, so shared-cache hit counts may legitimately
-//! differ.
+//! *by construction*: same caches, same access sequence. Batched decode
+//! (`decode_batch` consecutive schemes gathered per round, one XOR
+//! kernel pass per stripe) preserves that property because a batch never
+//! holds two schemes of the same slice; the backend conformance suite
+//! pins conformance across batch sizes. Under [`CacheSharing::Shared`]
+//! the engine interleaves workers on virtual time while this executor
+//! runs them sequentially, so shared-cache hit counts may legitimately
+//! differ — batching is disabled there (batch of 1).
 //!
 //! Latency figures are **host wall-clock** (recorded as [`SimTime`]
 //! nanoseconds), not simulated disk time; they describe the backend's
@@ -38,6 +41,7 @@ use fbf_disksim::{
     FaultDraw, FileBackend, Lookup, ReadFailure, RunReport, SimBackend, SimTime, StorageBackend,
 };
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Run one experiment end to end on `backend`: validate, plan cold,
@@ -84,8 +88,10 @@ pub fn run_planned_on(
     let mut caches = build_caches(&ecfg, workers);
     // The cache tracks identities; the data plane must also hold the
     // resident payloads. One mirror per slice, kept in lockstep with the
-    // cache via insert()'s evicted key.
-    let mut payloads: Vec<FxHashMap<ChunkId, Vec<u8>>> = vec![FxHashMap::default(); caches.len()];
+    // cache via insert()'s evicted key. `Arc` so sources gathered for a
+    // deferred batch decode survive an eviction in the same round.
+    let mut payloads: Vec<FxHashMap<ChunkId, Arc<Vec<u8>>>> =
+        vec![FxHashMap::default(); caches.len()];
 
     let mut report = RunReport {
         per_disk: vec![DiskStats::default(); mapping.disks],
@@ -94,101 +100,178 @@ pub fn run_planned_on(
     let mut stripes_repaired = 0usize;
     let mut chunks_recovered = 0usize;
     let started = Instant::now();
-    let mut acc = vec![0u8; chunk_bytes];
     let mut chunk_buf = vec![0u8; chunk_bytes];
 
-    // Scheme i runs on worker i % workers — the same round-robin
-    // `build_scripts` lowered the plan's scripts with, so each cache
-    // slice replays its script's access sequence exactly.
-    for (i, scheme) in plan.schemes.iter().enumerate() {
-        let worker = i % workers;
-        let slice = match cfg.sharing {
-            CacheSharing::Shared => 0,
-            CacheSharing::Partitioned => worker,
+    // Batched decode: a batch is up to `decode_batch` *consecutive*
+    // schemes. Consecutive schemes land on consecutive workers (scheme i
+    // runs on worker i % workers, the same round-robin `build_scripts`
+    // lowered the scripts with), so a batch capped at `workers` touches
+    // each cache slice at most once — per-slice access order, and with it
+    // hit/miss accounting, is exactly the sequential executor's, which is
+    // what keeps the engine-conformance pins green at any batch size.
+    // A shared cache serializes everything through slice 0, so batching
+    // would reorder its accesses: force a batch of 1 there.
+    let batch_size = match cfg.sharing {
+        CacheSharing::Shared => 1,
+        CacheSharing::Partitioned => cfg.decode_batch.clamp(1, workers),
+    };
+    let obs = cfg.obs && fbf_obs::enabled();
+    let mut batches = 0u64;
+    let mut accs: Vec<Vec<u8>> = vec![vec![0u8; chunk_bytes]; batch_size];
+    let mut sources: Vec<Vec<Arc<Vec<u8>>>> = vec![Vec::new(); batch_size];
+    // Per-scheme batch state: (abandoned, repairs completed).
+    let mut states: Vec<(bool, usize)> = vec![(false, 0); batch_size];
+
+    for (base, batch) in plan.schemes.chunks(batch_size).enumerate() {
+        let span = if obs {
+            Some(fbf_obs::span("data_plane", "decode_batch"))
+        } else {
+            None
         };
-        let class = plan.scripts[worker].class;
-        let mut abandoned = false;
-        for (done, repair) in scheme.repairs.iter().enumerate() {
-            if abandoned {
-                // Mirror the engine: every op of a failed stripe's
-                // remaining repairs is skipped (reads + compute + write).
-                report.faults.skipped_ops += repair.option.reads.len() as u64 + 2;
-                continue;
-            }
-            acc.fill(0);
-            let mut read_idx = 0usize;
-            for &cell in &repair.option.reads {
-                let chunk = ChunkId::new(scheme.stripe, cell);
-                let t0 = Instant::now();
-                let served = match caches[slice].access(chunk) {
-                    Lookup::Hit => {
-                        let bytes = payloads[slice]
-                            .get(&chunk)
-                            .expect("cache hit without mirrored payload");
-                        fbf_codes::xor::xor_into(&mut acc, bytes);
-                        true
-                    }
-                    Lookup::Miss => match classify(backend, chunk, &mut report) {
-                        Some(kind) => {
-                            report.failed_reads.push(FailedRead {
-                                chunk,
-                                worker: worker as u32,
-                                kind,
-                            });
-                            false
-                        }
-                        None => {
-                            backend
-                                .read_chunk(chunk, &mut chunk_buf)
-                                .map_err(RunError::Backend)?;
-                            report.disk_reads += 1;
-                            let priority = plan.dictionary.priority_of(&chunk);
-                            if let Some(evicted) = caches[slice].insert(chunk, priority) {
-                                payloads[slice].remove(&evicted);
-                            }
-                            if caches[slice].contains(&chunk) {
-                                payloads[slice].insert(chunk, chunk_buf.clone());
-                            }
-                            fbf_codes::xor::xor_into(&mut acc, &chunk_buf);
+        batches += 1;
+        for st in states.iter_mut() {
+            *st = (false, 0);
+        }
+        let rounds = batch.iter().map(|s| s.repairs.len()).max().unwrap_or(0);
+        // Round r handles repair #r of every scheme in the batch: gather
+        // every source chunk (cache hit or backend read), then one XOR
+        // kernel pass per stripe, then the spare writes. Chained repairs
+        // stay correct because a repair only ever reads chunks recovered
+        // by *earlier* rounds of its own scheme — written to the spare
+        // area before this round's gathers run — never by a batch peer
+        // (peers are different stripes).
+        for round in 0..rounds {
+            // Gather.
+            for (j, scheme) in batch.iter().enumerate() {
+                let worker = (base * batch_size + j) % workers;
+                let slice = match cfg.sharing {
+                    CacheSharing::Shared => 0,
+                    CacheSharing::Partitioned => worker,
+                };
+                let class = plan.scripts[worker].class;
+                let Some(repair) = scheme.repairs.get(round) else {
+                    continue;
+                };
+                let (abandoned, done) = &mut states[j];
+                if *abandoned {
+                    // Mirror the engine: every op of a failed stripe's
+                    // remaining repairs is skipped (reads + compute +
+                    // write).
+                    report.faults.skipped_ops += repair.option.reads.len() as u64 + 2;
+                    continue;
+                }
+                sources[j].clear();
+                let mut read_idx = 0usize;
+                for &cell in &repair.option.reads {
+                    let chunk = ChunkId::new(scheme.stripe, cell);
+                    let t0 = Instant::now();
+                    let served = match caches[slice].access(chunk) {
+                        Lookup::Hit => {
+                            let bytes = payloads[slice]
+                                .get(&chunk)
+                                .expect("cache hit without mirrored payload");
+                            sources[j].push(Arc::clone(bytes));
                             true
                         }
-                    },
-                };
-                let elapsed = SimTime::from_nanos(t0.elapsed().as_nanos() as u64);
-                report.read_response.record(elapsed);
-                report.read_latency.record(elapsed);
-                report.class_latency[class.index()].record(elapsed);
-                read_idx += 1;
-                if !served {
-                    // Hard failure: abandon the stripe. Remaining ops of
-                    // this repair (unread sources + compute + write) are
-                    // skipped, like the engine's failed-stripe fast path.
-                    report.faults.skipped_ops += (repair.option.reads.len() - read_idx) as u64 + 2;
-                    abandoned = true;
-                    break;
+                        Lookup::Miss => match classify(backend, chunk, &mut report) {
+                            Some(kind) => {
+                                report.failed_reads.push(FailedRead {
+                                    chunk,
+                                    worker: worker as u32,
+                                    kind,
+                                });
+                                false
+                            }
+                            None => {
+                                backend
+                                    .read_chunk(chunk, &mut chunk_buf)
+                                    .map_err(RunError::Backend)?;
+                                report.disk_reads += 1;
+                                let bytes = Arc::new(chunk_buf.clone());
+                                let priority = plan.dictionary.priority_of(&chunk);
+                                if let Some(evicted) = caches[slice].insert(chunk, priority) {
+                                    payloads[slice].remove(&evicted);
+                                }
+                                if caches[slice].contains(&chunk) {
+                                    payloads[slice].insert(chunk, Arc::clone(&bytes));
+                                }
+                                sources[j].push(bytes);
+                                true
+                            }
+                        },
+                    };
+                    let elapsed = SimTime::from_nanos(t0.elapsed().as_nanos() as u64);
+                    report.read_response.record(elapsed);
+                    report.read_latency.record(elapsed);
+                    report.class_latency[class.index()].record(elapsed);
+                    read_idx += 1;
+                    if !served {
+                        // Hard failure: abandon the stripe. Remaining ops
+                        // of this repair (unread sources + compute +
+                        // write) are skipped, like the engine's
+                        // failed-stripe fast path. Repairs that *did*
+                        // finish still count as recovered chunks (their
+                        // spare writes landed).
+                        report.faults.skipped_ops +=
+                            (repair.option.reads.len() - read_idx) as u64 + 2;
+                        *abandoned = true;
+                        chunks_recovered += *done;
+                        sources[j].clear();
+                        break;
+                    }
                 }
             }
-            if abandoned {
-                // Repairs this stripe *did* finish before failing still
-                // count as recovered chunks (their spare writes landed).
-                chunks_recovered += done;
-                continue;
+            // Decode: one multi-source kernel pass per gathered stripe.
+            for (j, scheme) in batch.iter().enumerate() {
+                if states[j].0 || scheme.repairs.get(round).is_none() {
+                    continue;
+                }
+                let refs: Vec<&[u8]> = sources[j].iter().map(|a| a.as_slice()).collect();
+                fbf_codes::xor::xor_many(&mut accs[j], &refs);
             }
-            let t0 = Instant::now();
-            backend
-                .write_spare(ChunkId::new(scheme.stripe, repair.target), &acc)
-                .map_err(RunError::Backend)?;
-            let elapsed = SimTime::from_nanos(t0.elapsed().as_nanos() as u64);
-            report.disk_writes += 1;
-            report.write_response.record(elapsed);
-            report
-                .write_completions
-                .push(SimTime::from_nanos(started.elapsed().as_nanos() as u64));
+            // Write the recovered chunks to the spare area.
+            for (j, scheme) in batch.iter().enumerate() {
+                let Some(repair) = scheme.repairs.get(round) else {
+                    continue;
+                };
+                if states[j].0 {
+                    continue;
+                }
+                let t0 = Instant::now();
+                backend
+                    .write_spare(ChunkId::new(scheme.stripe, repair.target), &accs[j])
+                    .map_err(RunError::Backend)?;
+                let elapsed = SimTime::from_nanos(t0.elapsed().as_nanos() as u64);
+                report.disk_writes += 1;
+                report.write_response.record(elapsed);
+                report
+                    .write_completions
+                    .push(SimTime::from_nanos(started.elapsed().as_nanos() as u64));
+                states[j].1 += 1;
+            }
         }
-        if !abandoned {
-            stripes_repaired += 1;
-            chunks_recovered += scheme.repairs.len();
+        for (j, scheme) in batch.iter().enumerate() {
+            if !states[j].0 {
+                stripes_repaired += 1;
+                chunks_recovered += scheme.repairs.len();
+            }
         }
+        if let Some(span) = span {
+            span.end_with(&[
+                ("stripes", fbf_obs::Value::U64(batch.len() as u64)),
+                ("rounds", fbf_obs::Value::U64(rounds as u64)),
+            ]);
+        }
+    }
+    if obs {
+        fbf_obs::counter(
+            "data_plane",
+            "decode",
+            &[
+                ("batches", fbf_obs::Value::U64(batches)),
+                ("batch_size", fbf_obs::Value::U64(batch_size as u64)),
+            ],
+        );
     }
     backend.flush().map_err(RunError::Backend)?;
     report.makespan = SimTime::from_nanos(started.elapsed().as_nanos() as u64);

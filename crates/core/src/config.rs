@@ -94,6 +94,8 @@ pub enum ConfigError {
     NonPrimeP(usize),
     /// SOR needs at least one reconstruction worker.
     ZeroWorkers,
+    /// The data plane decodes at least one stripe per batch round.
+    ZeroDecodeBatch,
     /// The data zone needs at least one stripe.
     ZeroStripes,
     /// Chunks must have a positive size.
@@ -112,6 +114,7 @@ impl std::fmt::Display for ConfigError {
         match self {
             ConfigError::NonPrimeP(p) => write!(f, "p = {p} is not prime"),
             ConfigError::ZeroWorkers => write!(f, "workers must be at least 1"),
+            ConfigError::ZeroDecodeBatch => write!(f, "decode_batch must be at least 1"),
             ConfigError::ZeroStripes => write!(f, "stripes must be at least 1"),
             ConfigError::ZeroChunkSize => write!(f, "chunk_kb must be at least 1"),
             ConfigError::CacheTooSmall { cache_mb, chunk_kb } => write!(
@@ -160,6 +163,14 @@ pub struct ExperimentConfig {
     pub error_count: usize,
     /// SOR reconstruction workers.
     pub workers: usize,
+    /// Data-plane decode batch: stripes whose reads are gathered together
+    /// before the per-stripe XOR pass in
+    /// [`run_planned_on`](crate::backend_run::run_planned_on). Clamped to
+    /// `workers` at run time (a batch never spans two schemes of the same
+    /// cache slice) and forced to 1 under [`CacheSharing::Shared`]; 1
+    /// disables batching. Purely a throughput knob — per-slice access
+    /// order, and therefore hit/miss accounting, is independent of it.
+    pub decode_batch: usize,
     /// Cache partitioning across workers.
     pub sharing: CacheSharing,
     /// Disk service model.
@@ -203,6 +214,7 @@ impl Default for ExperimentConfig {
             stripes: 4096,
             error_count: 512,
             workers: 128,
+            decode_batch: 8,
             sharing: CacheSharing::Partitioned,
             disk_model: DiskModel::paper_default(),
             disk_sched: DiskSched::Fcfs,
@@ -289,6 +301,9 @@ impl ExperimentConfig {
         if self.workers == 0 {
             return Err(ConfigError::ZeroWorkers);
         }
+        if self.decode_batch == 0 {
+            return Err(ConfigError::ZeroDecodeBatch);
+        }
         if self.stripes == 0 {
             return Err(ConfigError::ZeroStripes);
         }
@@ -373,6 +388,8 @@ impl ExperimentConfigBuilder {
         error_count: usize,
         /// SOR reconstruction workers.
         workers: usize,
+        /// Data-plane decode batch size (stripes per gather/XOR round).
+        decode_batch: usize,
         /// Cache partitioning across workers.
         sharing: CacheSharing,
         /// Disk service model.

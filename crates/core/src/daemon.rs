@@ -392,7 +392,7 @@ pub fn serve(addr: &ServerAddr, opts: DaemonOptions) -> io::Result<DaemonHandle>
 }
 
 fn worker_loop(rx: &Mutex<mpsc::Receiver<u64>>, ctx: &Ctx, store: &PlanStore) {
-    let mut scratch = EngineScratch::default();
+    let mut scratch = EngineScratch::new();
     loop {
         if ctx.shutdown.load(Ordering::Relaxed) {
             return;
@@ -622,6 +622,7 @@ fn apply_override(
         "stripes" => b.stripes(value.as_u64().ok_or_else(bad)? as u32),
         "errors" | "error_count" => b.error_count(value.as_u64().ok_or_else(bad)? as usize),
         "workers" => b.workers(value.as_u64().ok_or_else(bad)? as usize),
+        "decode_batch" => b.decode_batch(value.as_u64().ok_or_else(bad)? as usize),
         "seed" => b.seed(value.as_u64().ok_or_else(bad)?),
         "gen_threads" => b.gen_threads(value.as_u64().ok_or_else(bad)? as usize),
         other => return Err(format!("unknown config key `{other}`")),

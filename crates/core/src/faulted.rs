@@ -166,6 +166,7 @@ pub fn execute_faulted(
     let exec_cfg = ExecConfig {
         workers: cfg.workers,
         class: fbf_disksim::RequestClass::Replan,
+        decode_batch: cfg.decode_batch,
         ..Default::default()
     };
     let mut data_loss = Vec::new();
@@ -231,7 +232,7 @@ mod tests {
 
     fn outcome(cfg: &ExperimentConfig) -> FaultedOutcome {
         let plan = PlannedCampaign::cold(cfg).unwrap();
-        execute_faulted(cfg, &plan, &mut EngineScratch::default())
+        execute_faulted(cfg, &plan, &mut EngineScratch::new())
     }
 
     #[test]
@@ -289,13 +290,13 @@ mod tests {
         let mut cfg = faulty(0, None);
         cfg.faults = FaultPlan::none();
         let plan = PlannedCampaign::cold(&cfg).unwrap();
-        let out = execute_faulted(&cfg, &plan, &mut EngineScratch::default());
+        let out = execute_faulted(&cfg, &plan, &mut EngineScratch::new());
         assert_eq!(out.rounds, 0);
         assert_eq!(out.replans, 0);
         assert!(out.data_loss.is_empty());
         assert_eq!(out.stripes_repaired, 48);
         let direct = Engine::new(engine_config(&cfg, &plan, FaultPlan::none()))
-            .run_with_scratch(&plan.scripts, &mut EngineScratch::default());
+            .run_with_scratch(&plan.scripts, &mut EngineScratch::new());
         assert_eq!(out.report.makespan, direct.makespan);
         assert_eq!(out.report.disk_reads, direct.disk_reads);
     }

@@ -96,7 +96,7 @@ pub fn run_experiment_with_errors(
 /// — the remaining fields (policy, cache geometry, disk model…) are free to
 /// differ between experiments sharing one plan; that is the point.
 pub fn run_planned(cfg: &ExperimentConfig, plan: &PlannedCampaign, source: PlanSource) -> Metrics {
-    run_planned_with_scratch(cfg, plan, source, &mut EngineScratch::default())
+    run_planned_with_scratch(cfg, plan, source, &mut EngineScratch::new())
 }
 
 /// [`run_planned`] against caller-owned [`EngineScratch`], so the engine's

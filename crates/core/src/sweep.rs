@@ -121,7 +121,7 @@ pub fn sweep_with_progress(
     // heap and per-worker vectors are allocated once per thread, not once
     // per point.
     let work = |worker: usize| {
-        let mut scratch = EngineScratch::default();
+        let mut scratch = EngineScratch::new();
         let mut worker_points = 0u64;
         let worker_t0 = Instant::now();
         let mut worker_busy_ns = 0u64;

@@ -101,7 +101,7 @@ pub fn verify_campaign_faulted(cfg: &ExperimentConfig) -> Result<FaultedVerifyRe
     cfg.validate()?;
     let code = StripeCode::build(cfg.code, cfg.p)?;
     let plan = PlannedCampaign::cold(cfg)?;
-    let outcome = execute_faulted(cfg, &plan, &mut EngineScratch::default());
+    let outcome = execute_faulted(cfg, &plan, &mut EngineScratch::new());
 
     let chunk_size = 1024;
     let mut report = FaultedVerifyReport {

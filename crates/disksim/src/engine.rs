@@ -15,6 +15,7 @@
 use crate::array::ArrayMapping;
 use crate::buffer::{BufferCache, Lookup};
 use crate::disk::{DiskModel, DiskStats};
+use crate::equeue::{CalendarQueue, EventQueue};
 use crate::fault::{FailedRead, FaultCounters, FaultDraw, FaultPlan, ReadFailure};
 use crate::hist::Histogram;
 use crate::sched::{DiskSched, QueuedDisk};
@@ -23,8 +24,6 @@ use fbf_cache::{CacheStats, FbfConfig, FbfPolicy, FxHashMap, FxHashSet, PolicyKi
 use fbf_codes::ChunkId;
 use fbf_obs::RequestClass;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// One operation of a worker's script.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -303,16 +302,22 @@ fn build_cache(cfg: &EngineConfig, capacity: usize) -> BufferCache {
 
 /// Reusable per-run working memory of [`Engine::run`].
 ///
-/// One run needs an event heap plus four per-worker vectors; at sweep
+/// One run needs an event queue plus four per-worker vectors; at sweep
 /// scale (thousands of points) re-allocating them for every point is pure
 /// overhead. Keep one `EngineScratch` per sweep worker thread and pass it
 /// to [`Engine::run_with_scratch`] — each run resets lengths and reuses
 /// the backing storage. A scratch carries no state between runs (every
 /// field is fully re-initialised), so reuse cannot change results; the
 /// determinism tests in `tests/engine_equivalence.rs` pin this.
+///
+/// The queue defaults to [`CalendarQueue`]; instantiating with
+/// [`oracle::HeapQueue`](crate::equeue::oracle::HeapQueue) swaps in the
+/// original `BinaryHeap` for differential runs. Both pop in identical
+/// `(time, kind, id)` order, so the choice cannot change reports — the
+/// engine-level differential suite pins that, including under faults.
 #[derive(Default)]
-pub struct EngineScratch {
-    heap: BinaryHeap<Reverse<(SimTime, u8, usize)>>,
+pub struct EngineScratch<Q: EventQueue = CalendarQueue> {
+    queue: Q,
     next_op: Vec<usize>,
     gather_left: Vec<usize>,
     gather_floor: Vec<SimTime>,
@@ -320,14 +325,18 @@ pub struct EngineScratch {
 }
 
 impl EngineScratch {
-    /// Fresh scratch; equivalent to `Default::default()`.
+    /// Fresh scratch with the default calendar queue. Differential suites
+    /// wanting the heap oracle name the queue type explicitly:
+    /// `EngineScratch::<HeapQueue>::default()`.
     pub fn new() -> Self {
         Self::default()
     }
+}
 
+impl<Q: EventQueue> EngineScratch<Q> {
     /// Reset for a run over `workers` scripts, keeping allocations.
     fn reset(&mut self, workers: usize) {
-        self.heap.clear();
+        self.queue.clear();
         self.next_op.clear();
         self.next_op.resize(workers, 0);
         self.gather_left.clear();
@@ -353,16 +362,17 @@ impl Engine {
     /// fresh working memory. Sweeps should prefer
     /// [`run_with_scratch`](Engine::run_with_scratch).
     pub fn run(&self, scripts: &[WorkerScript]) -> RunReport {
-        self.run_with_scratch(scripts, &mut EngineScratch::default())
+        self.run_with_scratch(scripts, &mut EngineScratch::<CalendarQueue>::default())
     }
 
     /// [`run`](Engine::run) against caller-owned scratch memory, so the
-    /// event heap and per-worker vectors are reused across runs instead of
-    /// re-allocated per point.
-    pub fn run_with_scratch(
+    /// event queue and per-worker vectors are reused across runs instead of
+    /// re-allocated per point. Generic over the queue so differential
+    /// suites can run the calendar queue against the heap oracle.
+    pub fn run_with_scratch<Q: EventQueue>(
         &self,
         scripts: &[WorkerScript],
-        scratch: &mut EngineScratch,
+        scratch: &mut EngineScratch<Q>,
     ) -> RunReport {
         let cfg = &self.config;
         let obs = cfg.obs && fbf_obs::enabled();
@@ -405,20 +415,18 @@ impl Engine {
         const EV_WORKER: u8 = 1;
         scratch.reset(workers);
         let EngineScratch {
-            heap,
+            queue,
             next_op,
             gather_left,
             gather_floor,
             touched_disks,
         } = scratch;
-        heap.extend(
-            (0..workers)
-                .filter(|&w| !scripts[w].ops.is_empty())
-                .map(|w| Reverse((SimTime::ZERO, EV_WORKER, w))),
-        );
+        for w in (0..workers).filter(|&w| !scripts[w].ops.is_empty()) {
+            queue.push((SimTime::ZERO, EV_WORKER, w));
+        }
         let mut report = RunReport::default();
 
-        while let Some(Reverse((now, kind, id))) = heap.pop() {
+        while let Some((now, kind, id)) = queue.pop() {
             report.makespan = report.makespan.max(now);
             match kind {
                 EV_DISK_DONE => {
@@ -437,19 +445,15 @@ impl Engine {
                         // when its last outstanding chunk arrives.
                         gather_left[req.tag] -= 1;
                         if gather_left[req.tag] == 0 {
-                            heap.push(Reverse((
-                                now.max(gather_floor[req.tag]),
-                                EV_WORKER,
-                                req.tag,
-                            )));
+                            queue.push((now.max(gather_floor[req.tag]), EV_WORKER, req.tag));
                         }
                     } else {
                         // Plain blocking request: resume immediately.
-                        heap.push(Reverse((now, EV_WORKER, req.tag)));
+                        queue.push((now, EV_WORKER, req.tag));
                     }
                     // Keep the disk busy if more work is pending.
                     if let Some((_, done)) = disks[id].start_next(now) {
-                        heap.push(Reverse((done, EV_DISK_DONE, id)));
+                        queue.push((done, EV_DISK_DONE, id));
                     }
                 }
                 _ => {
@@ -466,7 +470,7 @@ impl Engine {
                                 // abandon the repair, let re-planning
                                 // handle it.
                                 report.faults.skipped_ops += 1;
-                                heap.push(Reverse((now, EV_WORKER, w)));
+                                queue.push((now, EV_WORKER, w));
                                 continue;
                             }
                             let cache_idx = match cfg.sharing {
@@ -480,7 +484,7 @@ impl Engine {
                                     report.read_latency.record(cfg.cache_hit_time);
                                     report.class_latency[scripts[w].class.index()]
                                         .record(cfg.cache_hit_time);
-                                    heap.push(Reverse((now + cfg.cache_hit_time, EV_WORKER, w)));
+                                    queue.push((now + cfg.cache_hit_time, EV_WORKER, w));
                                 }
                                 Lookup::Miss => {
                                     let disk = cfg.mapping.disk_of(chunk);
@@ -531,11 +535,11 @@ impl Engine {
                                             } else {
                                                 SimTime::ZERO
                                             };
-                                            heap.push(Reverse((
+                                            queue.push((
                                                 now + wasted + faults.retry.detect,
                                                 EV_WORKER,
                                                 w,
-                                            )));
+                                            ));
                                             continue;
                                         }
                                     }
@@ -554,13 +558,13 @@ impl Engine {
                                         delay,
                                     );
                                     if let Some((_, done)) = disks[disk].start_next(now) {
-                                        heap.push(Reverse((done, EV_DISK_DONE, disk)));
+                                        queue.push((done, EV_DISK_DONE, disk));
                                     }
                                 }
                             }
                         }
                         Op::Compute { duration } => {
-                            heap.push(Reverse((now + duration, EV_WORKER, w)));
+                            queue.push((now + duration, EV_WORKER, w));
                         }
                         Op::Gather { index } => {
                             let group = &scripts[w].gathers[index as usize];
@@ -624,7 +628,7 @@ impl Engine {
                                     } else {
                                         SimTime::ZERO
                                     };
-                                    heap.push(Reverse((now + wait, EV_WORKER, w)));
+                                    queue.push((now + wait, EV_WORKER, w));
                                     continue;
                                 }
                             }
@@ -677,7 +681,7 @@ impl Engine {
                             }
                             if misses == 0 {
                                 // Served entirely from cache.
-                                heap.push(Reverse((floor, EV_WORKER, w)));
+                                queue.push((floor, EV_WORKER, w));
                             } else {
                                 gather_left[w] = misses;
                                 gather_floor[w] = floor;
@@ -685,7 +689,7 @@ impl Engine {
                                 touched_disks.dedup();
                                 for &disk in touched_disks.iter() {
                                     if let Some((_, done)) = disks[disk].start_next(now) {
-                                        heap.push(Reverse((done, EV_DISK_DONE, disk)));
+                                        queue.push((done, EV_DISK_DONE, disk));
                                     }
                                 }
                             }
@@ -695,7 +699,7 @@ impl Engine {
                                 // Never write a spare chunk whose repair
                                 // inputs could not be read.
                                 report.faults.skipped_ops += 1;
-                                heap.push(Reverse((now, EV_WORKER, w)));
+                                queue.push((now, EV_WORKER, w));
                                 continue;
                             }
                             if faulting {
@@ -715,7 +719,7 @@ impl Engine {
                             let lba = cfg.mapping.spare_lba_of(chunk, cfg.data_stripes);
                             disks[disk].enqueue(w, lba, cfg.chunk_bytes, true, now);
                             if let Some((_, done)) = disks[disk].start_next(now) {
-                                heap.push(Reverse((done, EV_DISK_DONE, disk)));
+                                queue.push((done, EV_DISK_DONE, disk));
                             }
                         }
                     }

@@ -25,6 +25,7 @@ pub mod backend;
 pub mod buffer;
 pub mod disk;
 pub mod engine;
+pub mod equeue;
 pub mod fault;
 pub mod hist;
 pub mod sched;
@@ -38,6 +39,7 @@ pub use engine::{
     build_caches, CacheSharing, Engine, EngineConfig, EngineScratch, Op, ResponseStats, RunReport,
     WorkerScript,
 };
+pub use equeue::{CalendarQueue, Event, EventQueue};
 pub use fault::{
     DiskKill, FailedRead, FaultCounters, FaultDraw, FaultPlan, ReadFailure, RetryPolicy, SlowDisk,
 };

@@ -11,9 +11,10 @@
 
 use fbf_cache::PolicyKind;
 use fbf_codes::{Cell, ChunkId};
+use fbf_disksim::equeue::oracle::HeapQueue;
 use fbf_disksim::{
-    ArrayMapping, CacheSharing, DiskModel, DiskSched, Engine, EngineConfig, EngineScratch, Op,
-    SimTime, WorkerScript,
+    ArrayMapping, CacheSharing, DiskModel, DiskSched, Engine, EngineConfig, EngineScratch,
+    FaultPlan, Op, SimTime, WorkerScript,
 };
 
 fn chunk(stripe: u32, r: usize, c: usize) -> ChunkId {
@@ -121,6 +122,60 @@ fn dirty_scratch_is_equivalent_to_fresh_scratch() {
     let again = Engine::new(config(PolicyKind::Lru, 8, CacheSharing::Partitioned))
         .run_with_scratch(&ws, &mut scratch);
     assert_eq!(format!("{baseline:?}"), format!("{again:?}"));
+}
+
+/// The calendar event queue and the retained `BinaryHeap` oracle drive
+/// the engine to identical reports — every policy, both sharing modes.
+/// This is the whole-system form of the lockstep pop-order property in
+/// `equeue_diff.rs`, and the guarantee the fig8/fig9 CSV bit-identity
+/// criterion rests on.
+#[test]
+fn calendar_queue_matches_heap_queue() {
+    for policy in PolicyKind::ALL {
+        for sharing in [CacheSharing::Partitioned, CacheSharing::Shared] {
+            let ws = scripts(5, 70, 21);
+            let mut cal_scratch = EngineScratch::new();
+            let cal =
+                Engine::new(config(policy, 10, sharing)).run_with_scratch(&ws, &mut cal_scratch);
+            let mut heap_scratch = EngineScratch::<HeapQueue>::default();
+            let heap =
+                Engine::new(config(policy, 10, sharing)).run_with_scratch(&ws, &mut heap_scratch);
+            assert_eq!(
+                format!("{cal:?}"),
+                format!("{heap:?}"),
+                "{policy:?}/{sharing:?} diverged across event queues"
+            );
+        }
+    }
+}
+
+/// Queue equivalence must also hold under fault injection, where retry
+/// timers push events far from the monotone stream the wheel is tuned
+/// for (backoff schedules, detection delays, straggler inflation).
+#[test]
+fn calendar_queue_matches_heap_queue_under_faults() {
+    let faults = FaultPlan {
+        seed: 42,
+        media_per_mille: 5,
+        transient_per_mille: 40,
+        ..FaultPlan::none()
+    };
+    for salt in [3u64, 77, 901] {
+        let ws = scripts(6, 80, salt);
+        let cfg = || EngineConfig {
+            faults,
+            ..config(PolicyKind::Fbf, 12, CacheSharing::Partitioned)
+        };
+        let mut cal_scratch = EngineScratch::new();
+        let cal = Engine::new(cfg()).run_with_scratch(&ws, &mut cal_scratch);
+        let mut heap_scratch = EngineScratch::<HeapQueue>::default();
+        let heap = Engine::new(cfg()).run_with_scratch(&ws, &mut heap_scratch);
+        assert_eq!(
+            format!("{cal:?}"),
+            format!("{heap:?}"),
+            "salt {salt} diverged across event queues under faults"
+        );
+    }
 }
 
 /// `Engine::run` itself is deterministic (same scripts, same report) —

@@ -18,8 +18,9 @@ use crate::error::{ErrorGroup, StripeDamage};
 use crate::joint::JointRepair;
 use crate::priority::PriorityDictionary;
 use crate::scheme::{generate_for_cells, RecoveryScheme, SchemeError, SchemeKind};
+use fbf_codes::hash::FxHashMap;
 use fbf_codes::{Cell, StripeCode};
-use std::collections::HashMap;
+use std::borrow::Borrow;
 
 /// One stripe's repair plan: chain-by-chain (the normal case) or a joint
 /// decode (fallback when no chain ordering exists — see [`crate::joint`]).
@@ -45,11 +46,20 @@ impl StripePlan {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct Format(Vec<Cell>);
 
+/// Lets the memo be probed with a borrowed cell slice, so the hit path —
+/// the common case in a campaign — allocates nothing. Sound because
+/// `Vec<Cell>` hashes and compares exactly as its slice does.
+impl Borrow<[Cell]> for Format {
+    fn borrow(&self) -> &[Cell] {
+        &self.0
+    }
+}
+
 /// Scheme generator with format memoisation.
 pub struct RecoveryController<'a> {
     code: &'a StripeCode,
     kind: SchemeKind,
-    memo: HashMap<Format, RecoveryScheme>,
+    memo: FxHashMap<Format, RecoveryScheme>,
     hits: usize,
     misses: usize,
 }
@@ -60,7 +70,7 @@ impl<'a> RecoveryController<'a> {
         RecoveryController {
             code,
             kind,
-            memo: HashMap::new(),
+            memo: FxHashMap::default(),
             hits: 0,
             misses: 0,
         }
@@ -68,8 +78,7 @@ impl<'a> RecoveryController<'a> {
 
     /// Scheme for one stripe's damage, memoised by format.
     pub fn scheme_for(&mut self, damage: &StripeDamage) -> Result<RecoveryScheme, SchemeError> {
-        let format = Format(damage.cells.clone());
-        if let Some(template) = self.memo.get(&format) {
+        if let Some(template) = self.memo.get(damage.cells.as_slice()) {
             self.hits += 1;
             return Ok(RecoveryScheme {
                 stripe: damage.stripe,
@@ -80,7 +89,7 @@ impl<'a> RecoveryController<'a> {
         self.misses += 1;
         let scheme = generate_for_cells(self.code, damage.stripe, &damage.cells, self.kind)?;
         self.memo.insert(
-            format,
+            Format(damage.cells.clone()),
             RecoveryScheme {
                 stripe: 0, // template; restamped on reuse
                 kind: scheme.kind,

@@ -31,6 +31,12 @@ pub struct ExecConfig {
     /// so the latency attribution separates first-pass repair from
     /// re-planned retries.
     pub class: RequestClass,
+    /// Stripes decoded per data-plane batch round (`run_planned_on`
+    /// gathers all of a batch's chunk reads, then runs one XOR kernel pass
+    /// per stripe). Script lowering ignores it — the engine charges XOR as
+    /// virtual [`Op::Compute`] time either way — but it rides along here
+    /// so the executor and the simulator are shaped by one config.
+    pub decode_batch: usize,
 }
 
 impl Default for ExecConfig {
@@ -40,6 +46,7 @@ impl Default for ExecConfig {
             // 32 KB XOR at a conservative 4 GB/s.
             xor_time_per_chunk: SimTime::from_micros(8),
             class: RequestClass::Recovery,
+            decode_batch: 8,
         }
     }
 }

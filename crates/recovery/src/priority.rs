@@ -15,14 +15,14 @@
 //! application reads during recovery) default to priority 1.
 
 use crate::scheme::RecoveryScheme;
+use fbf_codes::hash::FxHashMap;
 use fbf_codes::{Cell, ChunkId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Priorities for every chunk the schemes will touch.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PriorityDictionary {
-    map: HashMap<ChunkId, u8>,
+    map: FxHashMap<ChunkId, u8>,
 }
 
 impl PriorityDictionary {
@@ -49,7 +49,7 @@ impl PriorityDictionary {
 
     /// Merge one scheme's share counts in.
     pub fn add_scheme(&mut self, scheme: &RecoveryScheme) {
-        for (cell, count) in scheme.share_counts() {
+        for (cell, count) in scheme.share_count_list() {
             let chunk = ChunkId::new(scheme.stripe, cell);
             let prio = priority_for_count(count);
             // A chunk shared across schemes keeps its highest priority.

@@ -20,10 +20,10 @@
 //! in the buffer by then).
 
 use crate::error::PartialStripeError;
+use fbf_codes::hash::FxHashSet;
 use fbf_codes::repair::{best_per_direction, RepairOption};
 use fbf_codes::{Cell, Direction, StripeCode};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// Which scheme generator to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -102,10 +102,21 @@ impl RecoveryScheme {
     /// How many times each surviving cell is read across all repairs — the
     /// share counts that become FBF priorities.
     pub fn share_counts(&self) -> std::collections::HashMap<Cell, usize> {
-        let mut counts = std::collections::HashMap::new();
+        self.share_count_list().into_iter().collect()
+    }
+
+    /// [`share_counts`](Self::share_counts) as a vector in first-read
+    /// order. A scheme touches a few dozen cells at most, so a linear-scan
+    /// count beats a hash map and allocates once; the priority dictionary
+    /// merges thousands of these per campaign.
+    pub fn share_count_list(&self) -> Vec<(Cell, usize)> {
+        let mut counts: Vec<(Cell, usize)> = Vec::new();
         for repair in &self.repairs {
             for &cell in &repair.option.reads {
-                *counts.entry(cell).or_insert(0) += 1;
+                match counts.iter_mut().find(|(c, _)| *c == cell) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((cell, 1)),
+                }
             }
         }
         counts
@@ -114,7 +125,7 @@ impl RecoveryScheme {
     /// Number of *distinct* chunks the scheme fetches (what an ideal
     /// infinite cache would read from disk).
     pub fn unique_reads(&self) -> usize {
-        self.share_counts().len()
+        self.share_count_list().len()
     }
 
     /// Total read references including re-reads of shared chunks (what a
@@ -146,9 +157,8 @@ pub fn generate_for_cells(
     lost: &[Cell],
     kind: SchemeKind,
 ) -> Result<RecoveryScheme, SchemeError> {
-    let lost = lost.to_vec();
     let repairs = match kind {
-        SchemeKind::Typical => plan(code, &lost, |i, menu, _| {
+        SchemeKind::Typical => plan(code, lost, |i, menu, _| {
             // Horizontal if available, else first available family.
             let _ = i;
             pick_in_order(
@@ -160,7 +170,7 @@ pub fn generate_for_cells(
                 ],
             )
         }),
-        SchemeKind::FbfCycling => plan(code, &lost, |i, menu, _| {
+        SchemeKind::FbfCycling => plan(code, lost, |i, menu, _| {
             // Cycle H, D, A by position within the error run.
             let start = i % 3;
             let order = [
@@ -170,7 +180,7 @@ pub fn generate_for_cells(
             ];
             pick_in_order(menu, order)
         }),
-        SchemeKind::Greedy => plan(code, &lost, |_, menu, scheduled| {
+        SchemeKind::Greedy => plan(code, lost, |_, menu, scheduled| {
             // Fewest new chunks beyond what is already scheduled for read.
             menu.iter()
                 .flatten()
@@ -200,16 +210,20 @@ fn plan<F>(
     mut chooser: F,
 ) -> Result<Vec<ChunkRepair>, SchemeError>
 where
-    F: FnMut(usize, &[Option<RepairOption>; 3], &HashSet<Cell>) -> Option<RepairOption>,
+    F: FnMut(usize, &[Option<RepairOption>; 3], &FxHashSet<Cell>) -> Option<RepairOption>,
 {
     let mut remaining: Vec<(usize, Cell)> = lost.iter().copied().enumerate().collect();
     let mut repairs = Vec::with_capacity(lost.len());
-    let mut scheduled: HashSet<Cell> = HashSet::new();
+    let mut scheduled: FxHashSet<Cell> = FxHashSet::default();
+    let mut still_lost: Vec<Cell> = Vec::with_capacity(lost.len());
 
     while !remaining.is_empty() {
+        // The still-lost set is fixed for the round; build it once instead
+        // of per candidate.
+        still_lost.clear();
+        still_lost.extend(remaining.iter().map(|&(_, c)| c));
         let mut picked: Option<(usize, ChunkRepair)> = None;
         for (slot, &(pos, target)) in remaining.iter().enumerate() {
-            let still_lost: Vec<Cell> = remaining.iter().map(|&(_, c)| c).collect();
             let menu = best_per_direction(code, target, &still_lost);
             if let Some(option) = chooser(pos, &menu, &scheduled) {
                 picked = Some((slot, ChunkRepair { target, option }));
@@ -309,8 +323,8 @@ mod tests {
             let c = code(CodeSpec::TripleStar, 7);
             let e = error(&c, 2, 1, 5);
             let s = generate(&c, &e, kind).unwrap();
-            let mut recovered: HashSet<Cell> = HashSet::new();
-            let lost: HashSet<Cell> = e.cells().into_iter().collect();
+            let mut recovered: FxHashSet<Cell> = FxHashSet::default();
+            let lost: FxHashSet<Cell> = e.cells().into_iter().collect();
             for r in &s.repairs {
                 for read in &r.option.reads {
                     assert!(

@@ -1,11 +1,11 @@
 //! Partial-stripe error campaign generation (§IV-A's synthetic traces).
 
+use fbf_codes::hash::FxHashSet;
 use fbf_codes::StripeCode;
 use fbf_recovery::{ErrorGroup, PartialStripeError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// Distribution of error run lengths (in chunks).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -85,7 +85,8 @@ pub fn generate_errors(code: &StripeCode, cfg: &ErrorGenConfig) -> ErrorGroup {
     let rows = code.rows();
     let max_len = rows; // p - 1 chunks
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut used: HashSet<u32> = HashSet::with_capacity(cfg.count);
+    let mut used: FxHashSet<u32> =
+        FxHashSet::with_capacity_and_hasher(cfg.count, Default::default());
     let mut group = ErrorGroup::new();
     let mut last_stripe: Option<u32> = None;
 
@@ -156,7 +157,7 @@ mod tests {
         let cfg = ErrorGenConfig::paper_default(1000, 200, 42);
         let g = generate_errors(&code(), &cfg);
         assert_eq!(g.len(), 200);
-        let stripes: HashSet<u32> = g.errors.iter().map(|e| e.stripe).collect();
+        let stripes: FxHashSet<u32> = g.errors.iter().map(|e| e.stripe).collect();
         assert_eq!(stripes.len(), 200, "one error per stripe");
     }
 
@@ -268,7 +269,7 @@ mod tests {
         let damages = g.damage_by_stripe();
         assert_eq!(damages.len(), 100);
         for d in &damages {
-            let cols: HashSet<u16> = d.cells.iter().map(|c| c.col).collect();
+            let cols: FxHashSet<u16> = d.cells.iter().map(|c| c.col).collect();
             assert_eq!(
                 cols.len(),
                 2,

@@ -270,6 +270,7 @@ fn parse_kv(args: &[String]) -> Result<ExperimentConfigBuilder, i32> {
             "stripes" => v.parse().ok().map(|s| builder.stripes(s)),
             "errors" => v.parse().ok().map(|e| builder.error_count(e)),
             "workers" => v.parse().ok().map(|w| builder.workers(w)),
+            "decode_batch" => v.parse().ok().map(|d| builder.decode_batch(d)),
             "seed" => v.parse().ok().map(|s| builder.seed(s)),
             "gen_threads" => v.parse().ok().map(|g| builder.gen_threads(g)),
             // Fault injection (all optional; any one activates the plan).

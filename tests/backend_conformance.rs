@@ -15,7 +15,7 @@
 use fbf::core::PlannedCampaign;
 use fbf::{
     file_backend_for, run_experiment, run_planned_on, sim_backend_for, ChunkId, ExperimentConfig,
-    PlanSource, PolicyKind, StorageBackend, StripeCode,
+    FaultPlan, PlanSource, PolicyKind, StorageBackend, StripeCode,
 };
 use std::path::PathBuf;
 
@@ -78,6 +78,94 @@ fn sim_and_file_backends_agree_with_the_engine() {
                 "{policy:?}/{label}"
             );
         }
+    }
+}
+
+/// The batch size is a pure throughput knob: every `decode_batch`
+/// setting must produce the same `Metrics` as the engine, because the
+/// per-cache-slice access order is unchanged — batches span *distinct*
+/// partitioned slices and rounds preserve intra-scheme repair order.
+#[test]
+fn decode_batch_sizes_all_match_the_engine() {
+    for policy in [PolicyKind::Fbf, PolicyKind::Lru] {
+        let engine = run_experiment(&small(policy)).unwrap();
+        for batch in [1usize, 3, 8, 64] {
+            let cfg = ExperimentConfig {
+                decode_batch: batch,
+                ..small(policy)
+            };
+            let plan = PlannedCampaign::cold(&cfg).unwrap();
+            let mut sim = sim_backend_for(&cfg, &plan).unwrap();
+            let m = run_planned_on(&cfg, &plan, PlanSource::Cold, &mut sim).unwrap();
+            assert_eq!(m.disk_reads, engine.disk_reads, "{policy:?}/batch={batch}");
+            assert_eq!(
+                m.disk_writes, engine.disk_writes,
+                "{policy:?}/batch={batch}"
+            );
+            assert_eq!(m.hit_ratio, engine.hit_ratio, "{policy:?}/batch={batch}");
+            assert_eq!(
+                m.stripes_repaired, engine.stripes_repaired,
+                "{policy:?}/batch={batch}"
+            );
+            assert_eq!(
+                m.chunks_recovered, engine.chunks_recovered,
+                "{policy:?}/batch={batch}"
+            );
+        }
+    }
+}
+
+/// Batch-size invariance must survive fault injection: abandoned
+/// schemes, retry accounting, and skipped-op counts are tracked
+/// per-scheme inside a round-based loop and must not shift with the
+/// batch size. The oracle here is the batch-of-1 *backend* run, not the
+/// engine — under faults the data plane deliberately stays single-pass
+/// (a hard failure abandons the stripe) while the engine re-plans on its
+/// virtual clock, so their read counts legitimately differ (see the
+/// `backend_run` module docs).
+#[test]
+fn decode_batch_sizes_agree_under_faults() {
+    let faulted = |batch: usize| ExperimentConfig {
+        decode_batch: batch,
+        faults: FaultPlan {
+            seed: 7,
+            media_per_mille: 12,
+            transient_per_mille: 60,
+            ..FaultPlan::none()
+        },
+        ..small(PolicyKind::Fbf)
+    };
+    let run = |batch: usize| {
+        let cfg = faulted(batch);
+        let plan = PlannedCampaign::cold(&cfg).unwrap();
+        let mut sim = sim_backend_for(&cfg, &plan).unwrap();
+        run_planned_on(&cfg, &plan, PlanSource::Cold, &mut sim).unwrap()
+    };
+    let oracle = run(1);
+    assert!(
+        oracle.faults.media_errors + oracle.faults.transient_faults > 0,
+        "fault plan injected nothing; the test is vacuous"
+    );
+    assert!(
+        oracle.faults.skipped_ops > 0,
+        "no stripe was abandoned; the abandonment accounting is untested"
+    );
+    for batch in [3usize, 8, 64] {
+        let m = run(batch);
+        assert_eq!(m.disk_reads, oracle.disk_reads, "batch={batch}");
+        assert_eq!(m.disk_writes, oracle.disk_writes, "batch={batch}");
+        assert_eq!(m.hit_ratio, oracle.hit_ratio, "batch={batch}");
+        assert_eq!(m.stripes_repaired, oracle.stripes_repaired, "batch={batch}");
+        assert_eq!(m.chunks_recovered, oracle.chunks_recovered, "batch={batch}");
+        assert_eq!(
+            m.faults.skipped_ops, oracle.faults.skipped_ops,
+            "batch={batch}"
+        );
+        assert_eq!(
+            m.faults.media_errors, oracle.faults.media_errors,
+            "batch={batch}"
+        );
+        assert_eq!(m.faults.retries, oracle.faults.retries, "batch={batch}");
     }
 }
 
