@@ -424,6 +424,44 @@ fn main() {
     ));
     fbf_obs::uninstall();
 
+    // The flight-recorder guard, both sides. Disabled: the engine obs
+    // workload with neither subscriber nor recorder installed — events
+    // die at the same relaxed-load gate as `obs_span_disabled`, so the
+    // ratio against `engine_run_8x` must stay ≈ 1.0x. Enabled: the ring
+    // alone (no subscriber), bounding what always-on capture adds; the
+    // acceptance bar is ≤ 1.05x against `engine_run_8x_obs` (bench.sh
+    // prints both ratios).
+    benches.push(measure(
+        "obs_ring_disabled",
+        2,
+        scale.min(20),
+        events,
+        || {
+            let cfg = EngineConfig {
+                obs: true,
+                ..engine_cfg()
+            };
+            let report = Engine::new(cfg).run_with_scratch(&scripts, &mut scratch);
+            std::hint::black_box(report.makespan);
+        },
+    ));
+    fbf_obs::ring::install_default();
+    benches.push(measure(
+        "obs_ring_enabled",
+        2,
+        scale.min(20),
+        events,
+        || {
+            let cfg = EngineConfig {
+                obs: true,
+                ..engine_cfg()
+            };
+            let report = Engine::new(cfg).run_with_scratch(&scripts, &mut scratch);
+            std::hint::black_box(report.makespan);
+        },
+    ));
+    fbf_obs::ring::uninstall();
+
     // One Fig. 8-shaped end-to-end point (plan + simulate), env-scaled.
     let e2e_cfg = ExperimentConfig::builder()
         .policy(PolicyKind::Fbf)

@@ -129,6 +129,8 @@ const NOISE_MODEL: &[(&str, f64, f64)] = &[
     ("calendar_queue_churn", 1.6, 4.0),
     ("binary_heap_churn", 1.6, 4.0),
     ("decode_batch_8x", 2.0, 6.0),
+    ("obs_ring_enabled", 1.6, 4.0),
+    ("obs_ring_disabled", 1.6, 4.0),
 ];
 
 /// Tolerance for one bench: the per-bench noise-model entry (or the

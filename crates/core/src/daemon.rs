@@ -23,9 +23,23 @@
 //! | `status`    | `job`                                        | `state`, `metrics` when done |
 //! | `jobs`      | —                                            | array of `{job, state}` |
 //! | `read`      | `job`, `stripe`, `row`, `col`                | chunk length + FNV-1a digest |
-//! | `metrics`   | —                                            | Prometheus text of finished jobs |
+//! | `metrics`   | —                                            | Prometheus text: finished jobs + live `fbf_jobs_*` gauges |
+//! | `stat`      | —                                            | live introspection: job states, per-job progress, merged class latency |
+//! | `dump`      | —                                            | snapshot the flight recorder, reply with its JSONL |
 //! | `subscribe` | —                                            | stream of `{"event": <chrome line>}` frames |
 //! | `shutdown`  | —                                            | ack, then the daemon exits |
+//!
+//! # Causal tracing and the flight recorder
+//!
+//! Every `repair` request is minted a trace id (or adopts the client's
+//! `trace_id` field), echoed in the reply as `trace`. The worker
+//! activates it for the whole execution under a `daemon/repair` root
+//! span, so every event the job emits — plan, engine run, decode
+//! batches, escalation rounds — carries the request's ids and
+//! `check_trace.py --flows` reassembles one tree per request. `serve`
+//! also installs an always-on flight recorder
+//! ([`fbf_obs::FlightRecorder`]); `dump` (or a `DataLoss`/SLO-breach
+//! trigger) snapshots it for post-mortems.
 //!
 //! The `read` command serves from the job's retained [`StorageBackend`]
 //! (repaired chunks come from the spare area), so a client can verify
@@ -35,12 +49,13 @@
 use crate::backend_run::{file_backend_for, run_planned_on, sim_backend_for};
 use crate::config::ExperimentConfig;
 use crate::json::Json;
-use crate::metrics::{Metrics, METRICS_SCHEMA_VERSION};
+use crate::metrics::{ClassLatency, Metrics, METRICS_SCHEMA_VERSION};
 use crate::plan::{PlanSource, PlanStore, PlannedCampaign};
-use crate::runner::run_planned_with_scratch;
+use crate::progress::Progress;
+use crate::runner::run_planned_observed;
 use crate::sweep::SweepPoint;
 use fbf_codes::{Cell, ChunkId, StripeCode};
-use fbf_disksim::{EngineScratch, StorageBackend};
+use fbf_disksim::{EngineScratch, Histogram, RequestClass, StorageBackend};
 use fbf_obs::BridgeSubscriber;
 use std::collections::HashMap;
 use std::io::{self, ErrorKind, Read, Write};
@@ -50,7 +65,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Protocol revision spoken by this daemon (bumped on breaking changes).
 pub const PROTOCOL_VERSION: u64 = 1;
@@ -188,6 +203,11 @@ struct Job {
     metrics: Option<Metrics>,
     /// Retained after completion so `read` can serve repaired chunks.
     backend: Option<Box<dyn StorageBackend>>,
+    /// The request's trace id (minted or client-supplied); every event
+    /// the job emits carries it.
+    trace: u64,
+    /// Live escalation counters the worker publishes mid-job (`stat`).
+    progress: Arc<Progress>,
 }
 
 struct Ctx {
@@ -196,6 +216,10 @@ struct Ctx {
     queue: mpsc::Sender<u64>,
     next_id: AtomicU64,
     bridge: Arc<BridgeSubscriber>,
+    /// Worker-pool size (`stat` reports busy/total).
+    workers: usize,
+    /// When `serve` started (`stat` reports uptime).
+    started: Instant,
 }
 
 /// A running daemon: join it via [`DaemonHandle::shutdown`].
@@ -342,9 +366,14 @@ pub fn serve(addr: &ServerAddr, opts: DaemonOptions) -> io::Result<DaemonHandle>
     listener.set_nonblocking(true)?;
 
     let bridge = Arc::new(BridgeSubscriber::new());
-    if !fbf_obs::enabled() {
+    if !fbf_obs::has_subscriber() {
         fbf_obs::install(bridge.clone());
     }
+    // Always-on flight recorder: post-mortems of faulted jobs need no
+    // pre-enabled tracing. Kept if one is already installed (tests), and
+    // deliberately never uninstalled on shutdown — rings are per-process
+    // and a later daemon in the same process reuses them.
+    fbf_obs::ring::install_default();
 
     let shutdown = Arc::new(AtomicBool::new(false));
     let (queue_tx, queue_rx) = mpsc::channel::<u64>();
@@ -354,6 +383,8 @@ pub fn serve(addr: &ServerAddr, opts: DaemonOptions) -> io::Result<DaemonHandle>
         queue: queue_tx,
         next_id: AtomicU64::new(1),
         bridge,
+        workers: opts.workers.max(1),
+        started: Instant::now(),
     });
 
     let queue_rx = Arc::new(Mutex::new(queue_rx));
@@ -405,7 +436,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<u64>>, ctx: &Ctx, store: &PlanStore) {
                 Err(mpsc::RecvTimeoutError::Disconnected) => return,
             }
         };
-        let Some((cfg, backend_kind, dir, errors)) = ({
+        let Some((cfg, backend_kind, dir, errors, trace, progress)) = ({
             let mut jobs = ctx.jobs.lock().unwrap_or_else(|p| p.into_inner());
             jobs.get_mut(&job_id).map(|job| {
                 job.state = JobState::Running;
@@ -414,11 +445,17 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<u64>>, ctx: &Ctx, store: &PlanStore) {
                     job.backend_kind.clone(),
                     job.dir.clone(),
                     job.errors.take(),
+                    job.trace,
+                    Arc::clone(&job.progress),
                 )
             })
         }) else {
             continue;
         };
+        // Activate the request's trace for everything this job emits; the
+        // daemon/repair span is the request tree's single root.
+        let trace_guard = fbf_obs::with_trace(trace);
+        let root = fbf_obs::span("daemon", "repair");
         fbf_obs::instant(
             "daemon",
             "job-start",
@@ -427,7 +464,16 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<u64>>, ctx: &Ctx, store: &PlanStore) {
                 ("backend", fbf_obs::Value::Str(&backend_kind)),
             ],
         );
-        let outcome = execute_job(&cfg, &backend_kind, dir, errors, store, &mut scratch);
+        let outcome = execute_job(
+            &cfg,
+            &backend_kind,
+            dir,
+            errors,
+            store,
+            &mut scratch,
+            &progress,
+        );
+        let failed = outcome.is_err();
         let mut jobs = ctx.jobs.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(job) = jobs.get_mut(&job_id) {
             match outcome {
@@ -441,11 +487,17 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<u64>>, ctx: &Ctx, store: &PlanStore) {
         }
         drop(jobs);
         fbf_obs::instant("daemon", "job-end", &[("job", fbf_obs::Value::U64(job_id))]);
+        root.end_with(&[
+            ("job", fbf_obs::Value::U64(job_id)),
+            ("failed", fbf_obs::Value::U64(u64::from(failed))),
+        ]);
+        drop(trace_guard);
     }
 }
 
 type JobOutcome = Result<(Metrics, Option<Box<dyn StorageBackend>>), String>;
 
+#[allow(clippy::too_many_arguments)]
 fn execute_job(
     cfg: &ExperimentConfig,
     backend_kind: &str,
@@ -453,6 +505,7 @@ fn execute_job(
     errors: Option<fbf_recovery::ErrorGroup>,
     store: &PlanStore,
     scratch: &mut EngineScratch,
+    progress: &Progress,
 ) -> JobOutcome {
     cfg.validate().map_err(|e| e.to_string())?;
     // Trace-supplied campaigns bypass the plan store (their errors are
@@ -465,7 +518,10 @@ fn execute_job(
         None => store.plan(cfg).map_err(|e| e.to_string())?,
     };
     match backend_kind {
-        "engine" => Ok((run_planned_with_scratch(cfg, &plan, source, scratch), None)),
+        "engine" => Ok((
+            run_planned_observed(cfg, &plan, source, scratch, Some(progress)),
+            None,
+        )),
         "sim" => {
             let mut backend = sim_backend_for(cfg, &plan).map_err(|e| e.to_string())?;
             let metrics =
@@ -573,6 +629,8 @@ fn dispatch(cmd: &str, req: &Json, ctx: &Ctx) -> Json {
         "jobs" => cmd_jobs(ctx),
         "read" => cmd_read(req, ctx),
         "metrics" => cmd_metrics(ctx),
+        "stat" => cmd_stat(ctx),
+        "dump" => cmd_dump(),
         "" => err_reply("missing cmd field"),
         other => err_reply(&format!("unknown cmd `{other}`")),
     }
@@ -661,6 +719,13 @@ fn cmd_repair(req: &Json, ctx: &Ctx) -> Json {
         None => None,
     };
 
+    // Adopt the client's trace id when it sent one (load generators stamp
+    // their own so client-side and daemon-side events correlate); mint
+    // otherwise. Either way the reply echoes it.
+    let trace = match req.get("trace_id").and_then(Json::as_u64) {
+        Some(t) if t != 0 => t,
+        _ => fbf_obs::next_trace_id(),
+    };
     let id = ctx.next_id.fetch_add(1, Ordering::Relaxed);
     ctx.jobs.lock().unwrap_or_else(|p| p.into_inner()).insert(
         id,
@@ -672,12 +737,17 @@ fn cmd_repair(req: &Json, ctx: &Ctx) -> Json {
             state: JobState::Queued,
             metrics: None,
             backend: None,
+            trace,
+            progress: Arc::new(Progress::new()),
         },
     );
     if ctx.queue.send(id).is_err() {
         return err_reply("daemon is shutting down");
     }
-    ok_reply([("job", Json::Num(id as f64))])
+    ok_reply([
+        ("job", Json::Num(id as f64)),
+        ("trace", Json::Num(trace as f64)),
+    ])
 }
 
 fn cmd_status(req: &Json, ctx: &Ctx) -> Json {
@@ -751,6 +821,49 @@ fn cmd_read(req: &Json, ctx: &Ctx) -> Json {
     }
 }
 
+/// Per-state job counts at one instant: `[queued, running, done, failed]`.
+fn job_state_counts(jobs: &HashMap<u64, Job>) -> [u64; 4] {
+    let mut counts = [0u64; 4];
+    for job in jobs.values() {
+        let i = match job.state {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Failed(_) => 3,
+        };
+        counts[i] += 1;
+    }
+    counts
+}
+
+/// Render the live-state gauges (`fbf_jobs_running`, `fbf_jobs_total`,
+/// `fbf_workers_busy`) as Prometheus text, appended to the finished-job
+/// snapshot by `cmd_metrics`.
+fn jobs_gauges(counts: [u64; 4], workers: usize) -> String {
+    let [queued, running, done, failed] = counts;
+    let mut out = String::with_capacity(512);
+    out.push_str("# HELP fbf_jobs_running Repair jobs a worker is executing right now.\n");
+    out.push_str("# TYPE fbf_jobs_running gauge\n");
+    out.push_str(&format!("fbf_jobs_running {running}\n"));
+    out.push_str("# HELP fbf_jobs_total Jobs the daemon has accepted, by lifecycle state.\n");
+    out.push_str("# TYPE fbf_jobs_total gauge\n");
+    for (state, n) in [
+        ("queued", queued),
+        ("running", running),
+        ("done", done),
+        ("failed", failed),
+    ] {
+        out.push_str(&format!("fbf_jobs_total{{state=\"{state}\"}} {n}\n"));
+    }
+    out.push_str("# HELP fbf_workers_busy Worker threads executing a job, out of the pool.\n");
+    out.push_str("# TYPE fbf_workers_busy gauge\n");
+    out.push_str(&format!(
+        "fbf_workers_busy {}\n",
+        running.min(workers as u64)
+    ));
+    out
+}
+
 fn cmd_metrics(ctx: &Ctx) -> Json {
     let jobs = ctx.jobs.lock().unwrap_or_else(|p| p.into_inner());
     let points: Vec<SweepPoint> = jobs
@@ -762,12 +875,110 @@ fn cmd_metrics(ctx: &Ctx) -> Json {
             })
         })
         .collect();
+    let counts = job_state_counts(&jobs);
+    drop(jobs);
+    // The histogram/counter snapshot only covers *finished* jobs (their
+    // metrics are immutable); the appended fbf_jobs_*/fbf_workers_busy
+    // gauges cover live state, so a mid-job scrape still moves.
+    let mut text = crate::prom::prometheus_snapshot(&points);
+    text.push_str(&jobs_gauges(counts, ctx.workers));
     ok_reply([
         ("completed", Json::Num(points.len() as f64)),
+        ("running", Json::Num(counts[1] as f64)),
+        ("queued", Json::Num(counts[0] as f64)),
         (
-            "prometheus",
-            Json::Str(crate::prom::prometheus_snapshot(&points)),
+            "coverage",
+            Json::Str(
+                "histograms cover finished jobs only; fbf_jobs_* gauges cover live state"
+                    .to_string(),
+            ),
         ),
+        ("prometheus", Json::Str(text)),
+    ])
+}
+
+/// Live introspection: job-state gauges, per-job progress (trace id,
+/// escalation rounds/replans/faults so far), and per-class latency
+/// summaries merged across every finished job's digests.
+fn cmd_stat(ctx: &Ctx) -> Json {
+    let jobs = ctx.jobs.lock().unwrap_or_else(|p| p.into_inner());
+    let counts = job_state_counts(&jobs);
+    let mut ids: Vec<u64> = jobs.keys().copied().collect();
+    ids.sort_unstable();
+    let mut merged: [Histogram; RequestClass::COUNT] = Default::default();
+    let job_list: Vec<Json> = ids
+        .iter()
+        .map(|id| {
+            let job = &jobs[id];
+            let p = job.progress.snapshot();
+            let mut fields = vec![
+                ("job", Json::Num(*id as f64)),
+                ("state", Json::Str(job.state.name().to_string())),
+                ("backend", Json::Str(job.backend_kind.clone())),
+                ("trace", Json::Num(job.trace as f64)),
+                ("rounds", Json::Num(p.rounds as f64)),
+                ("replans", Json::Num(p.replans as f64)),
+                ("faults", Json::Num(p.faults as f64)),
+                ("stripes_lost", Json::Num(p.stripes_lost as f64)),
+            ];
+            if let Some(m) = &job.metrics {
+                for (t, d) in merged.iter_mut().zip(&m.class_digests) {
+                    t.merge(d);
+                }
+                fields.push(("hit_ratio", Json::Num(m.hit_ratio)));
+                fields.push(("disk_reads", Json::Num(m.disk_reads as f64)));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    drop(jobs);
+    let classes: Vec<(&'static str, Json)> = RequestClass::ALL
+        .iter()
+        .map(|c| {
+            let l = ClassLatency::from_histogram(&merged[c.index()]);
+            (
+                c.name(),
+                Json::obj([
+                    ("count", Json::Num(l.count as f64)),
+                    ("p50_ms", Json::Num(l.p50_ms)),
+                    ("p90_ms", Json::Num(l.p90_ms)),
+                    ("p99_ms", Json::Num(l.p99_ms)),
+                    ("p999_ms", Json::Num(l.p999_ms)),
+                ]),
+            )
+        })
+        .collect();
+    let [queued, running, done, failed] = counts;
+    ok_reply([
+        ("uptime_s", Json::Num(ctx.started.elapsed().as_secs_f64())),
+        ("workers", Json::Num(ctx.workers as f64)),
+        (
+            "workers_busy",
+            Json::Num(running.min(ctx.workers as u64) as f64),
+        ),
+        ("queue_depth", Json::Num(queued as f64)),
+        ("jobs_running", Json::Num(running as f64)),
+        ("jobs_done", Json::Num(done as f64)),
+        ("jobs_failed", Json::Num(failed as f64)),
+        ("jobs", Json::Arr(job_list)),
+        ("class_latency", Json::obj(classes)),
+    ])
+}
+
+/// Snapshot the flight recorder and return its normalized JSONL inline
+/// (the ring is bounded, so the dump always fits a frame).
+fn cmd_dump() -> Json {
+    if fbf_obs::ring::recorder().is_none() {
+        return err_reply("no flight recorder installed");
+    }
+    let events = fbf_obs::ring::trigger_dump("client-dump");
+    let Some((reason, lines)) = fbf_obs::ring::last_dump() else {
+        return err_reply("flight recorder produced no dump");
+    };
+    ok_reply([
+        ("reason", Json::Str(reason)),
+        ("events", Json::Num(events as f64)),
+        ("jsonl", Json::Str(lines.concat())),
     ])
 }
 

@@ -29,6 +29,7 @@
 
 use crate::config::ExperimentConfig;
 use crate::plan::PlannedCampaign;
+use crate::progress::Progress;
 use fbf_codes::StripeCode;
 use fbf_disksim::{
     ArrayMapping, Engine, EngineConfig, EngineScratch, FaultPlan, RunReport, SimTime, WorkerScript,
@@ -144,6 +145,22 @@ pub fn execute_faulted(
     plan: &PlannedCampaign,
     scratch: &mut EngineScratch,
 ) -> FaultedOutcome {
+    execute_faulted_observed(cfg, plan, scratch, None)
+}
+
+/// [`execute_faulted`] that additionally publishes live round/fault
+/// counters into `progress` (the daemon's `stat` reads them mid-job) and
+/// emits a `faulted/round` instant per escalation round. A non-empty
+/// data-loss verdict triggers a flight-recorder dump
+/// ([`fbf_obs::ring::trigger_dump`], reason `data-loss`) so the events
+/// leading up to the loss survive for post-mortem without pre-enabled
+/// tracing.
+pub fn execute_faulted_observed(
+    cfg: &ExperimentConfig,
+    plan: &PlannedCampaign,
+    scratch: &mut EngineScratch,
+    progress: Option<&Progress>,
+) -> FaultedOutcome {
     let code = StripeCode::build(cfg.code, cfg.p).expect("plan was built with this code/p");
     let mut escalator = Escalator::new(&code, cfg.scheme, &plan.errors);
     let mut final_plans: BTreeMap<u32, StripePlan> = plan
@@ -169,16 +186,43 @@ pub fn execute_faulted(
         decode_batch: cfg.decode_batch,
         ..Default::default()
     };
+    let obs = cfg.obs && fbf_obs::enabled();
     let mut data_loss = Vec::new();
+    if let Some(p) = progress {
+        p.record(0, 0, total.faults.hard_failures(), 0);
+    }
     while !pending.is_empty() && escalator.rounds() < MAX_ROUNDS {
         let absorbed = escalator.absorb(&pending);
         for dl in &absorbed.data_loss {
             final_plans.remove(&dl.stripe);
         }
         data_loss.extend(absorbed.data_loss);
+        let publish = |total: &RunReport| {
+            if let Some(p) = progress {
+                p.record(
+                    escalator.rounds(),
+                    escalator.replans(),
+                    total.faults.hard_failures(),
+                    data_loss.len() as u64,
+                );
+            }
+            if obs {
+                fbf_obs::instant(
+                    "faulted",
+                    "round",
+                    &[
+                        ("round", fbf_obs::Value::U64(escalator.rounds())),
+                        ("replans", fbf_obs::Value::U64(escalator.replans())),
+                        ("faults", fbf_obs::Value::U64(total.faults.hard_failures())),
+                        ("lost", fbf_obs::Value::U64(data_loss.len() as u64)),
+                    ],
+                );
+            }
+        };
         if absorbed.replans.is_empty() {
             // Every failure this round was on a stripe now declared (or
             // already) lost — nothing left to retry.
+            publish(&total);
             break;
         }
         let scripts = build_scripts_from_plans(&absorbed.replans, &absorbed.dictionary, &exec_cfg);
@@ -188,6 +232,19 @@ pub fn execute_faulted(
         let round = run(&scripts, later, scratch);
         pending = round.failed_reads.clone();
         merge_round(&mut total, &round);
+        publish(&total);
+    }
+    if !data_loss.is_empty() {
+        // Mark the loss in the event stream (so the dump's last events
+        // explain themselves), then snapshot the flight recorder.
+        if obs {
+            fbf_obs::instant(
+                "faulted",
+                "data-loss",
+                &[("stripes", fbf_obs::Value::U64(data_loss.len() as u64))],
+            );
+        }
+        fbf_obs::ring::trigger_dump("data-loss");
     }
 
     let surviving_damage = escalator.surviving_damage();

@@ -41,6 +41,7 @@ pub mod faulted;
 pub mod json;
 pub mod metrics;
 pub mod plan;
+pub mod progress;
 pub mod prom;
 pub mod reliability;
 pub mod report;
@@ -56,13 +57,16 @@ pub use config::{
 pub use daemon::{
     serve, ClientStream, DaemonClient, DaemonHandle, DaemonOptions, JobState, ServerAddr,
 };
-pub use faulted::{execute_faulted, FaultedOutcome};
+pub use faulted::{execute_faulted, execute_faulted_observed, FaultedOutcome};
 pub use json::{Json, JsonError};
 pub use metrics::{ClassLatency, ClassVerdict, Metrics, SloVerdict, METRICS_SCHEMA_VERSION};
 pub use plan::{PlanKey, PlanSource, PlanStore, PlanStoreStats, PlannedCampaign};
+pub use progress::{Progress, ProgressSnapshot};
 pub use prom::prometheus_snapshot;
 pub use reliability::{mttdl_gain, mttdl_hours, mttdl_years, ReliabilityParams};
 pub use report::Table;
-pub use runner::{run_experiment, run_experiment_with_errors, run_planned, RunError};
+pub use runner::{
+    run_experiment, run_experiment_with_errors, run_planned, run_planned_observed, RunError,
+};
 pub use sweep::{sweep, sweep_with_progress, sweep_with_store, SweepPoint, SweepProgress};
 pub use verify::{verify_campaign, verify_campaign_faulted, FaultedVerifyReport, VerifyReport};

@@ -32,7 +32,9 @@ pub struct ClassLatency {
 }
 
 impl ClassLatency {
-    fn from_histogram(h: &Histogram) -> Self {
+    /// Tail summary of a latency histogram (the daemon's `stat` command
+    /// renders digests merged across jobs through this too).
+    pub fn from_histogram(h: &Histogram) -> Self {
         let ms = |q: Option<SimTime>| q.map_or(0.0, |t| t.as_millis_f64());
         ClassLatency {
             count: h.count(),
@@ -235,6 +237,11 @@ impl Metrics {
             slot.violations = digest.count_over_ns(threshold_ns);
             slot.pass = slot.violation_fraction() <= spec.get(class).allowed_violation_fraction;
             verdict.pass &= slot.pass;
+        }
+        if verdict.evaluated && !verdict.pass {
+            // A breached objective is a post-mortem moment: snapshot the
+            // flight recorder (no-op unless one is installed).
+            fbf_obs::ring::trigger_dump("slo-breach");
         }
         self.slo = verdict;
     }

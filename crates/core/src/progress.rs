@@ -1,0 +1,81 @@
+//! Live per-job progress counters for daemon introspection.
+//!
+//! A [`Progress`] is shared between the worker executing a job and the
+//! daemon's `stat` command: the execution paths store into it at round
+//! boundaries (cheap, lock-free), and `stat`/`top` snapshot it at any
+//! moment without touching the job's result slot. Metrics stay the
+//! source of truth for *finished* work; this struct only answers "what
+//! is that running repair doing right now".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters one in-flight job publishes while running.
+#[derive(Debug, Default)]
+pub struct Progress {
+    /// Escalation rounds completed so far (0 while round 0 runs).
+    rounds: AtomicU64,
+    /// Stripe re-plans issued so far.
+    replans: AtomicU64,
+    /// Hard read failures absorbed so far.
+    faults: AtomicU64,
+    /// Stripes declared lost so far.
+    stripes_lost: AtomicU64,
+}
+
+/// A coherent-enough copy of a [`Progress`] at one instant (fields are
+/// read independently; a snapshot taken mid-update may mix rounds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Escalation rounds completed.
+    pub rounds: u64,
+    /// Stripe re-plans issued.
+    pub replans: u64,
+    /// Hard read failures absorbed.
+    pub faults: u64,
+    /// Stripes declared lost.
+    pub stripes_lost: u64,
+}
+
+impl Progress {
+    /// A zeroed progress block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish the state after an escalation round (or the initial pass).
+    pub fn record(&self, rounds: u64, replans: u64, faults: u64, stripes_lost: u64) {
+        self.rounds.store(rounds, Ordering::Relaxed);
+        self.replans.store(replans, Ordering::Relaxed);
+        self.faults.store(faults, Ordering::Relaxed);
+        self.stripes_lost.store(stripes_lost, Ordering::Relaxed);
+    }
+
+    /// Read the current counters.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            rounds: self.rounds.load(Ordering::Relaxed),
+            replans: self.replans.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            stripes_lost: self.stripes_lost.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_snapshot_round_trips() {
+        let p = Progress::new();
+        assert_eq!(p.snapshot(), ProgressSnapshot::default());
+        p.record(2, 5, 9, 1);
+        let s = p.snapshot();
+        assert_eq!(
+            (s.rounds, s.replans, s.faults, s.stripes_lost),
+            (2, 5, 9, 1)
+        );
+        p.record(3, 5, 9, 1);
+        assert_eq!(p.snapshot().rounds, 3, "stores overwrite, not add");
+    }
+}

@@ -108,6 +108,21 @@ pub fn run_planned_with_scratch(
     source: PlanSource,
     scratch: &mut EngineScratch,
 ) -> Metrics {
+    run_planned_observed(cfg, plan, source, scratch, None)
+}
+
+/// [`run_planned_with_scratch`] that additionally publishes live
+/// escalation counters into `progress` while a faulted campaign runs —
+/// the daemon threads each job's [`Progress`](crate::progress::Progress)
+/// through here so `stat`/`top` can report rounds/replans/faults-so-far
+/// mid-job.
+pub fn run_planned_observed(
+    cfg: &ExperimentConfig,
+    plan: &PlannedCampaign,
+    source: PlanSource,
+    scratch: &mut EngineScratch,
+    progress: Option<&crate::progress::Progress>,
+) -> Metrics {
     debug_assert_eq!(plan.key, PlanKey::of(cfg), "plan/config key mismatch");
 
     let obs = cfg.obs && fbf_obs::enabled();
@@ -120,7 +135,7 @@ pub fn run_planned_with_scratch(
     // driver; everything else (including straggler-only plans, which slow
     // reads but never fail them) stays on the single-pass fast path.
     let mut metrics = if cfg.faults.injects_read_faults() {
-        let outcome = crate::faulted::execute_faulted(cfg, plan, scratch);
+        let outcome = crate::faulted::execute_faulted_observed(cfg, plan, scratch, progress);
         Metrics::from_faulted(&outcome, plan.generation, source)
     } else {
         let mapping = ArrayMapping::new(plan.cols, plan.rows, cfg.code.rotated_placement());

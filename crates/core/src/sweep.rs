@@ -132,6 +132,12 @@ pub fn sweep_with_progress(
             }
             let cfg = &configs[i];
             let point_obs = obs && cfg.obs;
+            // Each point is one externally-attributable unit of work: mint
+            // it a trace so every span/counter it emits (plan, simulate,
+            // engine run, decode batches) carries the point's ids and
+            // check_trace.py --flows reassembles one tree per point. The
+            // point span below is the tree's root.
+            let trace_guard = point_obs.then(|| fbf_obs::with_trace(fbf_obs::next_trace_id()));
             let point_span = if point_obs {
                 Some(fbf_obs::span("sweep", "point"))
             } else {
@@ -173,6 +179,7 @@ pub fn sweep_with_progress(
                     ("sim_ms", fbf_obs::Value::F64(point_sim_ns as f64 / 1e6)),
                 ]);
             }
+            drop(trace_guard);
             let result = match outcome {
                 Ok(Ok((metrics, plan))) => {
                     let done = completed.fetch_add(1, Ordering::Relaxed) + 1;

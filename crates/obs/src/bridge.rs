@@ -65,6 +65,7 @@ mod tests {
             kind: EventKind::Instant,
             ts_us: 1.0,
             tid: 0,
+            ctx: None,
             args: &[],
         }
     }

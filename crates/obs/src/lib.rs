@@ -65,6 +65,7 @@ pub mod bridge;
 pub mod digest;
 pub mod prom;
 pub mod registry;
+pub mod ring;
 pub mod subscriber;
 pub mod trace;
 
@@ -72,17 +73,20 @@ pub use bridge::BridgeSubscriber;
 pub use digest::{Digest, RequestClass};
 pub use prom::PromWriter;
 pub use registry::{registry, CounterHandle, Registry};
+pub use ring::FlightRecorder;
 pub use subscriber::{
     CountingSubscriber, Event, EventKind, FanoutSubscriber, NoopSubscriber, StderrSubscriber,
-    Subscriber, Value,
+    Subscriber, TraceCtx, Value,
 };
 pub use trace::{render_chrome_line, TraceWriter};
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
-/// Fast-path gate: `true` while a subscriber is installed.
+/// Fast-path gate: `true` while any sink — a subscriber or the flight
+/// recorder — is installed.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 /// The installed subscriber. Swapped atomically under the lock; emitters
 /// clone the `Arc` under a read lock and dispatch outside it, so a swap
@@ -93,11 +97,31 @@ static EPOCH: OnceLock<Instant> = OnceLock::new();
 /// Monotonic run-id source, correlating the events of one engine run.
 static RUN_ID: AtomicU64 = AtomicU64::new(1);
 
-/// Is a subscriber installed? One relaxed load — the cost of every
-/// emission site when observability is off.
+/// Is any sink installed? One relaxed load — the cost of every emission
+/// site when observability is off.
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Is a subscriber installed in the global slot? Unlike [`enabled`],
+/// this ignores the flight recorder — the daemon uses it to decide
+/// whether to install its progress bridge alongside an always-on ring.
+pub fn has_subscriber() -> bool {
+    SUBSCRIBER
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .is_some()
+}
+
+/// Recompute the fast-path gate after a sink change: emission stays live
+/// while either the subscriber slot or the flight recorder holds a sink.
+pub(crate) fn refresh_enabled() {
+    let has_sub = SUBSCRIBER
+        .read()
+        .unwrap_or_else(|p| p.into_inner())
+        .is_some();
+    ENABLED.store(has_sub || ring::recorder().is_some(), Ordering::SeqCst);
 }
 
 /// Install `sub` as the global subscriber, replacing any previous one.
@@ -114,14 +138,14 @@ pub fn install(sub: Arc<dyn Subscriber>) {
     }
 }
 
-/// Remove and return the global subscriber (flushing it), disabling all
-/// emission sites again.
+/// Remove and return the global subscriber (flushing it). Emission sites
+/// go quiet again unless the flight recorder is still installed.
 pub fn uninstall() -> Option<Arc<dyn Subscriber>> {
-    ENABLED.store(false, Ordering::SeqCst);
     let prev = {
         let mut slot = SUBSCRIBER.write().unwrap_or_else(|p| p.into_inner());
         slot.take()
     };
+    refresh_enabled();
     if let Some(prev) = &prev {
         prev.flush();
     }
@@ -148,8 +172,68 @@ pub fn thread_id() -> u64 {
     TID.with(|t| *t)
 }
 
-/// Deliver `event` to the installed subscriber, if any.
+/// Monotonic trace-id source (one per daemon request / sweep point).
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+/// Monotonic span-id source, shared by every trace in the process.
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// The calling thread's active `(trace id, enclosing span id)`.
+    /// `(0, _)` means no trace is active — spans then emit without ctx,
+    /// exactly as before causal tracing existed.
+    static CTX: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// A fresh process-unique trace id.
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The calling thread's active trace id (0 = none).
+pub fn current_trace() -> u64 {
+    CTX.with(|c| c.get().0)
+}
+
+/// Scope guard restoring the previous trace context on drop.
+#[must_use = "the trace is active only while the guard lives"]
+pub struct TraceGuard {
+    prev: (u64, u64),
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        CTX.with(|c| c.set(self.prev));
+    }
+}
+
+/// Activate `trace` on the calling thread until the guard drops: spans
+/// created in between allocate span ids and parent-link to each other,
+/// and every event they emit carries the ids (see [`TraceCtx`]).
+///
+/// The guard starts at the trace root (parent span 0) — open one
+/// enclosing span right after minting so the trace has exactly one root.
+/// Nesting is supported (the previous context is restored on drop); the
+/// context is thread-local, so hand the trace id itself across threads
+/// and re-activate it there.
+pub fn with_trace(trace: u64) -> TraceGuard {
+    let prev = CTX.with(|c| c.replace((trace, 0)));
+    TraceGuard { prev }
+}
+
+/// The ctx instants/counters carry: inside a trace they point at the
+/// enclosing span; outside they carry nothing.
+fn point_ctx() -> Option<TraceCtx> {
+    let (trace, parent) = CTX.with(|c| c.get());
+    (trace != 0).then_some(TraceCtx {
+        trace,
+        span: 0,
+        parent,
+    })
+}
+
+/// Deliver `event` to the flight recorder and the installed subscriber.
 fn emit(event: &Event<'_>) {
+    ring::record(event);
     let sub = {
         let slot = SUBSCRIBER.read().unwrap_or_else(|p| p.into_inner());
         slot.clone()
@@ -171,6 +255,7 @@ pub fn counter(cat: &str, name: &str, args: &[(&str, Value<'_>)]) {
         kind: EventKind::Counter,
         ts_us: now_us(),
         tid: thread_id(),
+        ctx: point_ctx(),
         args,
     });
 }
@@ -186,6 +271,7 @@ pub fn instant(cat: &str, name: &str, args: &[(&str, Value<'_>)]) {
         kind: EventKind::Instant,
         ts_us: now_us(),
         tid: thread_id(),
+        ctx: point_ctx(),
         args,
     });
 }
@@ -199,10 +285,15 @@ pub struct Span {
     name: &'static str,
     start_us: f64,
     tid: u64,
+    /// `trace == 0` means the span was created outside any trace.
+    ctx: TraceCtx,
     live: bool,
 }
 
-/// Start a span named `cat`/`name`.
+/// Start a span named `cat`/`name`. Inside an active trace (see
+/// [`with_trace`]) the span allocates a process-unique id, records the
+/// enclosing span as its parent, and becomes the enclosing span for the
+/// scope it lives in — restoring its parent when it ends.
 pub fn span(cat: &'static str, name: &'static str) -> Span {
     if !enabled() {
         return Span {
@@ -210,14 +301,32 @@ pub fn span(cat: &'static str, name: &'static str) -> Span {
             name,
             start_us: 0.0,
             tid: 0,
+            ctx: TraceCtx {
+                trace: 0,
+                span: 0,
+                parent: 0,
+            },
             live: false,
         };
     }
+    let (trace, parent) = CTX.with(|c| c.get());
+    let span_id = if trace != 0 {
+        let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+        CTX.with(|c| c.set((trace, id)));
+        id
+    } else {
+        0
+    };
     Span {
         cat,
         name,
         start_us: now_us(),
         tid: thread_id(),
+        ctx: TraceCtx {
+            trace,
+            span: span_id,
+            parent,
+        },
         live: true,
     }
 }
@@ -231,11 +340,21 @@ impl Span {
     /// End the span with no args (equivalent to dropping it).
     pub fn end(self) {}
 
+    /// The span's causal ids, when it was created inside a trace.
+    pub fn ctx(&self) -> Option<TraceCtx> {
+        (self.ctx.trace != 0).then_some(self.ctx)
+    }
+
     fn finish(&mut self, args: &[(&str, Value<'_>)]) {
         if !self.live {
             return;
         }
         self.live = false;
+        if self.ctx.trace != 0 {
+            // Spans are scoped guards, so LIFO restore is exact: hand the
+            // enclosing-span slot back to this span's parent.
+            CTX.with(|c| c.set((self.ctx.trace, self.ctx.parent)));
+        }
         let end = now_us();
         emit(&Event {
             cat: self.cat,
@@ -245,6 +364,7 @@ impl Span {
             },
             ts_us: self.start_us,
             tid: self.tid,
+            ctx: (self.ctx.trace != 0).then_some(self.ctx),
             args,
         });
     }
@@ -321,6 +441,70 @@ mod tests {
         assert_eq!(here, thread_id());
         let other = std::thread::spawn(thread_id).join().unwrap();
         assert_ne!(here, other);
+    }
+
+    #[test]
+    fn trace_ctx_threads_through_nested_spans() {
+        let _g = lock();
+
+        /// Captures each event's `(name, ctx)` for shape assertions.
+        #[derive(Default)]
+        struct CtxCapture(std::sync::Mutex<Vec<(String, Option<TraceCtx>)>>);
+        impl Subscriber for CtxCapture {
+            fn event(&self, event: &Event<'_>) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push((event.name.to_string(), event.ctx));
+            }
+        }
+
+        let sub = Arc::new(CtxCapture::default());
+        install(sub.clone());
+        // Outside any trace: no ctx, no span-id allocation.
+        span("t", "untraced").end_with(&[]);
+        let trace = next_trace_id();
+        {
+            let _t = with_trace(trace);
+            assert_eq!(current_trace(), trace);
+            let root = span("t", "root");
+            let root_id = root.ctx().unwrap().span;
+            assert_ne!(root_id, 0);
+            {
+                let child = span("t", "child");
+                counter("t", "inner", &[("v", Value::U64(1))]);
+                child.end_with(&[]);
+            }
+            // Parent restored after the child finished (LIFO).
+            counter("t", "after", &[]);
+            root.end_with(&[]);
+        }
+        assert_eq!(current_trace(), 0, "guard drop restores the outer ctx");
+        span("t", "outside").end_with(&[]);
+        uninstall();
+
+        let events = sub.0.lock().unwrap().clone();
+        let by_name = |n: &str| {
+            events
+                .iter()
+                .find(|(name, _)| name == n)
+                .unwrap_or_else(|| panic!("missing event {n}"))
+                .1
+        };
+        assert_eq!(by_name("untraced"), None);
+        assert_eq!(by_name("outside"), None);
+        let root = by_name("root").expect("root has ctx");
+        assert_eq!((root.trace, root.parent), (trace, 0));
+        let child = by_name("child").expect("child has ctx");
+        assert_eq!((child.trace, child.parent), (trace, root.span));
+        assert_ne!(child.span, root.span);
+        let inner = by_name("inner").expect("counter has ctx");
+        assert_eq!(
+            (inner.trace, inner.span, inner.parent),
+            (trace, 0, child.span)
+        );
+        let after = by_name("after").expect("counter has ctx");
+        assert_eq!(after.parent, root.span, "parent restored after child");
     }
 
     #[test]

@@ -35,6 +35,30 @@ impl Value<'_> {
     }
 }
 
+/// Causal context stamped on events emitted inside an active trace.
+///
+/// A trace is minted per unit of externally-attributable work — one
+/// daemon `repair` request, one sweep point — via
+/// [`with_trace`](crate::with_trace). Within it, every span allocates a
+/// process-unique `span` id and records the enclosing span as `parent`
+/// (0 = root of the trace); instants and counters carry `span: 0` and
+/// the enclosing span as `parent`. [`render_chrome_line`] serialises the
+/// ids as `trace_id`/`span_id`/`parent_id` args, and `check_trace.py
+/// --flows` reassembles them into one rooted tree per trace.
+///
+/// Kept out of [`Event::args`] on purpose: [`CountingSubscriber`] sums
+/// every `U64` arg, and ids summing into reconciliation ledgers would
+/// break the exact counter↔metrics contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace id (never 0 in an emitted ctx).
+    pub trace: u64,
+    /// This span's own id (0 for instants and counters).
+    pub span: u64,
+    /// The enclosing span's id (0 = root of the trace).
+    pub parent: u64,
+}
+
 /// What kind of chrome-trace record an event maps to.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
@@ -63,6 +87,8 @@ pub struct Event<'a> {
     pub ts_us: f64,
     /// Small stable id of the emitting thread.
     pub tid: u64,
+    /// Causal ids when the event fired inside an active trace.
+    pub ctx: Option<TraceCtx>,
     /// Typed key→value payload.
     pub args: &'a [(&'a str, Value<'a>)],
 }
@@ -256,6 +282,7 @@ mod tests {
                 kind: EventKind::Counter,
                 ts_us: 0.0,
                 tid: 0,
+                ctx: None,
                 args,
             }
         }
@@ -285,6 +312,7 @@ mod tests {
             kind: EventKind::Instant,
             ts_us: 0.0,
             tid: 0,
+            ctx: None,
             args: &[],
         });
         fan.flush();

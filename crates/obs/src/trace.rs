@@ -87,10 +87,25 @@ pub fn render_chrome_line(event: &Event<'_>) -> String {
         line.push_str(",\"pid\":1,\"tid\":");
         line.push_str(&event.tid.to_string());
         line.push_str(",\"args\":{");
-        for (i, (key, value)) in event.args.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        // Causal ids first, under reserved names the emission sites never
+        // use as counter args (check_trace.py --flows keys off these).
+        if let Some(ctx) = event.ctx {
+            line.push_str("\"trace_id\":");
+            line.push_str(&ctx.trace.to_string());
+            if ctx.span != 0 {
+                line.push_str(",\"span_id\":");
+                line.push_str(&ctx.span.to_string());
+            }
+            line.push_str(",\"parent_id\":");
+            line.push_str(&ctx.parent.to_string());
+            first = false;
+        }
+        for (key, value) in event.args.iter() {
+            if !first {
                 line.push(',');
             }
+            first = false;
             push_json_str(&mut line, key);
             line.push(':');
             match value {
@@ -105,9 +120,48 @@ pub fn render_chrome_line(event: &Event<'_>) -> String {
     }
 }
 
+/// Render the chrome-trace *flow* records that make the causal arrows
+/// visible in chrome://tracing: every traced span opens a flow under its
+/// own span id (`ph:"s"`), and every traced child span steps its parent's
+/// flow (`ph:"t"`), binding the arrow parent→child. All flow records
+/// share one name/cat (the format matches flows by name+cat+id) and carry
+/// the trace id as an arg so `check_trace.py --flows` can bucket them.
+/// Returns the rendered lines (possibly empty) for `event`.
+pub fn render_flow_lines(event: &Event<'_>) -> String {
+    let (Some(ctx), EventKind::Complete { .. }) = (event.ctx, event.kind) else {
+        return String::new();
+    };
+    if ctx.span == 0 {
+        return String::new();
+    }
+    let mut lines = String::with_capacity(192);
+    let mut flow = |ph: char, id: u64| {
+        lines.push_str("{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"");
+        lines.push(ph);
+        lines.push_str("\",\"ts\":");
+        push_json_f64(&mut lines, event.ts_us);
+        lines.push_str(",\"pid\":1,\"tid\":");
+        lines.push_str(&event.tid.to_string());
+        lines.push_str(",\"id\":");
+        lines.push_str(&id.to_string());
+        lines.push_str(",\"args\":{\"trace_id\":");
+        lines.push_str(&ctx.trace.to_string());
+        lines.push_str("}}\n");
+    };
+    flow('s', ctx.span);
+    if ctx.parent != 0 {
+        flow('t', ctx.parent);
+    }
+    lines
+}
+
 impl Subscriber for TraceWriter {
     fn event(&self, event: &Event<'_>) {
-        let line = Self::render(event);
+        let mut line = Self::render(event);
+        // Traced spans additionally emit flow records so the causal tree
+        // renders as arrows; appended to the same write so a span and its
+        // flows land adjacent even under concurrent workers.
+        line.push_str(&render_flow_lines(event));
         self.write_line(&line);
     }
 
@@ -193,6 +247,7 @@ mod tests {
                 kind: EventKind::Counter,
                 ts_us: 12.5,
                 tid: 3,
+                ctx: None,
                 args: &[
                     ("hits", Value::U64(10)),
                     ("ratio", Value::F64(0.25)),
@@ -205,6 +260,7 @@ mod tests {
                 kind: EventKind::Complete { dur_us: 42.0 },
                 ts_us: 1.0,
                 tid: 0,
+                ctx: None,
                 args: &[],
             });
         });
@@ -237,10 +293,81 @@ mod tests {
                 kind: EventKind::Instant,
                 ts_us: 5.0,
                 tid: 1,
+                ctx: None,
                 args: &[],
             });
         });
         assert!(out.lines().nth(1).unwrap().contains(r#""ph":"i","s":"t""#));
+    }
+
+    #[test]
+    fn traced_span_renders_ctx_args_and_flow_records() {
+        use crate::subscriber::TraceCtx;
+        let out = capture(|w| {
+            w.event(&Event {
+                cat: "plan",
+                name: "cold",
+                kind: EventKind::Complete { dur_us: 9.0 },
+                ts_us: 2.0,
+                tid: 1,
+                ctx: Some(TraceCtx {
+                    trace: 41,
+                    span: 7,
+                    parent: 3,
+                }),
+                args: &[("stripes", Value::U64(4))],
+            });
+        });
+        let lines: Vec<&str> = out.lines().collect();
+        // metadata + span + flow-start + flow-step
+        assert_eq!(lines.len(), 4, "{out}");
+        assert!(lines[1].contains(r#""trace_id":41,"span_id":7,"parent_id":3"#));
+        assert!(lines[1].contains(r#""stripes":4"#));
+        assert!(lines[2].contains(r#""ph":"s""#) && lines[2].contains(r#""id":7"#));
+        assert!(lines[3].contains(r#""ph":"t""#) && lines[3].contains(r#""id":3"#));
+        for flow in &lines[2..] {
+            assert!(flow.contains(r#""cat":"flow""#));
+            assert!(flow.contains(r#""trace_id":41"#));
+        }
+    }
+
+    #[test]
+    fn root_span_and_point_events_emit_minimal_ctx() {
+        use crate::subscriber::TraceCtx;
+        // A root span (parent 0) opens its flow but steps nothing.
+        let root = render_flow_lines(&Event {
+            cat: "daemon",
+            name: "repair",
+            kind: EventKind::Complete { dur_us: 1.0 },
+            ts_us: 0.0,
+            tid: 0,
+            ctx: Some(TraceCtx {
+                trace: 5,
+                span: 9,
+                parent: 0,
+            }),
+            args: &[],
+        });
+        assert_eq!(root.lines().count(), 1);
+        assert!(root.contains(r#""ph":"s""#));
+        // Counters/instants (span 0) carry ids in args but no flows.
+        let point = Event {
+            cat: "engine",
+            name: "cache",
+            kind: EventKind::Counter,
+            ts_us: 0.0,
+            tid: 0,
+            ctx: Some(TraceCtx {
+                trace: 5,
+                span: 0,
+                parent: 9,
+            }),
+            args: &[],
+        };
+        let line = render_chrome_line(&point);
+        assert!(line.contains(r#""trace_id":5,"parent_id":9"#));
+        assert!(!line.contains("span_id"));
+        assert!(render_flow_lines(&point).is_empty());
     }
 
     #[test]
@@ -252,6 +379,7 @@ mod tests {
                 kind: EventKind::Counter,
                 ts_us: 0.0,
                 tid: 0,
+                ctx: None,
                 args: &[("bad", Value::F64(f64::NAN))],
             });
         });

@@ -25,5 +25,5 @@ pub mod trace;
 
 pub use app_io::{generate_app_reads, generate_scrub_reads, AppIoConfig, ScrubConfig};
 pub use errors::{generate_errors, ErrorGenConfig, LengthDistribution};
-pub use loadgen::{shard_campaign, LoadReport};
+pub use loadgen::{client_trace_ids, shard_campaign, LoadReport};
 pub use trace::{parse_trace, render_trace, validate_against};

@@ -34,6 +34,23 @@ pub fn shard_campaign(group: &ErrorGroup, shards: usize) -> Vec<ErrorGroup> {
     out
 }
 
+/// Mint one trace id per load connection.
+///
+/// The daemon adopts a request-supplied `trace_id` (falling back to its
+/// own allocator), so a load run that stamps its requests can later pick
+/// each connection's spans out of the daemon's trace stream. Ids carry
+/// `salt` (typically the client pid) in the high bits and the connection
+/// index in the low bits: disjoint from the daemon's small sequential
+/// ids and from other load clients running against the same daemon. All
+/// ids stay below 2^53 so they survive a round-trip through JSON
+/// numbers.
+pub fn client_trace_ids(salt: u64, connections: usize) -> Vec<u64> {
+    let salt = (salt & 0x1fff_ffff).max(1); // 29 bits; 29 + 24 = 53
+    (0..connections)
+        .map(|i| (salt << 24) | (i as u64 + 1))
+        .collect()
+}
+
 /// Latency/outcome aggregation for one load run (or one connection's
 /// slice of it — reports [`merge`](LoadReport::merge) associatively).
 ///
@@ -181,6 +198,25 @@ mod tests {
         assert!(many.iter().all(|s| s.errors.len() == 1));
         // Empty campaign shards to nothing.
         assert!(shard_campaign(&ErrorGroup::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn client_trace_ids_are_distinct_and_json_safe() {
+        let a = client_trace_ids(12345, 8);
+        assert_eq!(a.len(), 8);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8);
+        assert!(a.iter().all(|&id| id != 0 && id < (1u64 << 53)), "{a:?}");
+        // Different salts (two clients) never collide; salt 0 still mints.
+        let b = client_trace_ids(54321, 8);
+        assert!(a.iter().all(|id| !b.contains(id)));
+        assert!(client_trace_ids(0, 1)[0] != 0);
+        // Exactly round-trippable through an f64 JSON number.
+        for &id in &a {
+            assert_eq!(id as f64 as u64, id);
+        }
     }
 
     #[test]

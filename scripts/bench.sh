@@ -39,4 +39,13 @@ if off and nf:
     print(f"fault-layer disabled-path overhead "
           f"(engine_run_8x_faults_disabled / engine_run_8x): {nf / off:.3f}x "
           f"({off:.1f} -> {nf:.1f} ns/op, expect ~1.0x)")
+ring_off, ring_on = benches.get("obs_ring_disabled"), benches.get("obs_ring_enabled")
+if off and ring_off:
+    print(f"flight-recorder disabled-path overhead "
+          f"(obs_ring_disabled / engine_run_8x): {ring_off / off:.3f}x "
+          f"({off:.1f} -> {ring_off:.1f} ns/op, expect ~1.0x)")
+if on and ring_on:
+    print(f"flight-recorder enabled overhead "
+          f"(obs_ring_enabled / engine_run_8x_obs): {ring_on / on:.3f}x "
+          f"({on:.1f} -> {ring_on:.1f} ns/op, budget 1.05x)")
 EOF

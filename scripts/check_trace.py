@@ -2,15 +2,24 @@
 """Validate fbf observability artefacts: JSONL run traces and Prometheus snapshots.
 
 Usage:
-    scripts/check_trace.py TRACE.jsonl [--chrome OUT.json]
+    scripts/check_trace.py TRACE.jsonl [--chrome OUT.json] [--flows]
     scripts/check_trace.py --prom METRICS.prom [TRACE.jsonl]
 
 Trace mode checks every line is a standalone JSON object shaped like a
 chrome trace event: `name`/`cat` strings, known phase `ph`, non-negative
 microsecond timestamp, `pid`/`tid` integers, `args` object; complete
-events ("X") additionally carry a non-negative `dur`. Exits non-zero
-(printing the offending line number) on the first malformed line, so CI
-can gate on it.
+events ("X") additionally carry a non-negative `dur`, and flow events
+("s"/"t"/"f") an integer `id`. Exits non-zero (printing the offending
+line number) on the first malformed line, so CI can gate on it.
+
+With `--flows` the causal structure is validated too: spans carrying a
+`trace_id` are reassembled into one tree per trace — every non-zero
+`parent_id` must resolve to a `span_id` within the same trace and each
+completed trace has exactly one root span (`parent_id` 0). Traces whose
+root span is still open (a flight-recorder dump taken mid-request) are
+classified in-flight and held only to internal consistency. Flow
+records must agree (every flow id opens with exactly one "s"; every
+"t"/"f" refers to an opened id). Prints a tree/span summary.
 
 With `--chrome OUT.json` the validated events are re-wrapped as
 `{"traceEvents": [...]}` — the JSON-array form chrome://tracing and
@@ -29,7 +38,8 @@ import json
 import re
 import sys
 
-KNOWN_PHASES = {"X", "i", "C", "M"}
+KNOWN_PHASES = {"X", "i", "C", "M", "s", "t", "f"}
+FLOW_PHASES = {"s", "t", "f"}
 
 METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 SAMPLE_RE = re.compile(
@@ -69,6 +79,88 @@ def check_event(lineno, line, ev):
             fail(lineno, "complete event needs a non-negative `dur`", line)
     if ph == "i" and ev.get("s") not in ("t", "p", "g"):
         fail(lineno, "instant event needs scope `s` in {t,p,g}", line)
+    if ph in FLOW_PHASES and not isinstance(ev.get("id"), int):
+        fail(lineno, "flow event needs an integer `id`", line)
+
+
+def check_flows(events):
+    """Reassemble causal trees: one rooted span tree per trace_id, plus
+    flow-record consistency. Events arrive already shape-checked.
+
+    Spans close leaf-first, so a *complete* trace (its root span present)
+    must resolve every parent and have exactly one root. A trace whose
+    root is still open — a flight-recorder dump taken mid-request is the
+    normal case — has no root span yet and its closed spans may point at
+    open ancestors; those traces are classified in-flight and only
+    checked for internal consistency (unique span ids, at most one
+    root)."""
+    # trace_id -> {span_id: parent_id} for Complete spans carrying ctx.
+    spans = {}
+    for ev in events:
+        if ev["ph"] != "X":
+            continue
+        args = ev["args"]
+        trace = args.get("trace_id")
+        span = args.get("span_id")
+        if trace is None or span is None:
+            continue
+        parent = args.get("parent_id", 0)
+        if span in spans.setdefault(trace, {}):
+            fail(0, f"trace {trace}: span_id {span} appears on two spans")
+        spans[trace][span] = parent
+
+    if not spans:
+        fail(0, "--flows: no spans carry a trace_id (tracing not enabled?)")
+
+    complete, open_traces = 0, 0
+    for trace, tree in sorted(spans.items()):
+        roots = [s for s, p in tree.items() if p == 0]
+        if len(roots) > 1:
+            fail(0, f"trace {trace}: expected at most one root span, got {len(roots)}")
+        if not roots:
+            open_traces += 1
+            continue
+        complete += 1
+        for span, parent in tree.items():
+            if parent != 0 and parent not in tree:
+                fail(0, f"trace {trace}: span {span} has unresolvable parent {parent}")
+
+    # Point events (instants/counters) of complete traces must name a
+    # parent span inside their trace.
+    orphan_points = 0
+    for ev in events:
+        if ev["ph"] not in ("i", "C"):
+            continue
+        args = ev["args"]
+        trace, parent = args.get("trace_id"), args.get("parent_id", 0)
+        if trace is None or parent == 0:
+            continue
+        tree = spans.get(trace, {})
+        if not any(p == 0 for p in tree.values()):
+            continue  # in-flight trace: the parent may still be open
+        if parent not in tree:
+            orphan_points += 1
+    if orphan_points:
+        fail(0, f"--flows: {orphan_points} point events name a parent span outside their trace")
+
+    # Flow records: every id opens with exactly one "s"; "t"/"f" only
+    # refer to opened ids.
+    opened = {}
+    for ev in events:
+        if ev["ph"] == "s":
+            opened[ev["id"]] = opened.get(ev["id"], 0) + 1
+    for fid, n in opened.items():
+        if n != 1:
+            fail(0, f"--flows: flow id {fid} opened {n} times (expected one `s`)")
+    for ev in events:
+        if ev["ph"] in ("t", "f") and ev["id"] not in opened:
+            fail(0, f"--flows: flow phase {ev['ph']!r} id {ev['id']} never opened with `s`")
+
+    total = sum(len(tree) for tree in spans.values())
+    print(
+        f"check_trace: flows OK — {complete} complete trees, {open_traces} in-flight, "
+        f"{total} spans, {len(opened)} flow ids"
+    )
 
 
 def prom_fail(lineno, msg, line=""):
@@ -182,6 +274,11 @@ def main():
     ap.add_argument("trace", nargs="?", help="JSONL trace emitted via --trace / FBF_TRACE")
     ap.add_argument("--chrome", metavar="OUT", help="write a chrome://tracing JSON array file")
     ap.add_argument("--prom", metavar="METRICS", help="validate a Prometheus snapshot too")
+    ap.add_argument(
+        "--flows",
+        action="store_true",
+        help="validate causal trees: one root per trace_id, resolvable parents, flow records",
+    )
     opts = ap.parse_args()
 
     if opts.prom:
@@ -212,6 +309,9 @@ def main():
 
     summary = ", ".join(f"{n} {ph}" for ph, n in sorted(counts.items()))
     print(f"check_trace: OK — {len(events)} events ({summary})")
+
+    if opts.flows:
+        check_flows(events)
 
     if opts.chrome:
         with open(opts.chrome, "w", encoding="utf-8") as out:

@@ -36,8 +36,8 @@ use fbf::disksim::{DiskKill, FaultPlan, SimTime, SlowDisk};
 use fbf::recovery::{scheme::generate, PartialStripeError, PriorityDictionary, SchemeKind};
 use fbf::report::f;
 use fbf::workload::{
-    generate_errors, parse_trace, render_trace, shard_campaign, validate_against, ErrorGenConfig,
-    LoadReport,
+    client_trace_ids, generate_errors, parse_trace, render_trace, shard_campaign, validate_against,
+    ErrorGenConfig, LoadReport,
 };
 use fbf::PolicyKind;
 use fbf::{
@@ -917,6 +917,154 @@ fn call_and_print(client: &mut DaemonClient, req: &Json, json: bool) -> i32 {
     }
 }
 
+/// Render a daemon `stat` reply as a compact human-readable snapshot:
+/// a one-line summary, a per-job table (live escalation counters from
+/// the worker's `Progress`, plus hit ratio once finished), and per-class
+/// latency quantiles merged across every finished job.
+fn render_stat(reply: &Json) -> String {
+    let num = |key: &str| reply.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut out = format!(
+        "fbfd up {:.1}s · workers {} (busy {}) · queue {} · running {} · done {} · failed {}\n",
+        num("uptime_s"),
+        num("workers"),
+        num("workers_busy"),
+        num("queue_depth"),
+        num("jobs_running"),
+        num("jobs_done"),
+        num("jobs_failed"),
+    );
+    let jobs = reply.get("jobs").and_then(Json::as_arr).unwrap_or(&[]);
+    if !jobs.is_empty() {
+        out.push_str(&format!(
+            "\n{:>4} {:<8} {:<7} {:>18} {:>6} {:>7} {:>6} {:>5} {:>7} {:>10}\n",
+            "job",
+            "state",
+            "backend",
+            "trace",
+            "rounds",
+            "replans",
+            "faults",
+            "lost",
+            "hit",
+            "reads"
+        ));
+        for job in jobs {
+            let jn = |key: &str| job.get(key).and_then(Json::as_u64).unwrap_or(0);
+            let hit = job
+                .get("hit_ratio")
+                .and_then(Json::as_f64)
+                .map_or_else(|| "-".to_string(), |h| format!("{h:.3}"));
+            let reads = job
+                .get("disk_reads")
+                .and_then(Json::as_u64)
+                .map_or_else(|| "-".to_string(), |r| r.to_string());
+            out.push_str(&format!(
+                "{:>4} {:<8} {:<7} {:>18} {:>6} {:>7} {:>6} {:>5} {:>7} {:>10}\n",
+                jn("job"),
+                job.get("state").and_then(Json::as_str).unwrap_or("?"),
+                job.get("backend").and_then(Json::as_str).unwrap_or("?"),
+                jn("trace"),
+                jn("rounds"),
+                jn("replans"),
+                jn("faults"),
+                jn("stripes_lost"),
+                hit,
+                reads,
+            ));
+        }
+    }
+    if let Some(Json::Obj(classes)) = reply.get("class_latency") {
+        let active: Vec<_> = classes
+            .iter()
+            .filter(|(_, l)| l.get("count").and_then(Json::as_u64).unwrap_or(0) > 0)
+            .collect();
+        if !active.is_empty() {
+            out.push_str(&format!(
+                "\n{:<10} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+                "class", "count", "p50_ms", "p90_ms", "p99_ms", "p999_ms"
+            ));
+            for (name, l) in active {
+                let q = |key: &str| l.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                out.push_str(&format!(
+                    "{:<10} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+                    name,
+                    l.get("count").and_then(Json::as_u64).unwrap_or(0),
+                    q("p50_ms"),
+                    q("p90_ms"),
+                    q("p99_ms"),
+                    q("p999_ms"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `fbf client top` — a refreshing `stat` view. `--interval-ms` sets the
+/// refresh period (default 1000), `--iterations` bounds the run (0 =
+/// until interrupted; CI uses a finite count).
+fn client_top(args: &[String], addr: &ServerAddr) -> i32 {
+    let (args, interval) = match split_flag(args, "interval-ms") {
+        Ok(v) => v,
+        Err(rc) => return rc,
+    };
+    let interval: u64 = match interval.as_deref().map(str::parse).transpose() {
+        Ok(ms) => ms.unwrap_or(1000).max(50),
+        Err(_) => {
+            eprintln!("bad --interval-ms value");
+            return 2;
+        }
+    };
+    let (args, iterations) = match split_flag(&args, "iterations") {
+        Ok(v) => v,
+        Err(rc) => return rc,
+    };
+    let iterations: u64 = match iterations.as_deref().map(str::parse).transpose() {
+        Ok(n) => n.unwrap_or(0),
+        Err(_) => {
+            eprintln!("bad --iterations value");
+            return 2;
+        }
+    };
+    if !args.is_empty() {
+        eprintln!("usage: fbf client top [--interval-ms <n>] [--iterations <n>]");
+        return 2;
+    }
+    let mut client = match connect_or_report(addr) {
+        Ok(c) => c,
+        Err(rc) => return rc,
+    };
+    let mut done = 0u64;
+    loop {
+        let reply = match client.call(&Json::obj([("cmd", Json::Str("stat".into()))])) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("request failed: {e}");
+                return 1;
+            }
+        };
+        if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+            eprintln!(
+                "daemon error: {}",
+                reply
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+            );
+            return 1;
+        }
+        // Clear screen + home, like top(1); harmless when piped.
+        print!("\x1b[2J\x1b[H{}", render_stat(&reply));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        done += 1;
+        if iterations != 0 && done >= iterations {
+            return 0;
+        }
+        std::thread::sleep(Duration::from_millis(interval));
+    }
+}
+
 fn cmd_client(args: &[String], json: bool) -> i32 {
     let (args, addr) = match split_addr(args) {
         Ok(v) => v,
@@ -925,7 +1073,7 @@ fn cmd_client(args: &[String], json: bool) -> i32 {
     let Some((action, rest)) = args.split_first() else {
         eprintln!(
             "usage: fbf client [--socket <path> | --tcp <addr>] \
-             ping|repair|status|jobs|read|metrics|watch|load|shutdown"
+             ping|repair|status|jobs|read|metrics|stat|top|dump|watch|load|shutdown"
         );
         return 2;
     };
@@ -1016,6 +1164,81 @@ fn cmd_client(args: &[String], json: bool) -> i32 {
                             1
                         }
                     }
+                }
+                Err(e) => {
+                    eprintln!("request failed: {e}");
+                    1
+                }
+            }
+        }
+        "stat" => {
+            let mut client = match connect_or_report(&addr) {
+                Ok(c) => c,
+                Err(rc) => return rc,
+            };
+            match client.call(&Json::obj([("cmd", Json::Str("stat".into()))])) {
+                Ok(reply) if json => {
+                    print_json(&reply);
+                    i32::from(reply.get("ok").and_then(Json::as_bool) != Some(true))
+                }
+                Ok(reply) => {
+                    print!("{}", render_stat(&reply));
+                    i32::from(reply.get("ok").and_then(Json::as_bool) != Some(true))
+                }
+                Err(e) => {
+                    eprintln!("request failed: {e}");
+                    1
+                }
+            }
+        }
+        "top" => client_top(rest, &addr),
+        "dump" => {
+            let (rest, out) = match split_flag(rest, "out") {
+                Ok(v) => v,
+                Err(rc) => return rc,
+            };
+            if !rest.is_empty() {
+                eprintln!("usage: fbf client dump [--out <file.jsonl>]");
+                return 2;
+            }
+            let mut client = match connect_or_report(&addr) {
+                Ok(c) => c,
+                Err(rc) => return rc,
+            };
+            match client.call(&Json::obj([("cmd", Json::Str("dump".into()))])) {
+                Ok(reply) if reply.get("ok").and_then(Json::as_bool) == Some(true) => {
+                    let jsonl = reply.get("jsonl").and_then(Json::as_str).unwrap_or("");
+                    match out {
+                        Some(path) => {
+                            if let Err(e) = std::fs::write(&path, jsonl) {
+                                eprintln!("cannot write {path}: {e}");
+                                return 1;
+                            }
+                            eprintln!(
+                                "wrote {} flight-recorder events to {path}",
+                                reply.get("events").and_then(Json::as_u64).unwrap_or(0)
+                            );
+                            0
+                        }
+                        None if json => {
+                            print_json(&reply);
+                            0
+                        }
+                        None => {
+                            print!("{jsonl}");
+                            0
+                        }
+                    }
+                }
+                Ok(reply) => {
+                    eprintln!(
+                        "daemon error: {}",
+                        reply
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown error")
+                    );
+                    1
                 }
                 Err(e) => {
                     eprintln!("request failed: {e}");
@@ -1230,10 +1453,14 @@ fn client_load(args: &[String], addr: &ServerAddr, json: bool) -> i32 {
         &ErrorGenConfig::paper_default(cfg.stripes, cfg.error_count, cfg.seed),
     );
     let shards = shard_campaign(&group, connections);
+    // Stamp every connection's repair with a client-minted trace id so
+    // the daemon's spans are attributable per connection afterwards.
+    let trace_ids = client_trace_ids(u64::from(std::process::id()), shards.len());
     let started = Instant::now();
     let workers: Vec<_> = shards
         .into_iter()
-        .map(|shard| {
+        .zip(trace_ids)
+        .map(|(shard, trace_id)| {
             let addr = addr.clone();
             let overrides = overrides.clone();
             let backend = backend.clone();
@@ -1250,6 +1477,7 @@ fn client_load(args: &[String], addr: &ServerAddr, json: bool) -> i32 {
                     ("cmd", Json::Str("repair".into())),
                     ("config", overrides),
                     ("trace", Json::Str(render_trace(&shard))),
+                    ("trace_id", Json::Num(trace_id as f64)),
                 ];
                 if let Some(b) = backend {
                     fields.push(("backend", Json::Str(b)));

@@ -4,13 +4,18 @@
 //! without the rest of the CLI:
 //!
 //! ```text
-//! fbfd [--socket <path> | --tcp <addr:port>] [--daemon-workers N]
+//! fbfd [--socket <path> | --tcp <addr:port>] [--daemon-workers N] [--ring-cap N]
 //! ```
 //!
 //! Listens on a unix socket (default `$TMPDIR/fbfd.sock`) or TCP, runs
 //! repair jobs on a worker pool, and exits when a client sends
 //! `shutdown` (`fbf client shutdown`). The wire protocol is documented
 //! on the daemon module; `fbf client` is the reference client.
+//!
+//! `--ring-cap N` sizes the always-on flight recorder's per-thread ring
+//! (events kept per thread; same as setting `FBF_RING_CAP`). Dumps land
+//! in `$FBF_FLIGHT_DIR` when set, and are always retrievable live via
+//! `fbf client dump`.
 
 use fbf::{DaemonOptions, ServerAddr};
 
@@ -19,6 +24,7 @@ fn main() {
     let mut socket: Option<String> = None;
     let mut tcp: Option<String> = None;
     let mut workers: Option<String> = None;
+    let mut ring_cap: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let (flag, inline) = match args[i].split_once('=') {
@@ -43,8 +49,12 @@ fn main() {
             "--socket" => take(&mut socket, &mut i),
             "--tcp" => take(&mut tcp, &mut i),
             "--daemon-workers" | "--workers" => take(&mut workers, &mut i),
+            "--ring-cap" => take(&mut ring_cap, &mut i),
             "--help" | "-h" => {
-                eprintln!("usage: fbfd [--socket <path> | --tcp <addr:port>] [--daemon-workers N]");
+                eprintln!(
+                    "usage: fbfd [--socket <path> | --tcp <addr:port>] \
+                     [--daemon-workers N] [--ring-cap N]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -83,6 +93,14 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(cap) = ring_cap {
+        if cap.parse::<usize>().is_err() {
+            eprintln!("bad ring capacity `{cap}`");
+            std::process::exit(2);
+        }
+        // serve() installs the default recorder, which reads this env var.
+        std::env::set_var("FBF_RING_CAP", cap);
     }
 
     let handle = match fbf::serve(&addr, opts) {

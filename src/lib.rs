@@ -59,8 +59,8 @@ pub use fbf_core::{
     run_planned, run_planned_on, scheme_from_name, serve, sim_backend_for, sweep, sweep_with_store,
     verify_campaign, ClassLatency, ConfigError, DaemonClient, DaemonHandle, DaemonOptions,
     ExperimentConfig, ExperimentConfigBuilder, JobState, Json, JsonError, Metrics, PlanSource,
-    PlanStore, ReliabilityParams, RunError, ServerAddr, SloSpec, SloVerdict, SweepPoint, Table,
-    VerifyReport, METRICS_SCHEMA_VERSION,
+    PlanStore, Progress, ProgressSnapshot, ReliabilityParams, RunError, ServerAddr, SloSpec,
+    SloVerdict, SweepPoint, Table, VerifyReport, METRICS_SCHEMA_VERSION,
 };
 
 // Storage backends and the simulator types that surface in reports.
@@ -74,6 +74,6 @@ pub use fbf_recovery::SchemeKind;
 
 // Campaign generation, trace (de)serialisation, daemon load generation.
 pub use fbf_workload::{
-    generate_errors, parse_trace, render_trace, shard_campaign, validate_against, ErrorGenConfig,
-    LoadReport,
+    client_trace_ids, generate_errors, parse_trace, render_trace, shard_campaign, validate_against,
+    ErrorGenConfig, LoadReport,
 };

@@ -12,6 +12,8 @@ use fbf::{
     run_experiment, DaemonClient, DaemonOptions, ExperimentConfig, Json, ServerAddr,
     METRICS_SCHEMA_VERSION,
 };
+use std::io::Write;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 fn sock_addr(tag: &str) -> ServerAddr {
@@ -177,6 +179,144 @@ fn repair_over_the_wire_matches_a_local_run() {
     if let ServerAddr::Unix(path) = &addr {
         assert!(!path.exists(), "socket file must be cleaned up");
     }
+}
+
+/// `Write` sink whose bytes stay inspectable after the writer is
+/// consumed by [`fbf::obs::TraceWriter::from_writer`].
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn repair_spans_reassemble_into_one_rooted_trace_tree() {
+    // Capture the process-wide event stream before serving: the daemon
+    // sees a subscriber already installed and skips its own bridge, so
+    // every span of the repair lands in this buffer.
+    let buf = SharedBuf::default();
+    fbf::obs::install(Arc::new(fbf::obs::TraceWriter::from_writer(Box::new(
+        buf.clone(),
+    ))));
+    let addr = sock_addr("tracetree");
+    let handle = fbf::serve(&addr, DaemonOptions { workers: 1 }).expect("serve");
+    let mut client = DaemonClient::connect(&addr).expect("connect");
+
+    // Stamp the request with a client-minted trace id; the daemon must
+    // adopt it (and echo it) rather than minting its own.
+    let trace_id = 424_242u64;
+    let reply = client
+        .call(&Json::obj([
+            ("cmd", Json::Str("repair".into())),
+            ("config", small_config_json()),
+            ("trace_id", Json::Num(trace_id as f64)),
+        ]))
+        .expect("repair");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        reply.get("trace").and_then(Json::as_u64),
+        Some(trace_id),
+        "daemon adopts the request's trace id: {}",
+        reply.render()
+    );
+    let job = reply.get("job").and_then(Json::as_u64).expect("job id");
+    let status = wait_done(&mut client, job);
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+
+    let _ = client.call(&Json::obj([("cmd", Json::Str("shutdown".into()))]));
+    handle.wait();
+    fbf::obs::uninstall();
+
+    // Reassemble the request's causal tree from the JSONL stream.
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).expect("trace is UTF-8");
+    let arg = |ev: &Json, key: &str| {
+        ev.get("args")
+            .and_then(|a| a.get(key))
+            .and_then(Json::as_u64)
+    };
+    let mut spans = std::collections::BTreeMap::new(); // span_id -> (name, parent_id)
+    let mut points = Vec::new(); // (name, parent_id) of instants/counters
+    let mut flow_opens = std::collections::BTreeMap::new(); // flow id -> count of `s`
+    let mut flow_steps = 0usize;
+    for line in text.lines() {
+        let ev = Json::parse(line).unwrap_or_else(|e| panic!("bad trace line: {e}: {line}"));
+        let ph = ev.get("ph").and_then(Json::as_str).unwrap_or("");
+        if ph == "s" || ph == "t" {
+            if arg(&ev, "trace_id") == Some(trace_id) {
+                let id = ev.get("id").and_then(Json::as_u64).expect("flow id");
+                if ph == "s" {
+                    *flow_opens.entry(id).or_insert(0u32) += 1;
+                } else {
+                    flow_steps += 1;
+                }
+            }
+            continue;
+        }
+        if arg(&ev, "trace_id") != Some(trace_id) {
+            continue;
+        }
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let parent = arg(&ev, "parent_id").unwrap_or(0);
+        match ph {
+            "X" => {
+                let span = arg(&ev, "span_id").expect("spans carry span_id");
+                assert!(
+                    spans.insert(span, (name, parent)).is_none(),
+                    "span ids are unique within a trace"
+                );
+            }
+            "i" | "C" => points.push((name, parent)),
+            other => panic!("unexpected phase {other:?} inside a trace: {line}"),
+        }
+    }
+
+    // Exactly one root — the daemon's request span — and every other
+    // span (and every point event) hangs off a resolvable parent.
+    let roots: Vec<_> = spans
+        .iter()
+        .filter(|(_, (_, parent))| *parent == 0)
+        .collect();
+    assert_eq!(roots.len(), 1, "one root per request, got {roots:?}");
+    assert_eq!(roots[0].1 .0, "repair", "the root is the daemon span");
+    assert!(
+        spans.len() >= 3,
+        "plan and simulate spans nest under the root: {spans:?}"
+    );
+    for (span, (name, parent)) in &spans {
+        if *parent != 0 {
+            assert!(
+                spans.contains_key(parent),
+                "span {span} ({name}) has unresolvable parent {parent}"
+            );
+        }
+    }
+    for (name, parent) in &points {
+        assert!(
+            *parent != 0 && spans.contains_key(parent),
+            "point event {name} must attach to a span of its trace"
+        );
+    }
+    // Flow records agree with the tree: every span opened its flow
+    // exactly once, and each non-root span stepped its parent's flow.
+    for span in spans.keys() {
+        assert_eq!(flow_opens.get(span), Some(&1), "span {span} opens one flow");
+    }
+    assert_eq!(
+        flow_steps,
+        spans.len() - 1,
+        "one parent step per child span"
+    );
 }
 
 #[test]

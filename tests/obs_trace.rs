@@ -238,10 +238,17 @@ fn jsonl_trace_is_well_formed() {
             .nth(1)
             .and_then(|rest| rest.chars().next())
             .expect("ph present");
-        assert!("XiCM".contains(ph), "known phase {ph}: {line}");
+        assert!("XiCMst".contains(ph), "known phase {ph}: {line}");
         phases.insert(ph);
         if ph == 'X' {
             assert!(line.contains("\"dur\":"), "complete events carry dur");
+        }
+        if ph == 's' || ph == 't' {
+            assert!(line.contains("\"id\":"), "flow events carry an id");
+            assert!(
+                line.contains("\"trace_id\":"),
+                "flow events name their trace"
+            );
         }
         if line.contains("\"cat\":\"engine\"") && line.contains("\"name\":\"cache\"") {
             cache_events += 1;
@@ -254,10 +261,102 @@ fn jsonl_trace_is_well_formed() {
         }
     }
     assert!(phases.contains(&'X') && phases.contains(&'C') && phases.contains(&'M'));
+    // Sweep points mint a trace each, so causal flow records appear too.
+    assert!(phases.contains(&'s'), "traced spans open flow records");
     assert_eq!(
         cache_events,
         points.len(),
         "one engine/cache snapshot per sweep point"
+    );
+}
+
+/// A campaign hot enough that escalation declares stripes lost: heavy
+/// media-error rate plus a dead disk. Seeded, so the loss (and the
+/// events leading up to it) replays identically.
+fn lossy_config() -> ExperimentConfig {
+    use fbf::disksim::{DiskKill, SimTime};
+    let mut cfg = ExperimentConfig::builder()
+        .stripes(128)
+        .error_count(48)
+        .workers(8)
+        .gen_threads(1)
+        .obs(true)
+        .build()
+        .expect("lossy config is valid");
+    cfg.faults = fbf::FaultPlan {
+        seed: 99,
+        media_per_mille: 120,
+        disk_kill: Some(DiskKill {
+            disk: 3,
+            at: SimTime::from_millis(10),
+        }),
+        ..fbf::FaultPlan::none()
+    };
+    cfg
+}
+
+#[test]
+fn data_loss_triggers_a_reproducible_flight_dump() {
+    let _gate = lock();
+    let cfg = lossy_config();
+    let counting = Arc::new(CountingSubscriber::default());
+    fbf::obs::install(counting.clone());
+
+    // Two seeded runs, each against a fresh recorder: the data-loss
+    // verdict must snapshot the ring, and the normalized dumps must be
+    // byte-identical (the post-mortem artefact is diffable).
+    let mut dumps = Vec::new();
+    let mut metrics = Vec::new();
+    for _ in 0..2 {
+        fbf::obs::ring::install(Arc::new(fbf::obs::ring::FlightRecorder::with_capacity(
+            4096,
+        )));
+        let m = fbf::run_experiment(&cfg).expect("lossy campaign still completes");
+        assert!(m.stripes_lost > 0, "campaign must actually lose stripes");
+        dumps.push(fbf::obs::ring::last_dump().expect("data loss dumped the flight recorder"));
+        fbf::obs::ring::uninstall();
+        metrics.push(m);
+    }
+    fbf::obs::uninstall();
+
+    let (reason, lines) = &dumps[0];
+    assert_eq!(reason, "data-loss");
+    assert_eq!(
+        dumps[0], dumps[1],
+        "normalized dumps replay byte-identically"
+    );
+
+    // The dump is well-formed JSONL: a metadata header, then events whose
+    // final entry is the data-loss instant naming the lost-stripe count.
+    assert!(lines.len() > 1, "dump carries events, not just the header");
+    assert!(lines[0].contains("fbf-flight"), "{}", lines[0]);
+    for line in lines {
+        assert!(line.ends_with('\n'), "each dump entry is one JSONL line");
+        let line = line.trim_end();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    let last = lines.last().unwrap();
+    assert!(last.contains("\"name\":\"data-loss\""), "{last}");
+    assert!(
+        last.contains(&format!("\"stripes\":{}", metrics[0].stripes_lost)),
+        "dump's verdict counts the same lost stripes as the metrics: {last}"
+    );
+
+    // Counter reconciliation: the live event stream agrees with the
+    // merged metrics — the loss verdict, per-round escalation counters,
+    // and the cross-round disk-read total (halved: two identical runs).
+    assert_eq!(
+        counting.total("faulted/data-loss/stripes"),
+        2 * metrics[0].stripes_lost as u64
+    );
+    assert_eq!(
+        counting.total("engine/disk/reads"),
+        2 * metrics[0].disk_reads
+    );
+    assert_eq!(
+        counting.total("faulted/round/round"),
+        2 * (1..=metrics[0].replan_rounds).sum::<u64>(),
+        "one round instant per escalation round, numbered 1..=rounds"
     );
 }
 
