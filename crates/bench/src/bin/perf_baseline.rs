@@ -38,10 +38,11 @@ use fbf_codes::xor::{
 use fbf_codes::{Cell, ChunkId};
 use fbf_core::{
     run_experiment, run_planned_on, sim_backend_for, ExperimentConfig, PlanSource, PlannedCampaign,
+    RebuildSpec,
 };
 use fbf_disksim::{
     equeue::oracle::HeapQueue, ArrayMapping, CalendarQueue, DiskModel, DiskSched, Engine,
-    EngineConfig, EngineScratch, EventQueue, FaultPlan, Op, SimTime, WorkerScript,
+    EngineConfig, EngineScratch, EventQueue, FaultPlan, Op, Placement, SimTime, WorkerScript,
 };
 use std::time::Instant;
 
@@ -512,6 +513,45 @@ fn main() {
             std::hint::black_box(m.chunks_recovered);
         },
     ));
+
+    // Array-wide rebuild: discover + shard + plan + admit + simulate one
+    // whole-disk campaign per iteration, on both placements. The pair
+    // gates the scheduler's own overhead and keeps the declustered
+    // admission path (per-wave footprint projection) honest.
+    let rebuild_spec = |placement: Placement| {
+        let base = ExperimentConfig::builder()
+            .policy(PolicyKind::Fbf)
+            .cache_mb(4)
+            .chunk_kb(8)
+            .stripes(if quick { 96 } else { 256 })
+            .error_count(32)
+            .workers(16)
+            .gen_threads(1)
+            .build()
+            .expect("bench config is valid");
+        let mut spec = RebuildSpec::new(base, 48);
+        spec.placement = placement;
+        spec
+    };
+    for (bench_name, placement) in [
+        (
+            "rebuild_declustered_e2e",
+            Placement::Declustered { seed: 0x5EED },
+        ),
+        ("rebuild_clustered_e2e", Placement::Fixed),
+    ] {
+        let spec = rebuild_spec(placement);
+        benches.push(measure(
+            bench_name,
+            1,
+            if quick { 1 } else { scale.min(10) },
+            1,
+            || {
+                let outcome = fbf_core::run_rebuild(&spec).expect("bench rebuild runs");
+                std::hint::black_box(outcome.report.disk_reads);
+            },
+        ));
+    }
 
     // Report.
     let slab = benches

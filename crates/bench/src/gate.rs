@@ -131,6 +131,8 @@ const NOISE_MODEL: &[(&str, f64, f64)] = &[
     ("decode_batch_8x", 2.0, 6.0),
     ("obs_ring_enabled", 1.6, 4.0),
     ("obs_ring_disabled", 1.6, 4.0),
+    ("rebuild_declustered_e2e", 2.0, 6.0),
+    ("rebuild_clustered_e2e", 2.0, 6.0),
 ];
 
 /// Tolerance for one bench: the per-bench noise-model entry (or the

@@ -95,6 +95,7 @@ pub fn run_planned_on(
 
     let mut report = RunReport {
         per_disk: vec![DiskStats::default(); mapping.disks],
+        per_disk_class_reads: vec![[0; fbf_obs::RequestClass::COUNT]; mapping.disks],
         ..Default::default()
     };
     let mut stripes_repaired = 0usize;
@@ -187,6 +188,8 @@ pub fn run_planned_on(
                                     .read_chunk(chunk, &mut chunk_buf)
                                     .map_err(RunError::Backend)?;
                                 report.disk_reads += 1;
+                                report.per_disk_class_reads[mapping.disk_of(chunk)]
+                                    [class.index()] += 1;
                                 let bytes = Arc::new(chunk_buf.clone());
                                 let priority = plan.dictionary.priority_of(&chunk);
                                 if let Some(evicted) = caches[slice].insert(chunk, priority) {

@@ -92,11 +92,20 @@ pub enum ServerAddr {
 pub struct DaemonOptions {
     /// Repair worker threads (each owns an [`EngineScratch`]).
     pub workers: usize,
+    /// Completed jobs whose data-plane backend stays resident for `read`.
+    /// When a job finishes past this cap, the *oldest* retained backend is
+    /// evicted (its metrics stay; `read` on it returns a typed error).
+    /// Without a cap every `sim`/`file` job's full array lives until
+    /// shutdown — an unbounded leak under a steady job stream.
+    pub retain: usize,
 }
 
 impl Default for DaemonOptions {
     fn default() -> Self {
-        DaemonOptions { workers: 2 }
+        DaemonOptions {
+            workers: 2,
+            retain: 8,
+        }
     }
 }
 
@@ -199,15 +208,42 @@ struct Job {
     backend_kind: String,
     dir: Option<PathBuf>,
     errors: Option<fbf_recovery::ErrorGroup>,
+    /// `Some` makes this an array-wide rebuild job instead of a repair.
+    rebuild: Option<crate::rebuild::RebuildSpec>,
     state: JobState,
     metrics: Option<Metrics>,
+    /// Rendered [`RebuildOutcome`](crate::rebuild::RebuildOutcome) JSON of
+    /// a finished rebuild job.
+    rebuild_json: Option<String>,
     /// Retained after completion so `read` can serve repaired chunks.
     backend: Option<Box<dyn StorageBackend>>,
+    /// The backend was dropped by the retention cap (distinguishes "never
+    /// had one" from "had one, evicted" in `read` errors).
+    backend_evicted: bool,
     /// The request's trace id (minted or client-supplied); every event
     /// the job emits carries it.
     trace: u64,
     /// Live escalation counters the worker publishes mid-job (`stat`).
     progress: Arc<Progress>,
+}
+
+impl Job {
+    fn new(cfg: ExperimentConfig, backend_kind: String, trace: u64) -> Self {
+        Job {
+            cfg,
+            backend_kind,
+            dir: None,
+            errors: None,
+            rebuild: None,
+            state: JobState::Queued,
+            metrics: None,
+            rebuild_json: None,
+            backend: None,
+            backend_evicted: false,
+            trace,
+            progress: Arc::new(Progress::new()),
+        }
+    }
 }
 
 struct Ctx {
@@ -218,6 +254,10 @@ struct Ctx {
     bridge: Arc<BridgeSubscriber>,
     /// Worker-pool size (`stat` reports busy/total).
     workers: usize,
+    /// Backend retention cap ([`DaemonOptions::retain`]).
+    retain: usize,
+    /// Jobs whose backend is resident, oldest completion first.
+    retained: Mutex<std::collections::VecDeque<u64>>,
     /// When `serve` started (`stat` reports uptime).
     started: Instant,
 }
@@ -384,6 +424,8 @@ pub fn serve(addr: &ServerAddr, opts: DaemonOptions) -> io::Result<DaemonHandle>
         next_id: AtomicU64::new(1),
         bridge,
         workers: opts.workers.max(1),
+        retain: opts.retain,
+        retained: Mutex::new(std::collections::VecDeque::new()),
         started: Instant::now(),
     });
 
@@ -436,7 +478,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<u64>>, ctx: &Ctx, store: &PlanStore) {
                 Err(mpsc::RecvTimeoutError::Disconnected) => return,
             }
         };
-        let Some((cfg, backend_kind, dir, errors, trace, progress)) = ({
+        let Some((cfg, backend_kind, dir, errors, rebuild, trace, progress)) = ({
             let mut jobs = ctx.jobs.lock().unwrap_or_else(|p| p.into_inner());
             jobs.get_mut(&job_id).map(|job| {
                 job.state = JobState::Running;
@@ -445,6 +487,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<u64>>, ctx: &Ctx, store: &PlanStore) {
                     job.backend_kind.clone(),
                     job.dir.clone(),
                     job.errors.take(),
+                    job.rebuild.clone(),
                     job.trace,
                     Arc::clone(&job.progress),
                 )
@@ -464,25 +507,66 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<u64>>, ctx: &Ctx, store: &PlanStore) {
                 ("backend", fbf_obs::Value::Str(&backend_kind)),
             ],
         );
-        let outcome = execute_job(
-            &cfg,
-            &backend_kind,
-            dir,
-            errors,
-            store,
-            &mut scratch,
-            &progress,
-        );
+        // A panicking job must become `Failed`, not a dead worker thread:
+        // before this guard, a panic left the job `Running` forever, so
+        // the `fbf_jobs_total{state}` gauges drifted (a phantom running
+        // job, one fewer live worker) for the rest of the daemon's life.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(spec) = &rebuild {
+                crate::rebuild::execute_rebuild(spec, store, &mut scratch)
+                    .map(|o| JobSuccess::Rebuild(o.to_json()))
+                    .map_err(|e| e.to_string())
+            } else {
+                execute_job(
+                    &cfg,
+                    &backend_kind,
+                    dir,
+                    errors,
+                    store,
+                    &mut scratch,
+                    &progress,
+                )
+                .map(|(metrics, backend)| JobSuccess::Repair(Box::new(metrics), backend))
+            }
+        }))
+        .unwrap_or_else(|panic| {
+            // The scratch may hold a torn event heap; start fresh.
+            scratch = EngineScratch::new();
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "job panicked".to_string());
+            Err(format!("job panicked: {msg}"))
+        });
         let failed = outcome.is_err();
         let mut jobs = ctx.jobs.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(job) = jobs.get_mut(&job_id) {
             match outcome {
-                Ok((metrics, backend)) => {
-                    job.metrics = Some(metrics);
+                Ok(JobSuccess::Repair(metrics, backend)) => {
+                    job.metrics = Some(*metrics);
                     job.backend = backend;
                     job.state = JobState::Done;
                 }
+                Ok(JobSuccess::Rebuild(json)) => {
+                    job.rebuild_json = Some(json);
+                    job.state = JobState::Done;
+                }
                 Err(msg) => job.state = JobState::Failed(msg),
+            }
+            if job.backend.is_some() {
+                // Retention cap: register this backend, evict the oldest
+                // beyond the cap (metrics stay — only the array goes).
+                let mut retained = ctx.retained.lock().unwrap_or_else(|p| p.into_inner());
+                retained.push_back(job_id);
+                while retained.len() > ctx.retain {
+                    if let Some(old) = retained.pop_front() {
+                        if let Some(j) = jobs.get_mut(&old) {
+                            j.backend = None;
+                            j.backend_evicted = true;
+                        }
+                    }
+                }
             }
         }
         drop(jobs);
@@ -496,6 +580,14 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<u64>>, ctx: &Ctx, store: &PlanStore) {
 }
 
 type JobOutcome = Result<(Metrics, Option<Box<dyn StorageBackend>>), String>;
+
+/// What a worker produced for a finished job, by job kind.
+enum JobSuccess {
+    /// A repair: metrics, plus the retained backend for `sim`/`file`.
+    Repair(Box<Metrics>, Option<Box<dyn StorageBackend>>),
+    /// An array-wide rebuild: the rendered outcome JSON.
+    Rebuild(String),
+}
 
 #[allow(clippy::too_many_arguments)]
 fn execute_job(
@@ -536,6 +628,9 @@ fn execute_job(
             let metrics =
                 run_planned_on(cfg, &plan, source, &mut backend).map_err(|e| e.to_string())?;
             Ok((metrics, Some(Box::new(backend))))
+        }
+        "panic" if cfg!(debug_assertions) => {
+            panic!("deliberate panic backend (worker-crash regression test)")
         }
         other => Err(format!(
             "unknown backend `{other}` (expected engine, sim, or file)"
@@ -625,6 +720,7 @@ fn dispatch(cmd: &str, req: &Json, ctx: &Ctx) -> Json {
             ("protocol", Json::Num(PROTOCOL_VERSION as f64)),
         ]),
         "repair" => cmd_repair(req, ctx),
+        "rebuild" => cmd_rebuild(req, ctx),
         "status" => cmd_status(req, ctx),
         "jobs" => cmd_jobs(ctx),
         "read" => cmd_read(req, ctx),
@@ -697,7 +793,10 @@ fn cmd_repair(req: &Json, ctx: &Ctx) -> Json {
         .and_then(Json::as_str)
         .unwrap_or("engine")
         .to_string();
-    if !matches!(backend_kind.as_str(), "engine" | "sim" | "file") {
+    // `panic` is a debug-build-only seam for the worker-crash regression
+    // test (a panicking job must become `Failed`, not a dead worker).
+    let test_seam = cfg!(debug_assertions) && backend_kind == "panic";
+    if !matches!(backend_kind.as_str(), "engine" | "sim" | "file") && !test_seam {
         return err_reply(&format!("unknown backend `{backend_kind}`"));
     }
     let dir = req.get("dir").and_then(Json::as_str).map(PathBuf::from);
@@ -727,20 +826,97 @@ fn cmd_repair(req: &Json, ctx: &Ctx) -> Json {
         _ => fbf_obs::next_trace_id(),
     };
     let id = ctx.next_id.fetch_add(1, Ordering::Relaxed);
-    ctx.jobs.lock().unwrap_or_else(|p| p.into_inner()).insert(
-        id,
-        Job {
-            cfg,
-            backend_kind,
-            dir,
-            errors,
-            state: JobState::Queued,
-            metrics: None,
-            backend: None,
-            trace,
-            progress: Arc::new(Progress::new()),
-        },
-    );
+    let mut job = Job::new(cfg, backend_kind, trace);
+    job.dir = dir;
+    job.errors = errors;
+    ctx.jobs
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(id, job);
+    if ctx.queue.send(id).is_err() {
+        return err_reply("daemon is shutting down");
+    }
+    ok_reply([
+        ("job", Json::Num(id as f64)),
+        ("trace", Json::Num(trace as f64)),
+    ])
+}
+
+/// `rebuild`: queue an array-wide declustered rebuild
+/// ([`crate::rebuild::execute_rebuild`]) as a job. Accepts the same
+/// `config` overrides as `repair` plus `disks`, `placement`
+/// (`clustered`/`rotated`/`declustered`), `placement_seed`, `failed_disk`,
+/// `cap`, `fairness` (`rr`/`drr`), `campaigns`, and `app_reads`.
+fn cmd_rebuild(req: &Json, ctx: &Ctx) -> Json {
+    use fbf_disksim::Placement;
+    let base = match config_from_request(req) {
+        Ok(c) => c,
+        Err(e) => return err_reply(&e),
+    };
+    let code = match StripeCode::build(base.code, base.p) {
+        Ok(c) => c,
+        Err(e) => return err_reply(&format!("cannot build code: {e}")),
+    };
+    let disks = req.get("disks").and_then(Json::as_u64).unwrap_or(100) as usize;
+    if disks < code.cols() {
+        return err_reply(&format!(
+            "{disks} disks cannot hold {}-column stripes",
+            code.cols()
+        ));
+    }
+    let mut spec = crate::rebuild::RebuildSpec::new(base, disks);
+    match req.get("placement").and_then(Json::as_str) {
+        Some("clustered" | "fixed") => spec.placement = Placement::Fixed,
+        Some("rotated") => spec.placement = Placement::Rotated,
+        Some("declustered") | None => {
+            spec.placement = Placement::Declustered {
+                seed: req
+                    .get("placement_seed")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(spec.base.seed),
+            }
+        }
+        Some(other) => return err_reply(&format!("unknown placement `{other}`")),
+    }
+    if let Some(d) = req.get("failed_disk").and_then(Json::as_u64) {
+        if d as usize >= disks {
+            return err_reply(&format!("failed_disk {d} outside the {disks}-disk array"));
+        }
+        spec.failed_disk = d as usize;
+    }
+    if let Some(cap) = req.get("cap").and_then(Json::as_u64) {
+        if cap == 0 {
+            return err_reply("cap must be at least 1");
+        }
+        spec.per_disk_cap = cap as u32;
+    }
+    if let Some(f) = req.get("fairness").and_then(Json::as_str) {
+        match fbf_recovery::Fairness::parse(f) {
+            Some(fair) => spec.fairness = fair,
+            None => return err_reply(&format!("unknown fairness `{f}` (rr or drr)")),
+        }
+    }
+    if let Some(c) = req.get("campaigns").and_then(Json::as_u64) {
+        if c == 0 {
+            return err_reply("campaigns must be at least 1");
+        }
+        spec.campaigns = c as usize;
+    }
+    if let Some(a) = req.get("app_reads").and_then(Json::as_u64) {
+        spec.app_reads_per_wave = a as usize;
+    }
+
+    let trace = match req.get("trace_id").and_then(Json::as_u64) {
+        Some(t) if t != 0 => t,
+        _ => fbf_obs::next_trace_id(),
+    };
+    let id = ctx.next_id.fetch_add(1, Ordering::Relaxed);
+    let mut job = Job::new(spec.base, "rebuild".to_string(), trace);
+    job.rebuild = Some(spec);
+    ctx.jobs
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(id, job);
     if ctx.queue.send(id).is_err() {
         return err_reply("daemon is shutting down");
     }
@@ -770,6 +946,12 @@ fn cmd_status(req: &Json, ctx: &Ctx) -> Json {
         match Json::parse(&metrics.to_json()) {
             Ok(m) => fields.push(("metrics", m)),
             Err(e) => fields.push(("error", Json::Str(format!("metrics render bug: {e}")))),
+        }
+    }
+    if let Some(rebuild) = &job.rebuild_json {
+        match Json::parse(rebuild) {
+            Ok(r) => fields.push(("rebuild", r)),
+            Err(e) => fields.push(("error", Json::Str(format!("rebuild render bug: {e}")))),
         }
     }
     ok_reply(fields)
@@ -807,7 +989,11 @@ fn cmd_read(req: &Json, ctx: &Ctx) -> Json {
         return err_reply(&format!("no such job {id}"));
     };
     let Some(backend) = job.backend.as_mut() else {
-        return err_reply("job has no data-plane backend (engine jobs move identities only)");
+        return if job.backend_evicted {
+            err_reply("job's backend was evicted by the retention cap (rerun or raise --retain)")
+        } else {
+            err_reply("job has no data-plane backend (engine jobs move identities only)")
+        };
     };
     let chunk = ChunkId::new(stripe as u32, Cell::new(row as usize, col as usize));
     let mut buf = vec![0u8; backend.chunk_bytes()];
@@ -837,9 +1023,9 @@ fn job_state_counts(jobs: &HashMap<u64, Job>) -> [u64; 4] {
 }
 
 /// Render the live-state gauges (`fbf_jobs_running`, `fbf_jobs_total`,
-/// `fbf_workers_busy`) as Prometheus text, appended to the finished-job
-/// snapshot by `cmd_metrics`.
-fn jobs_gauges(counts: [u64; 4], workers: usize) -> String {
+/// `fbf_workers_busy`, `fbf_backends_retained`) as Prometheus text,
+/// appended to the finished-job snapshot by `cmd_metrics`.
+fn jobs_gauges(counts: [u64; 4], workers: usize, retained: u64) -> String {
     let [queued, running, done, failed] = counts;
     let mut out = String::with_capacity(512);
     out.push_str("# HELP fbf_jobs_running Repair jobs a worker is executing right now.\n");
@@ -861,6 +1047,12 @@ fn jobs_gauges(counts: [u64; 4], workers: usize) -> String {
         "fbf_workers_busy {}\n",
         running.min(workers as u64)
     ));
+    out.push_str(
+        "# HELP fbf_backends_retained Completed jobs whose data-plane backend is resident \
+         (bounded by the retention cap).\n",
+    );
+    out.push_str("# TYPE fbf_backends_retained gauge\n");
+    out.push_str(&format!("fbf_backends_retained {retained}\n"));
     out
 }
 
@@ -876,12 +1068,13 @@ fn cmd_metrics(ctx: &Ctx) -> Json {
         })
         .collect();
     let counts = job_state_counts(&jobs);
+    let retained = jobs.values().filter(|j| j.backend.is_some()).count() as u64;
     drop(jobs);
     // The histogram/counter snapshot only covers *finished* jobs (their
     // metrics are immutable); the appended fbf_jobs_*/fbf_workers_busy
     // gauges cover live state, so a mid-job scrape still moves.
     let mut text = crate::prom::prometheus_snapshot(&points);
-    text.push_str(&jobs_gauges(counts, ctx.workers));
+    text.push_str(&jobs_gauges(counts, ctx.workers, retained));
     ok_reply([
         ("completed", Json::Num(points.len() as f64)),
         ("running", Json::Num(counts[1] as f64)),

@@ -70,6 +70,16 @@ pub struct FaultedOutcome {
     pub stripes_repaired: usize,
     /// Chunks of surviving stripes recovered, counting escalated damage.
     pub chunks_recovered: usize,
+    /// The round cap was hit with failures still pending. The affected
+    /// stripes are in [`FaultedOutcome::unresolved`] — they are *not*
+    /// counted as repaired and *not* typed as data loss, and any caller
+    /// treating the campaign as a success must check this flag.
+    /// (Regression guard: exhaustion used to exit the loop silently,
+    /// reporting partially-repaired stripes as repaired.)
+    pub rounds_exhausted: bool,
+    /// Damage of stripes left neither repaired nor declared lost when the
+    /// round cap hit. Empty unless [`FaultedOutcome::rounds_exhausted`].
+    pub unresolved: Vec<StripeDamage>,
 }
 
 /// Build the engine configuration for one round of `cfg`'s campaign.
@@ -97,8 +107,9 @@ fn engine_config(
 }
 
 /// The fault plan for rounds ≥ 1: a disk killed in round 0 stays dead, so
-/// its kill instant moves to time zero.
-fn later_round_faults(f: FaultPlan) -> FaultPlan {
+/// its kill instant moves to time zero. Shared with the array-wide
+/// rebuild driver, whose waves chain on the virtual clock the same way.
+pub(crate) fn later_round_faults(f: FaultPlan) -> FaultPlan {
     let mut later = f;
     if let Some(kill) = later.disk_kill.as_mut() {
         kill.at = SimTime::ZERO;
@@ -108,8 +119,9 @@ fn later_round_faults(f: FaultPlan) -> FaultPlan {
 
 /// Fold one round's report into the running total. Rounds execute
 /// back-to-back on the virtual clock, so makespans add and each round's
-/// write completions shift by the time already elapsed.
-fn merge_round(total: &mut RunReport, round: &RunReport) {
+/// write completions shift by the time already elapsed. Shared with the
+/// array-wide rebuild driver, which merges per-wave reports the same way.
+pub(crate) fn merge_round(total: &mut RunReport, round: &RunReport) {
     let base = total.makespan;
     total.makespan = base + round.makespan;
     total.cache.merge(&round.cache);
@@ -126,6 +138,15 @@ fn merge_round(total: &mut RunReport, round: &RunReport) {
         .extend(round.write_completions.iter().map(|&t| base + t));
     for (t, r) in total.per_disk.iter_mut().zip(&round.per_disk) {
         t.merge(r);
+    }
+    for (t, r) in total
+        .per_disk_class_reads
+        .iter_mut()
+        .zip(&round.per_disk_class_reads)
+    {
+        for (a, b) in t.iter_mut().zip(r) {
+            *a += b;
+        }
     }
     total.faults.merge(&round.faults);
     total
@@ -161,6 +182,21 @@ pub fn execute_faulted_observed(
     scratch: &mut EngineScratch,
     progress: Option<&Progress>,
 ) -> FaultedOutcome {
+    execute_faulted_capped(cfg, plan, scratch, progress, MAX_ROUNDS)
+}
+
+/// [`execute_faulted_observed`] with an explicit escalation-round cap.
+/// Exhaustion — the cap hit with failures still pending — is a typed
+/// verdict ([`FaultedOutcome::rounds_exhausted`] +
+/// [`FaultedOutcome::unresolved`]), never a silent partial success: the
+/// affected stripes are excluded from `stripes_repaired`/`final_plans`.
+pub fn execute_faulted_capped(
+    cfg: &ExperimentConfig,
+    plan: &PlannedCampaign,
+    scratch: &mut EngineScratch,
+    progress: Option<&Progress>,
+    max_rounds: u64,
+) -> FaultedOutcome {
     let code = StripeCode::build(cfg.code, cfg.p).expect("plan was built with this code/p");
     let mut escalator = Escalator::new(&code, cfg.scheme, &plan.errors);
     let mut final_plans: BTreeMap<u32, StripePlan> = plan
@@ -191,7 +227,7 @@ pub fn execute_faulted_observed(
     if let Some(p) = progress {
         p.record(0, 0, total.faults.hard_failures(), 0);
     }
-    while !pending.is_empty() && escalator.rounds() < MAX_ROUNDS {
+    while !pending.is_empty() && escalator.rounds() < max_rounds {
         let absorbed = escalator.absorb(&pending);
         for dl in &absorbed.data_loss {
             final_plans.remove(&dl.stripe);
@@ -247,7 +283,45 @@ pub fn execute_faulted_observed(
         fbf_obs::ring::trigger_dump("data-loss");
     }
 
-    let surviving_damage = escalator.surviving_damage();
+    // Exhaustion verdict: failures still pending after the loop whose
+    // stripes were never declared lost were neither repaired nor typed —
+    // surface them instead of letting them ride in the "repaired" count.
+    // (The empty-replans break leaves pending stripes too, but those are
+    // all in `data_loss`, so they filter out here.)
+    let lost: std::collections::BTreeSet<u32> = data_loss.iter().map(|d| d.stripe).collect();
+    let unresolved_stripes: std::collections::BTreeSet<u32> = pending
+        .iter()
+        .map(|f| f.chunk.stripe)
+        .filter(|s| !lost.contains(s))
+        .collect();
+    let rounds_exhausted = !unresolved_stripes.is_empty();
+    if rounds_exhausted {
+        for s in &unresolved_stripes {
+            final_plans.remove(s);
+        }
+        if obs {
+            fbf_obs::instant(
+                "faulted",
+                "rounds-exhausted",
+                &[
+                    ("rounds", fbf_obs::Value::U64(escalator.rounds())),
+                    (
+                        "unresolved",
+                        fbf_obs::Value::U64(unresolved_stripes.len() as u64),
+                    ),
+                ],
+            );
+        }
+        fbf_obs::ring::trigger_dump("rounds-exhausted");
+    }
+
+    let mut surviving_damage = escalator.surviving_damage();
+    let unresolved: Vec<StripeDamage> = surviving_damage
+        .iter()
+        .filter(|d| unresolved_stripes.contains(&d.stripe))
+        .cloned()
+        .collect();
+    surviving_damage.retain(|d| !unresolved_stripes.contains(&d.stripe));
     let chunks_recovered = surviving_damage.iter().map(|d| d.cells.len()).sum();
     FaultedOutcome {
         report: total,
@@ -258,6 +332,8 @@ pub fn execute_faulted_observed(
         stripes_repaired: final_plans.len(),
         chunks_recovered,
         final_plans,
+        rounds_exhausted,
+        unresolved,
     }
 }
 
@@ -370,6 +446,74 @@ mod tests {
         // exactly, even across merged rounds.
         let by_class: u64 = out.report.class_latency.iter().map(|h| h.count()).sum();
         assert_eq!(by_class, out.report.read_latency.count());
+    }
+
+    #[test]
+    fn round_exhaustion_is_a_typed_verdict_not_a_silent_success() {
+        // A zero-round cap makes every round-0 failure pathological: no
+        // escalation is allowed, so the failed stripes can be neither
+        // repaired nor typed as lost. The driver must say so instead of
+        // reporting them repaired.
+        let cfg = faulty(30, None);
+        let plan = PlannedCampaign::cold(&cfg).unwrap();
+        let out = execute_faulted_capped(&cfg, &plan, &mut EngineScratch::new(), None, 0);
+        assert!(
+            !out.report.failed_reads.is_empty(),
+            "30‰ media errors must fail reads in round 0"
+        );
+        assert!(out.rounds_exhausted, "cap hit with pending failures");
+        assert!(!out.unresolved.is_empty());
+        // Every damaged stripe is accounted for exactly once: repaired,
+        // lost, or unresolved — never silently dropped or double-counted.
+        assert_eq!(
+            out.stripes_repaired + out.data_loss.len() + out.unresolved.len(),
+            48
+        );
+        for d in &out.unresolved {
+            assert!(
+                !out.final_plans.contains_key(&d.stripe),
+                "unresolved stripe {} must not carry a final plan",
+                d.stripe
+            );
+            assert!(
+                !out.surviving_damage.iter().any(|s| s.stripe == d.stripe),
+                "unresolved stripe {} must not count as recovered damage",
+                d.stripe
+            );
+        }
+    }
+
+    #[test]
+    fn converged_runs_never_flag_exhaustion() {
+        let out = outcome(&faulty(30, None));
+        assert!(!out.rounds_exhausted);
+        assert!(out.unresolved.is_empty());
+        let clean = outcome(&faulty(0, None));
+        assert!(!clean.rounds_exhausted);
+        assert!(clean.unresolved.is_empty());
+    }
+
+    #[test]
+    fn per_disk_class_reads_survive_round_merging() {
+        use fbf_disksim::RequestClass;
+        let out = outcome(&faulty(30, None));
+        assert!(out.rounds >= 1, "must merge at least one replan round");
+        let per_class_total: u64 = out
+            .report
+            .per_disk_class_reads
+            .iter()
+            .flat_map(|c| c.iter())
+            .sum();
+        assert_eq!(
+            per_class_total, out.report.disk_reads,
+            "per-disk class reads partition disk_reads exactly across merged rounds"
+        );
+        let replan: u64 = out
+            .report
+            .class_reads_per_disk(RequestClass::Replan)
+            .iter()
+            .sum();
+        assert!(replan > 0, "replan rounds attribute their disk reads");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod plan;
 pub mod progress;
 pub mod prom;
+pub mod rebuild;
 pub mod reliability;
 pub mod report;
 pub mod runner;
@@ -57,12 +58,15 @@ pub use config::{
 pub use daemon::{
     serve, ClientStream, DaemonClient, DaemonHandle, DaemonOptions, JobState, ServerAddr,
 };
-pub use faulted::{execute_faulted, execute_faulted_observed, FaultedOutcome};
+pub use faulted::{
+    execute_faulted, execute_faulted_capped, execute_faulted_observed, FaultedOutcome, MAX_ROUNDS,
+};
 pub use json::{Json, JsonError};
 pub use metrics::{ClassLatency, ClassVerdict, Metrics, SloVerdict, METRICS_SCHEMA_VERSION};
 pub use plan::{PlanKey, PlanSource, PlanStore, PlanStoreStats, PlannedCampaign};
 pub use progress::{Progress, ProgressSnapshot};
 pub use prom::prometheus_snapshot;
+pub use rebuild::{execute_rebuild, run_rebuild, RebuildOutcome, RebuildSpec};
 pub use reliability::{mttdl_gain, mttdl_hours, mttdl_years, ReliabilityParams};
 pub use report::Table;
 pub use runner::{

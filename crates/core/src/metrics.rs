@@ -146,6 +146,10 @@ pub struct Metrics {
     pub replan_rounds: u64,
     /// Stripes whose damage exceeded the code's fault tolerance.
     pub stripes_lost: usize,
+    /// Stripes left neither repaired nor typed lost because the
+    /// escalation round cap hit ([`FaultedOutcome::rounds_exhausted`]).
+    /// Non-zero means the campaign did NOT converge.
+    pub stripes_unresolved: usize,
     /// Per-stripe data-loss verdicts (empty unless faults destroyed data).
     pub data_loss: Vec<DataLoss>,
     /// Per-class read-latency tail summaries, indexed by
@@ -205,6 +209,7 @@ impl Metrics {
             replans: 0,
             replan_rounds: 0,
             stripes_lost: 0,
+            stripes_unresolved: 0,
             data_loss: Vec::new(),
             class_latency: std::array::from_fn(|i| {
                 ClassLatency::from_histogram(&report.class_latency[i])
@@ -263,6 +268,7 @@ impl Metrics {
         m.replans = outcome.replans;
         m.replan_rounds = outcome.rounds;
         m.stripes_lost = outcome.data_loss.len();
+        m.stripes_unresolved = outcome.unresolved.len();
         m.data_loss = outcome.data_loss.clone();
         m
     }
@@ -321,7 +327,8 @@ impl Metrics {
                 "\"chunks_recovered\":{},\"media_errors\":{},",
                 "\"transient_faults\":{},\"retries\":{},\"retries_exhausted\":{},",
                 "\"dead_disk_reads\":{},\"skipped_ops\":{},\"replans\":{},",
-                "\"replan_rounds\":{},\"stripes_lost\":{},\"data_loss\":[{}],",
+                "\"replan_rounds\":{},\"stripes_lost\":{},\"stripes_unresolved\":{},",
+                "\"data_loss\":[{}],",
                 "\"queue_depth_max\":{},\"read_balance\":{:.6},",
                 "\"classes\":{{{}}},",
                 "\"slo\":{{\"evaluated\":{},\"pass\":{},\"classes\":{{{}}}}}}}"
@@ -344,6 +351,7 @@ impl Metrics {
             self.replans,
             self.replan_rounds,
             self.stripes_lost,
+            self.stripes_unresolved,
             loss.join(","),
             self.queue_depth_max,
             self.read_balance,
@@ -388,6 +396,9 @@ impl std::fmt::Display for Metrics {
                 self.replan_rounds,
                 self.stripes_lost
             )?;
+        }
+        if self.stripes_unresolved > 0 {
+            write!(f, " UNRESOLVED[stripes={}]", self.stripes_unresolved)?;
         }
         for class in RequestClass::ALL {
             let l = &self.class_latency[class.index()];

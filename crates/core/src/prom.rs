@@ -30,6 +30,7 @@ pub fn prometheus_snapshot(points: &[SweepPoint]) -> String {
     let mut queue_depth_max = 0u64;
     let mut replans = 0u64;
     let mut stripes_lost = 0u64;
+    let mut stripes_unresolved = 0u64;
     let mut class: [Digest; RequestClass::COUNT] = Default::default();
     let mut slo_evaluated = false;
     let mut slo_pass = true;
@@ -43,6 +44,7 @@ pub fn prometheus_snapshot(points: &[SweepPoint]) -> String {
         queue_depth_max = queue_depth_max.max(m.queue_depth_max);
         replans += m.replans;
         stripes_lost += m.stripes_lost as u64;
+        stripes_unresolved += m.stripes_unresolved as u64;
         for c in RequestClass::ALL {
             class[c.index()].merge(m.class_digests[c.index()].digest());
         }
@@ -93,6 +95,11 @@ pub fn prometheus_snapshot(points: &[SweepPoint]) -> String {
         "fbf_stripes_lost_total",
         "stripes whose damage exceeded the code's fault tolerance",
         stripes_lost as f64,
+    );
+    w.counter(
+        "fbf_stripes_unresolved_total",
+        "stripes left neither repaired nor typed lost when escalation rounds ran out",
+        stripes_unresolved as f64,
     );
     w.gauge(
         "fbf_queue_depth_max",

@@ -1,0 +1,492 @@
+//! Array-wide declustered rebuild: wave-scheduled whole-disk recovery
+//! over many more disks than stripe columns.
+//!
+//! The partial-stripe machinery in this crate repairs one campaign at a
+//! time against a clustered array (`disks == cols`). A whole-disk failure
+//! in a *declustered* array is a different animal: with the D3 placement
+//! ([`fbf_disksim::Placement::Declustered`]) each stripe's columns land on
+//! a per-stripe permutation of `N >= 100` disks, so the failed disk's
+//! stripes — and the surviving chunks their repairs must read — are
+//! scattered across the whole array. Rebuilding them all at once would be
+//! maximally parallel but would also bury foreground I/O; rebuilding them
+//! serially wastes the declustering.
+//!
+//! [`execute_rebuild`] drives the middle path:
+//!
+//! 1. **Discover** the stripes with a column on the failed disk (at most
+//!    one each — per-stripe placements are injective) and shard them
+//!    round-robin into repair *campaigns*.
+//! 2. **Plan** each campaign through the shared
+//!    [`PlanStore`](crate::plan::PlanStore) via
+//!    [`plan_custom`](crate::plan::PlanStore::plan_custom): a full-column
+//!    [`PartialStripeError`](fbf_recovery::PartialStripeError) per stripe,
+//!    lowered by the same scheme generators as every other experiment.
+//!    Shard configs salt the campaign seed so each shard gets its own
+//!    [`PlanKey`](crate::plan::PlanKey).
+//! 3. **Schedule**: each stripe's projected per-disk read footprint feeds
+//!    a [`RebuildScheduler`], which admits *waves* bounded by a per-disk
+//!    read cap and arbitrated by a [`Fairness`] policy (round-robin or
+//!    deficit-weighted) across the campaigns.
+//! 4. **Simulate** each wave as one engine pass — recovery scripts plus an
+//!    optional foreground application-read script — and merge the waves
+//!    back-to-back on one virtual clock exactly as faulted rounds merge
+//!    ([`merge_round`](crate::faulted)).
+//!
+//! The outcome carries the clustered-vs-declustered comparison metrics:
+//! reconstruction time, per-disk rebuild-read balance and skew, and
+//! foreground p99/p999 during the rebuild.
+
+use crate::config::ExperimentConfig;
+use crate::faulted::{later_round_faults, merge_round};
+use crate::plan::{PlanStore, PlannedCampaign};
+use crate::runner::RunError;
+use fbf_cache::FxHashMap;
+use fbf_codes::StripeCode;
+use fbf_disksim::{
+    ArrayMapping, Engine, EngineConfig, EngineScratch, Placement, RequestClass, RunReport, SimTime,
+};
+use fbf_recovery::{
+    ErrorGroup, ExecConfig, Fairness, PartialStripeError, PriorityDictionary, RebuildItem,
+    RebuildScheduler,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One array-wide rebuild, fully specified.
+#[derive(Debug, Clone)]
+pub struct RebuildSpec {
+    /// Code, cache, disk model, workers, seed — everything the per-wave
+    /// engine passes inherit. `stripes` bounds the data zone searched for
+    /// affected stripes; `error_count` is ignored (the failed disk decides
+    /// the campaign).
+    pub base: ExperimentConfig,
+    /// Physical disks in the array (`>=` the code's column count).
+    pub disks: usize,
+    /// Column→disk placement under test.
+    pub placement: Placement,
+    /// The disk that failed.
+    pub failed_disk: usize,
+    /// Max rebuild reads any one disk absorbs per wave.
+    pub per_disk_cap: u32,
+    /// Arbitration between the repair campaigns.
+    pub fairness: Fairness,
+    /// Campaign shards the affected stripes are split into.
+    pub campaigns: usize,
+    /// DRR weights per campaign (empty = all 1; ignored by round-robin).
+    pub weights: Vec<u64>,
+    /// Foreground application reads issued alongside each wave (0 = no
+    /// foreground traffic).
+    pub app_reads_per_wave: usize,
+}
+
+impl RebuildSpec {
+    /// A spec with scheduling defaults: declustered placement seeded from
+    /// the base config, disk 0 failed, a 64-read cap, round-robin over 4
+    /// campaigns, and a light foreground stream.
+    pub fn new(base: ExperimentConfig, disks: usize) -> Self {
+        RebuildSpec {
+            placement: Placement::Declustered { seed: base.seed },
+            base,
+            disks,
+            failed_disk: 0,
+            per_disk_cap: 64,
+            fairness: Fairness::RoundRobin,
+            campaigns: 4,
+            weights: Vec::new(),
+            app_reads_per_wave: 128,
+        }
+    }
+}
+
+/// Everything an array-wide rebuild produced.
+#[derive(Debug)]
+pub struct RebuildOutcome {
+    /// All waves merged on one virtual clock (makespans summed, counters
+    /// and digests merged).
+    pub report: RunReport,
+    /// The placement that was rebuilt under.
+    pub placement: Placement,
+    /// The fairness policy that arbitrated the campaigns.
+    pub fairness: Fairness,
+    /// Waves the scheduler admitted.
+    pub waves: usize,
+    /// Stripes with a column on the failed disk.
+    pub stripes_affected: usize,
+    /// Stripes whose repair completed without a hard read failure.
+    pub stripes_rebuilt: usize,
+    /// Stripes whose repair hit a hard read failure mid-wave (only under
+    /// an injected fault plan); their repair is *not* counted done.
+    pub failed_stripes: Vec<u32>,
+    /// Total virtual reconstruction time, seconds.
+    pub reconstruction_s: f64,
+    /// Rebuild (non-App) reads absorbed by each disk.
+    pub per_disk_rebuild_reads: Vec<u64>,
+    /// Busiest disk's rebuild reads over the all-disk mean (1.0 = even).
+    pub rebuild_skew: f64,
+    /// Foreground p99 read latency during the rebuild, ms.
+    pub app_p99_ms: Option<f64>,
+    /// Foreground p999 read latency during the rebuild, ms.
+    pub app_p999_ms: Option<f64>,
+}
+
+impl RebuildOutcome {
+    /// Render as one JSON object (schemaless sibling of
+    /// [`Metrics::to_json`](crate::metrics::Metrics::to_json)).
+    pub fn to_json(&self) -> String {
+        let per_disk: Vec<String> = self
+            .per_disk_rebuild_reads
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        let failed: Vec<String> = self.failed_stripes.iter().map(|s| s.to_string()).collect();
+        format!(
+            concat!(
+                "{{\"placement\":\"{}\",\"fairness\":\"{}\",\"waves\":{},",
+                "\"stripes_affected\":{},\"stripes_rebuilt\":{},\"failed_stripes\":[{}],",
+                "\"reconstruction_s\":{:.6},\"disk_reads\":{},\"disk_writes\":{},",
+                "\"rebuild_skew\":{:.6},\"app_p99_ms\":{},\"app_p999_ms\":{},",
+                "\"per_disk_rebuild_reads\":[{}]}}"
+            ),
+            self.placement.name(),
+            self.fairness.name(),
+            self.waves,
+            self.stripes_affected,
+            self.stripes_rebuilt,
+            failed.join(","),
+            self.reconstruction_s,
+            self.report.disk_reads,
+            self.report.disk_writes,
+            self.rebuild_skew,
+            self.app_p99_ms.map_or("null".into(), |v| format!("{v:.6}")),
+            self.app_p999_ms
+                .map_or("null".into(), |v| format!("{v:.6}")),
+            per_disk.join(","),
+        )
+    }
+}
+
+/// Salt a shard's campaign seed so each shard owns a distinct
+/// [`PlanKey`](crate::plan::PlanKey) in the shared store.
+fn shard_seed(base: u64, shard: usize) -> u64 {
+    base ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// [`execute_rebuild`] with a private plan store and scratch — the
+/// standalone entry point (CLI, tests).
+pub fn run_rebuild(spec: &RebuildSpec) -> Result<RebuildOutcome, RunError> {
+    execute_rebuild(spec, &PlanStore::new(), &mut EngineScratch::new())
+}
+
+/// Drive one array-wide rebuild to completion. See the module docs for
+/// the model; `store` is shared so concurrent rebuilds (or a rebuild next
+/// to a sweep) reuse each other's planning.
+pub fn execute_rebuild(
+    spec: &RebuildSpec,
+    store: &PlanStore,
+    scratch: &mut EngineScratch,
+) -> Result<RebuildOutcome, RunError> {
+    let cfg = &spec.base;
+    cfg.validate()?;
+    assert!(spec.campaigns > 0, "at least one repair campaign");
+    assert!(
+        spec.failed_disk < spec.disks,
+        "failed disk {} outside the {}-disk array",
+        spec.failed_disk,
+        spec.disks
+    );
+    let code = StripeCode::build(cfg.code, cfg.p)?;
+    let mapping =
+        ArrayMapping::with_placement(spec.disks, code.rows(), code.cols(), spec.placement);
+
+    // 1. Discover: the failed disk's stripes and which column each lost.
+    // Per-stripe placements are injective, so at most one column matches.
+    let affected: Vec<(u32, usize)> = (0..cfg.stripes)
+        .filter_map(|stripe| {
+            (0..mapping.cols)
+                .find(|&col| mapping.disk_of_col(stripe, col) == spec.failed_disk)
+                .map(|col| (stripe, col))
+        })
+        .collect();
+    let stripes_affected = affected.len();
+
+    // 2. Plan: shard round-robin, one full-column campaign per shard,
+    // through the shared store under salted keys.
+    let shards = spec.campaigns.min(stripes_affected.max(1));
+    let mut shard_stripes: Vec<Vec<(u32, usize)>> = vec![Vec::new(); shards];
+    for (i, &sc) in affected.iter().enumerate() {
+        shard_stripes[i % shards].push(sc);
+    }
+    let mut plans: Vec<Arc<PlannedCampaign>> = Vec::with_capacity(shards);
+    for (k, stripes) in shard_stripes.iter().enumerate() {
+        let mut sub = *cfg;
+        sub.error_count = stripes.len();
+        sub.seed = shard_seed(cfg.seed, k);
+        let group = || {
+            let mut g = ErrorGroup::new();
+            for &(stripe, col) in stripes {
+                g.push(
+                    PartialStripeError::new(&code, stripe, col, 0, code.rows())
+                        .expect("full-column damage is always in range"),
+                );
+            }
+            g
+        };
+        let (plan, _) = store.plan_custom(&sub, group)?;
+        plans.push(plan);
+    }
+
+    // Stripe → scheme index per shard, and one merged victim map (VDF
+    // tracks damaged columns across all campaigns at once).
+    let scheme_index: Vec<FxHashMap<u32, usize>> = plans
+        .iter()
+        .map(|p| {
+            p.schemes
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.stripe, i))
+                .collect()
+        })
+        .collect();
+    let mut victims: FxHashMap<u32, u16> = FxHashMap::default();
+    for p in &plans {
+        victims.extend(p.victim_map.iter().map(|(&s, &c)| (s, c)));
+    }
+    let victim_map = Arc::new(victims);
+
+    // 3. Schedule: projected per-disk read footprints feed the admission
+    // scheduler.
+    let mut sched = RebuildScheduler::new(spec.disks, spec.per_disk_cap, spec.fairness);
+    for (k, &w) in spec.weights.iter().enumerate().take(shards) {
+        sched.set_weight(k, w);
+    }
+    for (k, plan) in plans.iter().enumerate() {
+        for scheme in &plan.schemes {
+            let mut reads: BTreeMap<u32, u32> = BTreeMap::new();
+            for repair in &scheme.repairs {
+                for cell in &repair.option.reads {
+                    let disk = mapping.disk_of_col(scheme.stripe, cell.c()) as u32;
+                    *reads.entry(disk).or_insert(0) += 1;
+                }
+            }
+            sched.push(RebuildItem {
+                campaign: k,
+                stripe: scheme.stripe,
+                disk_reads: reads.into_iter().collect(),
+            });
+        }
+    }
+
+    // 4. Simulate wave by wave on one virtual clock.
+    let exec_cfg = ExecConfig {
+        workers: cfg.workers,
+        decode_batch: cfg.decode_batch,
+        ..Default::default()
+    };
+    let engine_cfg = |faults| EngineConfig {
+        policy: cfg.policy,
+        fbf: cfg.fbf,
+        victim_map: Some(Arc::clone(&victim_map)),
+        cache_chunks: cfg.cache_chunks(),
+        sharing: cfg.sharing,
+        disk_model: cfg.disk_model,
+        sched: cfg.disk_sched,
+        straggler: cfg.straggler,
+        faults,
+        cache_hit_time: cfg.cache_hit_time,
+        chunk_bytes: cfg.chunk_bytes(),
+        mapping,
+        data_stripes: cfg.stripes as u64,
+        obs: cfg.obs,
+    };
+    let obs = cfg.obs && fbf_obs::enabled();
+    let mut total: Option<RunReport> = None;
+    let mut waves = 0usize;
+    let mut failed_stripes: Vec<u32> = Vec::new();
+    while !sched.is_empty() {
+        let wave = sched.next_wave();
+        let wave_schemes: Vec<_> = wave
+            .iter()
+            .map(|item| {
+                let idx = scheme_index[item.campaign][&item.stripe];
+                plans[item.campaign].schemes[idx].clone()
+            })
+            .collect();
+        let dictionary = PriorityDictionary::from_schemes(&wave_schemes);
+        let mut scripts = fbf_recovery::build_scripts(&wave_schemes, &dictionary, &exec_cfg);
+        if spec.app_reads_per_wave > 0 {
+            scripts.push(fbf_workload::generate_app_reads(
+                &code,
+                &fbf_workload::AppIoConfig {
+                    stripes: cfg.stripes,
+                    reads: spec.app_reads_per_wave,
+                    seed: cfg.seed ^ (waves as u64 + 1),
+                    ..Default::default()
+                },
+            ));
+        }
+        // Like faulted rounds: a disk killed in wave 0 stays dead later.
+        let faults = if waves == 0 {
+            cfg.faults
+        } else {
+            later_round_faults(cfg.faults)
+        };
+        let round = Engine::new(engine_cfg(faults)).run_with_scratch(&scripts, scratch);
+        failed_stripes.extend(round.failed_reads.iter().map(|f| f.chunk.stripe));
+        match total.as_mut() {
+            Some(t) => merge_round(t, &round),
+            None => total = Some(round),
+        }
+        waves += 1;
+        if obs {
+            fbf_obs::instant(
+                "rebuild",
+                "wave",
+                &[
+                    ("wave", fbf_obs::Value::U64(waves as u64)),
+                    ("stripes", fbf_obs::Value::U64(wave.len() as u64)),
+                    ("pending", fbf_obs::Value::U64(sched.pending() as u64)),
+                ],
+            );
+        }
+    }
+    let report = total.unwrap_or_default();
+
+    failed_stripes.sort_unstable();
+    failed_stripes.dedup();
+    let app = RequestClass::App.index();
+    let per_disk_rebuild_reads: Vec<u64> = report
+        .per_disk_class_reads
+        .iter()
+        .map(|c| {
+            c.iter()
+                .enumerate()
+                .filter(|&(i, _)| i != app)
+                .map(|(_, &n)| n)
+                .sum()
+        })
+        .collect();
+    let to_ms = |t: Option<SimTime>| t.map(|v| v.as_secs_f64() * 1e3);
+    Ok(RebuildOutcome {
+        reconstruction_s: report.makespan.as_secs_f64(),
+        rebuild_skew: report.rebuild_read_skew(),
+        app_p99_ms: to_ms(report.class_latency[app].p99()),
+        app_p999_ms: to_ms(report.class_latency[app].p999()),
+        per_disk_rebuild_reads,
+        placement: spec.placement,
+        fairness: spec.fairness,
+        waves,
+        stripes_affected,
+        stripes_rebuilt: stripes_affected - failed_stripes.len(),
+        failed_stripes,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ExperimentConfig {
+        ExperimentConfig::builder()
+            .stripes(192)
+            .error_count(1) // ignored by the rebuild driver
+            .workers(8)
+            .gen_threads(1)
+            .build()
+            .unwrap()
+    }
+
+    fn spec(placement: Placement) -> RebuildSpec {
+        let mut s = RebuildSpec::new(base(), 48);
+        s.placement = placement;
+        s.per_disk_cap = 16;
+        s.app_reads_per_wave = 64;
+        s
+    }
+
+    #[test]
+    fn declustering_cuts_rebuild_skew_and_time() {
+        let clustered = run_rebuild(&spec(Placement::Fixed)).unwrap();
+        let declustered = run_rebuild(&spec(Placement::Declustered { seed: 7 })).unwrap();
+        assert_eq!(
+            clustered.stripes_affected, 192,
+            "clustered disk 0 carries column 0 of every stripe"
+        );
+        // Declustering thins the failed disk's stripe set to ~cols/disks
+        // of the zone, but it must still find some.
+        assert!(declustered.stripes_affected > 0);
+        assert!(declustered.stripes_affected < 192);
+        // The headline: spreading the same column over the array evens the
+        // rebuild reads and shortens reconstruction.
+        assert!(
+            declustered.rebuild_skew < clustered.rebuild_skew,
+            "declustered {:.2} vs clustered {:.2}",
+            declustered.rebuild_skew,
+            clustered.rebuild_skew
+        );
+        assert!(declustered.report.disk_reads > 0);
+        assert_eq!(
+            clustered.stripes_rebuilt, clustered.stripes_affected,
+            "no faults → every stripe rebuilds"
+        );
+    }
+
+    #[test]
+    fn rebuild_is_deterministic() {
+        let s = spec(Placement::Declustered { seed: 11 });
+        let a = run_rebuild(&s).unwrap();
+        let b = run_rebuild(&s).unwrap();
+        assert_eq!(a.report.makespan, b.report.makespan);
+        assert_eq!(a.report.disk_reads, b.report.disk_reads);
+        assert_eq!(a.waves, b.waves);
+        assert_eq!(a.per_disk_rebuild_reads, b.per_disk_rebuild_reads);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn every_lost_chunk_is_rewritten_once() {
+        let out = run_rebuild(&spec(Placement::Declustered { seed: 3 })).unwrap();
+        // One spare write per chunk of each failed column.
+        let rows = StripeCode::build(base().code, base().p).unwrap().rows() as u64;
+        assert_eq!(
+            out.report.disk_writes,
+            out.stripes_affected as u64 * rows,
+            "full-column repair writes every row back"
+        );
+        assert!(out.waves > 1, "the cap must force multiple waves");
+        assert!(out.failed_stripes.is_empty());
+        // Foreground latency was measured.
+        assert!(out.app_p99_ms.is_some());
+    }
+
+    #[test]
+    fn weighted_fairness_and_store_sharing_work() {
+        let mut s = spec(Placement::Declustered { seed: 5 });
+        s.fairness = Fairness::DeficitWeighted;
+        s.campaigns = 3;
+        s.weights = vec![4, 2, 1];
+        let store = PlanStore::new();
+        let a = execute_rebuild(&s, &store, &mut EngineScratch::new()).unwrap();
+        assert_eq!(store.stats().misses, 3, "one cold plan per campaign shard");
+        let b = execute_rebuild(&s, &store, &mut EngineScratch::new()).unwrap();
+        assert_eq!(store.stats().misses, 3, "second rebuild reuses every plan");
+        assert_eq!(a.report.makespan, b.report.makespan);
+        assert_eq!(a.rebuild_skew, b.rebuild_skew);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let out = run_rebuild(&spec(Placement::Declustered { seed: 9 })).unwrap();
+        let j = out.to_json();
+        for key in [
+            "\"placement\":\"declustered\"",
+            "\"fairness\":\"round-robin\"",
+            "\"waves\":",
+            "\"reconstruction_s\":",
+            "\"rebuild_skew\":",
+            "\"per_disk_rebuild_reads\":[",
+        ] {
+            assert!(j.contains(key), "{key} missing from {j}");
+        }
+    }
+}

@@ -2,51 +2,85 @@
 //!
 //! A stripe's columns map onto physical disks either *fixed* (column `c`
 //! always lives on disk `c` — TIP, Triple-STAR, STAR dedicate parity
-//! columns to parity disks) or *rotated* (HDD1: the mapping shifts by one
-//! disk per stripe, RAID-5 style, spreading parity traffic).
+//! columns to parity disks), *rotated* (HDD1: the mapping shifts by one
+//! disk per stripe, RAID-5 style, spreading parity traffic), or
+//! *declustered* ([`Placement::Declustered`]: a per-stripe affine
+//! permutation from [`crate::declust`] spreads each stripe's columns over
+//! an array with many more disks than columns, so rebuild reads after a
+//! disk failure touch every survivor instead of hammering `k - 1` disks).
 
+use crate::declust::{clustered_disk, declustered_disk, DeclusteredLayout, Placement};
 use fbf_codes::ChunkId;
 use serde::{Deserialize, Serialize};
 
 /// Maps chunks to (disk, LBA) addresses.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct ArrayMapping {
-    /// Number of disks (= stripe columns).
+    /// Number of disks (>= stripe columns; equal for clustered arrays).
     pub disks: usize,
     /// Rows per stripe (`p - 1`).
     pub rows: usize,
-    /// HDD1-style per-stripe rotation of the column→disk mapping.
-    pub rotated: bool,
+    /// Stripe columns. Placement routes columns `0..cols` onto `disks`
+    /// physical disks; clustered arrays have `cols == disks`.
+    pub cols: usize,
+    /// Column→disk placement rule.
+    pub placement: Placement,
 }
 
 impl ArrayMapping {
-    /// Mapping for an `n`-disk array with `rows` chunks per stripe column.
+    /// Mapping for an `n`-disk clustered array with `rows` chunks per
+    /// stripe column (the original constructor: one disk per column).
     pub fn new(disks: usize, rows: usize, rotated: bool) -> Self {
-        assert!(disks > 0 && rows > 0);
+        let placement = if rotated {
+            Placement::Rotated
+        } else {
+            Placement::Fixed
+        };
+        Self::with_placement(disks, rows, disks, placement)
+    }
+
+    /// Mapping for `cols`-column stripes placed on `disks >= cols`
+    /// physical disks under an explicit placement rule.
+    pub fn with_placement(disks: usize, rows: usize, cols: usize, placement: Placement) -> Self {
+        assert!(disks > 0 && rows > 0 && cols > 0);
+        assert!(cols <= disks, "{cols} stripe columns need <= {disks} disks");
         ArrayMapping {
             disks,
             rows,
-            rotated,
+            cols,
+            placement,
         }
+    }
+
+    /// D3-declustered mapping of `cols`-column stripes over `disks` disks.
+    pub fn declustered(disks: usize, rows: usize, cols: usize, seed: u64) -> Self {
+        Self::with_placement(disks, rows, cols, Placement::Declustered { seed })
     }
 
     /// The physical disk holding `chunk`.
     pub fn disk_of(&self, chunk: ChunkId) -> usize {
-        let col = chunk.cell.c();
+        self.disk_of_col(chunk.stripe, chunk.cell.c())
+    }
+
+    /// Column-level placement (the [`DeclusteredLayout`] view of this
+    /// mapping, without needing a `ChunkId`).
+    pub fn disk_of_col(&self, stripe: u32, col: usize) -> usize {
         debug_assert!(
-            col < self.disks,
-            "column {col} outside {}-disk array",
-            self.disks
+            col < self.cols,
+            "column {col} outside {}-column stripe",
+            self.cols
         );
-        if self.rotated {
-            (col + chunk.stripe as usize) % self.disks
-        } else {
-            col
+        match self.placement {
+            Placement::Fixed => clustered_disk(self.disks, false, stripe, col),
+            Placement::Rotated => clustered_disk(self.disks, true, stripe, col),
+            Placement::Declustered { seed } => declustered_disk(self.disks, seed, stripe, col),
         }
     }
 
     /// The chunk-granular LBA of `chunk` on its disk: stripes are laid out
-    /// consecutively, each contributing `rows` chunks per disk.
+    /// consecutively, each contributing up to `rows` chunks per disk. Any
+    /// per-stripe-permutation placement puts at most one column of a
+    /// stripe on a disk, so (disk, LBA) never collides across chunks.
     pub fn lba_of(&self, chunk: ChunkId) -> u64 {
         chunk.stripe as u64 * self.rows as u64 + chunk.cell.r() as u64
     }
@@ -57,6 +91,24 @@ impl ArrayMapping {
     /// of replacing the whole disk", §II-C).
     pub fn spare_lba_of(&self, chunk: ChunkId, data_stripes: u64) -> u64 {
         data_stripes * self.rows as u64 + self.lba_of(chunk)
+    }
+}
+
+impl DeclusteredLayout for ArrayMapping {
+    fn disks(&self) -> usize {
+        self.disks
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn disk_of(&self, stripe: u32, col: usize) -> usize {
+        self.disk_of_col(stripe, col)
+    }
+
+    fn name(&self) -> &'static str {
+        self.placement.name()
     }
 }
 
@@ -107,5 +159,44 @@ mod tests {
         let s = m.spare_lba_of(chunk(3, 2, 0), data_stripes);
         assert_eq!(s, 600 + 20);
         assert!(s >= data_stripes * 6);
+    }
+
+    #[test]
+    fn declustered_mapping_is_injective_per_stripe() {
+        let m = ArrayMapping::declustered(128, 4, 7, 11);
+        for s in 0..256u32 {
+            let disks: std::collections::HashSet<usize> =
+                (0..7).map(|c| m.disk_of_col(s, c)).collect();
+            assert_eq!(disks.len(), 7, "stripe {s} reuses a disk");
+            assert!(disks.iter().all(|&d| d < 128));
+        }
+    }
+
+    #[test]
+    fn declustered_disk_lba_addresses_never_collide() {
+        // Across many stripes, (disk, lba) uniquely identifies a chunk
+        // even though the placement permutes columns per stripe.
+        let m = ArrayMapping::declustered(32, 4, 7, 3);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..64u32 {
+            for r in 0..4 {
+                for c in 0..7 {
+                    let ch = chunk(s, r, c);
+                    assert!(
+                        seen.insert((m.disk_of(ch), m.lba_of(ch))),
+                        "chunk {ch:?} collides on (disk, lba)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_constructor_keeps_cols_equal_to_disks() {
+        let m = ArrayMapping::new(8, 6, false);
+        assert_eq!(m.cols, 8);
+        assert_eq!(m.placement, Placement::Fixed);
+        let r = ArrayMapping::new(8, 6, true);
+        assert_eq!(r.placement, Placement::Rotated);
     }
 }

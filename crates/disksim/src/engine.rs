@@ -233,6 +233,11 @@ pub struct RunReport {
     pub write_completions: Vec<SimTime>,
     /// Per-disk counters.
     pub per_disk: Vec<DiskStats>,
+    /// Disk reads split by disk *and* [`RequestClass`], indexed
+    /// `[disk][class.index()]`. Sums over classes match
+    /// `per_disk[d].reads`; the Recovery/Replan columns are the
+    /// declustering rebuild-read balance input.
+    pub per_disk_class_reads: Vec<[u64; RequestClass::COUNT]>,
     /// Fault-path counters; all zero when faults are disabled.
     pub faults: FaultCounters,
     /// Hard read failures, in the deterministic order they were hit.
@@ -258,6 +263,39 @@ impl RunReport {
         }
         let max = self.per_disk.iter().map(|d| d.reads).max().unwrap_or(0);
         let mean = total as f64 / self.per_disk.len() as f64;
+        max as f64 / mean
+    }
+
+    /// Reads served by each disk on behalf of `class`, from
+    /// [`RunReport::per_disk_class_reads`].
+    pub fn class_reads_per_disk(&self, class: RequestClass) -> Vec<u64> {
+        let i = class.index();
+        self.per_disk_class_reads.iter().map(|c| c[i]).collect()
+    }
+
+    /// Rebuild-read skew: busiest disk's non-App reads over the all-disk
+    /// mean (same max/mean shape as [`RunReport::read_balance`], but
+    /// restricted to recovery traffic — the clustered-vs-declustered
+    /// comparison metric). 0.0 when no rebuild reads reached the disks.
+    pub fn rebuild_read_skew(&self) -> f64 {
+        let app = RequestClass::App.index();
+        let per: Vec<u64> = self
+            .per_disk_class_reads
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != app)
+                    .map(|(_, &n)| n)
+                    .sum::<u64>()
+            })
+            .collect();
+        let total: u64 = per.iter().sum();
+        if total == 0 || per.is_empty() {
+            return 0.0;
+        }
+        let max = per.iter().copied().max().unwrap_or(0);
+        let mean = total as f64 / per.len() as f64;
         max as f64 / mean
     }
 }
@@ -424,7 +462,10 @@ impl Engine {
         for w in (0..workers).filter(|&w| !scripts[w].ops.is_empty()) {
             queue.push((SimTime::ZERO, EV_WORKER, w));
         }
-        let mut report = RunReport::default();
+        let mut report = RunReport {
+            per_disk_class_reads: vec![[0u64; RequestClass::COUNT]; cfg.mapping.disks],
+            ..Default::default()
+        };
 
         while let Some((now, kind, id)) = queue.pop() {
             report.makespan = report.makespan.max(now);
@@ -548,6 +589,8 @@ impl Engine {
                                     // the worker blocks until DiskDone.
                                     cache.insert(chunk, priority);
                                     report.disk_reads += 1;
+                                    report.per_disk_class_reads[disk][scripts[w].class.index()] +=
+                                        1;
                                     let lba = cfg.mapping.lba_of(chunk);
                                     disks[disk].enqueue_after(
                                         w,
@@ -654,6 +697,8 @@ impl Engine {
                                         report.disk_reads += 1;
                                         misses += 1;
                                         let disk = cfg.mapping.disk_of(chunk);
+                                        report.per_disk_class_reads[disk]
+                                            [scripts[w].class.index()] += 1;
                                         let lba = cfg.mapping.lba_of(chunk);
                                         let mut delay = SimTime::ZERO;
                                         if faulting && !repaired.contains(&chunk) {

@@ -232,4 +232,91 @@ mod tests {
         assert_eq!(h.digest().count(), 1);
         assert_eq!(h.digest().sum_ns(), 3_000_000);
     }
+
+    #[test]
+    fn u64_max_is_a_real_upper_edge() {
+        // Regression: the overflow bucket used to report its decade's
+        // arithmetic edge (~2^40), silently under-reporting any clamped
+        // sample. Its edge is now u64::MAX.
+        let mut h = Histogram::new();
+        h.record(SimTime::from_nanos(u64::MAX));
+        assert_eq!(h.quantile(1.0), Some(SimTime::from_nanos(u64::MAX)));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Nanosecond samples biased toward the edges the bucketing math
+        /// has to get right: tiny decades, decade boundaries, the top
+        /// (overflow) bucket, and u64::MAX itself.
+        fn edge_ns() -> impl Strategy<Value = u64> {
+            prop_oneof![
+                0u64..=16,
+                0u64..=u64::MAX,
+                (0u32..64).prop_map(|s| 1u64 << s),
+                (0u32..64).prop_map(|s| (1u64 << s).wrapping_sub(1)),
+                Just(u64::MAX),
+                Just(u64::MAX - 1),
+            ]
+        }
+
+        proptest! {
+            #[test]
+            fn quantiles_never_under_report(samples in proptest::collection::vec(edge_ns(), 1..64)) {
+                let mut h = Histogram::new();
+                for &ns in &samples {
+                    h.record(SimTime::from_nanos(ns));
+                }
+                let max = samples.iter().copied().max().unwrap().max(1);
+                // Every recorded value is <= its bucket's upper edge, so
+                // the top quantile dominates the true max (values below
+                // 1 ns clamp up to 1).
+                prop_assert!(h.quantile(1.0).unwrap().as_nanos() >= max);
+                prop_assert_eq!(h.count(), samples.len() as u64);
+            }
+
+            #[test]
+            fn merge_is_lossless_and_order_free(
+                xs in proptest::collection::vec(edge_ns(), 0..48),
+                ys in proptest::collection::vec(edge_ns(), 0..48),
+            ) {
+                let mut together = Histogram::new();
+                let mut a = Histogram::new();
+                let mut b = Histogram::new();
+                for &ns in &xs {
+                    together.record(SimTime::from_nanos(ns));
+                    a.record(SimTime::from_nanos(ns));
+                }
+                for &ns in &ys {
+                    together.record(SimTime::from_nanos(ns));
+                    b.record(SimTime::from_nanos(ns));
+                }
+                // Either merge direction — including when a side is
+                // empty — must reproduce the serial recording exactly.
+                let mut ab = a.clone();
+                ab.merge(&b);
+                let mut ba = b.clone();
+                ba.merge(&a);
+                prop_assert_eq!(&ab, &together);
+                prop_assert_eq!(&ba, &together);
+            }
+
+            #[test]
+            fn bucket_of_is_monotonic_at_random_points(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+                let (lo, hi) = (a.min(b), a.max(b));
+                prop_assert!(
+                    Histogram::bucket_of(SimTime::from_nanos(lo))
+                        <= Histogram::bucket_of(SimTime::from_nanos(hi))
+                );
+            }
+
+            #[test]
+            fn bucket_value_dominates_its_members(ns in edge_ns()) {
+                let bucket = Histogram::bucket_of(SimTime::from_nanos(ns));
+                let edge = Histogram::bucket_value(bucket).as_nanos();
+                prop_assert!(edge >= ns.max(1), "bucket_value({bucket}) = {edge} < {ns}");
+            }
+        }
+    }
 }

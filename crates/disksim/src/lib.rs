@@ -23,6 +23,7 @@
 pub mod array;
 pub mod backend;
 pub mod buffer;
+pub mod declust;
 pub mod disk;
 pub mod engine;
 pub mod equeue;
@@ -34,6 +35,7 @@ pub mod time;
 pub use array::ArrayMapping;
 pub use backend::{BackendDiskStats, BackendError, FileBackend, SimBackend, StorageBackend};
 pub use buffer::{BufferCache, Lookup};
+pub use declust::{ClusteredLayout, D3Layout, DeclusteredLayout, Placement};
 pub use disk::{DiskModel, DiskParams, DiskStats};
 pub use engine::{
     build_caches, CacheSharing, Engine, EngineConfig, EngineScratch, Op, ResponseStats, RunReport,

@@ -1,0 +1,131 @@
+//! Differential property tests for the declustered placement layer
+//! (`crates/disksim/src/declust.rs` + `ArrayMapping`), over randomized
+//! array geometries.
+//!
+//! The rebuild scheduler's admission projections, the engine's routing,
+//! and the layout trait all evaluate the same column→disk map
+//! independently; these properties pin the contracts they rely on:
+//!
+//! 1. **Per-stripe injectivity** — restricted to one stripe, every
+//!    layout is an injection into the disk set (the placement
+//!    invariant on the module), so `(disk, lba)` is collision-free.
+//! 2. **Differential agreement** — `ArrayMapping::disk_of_col` equals
+//!    the standalone layout structs for every placement, geometry, and
+//!    seed: the trait view and the engine view never drift.
+//! 3. **Permutation shape** — a D3 stripe's map extended to all `n`
+//!    columns is a full permutation of `Z_n` (affine with unit slope),
+//!    which is *why* injectivity holds for any `cols <= disks`.
+//! 4. **Determinism** — placement is a pure function of
+//!    `(geometry, seed, stripe, col)`; equal inputs agree across
+//!    separately constructed layouts.
+
+use fbf_disksim::{ArrayMapping, ClusteredLayout, D3Layout, DeclusteredLayout, Placement};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Randomized geometry: `2..=160` disks with `1..=min(disks, 17)`
+/// stripe columns (3DFT stripes are narrow; arrays are wide).
+fn geometry() -> impl Strategy<Value = (usize, usize)> {
+    (2usize..=160, 0usize..10_000).prop_map(|(disks, draw)| {
+        let max_cols = disks.min(17);
+        (disks, 1 + draw % max_cols)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every layout places one stripe's columns on distinct disks, all
+    /// inside the array.
+    #[test]
+    fn every_layout_is_injective_per_stripe(
+        geom in geometry(),
+        seed in 0u64..=u64::MAX,
+        stripe in 0u32..10_000,
+    ) {
+        let (disks, cols) = geom;
+        let layouts: [&dyn DeclusteredLayout; 3] = [
+            &ClusteredLayout::new(disks, cols, false),
+            &ClusteredLayout::new(disks, cols, true),
+            &D3Layout::new(disks, cols, seed),
+        ];
+        for layout in layouts {
+            let homes = layout.stripe_disks(stripe);
+            prop_assert!(homes.iter().all(|&d| d < disks), "{}: disk out of range", layout.name());
+            let distinct: BTreeSet<usize> = homes.iter().copied().collect();
+            prop_assert_eq!(
+                distinct.len(),
+                cols,
+                "{}: stripe {} reuses a disk: {:?}",
+                layout.name(),
+                stripe,
+                homes
+            );
+        }
+    }
+
+    /// The engine's `ArrayMapping` and the standalone layout structs are
+    /// the same function — differentially, cell by cell.
+    #[test]
+    fn array_mapping_matches_the_layout_structs(
+        geom in geometry(),
+        seed in 0u64..=u64::MAX,
+        stripes in proptest::collection::vec(0u32..100_000, 1..40),
+    ) {
+        let (disks, cols) = geom;
+        let cases: [(&dyn DeclusteredLayout, Placement); 3] = [
+            (&ClusteredLayout::new(disks, cols, false), Placement::Fixed),
+            (&ClusteredLayout::new(disks, cols, true), Placement::Rotated),
+            (&D3Layout::new(disks, cols, seed), Placement::Declustered { seed }),
+        ];
+        for (layout, placement) in cases {
+            let mapping = ArrayMapping::with_placement(disks, 4, cols, placement);
+            for &stripe in &stripes {
+                for col in 0..cols {
+                    prop_assert_eq!(
+                        mapping.disk_of_col(stripe, col),
+                        layout.disk_of(stripe, col),
+                        "{} mapping drifts from the layout at stripe {} col {}",
+                        layout.name(),
+                        stripe,
+                        col
+                    );
+                }
+            }
+        }
+    }
+
+    /// A D3 stripe's affine map, extended over all `n` columns, is a
+    /// permutation of the whole disk set — the structural reason the
+    /// injectivity property holds for any stripe width.
+    #[test]
+    fn d3_stripe_map_is_a_full_permutation(
+        disks in 2usize..=160,
+        seed in 0u64..=u64::MAX,
+        stripe in 0u32..10_000,
+    ) {
+        let full = D3Layout::new(disks, disks, seed);
+        let image: BTreeSet<usize> = full.stripe_disks(stripe).into_iter().collect();
+        prop_assert_eq!(image.len(), disks, "stripe {} is not a permutation", stripe);
+        prop_assert_eq!(image.into_iter().max(), Some(disks - 1));
+    }
+
+    /// Placement is pure: separately constructed layouts with equal
+    /// parameters agree everywhere, and the rotated layout matches its
+    /// closed form.
+    #[test]
+    fn placement_is_a_pure_function_of_its_parameters(
+        geom in geometry(),
+        seed in 0u64..=u64::MAX,
+        stripe in 0u32..100_000,
+    ) {
+        let (disks, cols) = geom;
+        let a = D3Layout::new(disks, cols, seed);
+        let b = D3Layout::new(disks, cols, seed);
+        prop_assert_eq!(a.stripe_disks(stripe), b.stripe_disks(stripe));
+        let rot = ClusteredLayout::new(disks, cols, true);
+        for col in 0..cols {
+            prop_assert_eq!(rot.disk_of(stripe, col), (col + stripe as usize) % disks);
+        }
+    }
+}

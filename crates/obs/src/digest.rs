@@ -133,9 +133,16 @@ impl Digest {
 
     /// Representative (upper-edge) value of a bucket, in nanoseconds.
     /// Quantile estimates never under-report because every recorded value
-    /// is at most its bucket's upper edge.
+    /// is at most its bucket's upper edge. The last bucket is the
+    /// overflow bucket — `bucket_of_ns` clamps everything past the top
+    /// decade (up to `u64::MAX`) into it, so its upper edge is
+    /// `u64::MAX`, not the top decade's arithmetic edge: reporting ~2^40
+    /// for a sample that may be 2^63 would under-report the tail.
     #[inline]
     pub fn bucket_upper_ns(bucket: usize) -> u64 {
+        if bucket >= BUCKETS - 1 {
+            return u64::MAX;
+        }
         let exp = bucket / SUB_BUCKETS;
         let sub = bucket % SUB_BUCKETS;
         let base = 1u64 << exp.min(62);
@@ -312,6 +319,58 @@ mod tests {
         // Ascending edges.
         let edges: Vec<u64> = d.nonzero_buckets().map(|(e, _)| e).collect();
         assert!(edges.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn u64_max_samples_never_under_report() {
+        // bucket_of_ns clamps everything past the top decade into the
+        // overflow bucket; its upper edge must dominate any sample that
+        // can land there (regression: it used to report ~2^40).
+        let mut d = Digest::new();
+        d.record_ns(u64::MAX);
+        d.record_ns(u64::MAX - 1);
+        d.record_ns(1u64 << 50);
+        assert_eq!(d.quantile_ns(1.0), Some(u64::MAX));
+        assert_eq!(d.quantile_ns(0.5), Some(u64::MAX));
+        // The overflow bucket straddles every finite threshold.
+        assert_eq!(d.count_over_ns(u64::MAX - 1), 3);
+        assert_eq!(d.count_over_ns(u64::MAX), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_edge_is_max_and_edges_stay_monotonic() {
+        assert_eq!(Digest::bucket_upper_ns(BUCKETS - 1), u64::MAX);
+        // Tiny decades can share an integer edge; edges never *decrease*,
+        // and from 8 ns up (3 sub-bucket bits available) they are strict.
+        for b in 1..BUCKETS {
+            assert!(
+                Digest::bucket_upper_ns(b - 1) <= Digest::bucket_upper_ns(b),
+                "edges must be non-decreasing at bucket {b}"
+            );
+        }
+        for b in (3 * SUB_BUCKETS + 1)..BUCKETS {
+            assert!(
+                Digest::bucket_upper_ns(b - 1) < Digest::bucket_upper_ns(b),
+                "edges must be strictly increasing at bucket {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_merge_is_identity_both_ways() {
+        let mut populated = Digest::new();
+        for ns in [3u64, 999, 1 << 35, u64::MAX] {
+            populated.record_ns(ns);
+        }
+        let snapshot = populated.clone();
+        populated.merge(&Digest::new());
+        assert_eq!(
+            populated, snapshot,
+            "merging an empty digest must be a no-op"
+        );
+        let mut empty = Digest::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot, "merging into an empty digest must copy");
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod exec;
 pub mod joint;
 pub mod parallel;
 pub mod priority;
+pub mod rebuild;
 pub mod scheme;
 pub mod scrub;
 
@@ -46,5 +47,6 @@ pub use exec::{apply_scheme, build_scripts, build_scripts_from_plans, ExecConfig
 pub use joint::JointRepair;
 pub use parallel::{assign_round_robin, generate_schemes_parallel};
 pub use priority::PriorityDictionary;
+pub use rebuild::{Fairness, RebuildItem, RebuildScheduler};
 pub use scheme::{ChunkRepair, RecoveryScheme, SchemeError, SchemeKind};
 pub use scrub::{scrub, ScrubOutcome};

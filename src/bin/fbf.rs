@@ -7,6 +7,7 @@
 //! fbf run [--key value ...]                 one experiment, all metrics
 //! fbf replay <file> [--key value ...]       replay an error trace instead of drawing one
 //! fbf sweep [--key value ...]               cache-size sweep across the five policies
+//! fbf rebuild [--disks N] [--key value ...]  whole-disk declustered rebuild campaign
 //! fbf serve [--socket P | --tcp A]          run the repair daemon in the foreground
 //! fbf client [--socket P | --tcp A] <cmd>   talk to a running daemon
 //! fbf scrub <code> <p>                      silent-corruption scrub demo
@@ -61,6 +62,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..], obs, metrics_out, json),
         Some("replay") => cmd_replay(&args[1..], obs, metrics_out, json),
         Some("sweep") => cmd_sweep(&args[1..], obs, metrics_out, json),
+        Some("rebuild") => cmd_rebuild(&args[1..], obs, json),
         Some("serve") => cmd_serve(&args[1..], json),
         Some("client") => cmd_client(&args[1..], json),
         Some("scrub") => cmd_scrub(&args[1..], json),
@@ -176,10 +178,13 @@ fn print_usage() {
          \u{20}  fbf run [--key value ...] [--trace-in <file>]\n\
          \u{20}  fbf replay <file> [--key value ...]\n\
          \u{20}  fbf sweep [--key value ...]\n\
+         \u{20}  fbf rebuild [--disks N] [--placement clustered|rotated|declustered]\n\
+         \u{20}      [--failed-disk D] [--cap N] [--fairness rr|drr] [--campaigns N]\n\
+         \u{20}      [--app-reads N] [--key value ...]\n\
          \u{20}  fbf serve [--socket <path> | --tcp <addr>] [--daemon-workers N]\n\
          \u{20}  fbf client [--socket <path> | --tcp <addr>] \\\n\
-         \u{20}      ping | repair [...] | status <job> | jobs | read <job> <stripe> <row> <col> |\n\
-         \u{20}      metrics | watch | load [...] | shutdown\n\
+         \u{20}      ping | repair [...] | rebuild [...] | status <job> | jobs |\n\
+         \u{20}      read <job> <stripe> <row> <col> | metrics | watch | load [...] | shutdown\n\
          \u{20}  fbf scrub <code> <p>\n\
          \u{20}  fbf mttdl <disks> <mttr_hours>\n\n\
          experiment flags: --code --p --policy --scheme --cache-mb --chunk-kb\n\
@@ -693,6 +698,164 @@ fn run_with(
     }
 }
 
+/// `fbf rebuild`: simulate a whole-disk failure on an N-disk array and
+/// drive the declustered rebuild scheduler over every affected stripe,
+/// with foreground app reads sharing the spindles. Rebuild-specific
+/// flags come out first; everything left is ordinary experiment flags.
+fn cmd_rebuild(args: &[String], obs: bool, json: bool) -> i32 {
+    let mut rest = args.to_vec();
+    let mut flags = Vec::with_capacity(8);
+    for name in [
+        "disks",
+        "placement",
+        "placement-seed",
+        "failed-disk",
+        "cap",
+        "fairness",
+        "campaigns",
+        "app-reads",
+    ] {
+        match split_flag(&rest, name) {
+            Ok((r, v)) => {
+                rest = r;
+                flags.push(v);
+            }
+            Err(rc) => return rc,
+        }
+    }
+    let [disks, placement, placement_seed, failed_disk, cap, fairness, campaigns, app_reads]: [Option<String>; 8] = flags.try_into().expect("eight rebuild flags");
+
+    let base = match normalize_config_args(&rest)
+        .and_then(|kv| parse_kv(&kv))
+        .map(|b| b.obs(obs))
+        .and_then(build_or_report)
+    {
+        Ok(c) => c,
+        Err(rc) => return rc,
+    };
+    // A whole array is wider than one stripe: default to the paper's
+    // 100-disk scale.
+    let disks = match disks.as_deref().map(str::parse::<usize>) {
+        None => 100,
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("bad --disks (positive integer)");
+            return 2;
+        }
+    };
+    let mut spec = fbf::RebuildSpec::new(base, disks);
+    match placement.as_deref() {
+        None | Some("declustered") => {}
+        Some("clustered") | Some("fixed") => spec.placement = fbf::Placement::Fixed,
+        Some("rotated") => spec.placement = fbf::Placement::Rotated,
+        Some(other) => {
+            eprintln!("unknown placement `{other}` (clustered, rotated, declustered)");
+            return 2;
+        }
+    }
+    if let Some(s) = placement_seed {
+        let Ok(seed) = s.parse::<u64>() else {
+            eprintln!("bad --placement-seed: `{s}`");
+            return 2;
+        };
+        if matches!(spec.placement, fbf::Placement::Declustered { .. }) {
+            spec.placement = fbf::Placement::Declustered { seed };
+        } else {
+            eprintln!("--placement-seed only applies to declustered placement");
+            return 2;
+        }
+    }
+    if let Some(d) = failed_disk {
+        match d.parse::<usize>() {
+            Ok(n) if n < disks => spec.failed_disk = n,
+            _ => {
+                eprintln!("bad --failed-disk: `{d}` (0..{disks})");
+                return 2;
+            }
+        }
+    }
+    if let Some(c) = cap {
+        match c.parse::<u32>() {
+            Ok(n) if n > 0 => spec.per_disk_cap = n,
+            _ => {
+                eprintln!("bad --cap: `{c}` (positive chunk reads per disk per wave)");
+                return 2;
+            }
+        }
+    }
+    if let Some(f) = fairness {
+        match fbf::Fairness::parse(&f) {
+            Some(fair) => spec.fairness = fair,
+            None => {
+                eprintln!("unknown fairness `{f}` (rr or drr)");
+                return 2;
+            }
+        }
+    }
+    if let Some(c) = campaigns {
+        match c.parse::<usize>() {
+            Ok(n) if n > 0 => spec.campaigns = n,
+            _ => {
+                eprintln!("bad --campaigns: `{c}`");
+                return 2;
+            }
+        }
+    }
+    if let Some(a) = app_reads {
+        match a.parse::<usize>() {
+            Ok(n) => spec.app_reads_per_wave = n,
+            Err(_) => {
+                eprintln!("bad --app-reads: `{a}`");
+                return 2;
+            }
+        }
+    }
+
+    if !json {
+        println!(
+            "rebuilding disk {} of {} ({} placement, {} fairness): {}",
+            spec.failed_disk,
+            spec.disks,
+            spec.placement.name(),
+            spec.fairness.name(),
+            spec.base.describe()
+        );
+    }
+    match fbf::run_rebuild(&spec) {
+        Ok(outcome) => {
+            if json {
+                println!("{}", outcome.to_json());
+                return i32::from(!outcome.failed_stripes.is_empty());
+            }
+            println!(
+                "  stripes affected   : {} ({} rebuilt, {} failed)",
+                outcome.stripes_affected,
+                outcome.stripes_rebuilt,
+                outcome.failed_stripes.len()
+            );
+            println!("  waves              : {}", outcome.waves);
+            println!("  reconstruction time: {:.3} s", outcome.reconstruction_s);
+            println!(
+                "  rebuild-read skew  : {:.3} (max/mean)",
+                outcome.rebuild_skew
+            );
+            if let Some(p99) = outcome.app_p99_ms {
+                println!(
+                    "  app read p99       : {p99:.3} ms (p999 {})",
+                    outcome
+                        .app_p999_ms
+                        .map_or("n/a".to_string(), |v| format!("{v:.3} ms"))
+                );
+            }
+            i32::from(!outcome.failed_stripes.is_empty())
+        }
+        Err(e) => {
+            eprintln!("rebuild failed: {e}");
+            1
+        }
+    }
+}
+
 fn cmd_sweep(args: &[String], obs: bool, metrics_out: Option<&str>, json: bool) -> i32 {
     let builder = match normalize_config_args(args)
         .and_then(|kv| parse_kv(&kv))
@@ -1073,7 +1236,7 @@ fn cmd_client(args: &[String], json: bool) -> i32 {
     let Some((action, rest)) = args.split_first() else {
         eprintln!(
             "usage: fbf client [--socket <path> | --tcp <addr>] \
-             ping|repair|status|jobs|read|metrics|stat|top|dump|watch|load|shutdown"
+             ping|repair|rebuild|status|jobs|read|metrics|stat|top|dump|watch|load|shutdown"
         );
         return 2;
     };
@@ -1090,6 +1253,7 @@ fn cmd_client(args: &[String], json: bool) -> i32 {
             )
         }
         "repair" => client_repair(rest, &addr, json),
+        "rebuild" => client_rebuild(rest, &addr, json),
         "status" => {
             let Some(id) = rest.first().and_then(|s| s.parse::<u64>().ok()) else {
                 eprintln!("usage: fbf client status <job>");
@@ -1369,6 +1533,110 @@ fn client_repair(args: &[String], addr: &ServerAddr, json: bool) -> i32 {
                 println!("job {job} done");
                 if let Some(m) = status.get("metrics") {
                     println!("{}", m.render());
+                }
+            } else {
+                eprintln!(
+                    "job {job} failed: {}",
+                    status
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown error")
+                );
+            }
+            i32::from(!done)
+        }
+        Err(e) => {
+            eprintln!("waiting on job {job} failed: {e}");
+            1
+        }
+    }
+}
+
+/// Submit an array-wide rebuild job (`fbf client rebuild`): the same
+/// spec flags as `fbf rebuild`, executed on the daemon's worker pool.
+fn client_rebuild(args: &[String], addr: &ServerAddr, json: bool) -> i32 {
+    let mut rest = args.to_vec();
+    let mut values = Vec::with_capacity(8);
+    // Wire keys, in the order the flags are pulled out below.
+    let spec_flags = [
+        ("disks", "disks"),
+        ("placement", "placement"),
+        ("placement-seed", "placement_seed"),
+        ("failed-disk", "failed_disk"),
+        ("cap", "cap"),
+        ("fairness", "fairness"),
+        ("campaigns", "campaigns"),
+        ("app-reads", "app_reads"),
+    ];
+    for (flag, _) in spec_flags {
+        match split_flag(&rest, flag) {
+            Ok((r, v)) => {
+                rest = r;
+                values.push(v);
+            }
+            Err(rc) => return rc,
+        }
+    }
+    let (rest, wait) = split_switch(&rest, "wait");
+    let overrides = match overrides_from_args(&rest) {
+        Ok(o) => o,
+        Err(rc) => return rc,
+    };
+    let mut fields = vec![("cmd", Json::Str("rebuild".into())), ("config", overrides)];
+    for ((_, wire_key), value) in spec_flags.into_iter().zip(values) {
+        let Some(v) = value else { continue };
+        // The daemon validates; the client only distinguishes numbers
+        // (disks, seeds, caps) from names (placement, fairness).
+        match v.parse::<f64>() {
+            Ok(n) => fields.push((wire_key, Json::Num(n))),
+            Err(_) => fields.push((wire_key, Json::Str(v))),
+        }
+    }
+    let mut client = match connect_or_report(addr) {
+        Ok(c) => c,
+        Err(rc) => return rc,
+    };
+    let reply = match client.call(&Json::obj(fields)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            return 1;
+        }
+    };
+    let ok = reply.get("ok").and_then(Json::as_bool).unwrap_or(false);
+    let job = reply.get("job").and_then(Json::as_u64);
+    if !ok || job.is_none() {
+        if json {
+            print_json(&reply);
+        } else {
+            eprintln!(
+                "daemon error: {}",
+                reply
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+            );
+        }
+        return 1;
+    }
+    let job = job.expect("checked above");
+    if !wait {
+        if json {
+            print_json(&reply);
+        } else {
+            println!("job {job} queued");
+        }
+        return 0;
+    }
+    match wait_for_job(&mut client, job) {
+        Ok(status) => {
+            let done = status.get("state").and_then(Json::as_str) == Some("done");
+            if json {
+                print_json(&status);
+            } else if done {
+                println!("job {job} done");
+                if let Some(outcome) = status.get("rebuild") {
+                    println!("{}", outcome.render());
                 }
             } else {
                 eprintln!(

@@ -4,7 +4,7 @@
 //! without the rest of the CLI:
 //!
 //! ```text
-//! fbfd [--socket <path> | --tcp <addr:port>] [--daemon-workers N] [--ring-cap N]
+//! fbfd [--socket <path> | --tcp <addr:port>] [--daemon-workers N] [--retain N] [--ring-cap N]
 //! ```
 //!
 //! Listens on a unix socket (default `$TMPDIR/fbfd.sock`) or TCP, runs
@@ -24,6 +24,7 @@ fn main() {
     let mut socket: Option<String> = None;
     let mut tcp: Option<String> = None;
     let mut workers: Option<String> = None;
+    let mut retain: Option<String> = None;
     let mut ring_cap: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -49,11 +50,12 @@ fn main() {
             "--socket" => take(&mut socket, &mut i),
             "--tcp" => take(&mut tcp, &mut i),
             "--daemon-workers" | "--workers" => take(&mut workers, &mut i),
+            "--retain" => take(&mut retain, &mut i),
             "--ring-cap" => take(&mut ring_cap, &mut i),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: fbfd [--socket <path> | --tcp <addr:port>] \
-                     [--daemon-workers N] [--ring-cap N]"
+                     [--daemon-workers N] [--retain N] [--ring-cap N]"
                 );
                 std::process::exit(0);
             }
@@ -90,6 +92,15 @@ fn main() {
             Ok(n) => opts.workers = n,
             Err(_) => {
                 eprintln!("bad worker count `{w}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(r) = retain {
+        match r.parse() {
+            Ok(n) => opts.retain = n,
+            Err(_) => {
+                eprintln!("bad retention cap `{r}`");
                 std::process::exit(2);
             }
         }

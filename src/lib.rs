@@ -56,21 +56,22 @@ pub use fbf_core::report;
 pub use fbf_core::{
     code_from_name, file_backend_for, mttdl_gain, mttdl_hours, mttdl_years, policy_from_name,
     prometheus_snapshot, run_experiment, run_experiment_on, run_experiment_with_errors,
-    run_planned, run_planned_on, scheme_from_name, serve, sim_backend_for, sweep, sweep_with_store,
-    verify_campaign, ClassLatency, ConfigError, DaemonClient, DaemonHandle, DaemonOptions,
-    ExperimentConfig, ExperimentConfigBuilder, JobState, Json, JsonError, Metrics, PlanSource,
-    PlanStore, Progress, ProgressSnapshot, ReliabilityParams, RunError, ServerAddr, SloSpec,
-    SloVerdict, SweepPoint, Table, VerifyReport, METRICS_SCHEMA_VERSION,
+    run_planned, run_planned_on, run_rebuild, scheme_from_name, serve, sim_backend_for, sweep,
+    sweep_with_store, verify_campaign, ClassLatency, ConfigError, DaemonClient, DaemonHandle,
+    DaemonOptions, ExperimentConfig, ExperimentConfigBuilder, JobState, Json, JsonError, Metrics,
+    PlanSource, PlanStore, Progress, ProgressSnapshot, RebuildOutcome, RebuildSpec,
+    ReliabilityParams, RunError, ServerAddr, SloSpec, SloVerdict, SweepPoint, Table, VerifyReport,
+    METRICS_SCHEMA_VERSION,
 };
 
 // Storage backends and the simulator types that surface in reports.
 pub use fbf_disksim::{
-    ArrayMapping, BackendDiskStats, BackendError, CacheSharing, FaultPlan, FileBackend,
+    ArrayMapping, BackendDiskStats, BackendError, CacheSharing, FaultPlan, FileBackend, Placement,
     RequestClass, RunReport, SimBackend, SimTime, StorageBackend,
 };
 
-// Recovery-scheme generator selection.
-pub use fbf_recovery::SchemeKind;
+// Recovery-scheme generator selection and rebuild fairness policies.
+pub use fbf_recovery::{Fairness, SchemeKind};
 
 // Campaign generation, trace (de)serialisation, daemon load generation.
 pub use fbf_workload::{

@@ -68,7 +68,14 @@ fn wait_done(client: &mut DaemonClient, job: u64) -> Json {
 #[test]
 fn repair_over_the_wire_matches_a_local_run() {
     let addr = sock_addr("roundtrip");
-    let handle = fbf::serve(&addr, DaemonOptions { workers: 2 }).expect("serve");
+    let handle = fbf::serve(
+        &addr,
+        DaemonOptions {
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .expect("serve");
     let mut client = DaemonClient::connect(&addr).expect("connect");
 
     // Ping: protocol + schema versions are in every reply.
@@ -206,7 +213,14 @@ fn repair_spans_reassemble_into_one_rooted_trace_tree() {
         buf.clone(),
     ))));
     let addr = sock_addr("tracetree");
-    let handle = fbf::serve(&addr, DaemonOptions { workers: 1 }).expect("serve");
+    let handle = fbf::serve(
+        &addr,
+        DaemonOptions {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("serve");
     let mut client = DaemonClient::connect(&addr).expect("connect");
 
     // Stamp the request with a client-minted trace id; the daemon must
@@ -322,7 +336,14 @@ fn repair_spans_reassemble_into_one_rooted_trace_tree() {
 #[test]
 fn daemon_rejects_malformed_and_oversized_requests_gracefully() {
     let addr = sock_addr("reject");
-    let handle = fbf::serve(&addr, DaemonOptions { workers: 1 }).expect("serve");
+    let handle = fbf::serve(
+        &addr,
+        DaemonOptions {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("serve");
     let mut client = DaemonClient::connect(&addr).expect("connect");
 
     // Unknown command: structured error, connection stays usable.
@@ -344,6 +365,248 @@ fn daemon_rejects_malformed_and_oversized_requests_gracefully() {
         ]))
         .expect("missing job transport");
     assert_eq!(missing.get("ok").and_then(Json::as_bool), Some(false));
+
+    let _ = client.call(&Json::obj([("cmd", Json::Str("shutdown".into()))]));
+    handle.wait();
+}
+
+#[test]
+fn retention_cap_evicts_the_oldest_resident_backend() {
+    let addr = sock_addr("retain");
+    let handle = fbf::serve(
+        &addr,
+        DaemonOptions {
+            workers: 1,
+            retain: 1,
+        },
+    )
+    .expect("serve");
+    let mut client = DaemonClient::connect(&addr).expect("connect");
+
+    // Two sim-backend repairs: both retain a backend on completion, but
+    // with `retain: 1` the first job's backend must be evicted when the
+    // second finishes.
+    let mut jobs = Vec::new();
+    for seed in [1u64, 2] {
+        let cfg = Json::obj([
+            ("chunk_kb", Json::Num(1.0)),
+            ("cache_mb", Json::Num(1.0)),
+            ("stripes", Json::Num(128.0)),
+            ("errors", Json::Num(32.0)),
+            ("workers", Json::Num(8.0)),
+            ("gen_threads", Json::Num(1.0)),
+            ("seed", Json::Num(seed as f64)),
+        ]);
+        let reply = client
+            .call(&Json::obj([
+                ("cmd", Json::Str("repair".into())),
+                ("backend", Json::Str("sim".into())),
+                ("config", cfg),
+            ]))
+            .expect("repair");
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{}",
+            reply.render()
+        );
+        jobs.push(reply.get("job").and_then(Json::as_u64).expect("job id"));
+    }
+    for &job in &jobs {
+        let status = wait_done(&mut client, job);
+        assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+    }
+
+    let read = |client: &mut DaemonClient, job: u64| {
+        client
+            .call(&Json::obj([
+                ("cmd", Json::Str("read".into())),
+                ("job", Json::Num(job as f64)),
+                ("stripe", Json::Num(0.0)),
+                ("row", Json::Num(0.0)),
+                ("col", Json::Num(0.0)),
+            ]))
+            .expect("read")
+    };
+    // Oldest job: backend gone, and the error says why (eviction, not a
+    // missing job or a never-retained backend).
+    let evicted = read(&mut client, jobs[0]);
+    assert_eq!(
+        evicted.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "{}",
+        evicted.render()
+    );
+    let msg = evicted.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(msg.contains("evicted"), "error names the eviction: {msg}");
+    // Newest job: still resident and readable.
+    let live = read(&mut client, jobs[1]);
+    assert_eq!(
+        live.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        live.render()
+    );
+
+    // The leak-check gauge agrees: exactly one backend is resident.
+    let prom = client
+        .call(&Json::obj([("cmd", Json::Str("metrics".into()))]))
+        .expect("metrics");
+    let text = prom
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .expect("prom text");
+    assert!(
+        text.lines().any(|l| l.trim() == "fbf_backends_retained 1"),
+        "gauge must report one resident backend:\n{text}"
+    );
+
+    let _ = client.call(&Json::obj([("cmd", Json::Str("shutdown".into()))]));
+    handle.wait();
+}
+
+#[test]
+fn panicking_job_fails_cleanly_without_killing_the_worker() {
+    let addr = sock_addr("panic");
+    let handle = fbf::serve(
+        &addr,
+        DaemonOptions {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("serve");
+    let mut client = DaemonClient::connect(&addr).expect("connect");
+
+    // The debug-only `panic` backend makes the worker thread panic
+    // mid-job. The daemon must convert that into a `failed` job instead
+    // of silently leaking a `running` entry (gauge drift) and a dead
+    // worker.
+    let reply = client
+        .call(&Json::obj([
+            ("cmd", Json::Str("repair".into())),
+            ("backend", Json::Str("panic".into())),
+            ("config", small_config_json()),
+        ]))
+        .expect("repair");
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        reply.render()
+    );
+    let job = reply.get("job").and_then(Json::as_u64).expect("job id");
+    let status = wait_done(&mut client, job);
+    assert_eq!(
+        status.get("state").and_then(Json::as_str),
+        Some("failed"),
+        "{}",
+        status.render()
+    );
+    let msg = status.get("error").and_then(Json::as_str).unwrap_or("");
+    assert!(msg.contains("panicked"), "error names the panic: {msg}");
+
+    // The single worker survived: a normal job still completes.
+    let reply = client
+        .call(&Json::obj([
+            ("cmd", Json::Str("repair".into())),
+            ("backend", Json::Str("sim".into())),
+            ("config", small_config_json()),
+        ]))
+        .expect("repair after panic");
+    let job = reply.get("job").and_then(Json::as_u64).expect("job id");
+    let status = wait_done(&mut client, job);
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+
+    // No gauge drift: the panicked job counts as failed, not running.
+    let prom = client
+        .call(&Json::obj([("cmd", Json::Str("metrics".into()))]))
+        .expect("metrics");
+    let text = prom
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .expect("prom text");
+    for line in [
+        "fbf_jobs_total{state=\"failed\"} 1",
+        "fbf_jobs_total{state=\"running\"} 0",
+    ] {
+        assert!(
+            text.lines().any(|l| l.trim() == line),
+            "expected `{line}` in:\n{text}"
+        );
+    }
+
+    let _ = client.call(&Json::obj([("cmd", Json::Str("shutdown".into()))]));
+    handle.wait();
+}
+
+#[test]
+fn rebuild_job_over_the_wire_reports_the_campaign() {
+    let addr = sock_addr("rebuild");
+    let handle = fbf::serve(
+        &addr,
+        DaemonOptions {
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .expect("serve");
+    let mut client = DaemonClient::connect(&addr).expect("connect");
+
+    let reply = client
+        .call(&Json::obj([
+            ("cmd", Json::Str("rebuild".into())),
+            ("config", small_config_json()),
+            ("disks", Json::Num(24.0)),
+            ("fairness", Json::Str("drr".into())),
+        ]))
+        .expect("rebuild");
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{}",
+        reply.render()
+    );
+    let job = reply.get("job").and_then(Json::as_u64).expect("job id");
+    let status = wait_done(&mut client, job);
+    assert_eq!(
+        status.get("state").and_then(Json::as_str),
+        Some("done"),
+        "{}",
+        status.render()
+    );
+    let rebuild = status
+        .get("rebuild")
+        .expect("done rebuild status carries the outcome");
+    assert_eq!(
+        rebuild.get("placement").and_then(Json::as_str),
+        Some("declustered")
+    );
+    assert_eq!(
+        rebuild.get("fairness").and_then(Json::as_str),
+        Some("deficit-weighted")
+    );
+    assert!(rebuild.get("waves").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    assert!(rebuild.get("rebuild_skew").is_some(), "{}", status.render());
+    let affected = rebuild
+        .get("stripes_affected")
+        .and_then(Json::as_u64)
+        .expect("affected count");
+    assert_eq!(
+        rebuild.get("stripes_rebuilt").and_then(Json::as_u64),
+        Some(affected),
+        "no faults: every affected stripe is rebuilt"
+    );
+
+    // Bad placement names are rejected up front, not queued.
+    let bad = client
+        .call(&Json::obj([
+            ("cmd", Json::Str("rebuild".into())),
+            ("config", small_config_json()),
+            ("placement", Json::Str("striped".into())),
+        ]))
+        .expect("bad rebuild transport");
+    assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
 
     let _ = client.call(&Json::obj([("cmd", Json::Str("shutdown".into()))]));
     handle.wait();
